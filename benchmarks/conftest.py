@@ -1,0 +1,65 @@
+"""Shared configuration for the benchmark harness.
+
+Every bench regenerates one of the paper's tables or figures and
+prints the rendered result (captured into ``bench_output.txt`` by the
+top-level run command), while pytest-benchmark records the wall-clock
+cost of the simulation itself.
+
+Environment knobs:
+
+``REPRO_BENCH_SIZE``
+    Problem size for figure benches: small (default) / medium / large.
+``REPRO_SCALE``
+    Float multiplier applied on top of the named size (e.g. 4.0 moves
+    a 256 KB "large" toward the paper's megabyte corpora).
+``REPRO_MPS``
+    Simulate this many MPs instead of the GTX 280's 30.
+"""
+
+import os
+
+import pytest
+
+from repro.gpu import DeviceConfig
+
+
+def bench_size() -> str:
+    return os.environ.get("REPRO_BENCH_SIZE", "small")
+
+
+def bench_scale() -> float:
+    return float(os.environ.get("REPRO_SCALE", "1.0"))
+
+
+def bench_config() -> DeviceConfig:
+    mps = int(os.environ.get("REPRO_MPS", "0"))
+    return DeviceConfig.small(mps) if mps else DeviceConfig.gtx280()
+
+
+@pytest.fixture(scope="session")
+def size() -> str:
+    return bench_size()
+
+
+@pytest.fixture(scope="session")
+def scale() -> float:
+    return bench_scale()
+
+
+@pytest.fixture(scope="session")
+def config() -> DeviceConfig:
+    return bench_config()
+
+
+_SIZE_ORDER = {"small": 0, "medium": 1, "large": 2}
+
+
+def at_least_medium(size: str) -> str:
+    """Some claims are contention effects that vanish on tiny inputs;
+    their benches run at >= medium regardless of REPRO_BENCH_SIZE."""
+    return size if _SIZE_ORDER[size] >= 1 else "medium"
+
+
+def run_once(benchmark, fn):
+    """Deterministic multi-second simulations: one round, one iteration."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

@@ -1,0 +1,90 @@
+"""Figure 5(a)-(e): Map kernel time across memory-usage modes.
+
+For each of the five workloads, sweeps the Map kernel over
+G/GT/SI/SO/SIO x thread-block sizes and prints the cycle table that
+corresponds to the paper's bar groups.  Shape assertions encode the
+per-workload findings of Section IV-D.
+"""
+
+import pytest
+
+from conftest import at_least_medium, run_once
+from repro.analysis.figures import fig5_map_sweep
+from repro.analysis.report import render_map_sweep
+from repro.workloads import (
+    InvertedIndex,
+    KMeans,
+    MatrixMultiplication,
+    StringMatch,
+    WordCount,
+)
+
+BLOCKS = (64, 128, 256)
+
+
+def sweep(benchmark, workload, size, scale, config, blocks=BLOCKS):
+    res = run_once(
+        benchmark,
+        lambda: fig5_map_sweep(
+            workload, size=size, scale=scale, config=config,
+            block_sizes=blocks,
+        ),
+    )
+    print("\n" + render_map_sweep(res))
+    return res
+
+
+def test_fig5a_wordcount(benchmark, size, scale, config):
+    res = sweep(benchmark, WordCount(), size, scale, config)
+    # Output staging relieves the atomic bottleneck: SO > 2x over G.
+    assert res.speedup("SO", "G", 128) > 2.0
+    assert res.best_mode(128) in ("SO", "SIO")
+
+
+def test_fig5b_matrixmul(benchmark, size, scale, config):
+    res = sweep(benchmark, MatrixMultiplication(), size, scale, config)
+    # All modes close; the workload is memory-bound.
+    vals = [res.series[m][1] for m in ("G", "SI", "SO", "SIO")]
+    assert max(vals) / min(vals) < 2.5
+
+
+def test_fig5c_stringmatch(benchmark, size, scale, config):
+    res = sweep(benchmark, StringMatch(), at_least_medium(size), scale, config)
+    assert res.speedup("SIO", "G", 128) > 1.5
+
+
+def test_fig5d_invertedindex(benchmark, size, scale, config):
+    res = sweep(benchmark, InvertedIndex(), size, scale, config)
+    # II benefits significantly and solely from staging input.
+    assert res.speedup("SI", "G", 128) > 1.7
+    assert res.speedup("SIO", "G", 128) > 1.7
+
+
+def test_fig5e_kmeans(benchmark, size, scale, config):
+    res = sweep(benchmark, KMeans(), at_least_medium(size), scale, config)
+    # SO alone brings nothing for KM; SIO/SI carry the benefit.
+    assert res.speedup("SO", "G", 128) < 1.3
+    assert res.speedup("SIO", "SO", 256) > 1.0
+
+
+def test_fig5_headline_average(benchmark, size, scale, config):
+    """The paper's headline: SIO averages 2.85x over G (max 7.5x)."""
+    gains = []
+
+    def run():
+        for wl in (WordCount(), StringMatch(), InvertedIndex(), KMeans(),
+                   MatrixMultiplication()):
+            res = fig5_map_sweep(
+                wl, size=at_least_medium(size), scale=scale, config=config,
+                block_sizes=(128,),
+            )
+            gains.append((wl.code, res.speedup("SIO", "G", 128)))
+        return gains
+
+    run_once(benchmark, run)
+    avg = sum(g for _, g in gains) / len(gains)
+    print("\nSIO speedup over G per workload: "
+          + ", ".join(f"{c}={g:.2f}x" for c, g in gains))
+    print(f"average: {avg:.2f}x (paper: 2.85x, max 7.5x)")
+    assert 1.5 < avg < 8.0
+    assert max(g for _, g in gains) < 12.0

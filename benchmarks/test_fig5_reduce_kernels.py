@@ -1,0 +1,81 @@
+"""Figure 5(f)-(i): Reduce kernel time for WC and KM under TR and BR.
+
+Reproduces the four reduce panels: WC-TR, WC-BR, KM-TR, KM-BR, across
+the applicable memory modes (GT is impossible for BR; SI falls back to
+G under TR, SIO to SO).
+"""
+
+import pytest
+
+from conftest import run_once
+from repro.analysis.figures import fig5_reduce_sweep
+from repro.analysis.report import render_reduce_sweep
+from repro.framework.modes import ReduceStrategy
+from repro.workloads import KMeans, WordCount
+
+BLOCKS = (64, 128, 256)
+
+
+def sweep(benchmark, workload, strategy, size, scale, config):
+    res = run_once(
+        benchmark,
+        lambda: fig5_reduce_sweep(
+            workload, strategy, size=size, scale=scale, config=config,
+            block_sizes=BLOCKS,
+        ),
+    )
+    print("\n" + render_reduce_sweep(res))
+    return res
+
+
+def test_fig5f_wc_tr(benchmark, size, scale, config):
+    res = sweep(benchmark, WordCount(), ReduceStrategy.TR, size, scale, config)
+    # G/GT work best; SO's staging brings no benefit for reduce.
+    assert res.series["SO"][1] >= res.series["G"][1]
+
+
+def test_fig5g_wc_br(benchmark, size, scale, config):
+    res = sweep(benchmark, WordCount(), ReduceStrategy.BR, size, scale, config)
+    # Texture cannot back BR kernels (coherence).
+    assert all(v is None for v in res.series["GT"])
+    # WC values are 4-byte ints: already coalesced, so SI gains little.
+    assert res.series["SI"][1] > 0.6 * res.series["G"][1]
+
+
+def test_fig5h_km_tr(benchmark, size, scale, config):
+    res = sweep(benchmark, KMeans(), ReduceStrategy.TR, size, scale, config)
+    # KM has few key sets: TR parallelism is limited and flat-ish.
+    g = res.series["G"]
+    assert g[2] > 0.5 * g[0]
+
+
+def test_fig5i_km_br(benchmark, size, scale, config):
+    res = sweep(benchmark, KMeans(), ReduceStrategy.BR, size, scale, config)
+    # The paper's KM-BR headline: staging input wins (~2.25x over G)
+    # because the wide vectors span many 128-byte segments under G.
+    assert res.series["G"][1] / res.series["SI"][1] > 1.3
+
+
+def test_fig5_tr_br_crossover(benchmark, size, scale, config):
+    """TR wins with many small key sets (vocabulary-rich WC), BR with
+    few large ones (KM) — Section IV-E's agreement with [11]."""
+    out = {}
+
+    def run():
+        from repro.framework.modes import MemoryMode
+
+        rich = WordCount(vocabulary_size=8192)
+        for name, wl in (("WC", rich), ("KM", KMeans())):
+            for strat in (ReduceStrategy.TR, ReduceStrategy.BR):
+                res = fig5_reduce_sweep(
+                    wl, strat, size=size, scale=scale, config=config,
+                    block_sizes=(128,), modes=(MemoryMode.G,),
+                )
+                out[(name, strat.value)] = res.series["G"][0]
+        return out
+
+    run_once(benchmark, run)
+    print("\nTR/BR crossover (G mode, 128 thr/blk): "
+          + ", ".join(f"{k[0]}-{k[1]}={v:.0f}" for k, v in out.items()))
+    assert out[("WC", "TR")] < out[("WC", "BR")]
+    assert out[("KM", "BR")] < out[("KM", "TR")]

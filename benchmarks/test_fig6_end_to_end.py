@@ -1,0 +1,63 @@
+"""Figure 6: end-to-end execution-time breakdown, Mars vs all modes.
+
+For each workload, runs the complete job (I/O + Map + Shuffle +
+Reduce) under Mars and the five memory modes, printing the stacked
+breakdown the paper plots.  Shape checks: the framework beats Mars
+end-to-end on average (paper: G +34 %, SIO +64 %), with the gain
+dampened by the shared shuffle and I/O portions.
+"""
+
+import pytest
+
+from conftest import run_once
+from repro.analysis.figures import fig6_end_to_end
+from repro.analysis.report import render_end_to_end
+from repro.workloads import (
+    ALL_WORKLOADS,
+    InvertedIndex,
+    KMeans,
+    MatrixMultiplication,
+    StringMatch,
+    WordCount,
+)
+
+
+@pytest.mark.parametrize("cls", ALL_WORKLOADS, ids=lambda c: c().code)
+def test_fig6_workload(benchmark, cls, size, scale, config):
+    wl = cls()
+    rows = run_once(
+        benchmark,
+        lambda: fig6_end_to_end(wl, sizes=(size,), scale=scale, config=config),
+    )
+    print("\n" + render_end_to_end(rows))
+    by = {r.system: r.timings for r in rows}
+    assert "Mars" in by and "SIO" in by
+    # Shared phases really are shared.
+    assert by["Mars"].io_in == by["G"].io_in
+    if wl.has_reduce:
+        assert by["Mars"].shuffle == pytest.approx(by["G"].shuffle, rel=0.01)
+
+
+def test_fig6_average_totals(benchmark, size, scale, config):
+    """Average end-to-end comparison across all workloads."""
+    ratios = {"G": [], "SIO": []}
+
+    def run():
+        for cls in ALL_WORKLOADS:
+            rows = fig6_end_to_end(
+                cls(), sizes=(size,), scale=scale, config=config
+            )
+            by = {r.system: r.timings.total for r in rows}
+            for mode in ("G", "SIO"):
+                if mode in by:
+                    ratios[mode].append(by["Mars"] / by[mode])
+        return ratios
+
+    run_once(benchmark, run)
+    avg_g = sum(ratios["G"]) / len(ratios["G"])
+    avg_sio = sum(ratios["SIO"]) / len(ratios["SIO"])
+    print(f"\nend-to-end speedup over Mars: G avg {avg_g:.2f}x "
+          f"(paper: ~1.34x), SIO avg {avg_sio:.2f}x (paper: ~1.64x)")
+    # SIO end-to-end must beat both Mars and G on average.
+    assert avg_sio > 1.0
+    assert avg_sio > avg_g * 0.95

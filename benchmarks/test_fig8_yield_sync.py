@@ -1,0 +1,72 @@
+"""Figure 8: yield vs never-yield busy waiting in the SIO Map kernels.
+
+The paper's wait-signal primitive lets idle helper warps *yield* via a
+dummy global-memory access so they stop stealing issue slots from
+compute warps.  Figure 8 reports the SIO Map kernel improvement of
+yielding over spinning: between -1.2 % and 13 %, appearing from 128
+threads/block and growing with block size, largest for II (long
+computation phases), absent for MM (which fetches from global anyway).
+"""
+
+import pytest
+
+from conftest import at_least_medium, run_once
+from repro.analysis.figures import fig8_yield_sweep
+from repro.analysis.report import render_yield
+from repro.workloads import (
+    InvertedIndex,
+    KMeans,
+    MatrixMultiplication,
+    StringMatch,
+    WordCount,
+)
+
+BLOCKS = (64, 128, 256)
+
+
+@pytest.mark.parametrize(
+    "cls", [WordCount, StringMatch, InvertedIndex, KMeans],
+    ids=lambda c: c().code,
+)
+def test_fig8_workload(benchmark, cls, size, scale, config):
+    wl = cls()
+    rows = run_once(
+        benchmark,
+        lambda: fig8_yield_sweep(wl, size=at_least_medium(size), scale=scale,
+                                 config=config, block_sizes=BLOCKS),
+    )
+    print("\n" + render_yield(rows))
+    big = [r for r in rows if r.block_size >= 128]
+    if wl.code == "SM":
+        # Documented deviation (EXPERIMENTS.md): SM's compute phases
+        # are so short that the yielded helpers' flush wake-up latency
+        # outweighs the saved issue slots in our model; the paper
+        # found SM within its -1.2%..13% band.
+        assert all(r.improvement_pct > -25.0 for r in rows)
+    else:
+        # The benefit "starts to appear after there are 128 threads
+        # within a block".
+        assert max(r.improvement_pct for r in big) > -2.0
+        assert all(r.improvement_pct > -25.0 for r in rows)
+
+
+def test_fig8_improvement_band(benchmark, size, scale, config):
+    """Aggregate the band across workloads (paper: -1.2 %..13 %)."""
+    all_rows = []
+
+    def run():
+        for cls in (WordCount, StringMatch, InvertedIndex, KMeans):
+            all_rows.extend(
+                fig8_yield_sweep(cls(), size=at_least_medium(size),
+                                 scale=scale, config=config,
+                                 block_sizes=(128, 256))
+            )
+        return all_rows
+
+    run_once(benchmark, run)
+    lo = min(r.improvement_pct for r in all_rows)
+    hi = max(r.improvement_pct for r in all_rows)
+    print(f"\nyield improvement band at >=128 thr/blk: "
+          f"{lo:+.1f}% .. {hi:+.1f}% (paper: -1.2% .. +13%)")
+    assert lo > -20.0  # SM deviation documented in EXPERIMENTS.md
+    assert hi > 0.0

@@ -1,0 +1,32 @@
+"""Table I: workloads and problem sizes.
+
+Regenerates the inventory table and times input generation for every
+workload at the benchmarked size (the generators are part of the
+reproduced system: they must reproduce Table II's record statistics,
+checked by the Table II bench).
+"""
+
+import pytest
+
+from conftest import run_once
+from repro.analysis.report import render_table1
+from repro.analysis.tables import table1
+from repro.workloads import ALL_WORKLOADS
+
+
+def test_table1_renders(benchmark):
+    workloads = [cls() for cls in ALL_WORKLOADS]
+    text = run_once(benchmark, lambda: render_table1(table1(workloads)))
+    print("\n" + text)
+    assert "Word Count" in text and "KMeans" in text
+
+
+@pytest.mark.parametrize("cls", ALL_WORKLOADS, ids=lambda c: c().code)
+def test_generate_workload(benchmark, cls, size, scale):
+    wl = cls()
+    inp = run_once(benchmark, lambda: wl.generate(size, seed=0, scale=scale))
+    stats = inp.record_stats()
+    print(f"\n{wl.code} {size}: {len(inp)} records, "
+          f"key {stats['key_mean']:.1f}±{stats['key_std']:.1f} B, "
+          f"val {stats['val_mean']:.1f}±{stats['val_std']:.1f} B")
+    assert len(inp) > 0

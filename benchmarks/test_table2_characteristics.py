@@ -1,0 +1,42 @@
+"""Table II: MapReduce workload characteristics, paper vs measured.
+
+Measures record-size statistics and in:out record-count ratios from
+the generated corpora and the reference Map/Shuffle/Reduce, printing
+each workload's measured row under the paper's row.
+"""
+
+import pytest
+
+from conftest import run_once
+from repro.analysis.report import render_table2
+from repro.analysis.tables import measure_table2_row
+from repro.workloads import ALL_WORKLOADS
+
+
+@pytest.mark.parametrize("cls", ALL_WORKLOADS, ids=lambda c: c().code)
+def test_table2_row(benchmark, cls, size, scale):
+    wl = cls()
+    row = run_once(
+        benchmark, lambda: measure_table2_row(wl, size, scale=scale)
+    )
+    print("\n" + render_table2([row]))
+
+    # Shape checks against the paper's Table II.
+    if wl.code == "WC":
+        assert abs(row.input_key.mean - 32.44) < 5
+        assert 1 / row.map_ratio > 3          # ~5 words per line
+        assert row.reduce_ratio > 2
+    elif wl.code == "SM":
+        assert abs(row.input_key.mean - 44.52) < 5
+        assert 2.5 < row.map_ratio < 6        # paper: 3.83:1
+    elif wl.code == "II":
+        assert row.input_key.mean == 8.0
+        assert 5 < row.map_ratio < 12         # paper: 7.94:1
+        assert row.output_val.mean == 8.0
+    elif wl.code == "KM":
+        assert row.input_key.mean == 0.0
+        assert row.input_val.mean == 32.0
+        assert abs(row.map_ratio - 1.0) < 0.01
+    elif wl.code == "MM":
+        assert row.output_key.mean == 8.0     # the (i, j) pair
+        assert row.output_val.mean == 4.0     # one float

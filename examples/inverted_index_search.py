@@ -1,0 +1,59 @@
+#!/usr/bin/env python
+"""Build an inverted link index from html, then query it — and see why
+staging *input* is what matters for this workload.
+
+Inverted Index has large, highly variable records (the paper's
+Table II: 63.9 +/- 123.2 bytes) that each Map task scans end to end.
+Under G those scans are scattered global reads; under SI one coalesced
+stage-in feeds fast shared-memory scans.  The example runs the same
+extraction under both modes, reports the speedup, then uses the
+functional output as an actual queryable index.
+
+Run:  python examples/inverted_index_search.py
+"""
+
+import struct
+from collections import defaultdict
+
+from repro.framework import MemoryMode, run_job
+from repro.gpu import DeviceConfig
+from repro.workloads import InvertedIndex
+
+
+def main() -> None:
+    ii = InvertedIndex()
+    inp = ii.generate("small", seed=7)
+    spec = ii.spec()
+    cfg = DeviceConfig.gtx280()
+
+    results = {}
+    for mode in (MemoryMode.G, MemoryMode.SI):
+        results[mode] = run_job(spec, inp, mode=mode, config=cfg,
+                                threads_per_block=128)
+
+    g, si = results[MemoryMode.G], results[MemoryMode.SI]
+    print(f"html chunks scanned : {len(inp)}")
+    print(f"links extracted     : {len(si.output)}")
+    print(f"Map kernel, G mode  : {g.timings.map:>10.0f} cycles")
+    print(f"Map kernel, SI mode : {si.timings.map:>10.0f} cycles")
+    print(f"staged-input speedup: {g.timings.map / si.timings.map:.2f}x "
+          "(the paper: II 'benefits significantly and solely from "
+          "staging input')")
+    print(f"global transactions : {g.map_stats.global_transactions} (G) vs "
+          f"{si.map_stats.global_transactions} (SI)")
+
+    # Build the index from the (url, position) records.
+    index: dict[bytes, list[tuple[int, int]]] = defaultdict(list)
+    for url, pos in si.output:
+        doc, off = struct.unpack("<II", pos)
+        index[url].append((doc, off))
+
+    print(f"\ndistinct URLs: {len(index)}")
+    print("sample postings:")
+    for url in sorted(index)[:5]:
+        places = ", ".join(f"doc{d}@{o}" for d, o in index[url][:3])
+        print(f"  {url.decode()[:48]:50s} -> {places}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,78 @@
+#!/usr/bin/env python
+"""Regenerate the measured tables quoted in EXPERIMENTS.md.
+
+Runs every table and figure at the medium size on the full simulated
+GTX 280 and prints the rendered blocks in EXPERIMENTS.md's order.
+Takes a few minutes.
+
+Usage:  python scripts/generate_experiments_data.py [> data.txt]
+"""
+
+from repro.analysis import figures, report, tables
+from repro.framework.modes import ReduceStrategy
+from repro.gpu import DeviceConfig
+from repro.workloads import (
+    ALL_WORKLOADS,
+    InvertedIndex,
+    KMeans,
+    MatrixMultiplication,
+    StringMatch,
+    WordCount,
+)
+
+GTX = DeviceConfig.gtx280()
+SIZE = "medium"
+
+
+def main() -> None:
+    print("### TABLE 1")
+    print(report.render_table1(tables.table1([c() for c in ALL_WORKLOADS])))
+    print()
+
+    print("### TABLE 2 (large)")
+    rows = [tables.measure_table2_row(c(), "large") for c in ALL_WORKLOADS]
+    print(report.render_table2(rows))
+    print()
+
+    print(f"### FIG5 MAP ({SIZE}, GTX280)")
+    for c in ALL_WORKLOADS:
+        res = figures.fig5_map_sweep(c(), size=SIZE, config=GTX,
+                                     block_sizes=(64, 128, 256))
+        print(report.render_map_sweep(res))
+        print()
+
+    print("### FIG5 REDUCE")
+    for wl, strat in (
+        (WordCount(), ReduceStrategy.TR), (WordCount(), ReduceStrategy.BR),
+        (KMeans(), ReduceStrategy.TR), (KMeans(), ReduceStrategy.BR),
+    ):
+        res = figures.fig5_reduce_sweep(wl, strat, size=SIZE, config=GTX,
+                                        block_sizes=(64, 128, 256))
+        print(report.render_reduce_sweep(res))
+        print()
+
+    print(f"### FIG6 ({SIZE})")
+    rows = []
+    for c in ALL_WORKLOADS:
+        rows += figures.fig6_end_to_end(c(), sizes=(SIZE,), config=GTX)
+    print(report.render_end_to_end(rows))
+    print()
+
+    print(f"### FIG7 ({SIZE})")
+    rows = []
+    for c in ALL_WORKLOADS:
+        rows += figures.fig7_speedup_over_mars(c(), size=SIZE, config=GTX)
+    print(report.render_speedups(rows))
+    print()
+
+    print(f"### FIG8 ({SIZE})")
+    rows = []
+    for c in (WordCount, StringMatch, InvertedIndex, KMeans,
+              MatrixMultiplication):
+        rows += figures.fig8_yield_sweep(c(), size=SIZE, config=GTX,
+                                         block_sizes=(64, 128, 256))
+    print(report.render_yield(rows))
+
+
+if __name__ == "__main__":
+    main()

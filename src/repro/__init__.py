@@ -1,0 +1,29 @@
+"""Reproduction of *Using Shared Memory to Accelerate MapReduce on
+Graphics Processing Units* (Feng Ji & Xiaosong Ma, IPDPS 2011).
+
+Layout
+------
+``repro.gpu``
+    Discrete-event SIMT GPU timing simulator (the GTX 280 substitute).
+``repro.framework``
+    The paper's MapReduce framework: shared-memory staging areas,
+    thread-role partitioning, wait-signal synchronisation, hierarchical
+    result collection, memory-usage modes G/GT/SI/SO/SIO, and TR/BR
+    reduction.
+``repro.mars``
+    The Mars baseline: two-pass (count + prefix-scan + real) execution.
+``repro.workloads``
+    The five evaluation workloads (Table I): Word Count, Matrix
+    Multiplication, String Match, Inverted Index, KMeans — plus the
+    synthetic data generators matching Table II's record statistics.
+``repro.cpu_ref``
+    Sequential reference MapReduce used as the correctness oracle.
+``repro.analysis``
+    Renderers for every table and figure in the paper's evaluation.
+"""
+
+__version__ = "1.0.0"
+
+from .errors import ReproError
+
+__all__ = ["ReproError", "__version__"]

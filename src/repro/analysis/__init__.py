@@ -1,0 +1,30 @@
+"""``repro.analysis`` — regeneration of every table and figure in the
+paper's evaluation (Tables I-II, Figures 5-8)."""
+
+from . import figures, metrics, report, sensitivity, tables, validation
+from .figures import (
+    fig5_map_sweep,
+    fig5_reduce_sweep,
+    fig6_end_to_end,
+    fig7_speedup_over_mars,
+    fig8_yield_sweep,
+    run_map_kernel,
+)
+from .tables import measure_table2_row, table1
+
+__all__ = [
+    "fig5_map_sweep",
+    "fig5_reduce_sweep",
+    "fig6_end_to_end",
+    "fig7_speedup_over_mars",
+    "fig8_yield_sweep",
+    "figures",
+    "metrics",
+    "sensitivity",
+    "validation",
+    "measure_table2_row",
+    "report",
+    "run_map_kernel",
+    "table1",
+    "tables",
+]

@@ -1,0 +1,195 @@
+"""``repro-bench`` — command-line runner for the paper's experiments.
+
+Examples::
+
+    repro-bench table2
+    repro-bench fig5-map --workload WC --size medium
+    repro-bench fig6 --workload KM
+    repro-bench fig7
+    repro-bench fig8 --workload II
+    repro-bench validate                # oracle conformance matrix
+    repro-bench profile --workload WC   # per-mode derived metrics
+    repro-bench all --size small
+
+All experiments run on the full simulated GTX 280 unless ``--mps``
+shrinks the device for speed.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from ..framework.modes import ReduceStrategy
+from ..gpu.config import DeviceConfig
+from ..workloads import (
+    ALL_WORKLOADS,
+    Histogram,
+    InvertedIndex,
+    KMeans,
+    MatrixMultiplication,
+    SimilarityScore,
+    StringMatch,
+    WordCount,
+)
+from . import figures, report, tables
+from .metrics import compare_modes, derive_metrics
+from .validation import validate_all
+
+_BY_CODE = {
+    "WC": WordCount,
+    "MM": MatrixMultiplication,
+    "SM": StringMatch,
+    "II": InvertedIndex,
+    "KM": KMeans,
+    # Extras beyond Table I (Mars/Phoenix suites).
+    "SS": SimilarityScore,
+    "HG": Histogram,
+}
+
+
+def _workloads(arg: str | None):
+    if arg is None:
+        return [cls() for cls in ALL_WORKLOADS]
+    return [_BY_CODE[code.strip().upper()]() for code in arg.split(",")]
+
+
+def _config(args) -> DeviceConfig:
+    if args.mps:
+        return DeviceConfig.small(args.mps)
+    return DeviceConfig.gtx280()
+
+
+def cmd_table1(args) -> None:
+    print(report.render_table1(tables.table1(_workloads(args.workload))))
+
+
+def cmd_table2(args) -> None:
+    rows = [
+        tables.measure_table2_row(w, args.size, scale=args.scale)
+        for w in _workloads(args.workload)
+    ]
+    print(report.render_table2(rows))
+
+
+def cmd_fig5_map(args) -> None:
+    for w in _workloads(args.workload):
+        res = figures.fig5_map_sweep(
+            w, size=args.size, config=_config(args), scale=args.scale
+        )
+        print(report.render_map_sweep(res))
+        print()
+
+
+def cmd_fig5_reduce(args) -> None:
+    for w in _workloads(args.workload or "WC,KM"):
+        if not w.has_reduce:
+            continue
+        for strat in (ReduceStrategy.TR, ReduceStrategy.BR):
+            res = figures.fig5_reduce_sweep(
+                w, strat, size=args.size, config=_config(args), scale=args.scale
+            )
+            print(report.render_reduce_sweep(res))
+            print()
+
+
+def cmd_fig6(args) -> None:
+    rows = []
+    for w in _workloads(args.workload):
+        rows += figures.fig6_end_to_end(
+            w, sizes=(args.size,), config=_config(args), scale=args.scale
+        )
+    print(report.render_end_to_end(rows))
+
+
+def cmd_fig7(args) -> None:
+    rows = []
+    for w in _workloads(args.workload):
+        rows += figures.fig7_speedup_over_mars(
+            w, size=args.size, config=_config(args), scale=args.scale
+        )
+    print(report.render_speedups(rows))
+
+
+def cmd_fig8(args) -> None:
+    rows = []
+    for w in _workloads(args.workload):
+        rows += figures.fig8_yield_sweep(
+            w, size=args.size, config=_config(args), scale=args.scale
+        )
+    print(report.render_yield(rows))
+
+
+def cmd_validate(args) -> None:
+    rep = validate_all(
+        _workloads(args.workload), size=args.size, scale=args.scale,
+        config=_config(args) if args.mps else None,
+    )
+    print(rep.render())
+    if not rep.passed:
+        raise SystemExit(1)
+
+
+def cmd_profile(args) -> None:
+    from ..framework.modes import ALL_MODES
+
+    cfg = _config(args)
+    for w in _workloads(args.workload):
+        metrics = {}
+        for mode in ALL_MODES:
+            try:
+                st = figures.run_map_kernel(
+                    w, mode, size=args.size, scale=args.scale, config=cfg
+                )
+            except Exception:
+                continue
+            metrics[mode.value] = derive_metrics(st, cfg)
+        print(f"{w.title} Map-kernel profile ({args.size}):")
+        print(compare_modes(metrics))
+        print()
+
+
+def cmd_all(args) -> None:
+    cmd_table1(args)
+    print()
+    cmd_table2(args)
+    print()
+    cmd_fig5_map(args)
+    cmd_fig5_reduce(args)
+    cmd_fig6(args)
+    print()
+    cmd_fig7(args)
+    print()
+    cmd_fig8(args)
+
+
+def main(argv: list[str] | None = None) -> int:
+    p = argparse.ArgumentParser(prog="repro-bench", description=__doc__)
+    p.add_argument("command", choices=[
+        "table1", "table2", "fig5-map", "fig5-reduce", "fig6", "fig7",
+        "fig8", "validate", "profile", "all",
+    ])
+    p.add_argument("--workload", help="comma-separated codes (WC,MM,SM,II,KM,SS,HG)")
+    p.add_argument("--size", default="small", choices=["small", "medium", "large"])
+    p.add_argument("--scale", type=float, default=1.0,
+                   help="multiply problem sizes (1.0 = scaled defaults)")
+    p.add_argument("--mps", type=int, default=0,
+                   help="simulate this many MPs instead of the full 30")
+    args = p.parse_args(argv)
+    {
+        "table1": cmd_table1,
+        "table2": cmd_table2,
+        "fig5-map": cmd_fig5_map,
+        "fig5-reduce": cmd_fig5_reduce,
+        "fig6": cmd_fig6,
+        "fig7": cmd_fig7,
+        "fig8": cmd_fig8,
+        "validate": cmd_validate,
+        "profile": cmd_profile,
+        "all": cmd_all,
+    }[args.command](args)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,351 @@
+"""Experiment runners for every figure in the paper's evaluation.
+
+Each ``fig*`` function runs the corresponding experiment on the
+simulator and returns plain data (dicts of series) that the report
+renderer and the pytest benches both consume.
+
+* Figure 5(a-e): Map kernel time vs. threads/block for G/GT/SI/SO/SIO.
+* Figure 5(f-i): Reduce kernel time for WC/KM under TR and BR.
+* Figure 6:      end-to-end stacked phase breakdown incl. Mars.
+* Figure 7:      Map/Reduce kernel speedup over Mars per mode.
+* Figure 8:      yield vs. never-yield busy waiting for SIO Map.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..errors import ReproError
+from ..framework.api import MapReduceSpec
+from ..framework.job import PhaseTimings, run_job
+from ..framework.map_engine import build_map_runtime, launch_map
+from ..framework.modes import ALL_MODES, MemoryMode, ReduceStrategy
+from ..framework.records import DeviceRecordSet, KeyValueSet
+from ..framework.reduce_engine import build_reduce_runtime, launch_reduce
+from ..framework.shuffle import GroupedDeviceSet, shuffle
+from ..gpu.config import DeviceConfig
+from ..gpu.kernel import Device
+from ..gpu.stats import KernelStats
+from ..mars.framework import run_mars_job
+from ..workloads.base import Workload
+
+#: Thread-block sizes swept in Figure 5 (the paper uses 64...512).
+BLOCK_SIZES = (64, 128, 256, 512)
+
+#: Modes in figure order.
+MAP_MODES = ALL_MODES
+
+
+def spec_of(workload: Workload, seed: int, size: str = "small",
+            scale: float = 1.0) -> MapReduceSpec:
+    return workload.spec_for_size(size, seed=seed, scale=scale)
+
+
+# ----------------------------------------------------------------------
+# Figure 5 (a-e): Map kernels
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class MapSweepResult:
+    workload: str
+    size: str
+    block_sizes: tuple[int, ...]
+    #: mode -> [cycles per block size] (None where the mode cannot run).
+    series: dict[str, list[float | None]] = field(default_factory=dict)
+    stats: dict[tuple[str, int], KernelStats] = field(default_factory=dict)
+
+    def best_mode(self, block: int) -> str:
+        i = self.block_sizes.index(block)
+        valid = {m: s[i] for m, s in self.series.items() if s[i] is not None}
+        return min(valid, key=valid.get)
+
+    def speedup(self, mode_a: str, mode_b: str, block: int) -> float:
+        """cycles(mode_b) / cycles(mode_a) at the given block size."""
+        i = self.block_sizes.index(block)
+        return self.series[mode_b][i] / self.series[mode_a][i]
+
+
+def run_map_kernel(
+    workload: Workload,
+    mode: MemoryMode,
+    *,
+    size: str = "small",
+    threads_per_block: int = 128,
+    config: DeviceConfig | None = None,
+    seed: int = 0,
+    scale: float = 1.0,
+    yield_sync: bool = True,
+    io_ratio: float | None = None,
+) -> KernelStats:
+    """Run only the Map kernel of one workload under one mode."""
+    cfg = config or DeviceConfig.gtx280()
+    dev = Device(cfg)
+    inp = workload.generate(size, seed=seed, scale=scale)
+    spec = spec_of(workload, seed, size, scale)
+    d_in = DeviceRecordSet.upload(dev.gmem, inp)
+    rt = build_map_runtime(
+        dev, spec, mode, d_in,
+        threads_per_block=threads_per_block,
+        yield_sync=yield_sync,
+        io_ratio=io_ratio,
+    )
+    return launch_map(dev, rt)
+
+
+def fig5_map_sweep(
+    workload: Workload,
+    *,
+    size: str = "small",
+    block_sizes: tuple[int, ...] = BLOCK_SIZES,
+    modes: tuple[MemoryMode, ...] = MAP_MODES,
+    config: DeviceConfig | None = None,
+    seed: int = 0,
+    scale: float = 1.0,
+) -> MapSweepResult:
+    """Figure 5(a-e): one workload's Map kernel across modes x blocks."""
+    res = MapSweepResult(
+        workload=workload.code, size=size, block_sizes=tuple(block_sizes)
+    )
+    for mode in modes:
+        ys: list[float | None] = []
+        for tpb in block_sizes:
+            try:
+                st = run_map_kernel(
+                    workload, mode, size=size, threads_per_block=tpb,
+                    config=config, seed=seed, scale=scale,
+                )
+                ys.append(st.cycles)
+                res.stats[(mode.value, tpb)] = st
+            except ReproError:
+                # e.g. SO/SIO need >= 2 warps; oversized layouts.
+                ys.append(None)
+        res.series[mode.value] = ys
+    return res
+
+
+# ----------------------------------------------------------------------
+# Figure 5 (f-i): Reduce kernels
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class ReduceSweepResult:
+    workload: str
+    strategy: str
+    size: str
+    block_sizes: tuple[int, ...]
+    series: dict[str, list[float | None]] = field(default_factory=dict)
+
+
+def prepare_grouped(
+    workload: Workload,
+    *,
+    size: str = "small",
+    seed: int = 0,
+    scale: float = 1.0,
+    config: DeviceConfig | None = None,
+) -> tuple[Device, MapReduceSpec, GroupedDeviceSet]:
+    """Run Map (G mode) + shuffle once; reuse for reduce sweeps."""
+    cfg = config or DeviceConfig.gtx280()
+    dev = Device(cfg)
+    inp = workload.generate(size, seed=seed, scale=scale)
+    spec = spec_of(workload, seed, size, scale)
+    d_in = DeviceRecordSet.upload(dev.gmem, inp)
+    rt = build_map_runtime(dev, spec, MemoryMode.G, d_in, threads_per_block=128)
+    launch_map(dev, rt)
+    shuf = shuffle(dev.gmem, rt.out.as_record_set(), cfg)
+    return dev, spec, shuf.grouped
+
+
+def run_reduce_kernel(
+    dev: Device,
+    spec: MapReduceSpec,
+    grouped: GroupedDeviceSet,
+    mode: MemoryMode,
+    strategy: ReduceStrategy,
+    *,
+    threads_per_block: int = 128,
+    yield_sync: bool = True,
+) -> KernelStats:
+    rt = build_reduce_runtime(
+        dev, spec, mode, strategy, grouped,
+        threads_per_block=threads_per_block, yield_sync=yield_sync,
+    )
+    return launch_reduce(dev, rt)
+
+
+def fig5_reduce_sweep(
+    workload: Workload,
+    strategy: ReduceStrategy,
+    *,
+    size: str = "small",
+    block_sizes: tuple[int, ...] = BLOCK_SIZES,
+    modes: tuple[MemoryMode, ...] = MAP_MODES,
+    config: DeviceConfig | None = None,
+    seed: int = 0,
+    scale: float = 1.0,
+) -> ReduceSweepResult:
+    """Figure 5(f-i): WC/KM Reduce kernels across modes x blocks."""
+    dev, spec, grouped = prepare_grouped(
+        workload, size=size, seed=seed, scale=scale, config=config
+    )
+    res = ReduceSweepResult(
+        workload=workload.code,
+        strategy=strategy.value,
+        size=size,
+        block_sizes=tuple(block_sizes),
+    )
+    for mode in modes:
+        ys: list[float | None] = []
+        for tpb in block_sizes:
+            try:
+                st = run_reduce_kernel(
+                    dev, spec, grouped, mode, strategy, threads_per_block=tpb
+                )
+                ys.append(st.cycles)
+            except ReproError:
+                ys.append(None)  # e.g. GT x BR is impossible
+        res.series[mode.value] = ys
+    return res
+
+
+# ----------------------------------------------------------------------
+# Figure 6: end-to-end breakdown
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class EndToEndRow:
+    workload: str
+    size: str
+    system: str  # "Mars" or a MemoryMode value
+    timings: PhaseTimings
+
+
+def fig6_end_to_end(
+    workload: Workload,
+    *,
+    sizes: tuple[str, ...] = ("small", "medium", "large"),
+    config: DeviceConfig | None = None,
+    threads_per_block: int = 128,
+    seed: int = 0,
+    scale: float = 1.0,
+) -> list[EndToEndRow]:
+    """Figure 6: stacked phase times for Mars + the five modes."""
+    cfg = config or DeviceConfig.gtx280()
+    strategy = ReduceStrategy.TR if workload.has_reduce else None
+    rows: list[EndToEndRow] = []
+    for size in sizes:
+        inp = workload.generate(size, seed=seed, scale=scale)
+        spec = spec_of(workload, seed, size, scale)
+        mars = run_mars_job(
+            spec, inp, strategy=strategy, config=cfg,
+            threads_per_block=threads_per_block,
+        )
+        rows.append(EndToEndRow(workload.code, size, "Mars", mars.timings))
+        for mode in MAP_MODES:
+            try:
+                r = run_job(
+                    spec, inp, mode=mode, strategy=strategy, config=cfg,
+                    threads_per_block=threads_per_block,
+                )
+            except ReproError:
+                continue
+            rows.append(EndToEndRow(workload.code, size, mode.value, r.timings))
+    return rows
+
+
+# ----------------------------------------------------------------------
+# Figure 7: speedup over Mars
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class SpeedupRow:
+    workload: str
+    phase: str  # "map" or "reduce"
+    #: mode -> speedup of that phase over Mars's same phase.
+    speedups: dict[str, float]
+
+
+def fig7_speedup_over_mars(
+    workload: Workload,
+    *,
+    size: str = "small",
+    config: DeviceConfig | None = None,
+    threads_per_block: int = 128,
+    seed: int = 0,
+    scale: float = 1.0,
+) -> list[SpeedupRow]:
+    """Figure 7: per-mode Map (and TR Reduce) speedup over Mars."""
+    cfg = config or DeviceConfig.gtx280()
+    strategy = ReduceStrategy.TR if workload.has_reduce else None
+    inp = workload.generate(size, seed=seed, scale=scale)
+    spec = spec_of(workload, seed, size, scale)
+    mars = run_mars_job(
+        spec, inp, strategy=strategy, config=cfg,
+        threads_per_block=threads_per_block,
+    )
+    map_sp: dict[str, float] = {}
+    red_sp: dict[str, float] = {}
+    for mode in MAP_MODES:
+        try:
+            r = run_job(
+                spec, inp, mode=mode, strategy=strategy, config=cfg,
+                threads_per_block=threads_per_block,
+            )
+        except ReproError:
+            continue
+        map_sp[mode.value] = mars.timings.map / r.timings.map
+        if strategy is not None and r.timings.reduce > 0:
+            red_sp[mode.value] = mars.timings.reduce / r.timings.reduce
+    rows = [SpeedupRow(workload.code, "map", map_sp)]
+    if red_sp:
+        rows.append(SpeedupRow(workload.code, "reduce", red_sp))
+    return rows
+
+
+# ----------------------------------------------------------------------
+# Figure 8: yield vs never-yield busy waiting
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class YieldRow:
+    workload: str
+    block_size: int
+    cycles_spin: float
+    cycles_yield: float
+
+    @property
+    def improvement_pct(self) -> float:
+        """Kernel-time improvement of yielding over spinning."""
+        return 100.0 * (self.cycles_spin - self.cycles_yield) / self.cycles_spin
+
+
+def fig8_yield_sweep(
+    workload: Workload,
+    *,
+    size: str = "small",
+    block_sizes: tuple[int, ...] = BLOCK_SIZES,
+    config: DeviceConfig | None = None,
+    seed: int = 0,
+    scale: float = 1.0,
+) -> list[YieldRow]:
+    """Figure 8: SIO Map kernel with and without the yield operation."""
+    rows: list[YieldRow] = []
+    for tpb in block_sizes:
+        try:
+            spin = run_map_kernel(
+                workload, MemoryMode.SIO, size=size, threads_per_block=tpb,
+                config=config, seed=seed, scale=scale, yield_sync=False,
+            )
+            yld = run_map_kernel(
+                workload, MemoryMode.SIO, size=size, threads_per_block=tpb,
+                config=config, seed=seed, scale=scale, yield_sync=True,
+            )
+        except ReproError:
+            continue
+        rows.append(YieldRow(workload.code, tpb, spin.cycles, yld.cycles))
+    return rows

@@ -1,0 +1,107 @@
+"""Derived performance metrics from kernel statistics.
+
+Turns raw :class:`~repro.gpu.stats.KernelStats` counters into the
+quantities a GPU performance engineer actually reasons about —
+achieved bandwidth, occupancy, atomic pressure, instruction mix —
+and renders a profile report.  Used by tests, benches and the
+``repro-bench profile`` command.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..gpu.config import WARP_SIZE, DeviceConfig
+from ..gpu.stats import KernelStats
+
+
+@dataclass(frozen=True)
+class KernelMetrics:
+    """Derived metrics for one launch."""
+
+    cycles: float
+    #: Achieved DRAM bandwidth as a fraction of the device peak.
+    bandwidth_utilisation: float
+    #: Useful bytes / bytes moved (coalescing efficiency proxy).
+    bytes_per_transaction: float
+    #: Resident warps per MP relative to the architectural maximum.
+    occupancy: float
+    #: Global atomics issued per kilocycle (contention pressure).
+    atomics_per_kcycle: float
+    #: Fraction of issued instructions that were busy-wait probes.
+    poll_fraction: float
+    #: Fraction of warp wait time per category (from the profiler).
+    stall_breakdown: dict[str, float]
+
+    def render(self) -> str:
+        lines = [
+            f"cycles                 : {self.cycles:.0f}",
+            f"bandwidth utilisation  : {self.bandwidth_utilisation:.1%}",
+            f"bytes per transaction  : {self.bytes_per_transaction:.1f}",
+            f"occupancy              : {self.occupancy:.1%}",
+            f"global atomics/kcycle  : {self.atomics_per_kcycle:.2f}",
+            f"poll fraction          : {self.poll_fraction:.1%}",
+        ]
+        if self.stall_breakdown:
+            top = sorted(self.stall_breakdown.items(), key=lambda kv: -kv[1])
+            lines.append("wait-time breakdown    : " + ", ".join(
+                f"{k} {v:.0%}" for k, v in top[:5]
+            ))
+        return "\n".join(lines)
+
+
+def derive_metrics(stats: KernelStats, config: DeviceConfig) -> KernelMetrics:
+    """Compute derived metrics for a finished launch."""
+    t = config.timing
+    cycles = max(1.0, stats.cycles)
+
+    peak_bytes_per_cycle = t.txn_bytes / t.txn_service_cycles
+    achieved = stats.global_transactions * t.txn_bytes / cycles
+    bandwidth_utilisation = min(1.0, achieved / peak_bytes_per_cycle)
+
+    bytes_per_txn = (
+        stats.global_bytes / stats.global_transactions
+        if stats.global_transactions
+        else 0.0
+    )
+
+    warps_per_block = max(1, stats.threads_per_block // WARP_SIZE)
+    resident_warps = warps_per_block * stats.blocks_per_mp
+    max_warps = config.max_threads_per_mp // WARP_SIZE
+    occupancy = min(1.0, resident_warps / max_warps) if max_warps else 0.0
+
+    atomics_per_kcycle = 1000.0 * stats.atomics_global / cycles
+    poll_fraction = (
+        stats.polls / stats.instructions if stats.instructions else 0.0
+    )
+    return KernelMetrics(
+        cycles=stats.cycles,
+        bandwidth_utilisation=bandwidth_utilisation,
+        bytes_per_transaction=bytes_per_txn,
+        occupancy=occupancy,
+        atomics_per_kcycle=atomics_per_kcycle,
+        poll_fraction=poll_fraction,
+        stall_breakdown=stats.stall_breakdown(),
+    )
+
+
+def compare_modes(
+    metrics: dict[str, KernelMetrics], reference: str = "G"
+) -> str:
+    """Render a mode-vs-mode metric comparison table."""
+    if reference not in metrics:
+        reference = next(iter(metrics))
+    ref = metrics[reference]
+    header = (
+        f"{'mode':6s} {'cycles':>12s} {'vs ' + reference:>8s} "
+        f"{'bw util':>8s} {'occup':>7s} {'atom/kcy':>9s} {'polls':>7s}"
+    )
+    lines = [header, "-" * len(header)]
+    for name, m in metrics.items():
+        rel = ref.cycles / m.cycles if m.cycles else float("inf")
+        lines.append(
+            f"{name:6s} {m.cycles:>12.0f} {rel:>7.2f}x "
+            f"{m.bandwidth_utilisation:>8.1%} {m.occupancy:>7.1%} "
+            f"{m.atomics_per_kcycle:>9.2f} {m.poll_fraction:>7.1%}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,127 @@
+"""Plain-text renderers for the regenerated tables and figures.
+
+The benches tee these through pytest's output so EXPERIMENTS.md can
+quote paper-vs-measured side by side.  All renderers take the data
+objects produced by :mod:`repro.analysis.figures` /
+:mod:`repro.analysis.tables` and return strings.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from .figures import (
+    EndToEndRow,
+    MapSweepResult,
+    ReduceSweepResult,
+    SpeedupRow,
+    YieldRow,
+)
+from .tables import PAPER_TABLE2, Table2Row, map_ratio_str
+
+
+def _fmt(v: float | None, width: int = 10) -> str:
+    if v is None:
+        return "-".rjust(width)
+    if v >= 1e6:
+        return f"{v / 1e6:.2f}M".rjust(width)
+    if v >= 1e3:
+        return f"{v / 1e3:.1f}K".rjust(width)
+    return f"{v:.1f}".rjust(width)
+
+
+def render_table(headers: Sequence[str], rows: Sequence[Sequence[str]]) -> str:
+    widths = [len(h) for h in headers]
+    for row in rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(str(cell)))
+    def line(cells):
+        return " | ".join(str(c).ljust(w) for c, w in zip(cells, widths))
+    sep = "-+-".join("-" * w for w in widths)
+    return "\n".join([line(headers), sep] + [line(r) for r in rows])
+
+
+def render_table1(rows: list[tuple[str, str]]) -> str:
+    return render_table(
+        ["Workload", "Problem Size (paper scale)"],
+        [list(r) for r in rows],
+    )
+
+
+def render_table2(measured: list[Table2Row]) -> str:
+    headers = [
+        "WL", "src", "InKey", "InVal", "MapRatio",
+        "IntKey", "IntVal", "RedRatio", "OutKey", "OutVal",
+    ]
+    rows = []
+    for m in measured:
+        paper = PAPER_TABLE2[m.code]
+        rows.append([
+            m.code, "paper", paper["input_key"], paper["input_val"],
+            paper["map_ratio"], paper["inter_key"], paper["inter_val"],
+            paper["reduce_ratio"], paper["output_key"], paper["output_val"],
+        ])
+        rows.append([
+            m.code, "ours", str(m.input_key), str(m.input_val),
+            map_ratio_str(m.map_ratio),
+            str(m.inter_key) if m.inter_key else "-",
+            str(m.inter_val) if m.inter_val else "-",
+            f"{m.reduce_ratio:.2f}:1" if m.reduce_ratio else "-",
+            str(m.output_key), str(m.output_val),
+        ])
+    return render_table(headers, rows)
+
+
+def render_map_sweep(res: MapSweepResult) -> str:
+    headers = ["threads/block"] + list(res.series.keys())
+    rows = []
+    for i, tpb in enumerate(res.block_sizes):
+        rows.append([str(tpb)] + [_fmt(res.series[m][i]) for m in res.series])
+    title = f"Fig 5 Map kernel cycles — {res.workload} ({res.size})"
+    return f"{title}\n{render_table(headers, rows)}"
+
+
+def render_reduce_sweep(res: ReduceSweepResult) -> str:
+    headers = ["threads/block"] + list(res.series.keys())
+    rows = []
+    for i, tpb in enumerate(res.block_sizes):
+        rows.append([str(tpb)] + [_fmt(res.series[m][i]) for m in res.series])
+    title = (
+        f"Fig 5 Reduce kernel cycles — {res.workload}-{res.strategy} ({res.size})"
+    )
+    return f"{title}\n{render_table(headers, rows)}"
+
+
+def render_end_to_end(rows: list[EndToEndRow]) -> str:
+    headers = ["WL", "size", "system", "io_in", "map", "shuffle",
+               "reduce", "io_out", "total"]
+    body = []
+    for r in rows:
+        t = r.timings
+        body.append([
+            r.workload, r.size, r.system,
+            _fmt(t.io_in), _fmt(t.map), _fmt(t.shuffle),
+            _fmt(t.reduce), _fmt(t.io_out), _fmt(t.total),
+        ])
+    return f"Fig 6 end-to-end breakdown (cycles)\n{render_table(headers, body)}"
+
+
+def render_speedups(rows: list[SpeedupRow]) -> str:
+    modes = sorted({m for r in rows for m in r.speedups})
+    headers = ["WL", "phase"] + modes
+    body = [
+        [r.workload, r.phase]
+        + [f"{r.speedups[m]:.2f}x" if m in r.speedups else "-" for m in modes]
+        for r in rows
+    ]
+    return f"Fig 7 speedup over Mars\n{render_table(headers, body)}"
+
+
+def render_yield(rows: list[YieldRow]) -> str:
+    headers = ["WL", "threads/block", "spin", "yield", "improvement"]
+    body = [
+        [r.workload, str(r.block_size), _fmt(r.cycles_spin),
+         _fmt(r.cycles_yield), f"{r.improvement_pct:+.1f}%"]
+        for r in rows
+    ]
+    return f"Fig 8 yield vs never-yield busy wait (SIO Map)\n{render_table(headers, body)}"

@@ -1,0 +1,110 @@
+"""Sensitivity analysis: how robust are the paper's findings to the
+simulator's calibration knobs?
+
+A reproduction on a timing model owes the reader an answer to "would
+the conclusions change if your constants are off?".  Each sweep here
+varies one knob across a wide range and re-measures a headline
+comparison; the benches print the resulting curves and the tests
+assert the *conclusion* (sign of the comparison) is stable across the
+plausible range.
+
+Used by ``benchmarks/test_ablations.py`` and
+``tests/analysis/test_sensitivity.py``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..framework.modes import MemoryMode
+from ..gpu.config import DeviceConfig
+from ..workloads.base import Workload
+from .figures import run_map_kernel
+
+
+@dataclass
+class SweepPoint:
+    value: float
+    cycles: dict[str, float] = field(default_factory=dict)
+
+    def ratio(self, a: str, b: str) -> float:
+        """cycles(b) / cycles(a) — how much faster mode ``a`` is."""
+        return self.cycles[b] / self.cycles[a]
+
+
+@dataclass
+class SensitivityResult:
+    knob: str
+    workload: str
+    modes: tuple[str, ...]
+    points: list[SweepPoint] = field(default_factory=list)
+
+    def ratios(self, a: str, b: str) -> list[tuple[float, float]]:
+        return [(p.value, p.ratio(a, b)) for p in self.points]
+
+    def conclusion_stable(self, a: str, b: str, threshold: float = 1.0
+                          ) -> bool:
+        """Does mode ``a`` stay faster than ``b`` at every point?"""
+        return all(r > threshold for _, r in self.ratios(a, b))
+
+    def render(self) -> str:
+        header = f"sensitivity: {self.knob} — {self.workload} Map cycles"
+        lines = [header]
+        for p in self.points:
+            cells = ", ".join(f"{m}={p.cycles[m]:.0f}" for m in self.modes)
+            lines.append(f"  {self.knob}={p.value:g}: {cells}")
+        return "\n".join(lines)
+
+
+def sweep_timing_knob(
+    workload: Workload,
+    knob: str,
+    values: tuple[float, ...],
+    *,
+    modes: tuple[MemoryMode, ...] = (MemoryMode.G, MemoryMode.SIO),
+    size: str = "small",
+    scale: float = 1.0,
+    threads_per_block: int = 128,
+    base: DeviceConfig | None = None,
+) -> SensitivityResult:
+    """Sweep one :class:`TimingParams` field and re-run Map kernels."""
+    base = base or DeviceConfig.gtx280()
+    res = SensitivityResult(
+        knob=knob, workload=workload.code, modes=tuple(m.value for m in modes)
+    )
+    for v in values:
+        cfg = base.with_timing(**{knob: type(getattr(base.timing, knob))(v)})
+        point = SweepPoint(value=float(v))
+        for mode in modes:
+            st = run_map_kernel(
+                workload, mode, size=size, scale=scale, config=cfg,
+                threads_per_block=threads_per_block,
+            )
+            point.cycles[mode.value] = st.cycles
+        res.points.append(point)
+    return res
+
+
+def sweep_mp_count(
+    workload: Workload,
+    counts: tuple[int, ...] = (4, 8, 15, 30),
+    *,
+    modes: tuple[MemoryMode, ...] = (MemoryMode.G, MemoryMode.SIO),
+    size: str = "small",
+    scale: float = 1.0,
+) -> SensitivityResult:
+    """Vary the MP count: conclusions should not depend on simulating
+    the full 30-MP device."""
+    res = SensitivityResult(
+        knob="mp_count", workload=workload.code,
+        modes=tuple(m.value for m in modes),
+    )
+    for n in counts:
+        cfg = DeviceConfig.small(n)
+        point = SweepPoint(value=float(n))
+        for mode in modes:
+            st = run_map_kernel(workload, mode, size=size, scale=scale,
+                                config=cfg)
+            point.cycles[mode.value] = st.cycles
+        res.points.append(point)
+    return res

@@ -1,0 +1,126 @@
+"""Table I and Table II regeneration.
+
+Table I lists the workloads and problem sizes; Table II reports, for
+the *large* problem size, the mean/stddev of record sizes at each
+stage plus the input:output record-count ratios of the Map and Reduce
+phases.  Here both are *measured* from the actual generated inputs and
+the CPU-reference Map/Shuffle, so the benches can print measured rows
+next to the paper's.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..cpu_ref.reference import reference_map, reference_shuffle
+from ..framework.records import KeyValueSet
+from ..workloads.base import SIZES, Workload
+
+
+@dataclass(frozen=True)
+class SizeStat:
+    """mean / stddev of a record-size population."""
+
+    mean: float
+    std: float
+
+    def __str__(self) -> str:
+        return f"{self.mean:.2f} / {self.std:.2f}"
+
+    @classmethod
+    def of(cls, sizes: list[int]) -> "SizeStat":
+        if not sizes:
+            return cls(0.0, 0.0)
+        arr = np.array(sizes, dtype=float)
+        return cls(float(arr.mean()), float(arr.std()))
+
+
+@dataclass
+class Table2Row:
+    """One workload's measured characteristics (Table II)."""
+
+    code: str
+    input_key: SizeStat
+    input_val: SizeStat
+    map_ratio: float
+    inter_key: SizeStat | None
+    inter_val: SizeStat | None
+    reduce_ratio: float | None
+    output_key: SizeStat
+    output_val: SizeStat
+
+
+def table1(workloads: list[Workload]) -> list[tuple[str, str]]:
+    """Workload name -> problem-size string, one row per workload."""
+    return [w.table1_row() for w in workloads]
+
+
+def measure_table2_row(
+    workload: Workload, size: str = "large", *, seed: int = 0, scale: float = 1.0
+) -> Table2Row:
+    """Measure one Table II row from generated data + reference run."""
+    inp = workload.generate(size, seed=seed, scale=scale)
+    spec = workload.spec_for_size(size, seed=seed, scale=scale)
+    inter = reference_map(spec, inp)
+    in_k = SizeStat.of([len(k) for k in inp.keys])
+    in_v = SizeStat.of([len(v) for v in inp.values])
+    map_ratio = len(inp) / max(1, len(inter))
+
+    if workload.has_reduce:
+        grouped = reference_shuffle(inter)
+        from ..cpu_ref.reference import reference_reduce
+        from ..framework.modes import ReduceStrategy
+
+        out = reference_reduce(spec, grouped, ReduceStrategy.TR)
+        reduce_ratio = len(inter) / max(1, len(out))
+        it_k = SizeStat.of([len(k) for k in inter.keys])
+        it_v = SizeStat.of([len(v) for v in inter.values])
+    else:
+        out = inter
+        reduce_ratio = None
+        it_k = it_v = None
+
+    return Table2Row(
+        code=workload.code,
+        input_key=in_k,
+        input_val=in_v,
+        map_ratio=map_ratio,
+        inter_key=it_k,
+        inter_val=it_v,
+        reduce_ratio=reduce_ratio,
+        output_key=SizeStat.of([len(k) for k in out.keys]),
+        output_val=SizeStat.of([len(v) for v in out.values]),
+    )
+
+
+#: The paper's Table II values, for side-by-side printing.
+PAPER_TABLE2 = {
+    "WC": dict(input_key="32.44 / 2.59", input_val="4 / 0", map_ratio="1:4.98",
+               inter_key="5.46 / 2.53", inter_val="4 / 0", reduce_ratio="68.21:1",
+               output_key="9.01 / 3.11", output_val="4 / 0"),
+    "MM": dict(input_key="8192 / 0", input_val="8192 / 0", map_ratio="1:1",
+               inter_key="-", inter_val="-", reduce_ratio="-",
+               output_key="8 / 0", output_val="4 / 0"),
+    "SM": dict(input_key="44.52 / 2.68", input_val="4 / 0", map_ratio="3.83:1",
+               inter_key="-", inter_val="-", reduce_ratio="-",
+               output_key="4 / 0", output_val="4 / 0"),
+    "II": dict(input_key="8 / 0", input_val="63.9 / 123.2", map_ratio="7.94:1",
+               inter_key="-", inter_val="-", reduce_ratio="-",
+               output_key="31.67 / 17.34", output_val="8 / 0"),
+    "KM": dict(input_key="0 / 0", input_val="32 / 0", map_ratio="1:1",
+               inter_key="4 / 0", inter_val="32 / 0", reduce_ratio="69905:1",
+               output_key="4 / 0", output_val="32 / 0"),
+}
+
+
+def map_ratio_str(r: float) -> str:
+    """Format a Map in:out record ratio the way the paper does."""
+    if r >= 1:
+        return f"{r:.2f}:1"
+    return f"1:{1 / r:.2f}"
+
+
+def input_stats(inp: KeyValueSet) -> dict:
+    return inp.record_stats()

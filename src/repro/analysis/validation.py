@@ -1,0 +1,133 @@
+"""Conformance validation: the full workload x mode x strategy matrix
+against the CPU reference oracle.
+
+A reproduction's first duty is functional correctness; this module
+runs every legal combination and reports a conformance matrix.  Used
+by ``repro-bench validate`` and the release checklist.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..cpu_ref.reference import normalised, reference_job
+from ..errors import ReproError
+from ..framework.job import run_job
+from ..framework.modes import ALL_MODES, MemoryMode, ReduceStrategy
+from ..gpu.config import DeviceConfig
+from ..workloads.base import Workload
+
+
+@dataclass
+class ValidationCase:
+    workload: str
+    mode: str
+    strategy: str
+    passed: bool
+    detail: str = ""
+
+
+@dataclass
+class ValidationReport:
+    cases: list[ValidationCase] = field(default_factory=list)
+
+    @property
+    def passed(self) -> bool:
+        return all(c.passed for c in self.cases)
+
+    @property
+    def counts(self) -> tuple[int, int]:
+        ok = sum(1 for c in self.cases if c.passed)
+        return ok, len(self.cases)
+
+    def render(self) -> str:
+        ok, total = self.counts
+        lines = [f"conformance: {ok}/{total} cases match the oracle"]
+        for c in self.cases:
+            mark = "PASS" if c.passed else "FAIL"
+            line = f"  [{mark}] {c.workload:3s} {c.mode:4s} {c.strategy:5s}"
+            if c.detail:
+                line += f"  ({c.detail})"
+            lines.append(line)
+        return "\n".join(lines)
+
+
+def outputs_match(got, want, *, float32_values: bool = False) -> bool:
+    """Order-normalised equality, with float32 tolerance when the
+    workload's values are vectors whose summation order may differ."""
+    a, b = normalised(got), normalised(want)
+    if not float32_values:
+        return a == b
+    if len(a) != len(b):
+        return False
+    for (ka, va), (kb, vb) in zip(a, b):
+        if ka != kb or len(va) != len(vb) or len(va) % 4:
+            return False
+        fa = np.frombuffer(va, dtype="<f4")
+        fb = np.frombuffer(vb, dtype="<f4")
+        if not np.allclose(fa, fb, rtol=1e-4, atol=1e-5):
+            return False
+    return True
+
+
+def validate_workload(
+    workload: Workload,
+    *,
+    size: str = "small",
+    scale: float = 1.0,
+    seed: int = 0,
+    config: DeviceConfig | None = None,
+    threads_per_block: int = 128,
+) -> ValidationReport:
+    """Run every legal (mode, strategy) combination for one workload."""
+    cfg = config or DeviceConfig.small(2)
+    inp = workload.generate(size, seed=seed, scale=scale)
+    spec = workload.spec_for_size(size, seed=seed, scale=scale)
+    float_vals = workload.code in ("KM", "SS")
+
+    strategies: list[ReduceStrategy | None] = [None]
+    if workload.has_reduce:
+        strategies = [ReduceStrategy.TR, ReduceStrategy.BR]
+
+    report = ValidationReport()
+    for strategy in strategies:
+        ref = reference_job(spec, inp, strategy)
+        for mode in ALL_MODES:
+            if strategy is ReduceStrategy.BR and mode is MemoryMode.GT:
+                continue  # illegal combination by design
+            name = strategy.value if strategy else "map"
+            try:
+                res = run_job(
+                    spec, inp, mode=mode, strategy=strategy, config=cfg,
+                    threads_per_block=threads_per_block,
+                )
+            except ReproError as exc:
+                report.cases.append(ValidationCase(
+                    workload.code, mode.value, name, False, repr(exc)[:60]
+                ))
+                continue
+            ok = outputs_match(res.output, ref, float32_values=float_vals)
+            detail = "" if ok else (
+                f"{len(res.output)} records vs {len(ref)} expected"
+            )
+            report.cases.append(ValidationCase(
+                workload.code, mode.value, name, ok, detail
+            ))
+    return report
+
+
+def validate_all(
+    workloads: list[Workload],
+    *,
+    size: str = "small",
+    scale: float = 1.0,
+    config: DeviceConfig | None = None,
+) -> ValidationReport:
+    report = ValidationReport()
+    for wl in workloads:
+        report.cases.extend(
+            validate_workload(wl, size=size, scale=scale, config=config).cases
+        )
+    return report

@@ -1,0 +1,17 @@
+"""``repro.cpu_ref`` — sequential reference MapReduce (correctness oracle)."""
+
+from .reference import (
+    normalised,
+    reference_job,
+    reference_map,
+    reference_reduce,
+    reference_shuffle,
+)
+
+__all__ = [
+    "normalised",
+    "reference_job",
+    "reference_map",
+    "reference_reduce",
+    "reference_shuffle",
+]

@@ -1,0 +1,80 @@
+"""Sequential CPU reference MapReduce — the correctness oracle.
+
+Runs the *same* user functions as the GPU framework (they are plain
+Python over :class:`Accessor` views), with a deterministic
+sort-by-key shuffle, so every GPU mode/strategy combination can be
+checked for exact output equivalence (up to record order, which the
+GPU's atomic appends legitimately permute — comparisons normalise by
+sorting).
+"""
+
+from __future__ import annotations
+
+from functools import reduce as _reduce
+from typing import Iterable
+
+from ..framework.api import MapReduceSpec
+from ..framework.modes import ReduceStrategy
+from ..framework.records import KeyValueSet
+from ..gpu.accessor import Accessor
+
+
+def reference_map(spec: MapReduceSpec, inp: KeyValueSet) -> KeyValueSet:
+    """Run the Map phase sequentially."""
+    out = KeyValueSet()
+    const = Accessor(spec.const_bytes) if spec.const_bytes else None
+    for k, v in inp:
+        spec.map_record(
+            Accessor(k), Accessor(v),
+            lambda ek, ev: out.append(bytes(ek), bytes(ev)),
+            const,
+        )
+    return out
+
+
+def reference_shuffle(inter: KeyValueSet) -> list[tuple[bytes, list[bytes]]]:
+    """Group by key, sorted by key bytes (matching the device shuffle)."""
+    groups: dict[bytes, list[bytes]] = {}
+    for k, v in inter:
+        groups.setdefault(k, []).append(v)
+    return sorted(groups.items())
+
+
+def reference_reduce(
+    spec: MapReduceSpec,
+    grouped: Iterable[tuple[bytes, list[bytes]]],
+    strategy: ReduceStrategy = ReduceStrategy.TR,
+) -> KeyValueSet:
+    """Run the Reduce phase sequentially under either strategy."""
+    out = KeyValueSet()
+    const = Accessor(spec.const_bytes) if spec.const_bytes else None
+    for key, values in grouped:
+        if strategy is ReduceStrategy.TR:
+            spec.reduce_record(
+                Accessor(key),
+                [Accessor(v) for v in values],
+                lambda ek, ev: out.append(bytes(ek), bytes(ev)),
+                const,
+            )
+        else:
+            acc = _reduce(spec.combine, values)
+            k_out, v_out = spec.finalize(key, acc, len(values))
+            out.append(bytes(k_out), bytes(v_out))
+    return out
+
+
+def reference_job(
+    spec: MapReduceSpec,
+    inp: KeyValueSet,
+    strategy: ReduceStrategy | None = None,
+) -> KeyValueSet:
+    """Full sequential job: Map [+ Shuffle + Reduce]."""
+    inter = reference_map(spec, inp)
+    if strategy is None:
+        return inter
+    return reference_reduce(spec, reference_shuffle(inter), strategy)
+
+
+def normalised(kvs: KeyValueSet) -> list[tuple[bytes, bytes]]:
+    """Order-independent canonical form for output comparison."""
+    return sorted(zip(kvs.keys, kvs.values))

@@ -1,0 +1,63 @@
+"""Exception hierarchy for the repro package.
+
+All errors raised by the simulator and the MapReduce framework derive
+from :class:`ReproError` so callers can catch everything from this
+package with a single ``except`` clause.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this package."""
+
+
+class ConfigError(ReproError):
+    """Invalid device or framework configuration."""
+
+
+class AllocationError(ReproError):
+    """A memory allocation could not be satisfied."""
+
+    def __init__(self, space: str, requested: int, available: int):
+        self.space = space
+        self.requested = requested
+        self.available = available
+        super().__init__(
+            f"{space} allocation of {requested} bytes failed "
+            f"({available} bytes available)"
+        )
+
+
+class OutOfBoundsError(ReproError):
+    """A memory access fell outside an allocated region."""
+
+
+class LaunchError(ReproError):
+    """A kernel launch was mis-configured (grid/block/shared memory)."""
+
+
+class DeadlockError(ReproError):
+    """The engine detected that no warp can ever make progress.
+
+    Raised, for example, when every resident warp is blocked at a
+    barrier that can never be completed, or polling a flag that no
+    runnable warp can set.
+    """
+
+
+class BarrierDivergenceError(ReproError):
+    """``__syncthreads()`` was executed on divergent control paths.
+
+    Real CUDA leaves this undefined (often a hang); the simulator
+    detects it and fails loudly, mirroring the constraint that drove
+    the paper's custom wait-signal primitive (Section III-C).
+    """
+
+
+class KernelFault(ReproError):
+    """A kernel coroutine raised an exception; wraps the original."""
+
+
+class FrameworkError(ReproError):
+    """Invalid use of the MapReduce framework API."""

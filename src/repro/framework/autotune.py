@@ -1,0 +1,175 @@
+"""Automatic configuration of framework parameters (paper Section VI).
+
+The paper's stated future work: "an intelligent MapReduce framework
+should be able to perform runtime, automatic configuration of
+parameters such as the shared memory space partition sizes and the
+thread block size", leveraging the empirical observations of the
+evaluation.  This module implements that extension:
+
+* :func:`probe_workload` runs the user's Map function over a small
+  input sample (the runtime equivalent of Table II's characteristics)
+  to estimate the input:output byte ratio and emission density;
+* :func:`suggest` converts those estimates into an initial
+  configuration using the paper's own findings (output-heavy Map
+  favours a large output area and staged output; big variable records
+  favour staged input; single-emission fixed-size workloads favour
+  SIO with a balanced split);
+* :func:`autotune` optionally refines the suggestion with a small
+  measured search over (mode, threads_per_block, io_ratio) on a
+  sample, returning the best measured configuration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from itertools import islice
+
+from ..gpu.accessor import Accessor
+from ..gpu.config import DeviceConfig
+from ..gpu.kernel import Device
+from ..errors import ReproError
+from .api import MapReduceSpec
+from .map_engine import build_map_runtime, launch_map
+from .modes import MemoryMode
+from .records import DeviceRecordSet, KeyValueSet
+
+
+@dataclass(frozen=True)
+class WorkloadProbe:
+    """Measured characteristics of a workload sample."""
+
+    records: int
+    in_bytes: int
+    out_bytes: int
+    emissions: int
+    max_record_bytes: int
+
+    @property
+    def out_in_ratio(self) -> float:
+        """Output bytes per input byte (WC ~1, SM ~0.2, MM tiny)."""
+        return self.out_bytes / max(1, self.in_bytes)
+
+    @property
+    def emissions_per_record(self) -> float:
+        return self.emissions / max(1, self.records)
+
+
+@dataclass(frozen=True)
+class TuningChoice:
+    mode: MemoryMode
+    threads_per_block: int
+    io_ratio: float
+    #: Measured Map cycles (None when the choice came from heuristics
+    #: only).
+    cycles: float | None = None
+
+
+@dataclass
+class TuningReport:
+    probe: WorkloadProbe
+    suggestion: TuningChoice
+    #: Every measured candidate, when a search ran.
+    measured: list[TuningChoice] = field(default_factory=list)
+
+    @property
+    def best(self) -> TuningChoice:
+        done = [c for c in self.measured if c.cycles is not None]
+        return min(done, key=lambda c: c.cycles) if done else self.suggestion
+
+
+def probe_workload(
+    spec: MapReduceSpec, inp: KeyValueSet, sample: int = 256
+) -> WorkloadProbe:
+    """Run the Map function over a sample and measure its behaviour."""
+    spec.validate()
+    n = in_b = out_b = emis = max_rec = 0
+    const = Accessor(spec.const_bytes) if spec.const_bytes else None
+    for key, val in islice(iter(inp), sample):
+        n += 1
+        in_b += len(key) + len(val)
+        max_rec += 0
+        max_rec = max(max_rec, len(key) + len(val))
+        outs: list[tuple[bytes, bytes]] = []
+        spec.map_record(
+            Accessor(key), Accessor(val),
+            lambda k, v: outs.append((bytes(k), bytes(v))), const,
+        )
+        emis += len(outs)
+        out_b += sum(len(k) + len(v) for k, v in outs)
+    return WorkloadProbe(
+        records=n, in_bytes=in_b, out_bytes=out_b,
+        emissions=emis, max_record_bytes=max_rec,
+    )
+
+
+def suggest(probe: WorkloadProbe, config: DeviceConfig | None = None
+            ) -> TuningChoice:
+    """Heuristic initial configuration from the paper's findings.
+
+    * Heavy emitters (WC-like): staged output dominates -> SIO with an
+      output-leaning split.
+    * Large/variable records with few emissions (II-like): staged
+      input dominates -> SI (avoid the helper-warp tax).
+    * Light output, small records (SM/KM-like): SIO balanced.
+    * Records too large to stage (MM-like): stage indices only, SIO
+      still applies at >= 128 threads (Section IV-D's MM discussion).
+    """
+    cfg = config or DeviceConfig.gtx280()
+    smem = cfg.shared_mem_per_mp
+    if probe.emissions_per_record >= 2.0 or probe.out_in_ratio > 0.8:
+        return TuningChoice(MemoryMode.SIO, 256, 0.25)
+    if probe.max_record_bytes > smem // 8:
+        # One record would eat the input area: stage indices/output.
+        return TuningChoice(MemoryMode.SIO, 128, 0.3)
+    avg = probe.in_bytes / max(1, probe.records)
+    if avg > 48 and probe.emissions_per_record < 0.7:
+        return TuningChoice(MemoryMode.SI, 128, 0.7)
+    return TuningChoice(MemoryMode.SIO, 128, 0.5)
+
+
+def autotune(
+    spec: MapReduceSpec,
+    inp: KeyValueSet,
+    *,
+    config: DeviceConfig | None = None,
+    sample_records: int = 512,
+    modes: tuple[MemoryMode, ...] | None = None,
+    block_sizes: tuple[int, ...] = (128, 256),
+    io_ratios: tuple[float, ...] = (0.25, 0.5, 0.7),
+    measure: bool = True,
+) -> TuningReport:
+    """Probe, suggest, and (optionally) measure candidates on a sample.
+
+    The measured search runs the *Map kernel only* over a bounded
+    sample of the input — cheap relative to a full job — mirroring how
+    a runtime autotuner would calibrate on the first input slice.
+    """
+    cfg = config or DeviceConfig.gtx280()
+    probe = probe_workload(spec, inp, sample=min(sample_records, len(inp)))
+    report = TuningReport(probe=probe, suggestion=suggest(probe, cfg))
+    if not measure:
+        return report
+
+    sample = KeyValueSet(islice(iter(inp), min(sample_records, len(inp))))
+    candidate_modes = modes or (
+        MemoryMode.G, MemoryMode.SI, MemoryMode.SO, MemoryMode.SIO
+    )
+    for mode in candidate_modes:
+        for tpb in block_sizes:
+            ratios = io_ratios if mode is MemoryMode.SIO else (0.5,)
+            for ratio in ratios:
+                try:
+                    dev = Device(cfg)
+                    d_in = DeviceRecordSet.upload(dev.gmem, sample)
+                    rt = build_map_runtime(
+                        dev, spec, mode, d_in,
+                        threads_per_block=tpb,
+                        io_ratio=ratio if mode.stages_input else None,
+                    )
+                    st = launch_map(dev, rt)
+                except ReproError:
+                    continue
+                report.measured.append(
+                    TuningChoice(mode, tpb, ratio, st.cycles)
+                )
+    return report

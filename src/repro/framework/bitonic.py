@@ -1,0 +1,144 @@
+"""A device-executed bitonic sorter — the shuffle's real substrate.
+
+Mars's shuffle sorts intermediate records with a GPU bitonic sort;
+:mod:`repro.framework.shuffle` charges that cost analytically because
+the phase is identical across all compared systems.  This module
+provides the *actual kernel*: a multi-block bitonic sort over
+``(key_hash, record_index)`` pairs running on the simulator, for users
+who want the shuffle event-driven too (``shuffle_method="bitonic"`` in
+:func:`repro.framework.job.run_job`) and as a validation of the
+analytic model (the tests compare the two).
+
+Algorithm: classic bitonic network over a power-of-two padded array.
+Each compare-exchange stage is a kernel launch (stages cannot overlap:
+they are globally synchronised by kernel boundaries, exactly as Mars
+does); within a stage, each thread owns one pair.  Sorting is on a
+64-bit composite ``(hash << 32) | index`` so equal hashes keep a
+stable, deterministic order and the functional result can be verified
+against ``sorted()``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..gpu.config import WARP_SIZE
+from ..gpu.kernel import Device, WarpCtx
+from ..gpu.stats import KernelStats
+
+
+def fnv1a(data: bytes) -> int:
+    """FNV-1a 32-bit hash — the key ordering used by the sorter."""
+    h = 0x811C9DC5
+    for b in data:
+        h = ((h ^ b) * 0x01000193) & 0xFFFFFFFF
+    return h
+
+
+@dataclass
+class BitonicResult:
+    """Sorted order plus the merged stats of every stage launch."""
+
+    order: np.ndarray  # permutation of record indices
+    stats: KernelStats
+    stages: int
+
+
+def _bitonic_stage_kernel(ctx: WarpCtx, arr_addr: int, n: int, k: int, j: int,
+                          shadow: list):
+    """One compare-exchange stage: thread ``i`` handles pair (i, i^j).
+
+    ``shadow`` is the Python mirror of the device array (kept in sync
+    with the functional writes; the actual bytes also live in gmem and
+    are checked by the tests).
+    """
+    total_threads = ctx.grid_blocks * ctx.threads_per_block
+    gbase = ctx.block_id * ctx.threads_per_block + ctx.warp_id * WARP_SIZE
+    for start in range(gbase, n, total_threads):
+        lanes = []
+        swaps = []
+        for lane in range(min(WARP_SIZE, n - start)):
+            i = start + lane
+            partner = i ^ j
+            if partner <= i or partner >= n:
+                continue
+            lanes.append((i, partner))
+        if not lanes:
+            continue
+        # Each active lane reads its pair: two 8-byte loads.
+        reads = [(arr_addr + 8 * i, 8) for i, _ in lanes]
+        reads += [(arr_addr + 8 * p, 8) for _, p in lanes]
+        yield from ctx.gtouch_read(reads)
+        yield from ctx.compute(ctx.timing.issue_cycles * 2)
+        for i, partner in lanes:
+            ascending = (i & k) == 0
+            a, b = shadow[i], shadow[partner]
+            if (a > b) == ascending:
+                shadow[i], shadow[partner] = b, a
+                swaps.append((i, partner))
+        if swaps:
+            writes = []
+            for i, partner in swaps:
+                ctx.gmem.write(arr_addr + 8 * i,
+                               int(shadow[i]).to_bytes(8, "little"))
+                ctx.gmem.write(arr_addr + 8 * partner,
+                               int(shadow[partner]).to_bytes(8, "little"))
+                writes.append((arr_addr + 8 * i, 8))
+                writes.append((arr_addr + 8 * partner, 8))
+            from ..gpu.instructions import GlobalWrite
+
+            yield GlobalWrite(addrs=tuple(writes), lanes=len(swaps))
+
+
+def bitonic_sort_device(
+    device: Device,
+    keys: list[bytes],
+    *,
+    threads_per_block: int = 128,
+) -> BitonicResult:
+    """Sort record indices by key hash on the simulated device."""
+    n_real = len(keys)
+    if n_real == 0:
+        return BitonicResult(order=np.zeros(0, dtype=np.int64),
+                             stats=KernelStats(), stages=0)
+    composite = [
+        (fnv1a(k) << 32) | i for i, k in enumerate(keys)
+    ]
+    # Pad to a power of two with +inf sentinels.
+    n = 1
+    while n < n_real:
+        n *= 2
+    shadow = composite + [(1 << 64) - 1] * (n - n_real)
+
+    arr_addr = device.gmem.alloc(8 * n, "bitonic.arr")
+    for i, v in enumerate(shadow):
+        device.gmem.write(arr_addr + 8 * i, int(v).to_bytes(8, "little"))
+
+    grid = max(1, min(
+        device.config.mp_count * 4,
+        -(-n // threads_per_block),
+    ))
+    merged = KernelStats()
+    stages = 0
+    k = 2
+    while k <= n:
+        j = k // 2
+        while j >= 1:
+            st = device.launch(
+                _bitonic_stage_kernel,
+                grid=grid,
+                block=threads_per_block,
+                args=(arr_addr, n, k, j, shadow),
+            )
+            merged = merged.merge(st)
+            stages += 1
+            j //= 2
+        k *= 2
+
+    order = np.array(
+        [v & 0xFFFFFFFF for v in shadow if v < (1 << 64) - 1],
+        dtype=np.int64,
+    )
+    return BitonicResult(order=order, stats=merged, stages=stages)

@@ -1,0 +1,385 @@
+"""Hierarchical result collection and overflow handling (Section III-D).
+
+Two collection paths exist:
+
+* **Staged path** (modes SO/SIO): results emitted by a warp in one
+  generation step form a *warp result*.  Its structured portion (one
+  key-index and one value-index entry per record) is appended from the
+  **left** end of the shared-memory output area; its unstructured
+  key/value bytes are reserved from the **right** end (the
+  double-ended stack of Figure 4(b)).  The first lane performs the two
+  reservations atomically (shared-memory atomics); the lanes then copy
+  their records in parallel, offsets coming from an in-warp prefix sum
+  (no sync needed: lockstep).  When a new warp result does not fit,
+  the block *flushes*: one leader reserves global space for **all**
+  collected warp results with one set of global atomics, then every
+  warp drains warp results cooperatively with coalesced writes — this
+  amortisation is precisely why output staging relieves the atomic
+  contention of the direct path.
+
+* **Direct path** (modes G/GT/SI): each warp writes its own results
+  straight to global memory.  To avoid per-thread atomics, "only the
+  first thread of each warp atomically increases the output size in
+  global memory by the total size of all output records from its warp,
+  calculated through in-warp prefix summing" (Section IV-C); the
+  reserved range is broadcast through shared memory.  The three global
+  tail counters remain the serialisation point — the bottleneck the
+  paper measures for Word Count and String Match.
+
+Implementation note on atomicity: the simulator executes kernel code
+*eagerly between yields*, so any check-then-reserve sequence written
+without an intervening ``yield`` is atomic in simulated time; the
+matching instruction descriptors are yielded immediately afterwards to
+charge the cost.  Interleaving across warps can only happen at yield
+points, which is where the protocol below is (and must be) re-entrant.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..errors import FrameworkError
+from ..gpu.instructions import AtomicShared, GlobalWrite
+from ..gpu.kernel import WarpCtx
+from .layout import OUT_DIR_PER_RECORD, WARP_RESULT_HEADER, SmemLayout
+from .prefix_sum import warp_exclusive_scan2
+from .records import OutputBuffers
+from .sync import poll_interval
+
+# Control-word offsets inside the layout's flags area.
+OVF = 0  # 0 = none, 1 = overflow flush, 2 = final flush
+ARRIVE = 4
+RESERVE_READY = 8
+WR_TAKEN = 12
+DONE = 16
+EPOCH = 20
+COMPUTE_DONE = 24
+LEFT_USED = 28
+RIGHT_USED = 32
+WR_COUNT = 36
+
+
+@dataclass
+class WarpResult:
+    """One warp's simultaneously-generated records, resident in smem."""
+
+    warp_id: int
+    keys: list[bytes]
+    vals: list[bytes]
+    key_bytes: int
+    val_bytes: int
+    #: Shared-memory offsets of this result's data (right end) and
+    #: directory entries (left end).
+    data_off: int = 0
+    dir_off: int = 0
+
+    @property
+    def count(self) -> int:
+        return len(self.keys)
+
+    @property
+    def left_bytes(self) -> int:
+        return WARP_RESULT_HEADER + OUT_DIR_PER_RECORD * self.count
+
+    @property
+    def right_bytes(self) -> int:
+        return self.key_bytes + self.val_bytes
+
+
+@dataclass
+class CollectorState:
+    """Python-side mirror of the output area (authoritative bytes live
+    in shared memory; this tracks structure for flushing)."""
+
+    layout: SmemLayout
+    out: OutputBuffers
+    n_warps: int
+    n_compute: int
+    yield_sync: bool = True
+    warp_results: list[WarpResult] = field(default_factory=list)
+    #: Per-flush reservation offsets assigned by the leader.
+    flush_offsets: list[tuple[int, int, int]] = field(default_factory=list)
+    flushes: int = 0
+    overflow_flushes: int = 0
+
+
+def init_collector(ctx: WarpCtx, state: CollectorState) -> None:
+    """Zero the control words (called by the leader warp, untimed setup)."""
+    smem = ctx.smem
+    base = state.layout.flags_off
+    for off in (OVF, ARRIVE, RESERVE_READY, WR_TAKEN, DONE, COMPUTE_DONE,
+                LEFT_USED, RIGHT_USED, WR_COUNT):
+        smem.write_u32(base + off, 0)
+
+
+# ----------------------------------------------------------------------
+# Staged path (SO / SIO)
+# ----------------------------------------------------------------------
+
+
+def collect_warp_result(
+    ctx: WarpCtx,
+    state: CollectorState,
+    keys: list[bytes],
+    vals: list[bytes],
+):
+    """Append one warp result to the output area, flushing on overflow."""
+    if not keys:
+        return
+    layout = state.layout
+    base = layout.flags_off
+    smem = ctx.smem
+
+    key_sizes = [len(k) for k in keys]
+    val_sizes = [len(v) for v in vals]
+    kpre, ktot, vpre, vtot = yield from warp_exclusive_scan2(
+        ctx, key_sizes, val_sizes
+    )
+    wr = WarpResult(
+        warp_id=ctx.warp_id, keys=keys, vals=vals, key_bytes=ktot, val_bytes=vtot
+    )
+    need = wr.left_bytes + wr.right_bytes
+    if need > layout.output_bytes:
+        raise FrameworkError(
+            f"one warp result ({need} B) exceeds the whole output area "
+            f"({layout.output_bytes} B); lower the block size or io_ratio"
+        )
+
+    while True:
+        if smem.read_u32(base + OVF) != 0:
+            # A flush is pending: join it, then retry.
+            yield from participate_in_flush(ctx, state)
+            continue
+        left = smem.read_u32(base + LEFT_USED)
+        right = smem.read_u32(base + RIGHT_USED)
+        if left + right + need <= layout.output_bytes:
+            # Reserve *eagerly* (atomic w.r.t. other warps: no yield
+            # between check and reserve), then charge the first lane's
+            # two shared-memory atomics.
+            old_left = smem.atomic_add_u32(base + LEFT_USED, wr.left_bytes)
+            old_right = smem.atomic_add_u32(base + RIGHT_USED, wr.right_bytes)
+            smem.atomic_add_u32(base + WR_COUNT, 1)
+            yield AtomicShared(addr=base + LEFT_USED, old=old_left)
+            yield AtomicShared(addr=base + RIGHT_USED, old=old_right)
+            break
+        # Overflow: raise the flag in the same eager step as the
+        # failed check, then participate in the flush.
+        state.overflow_flushes += 1
+        ctx.count("overflow_flushes")
+        smem.write_u32(base + OVF, 1)
+        yield from ctx.fence_block()
+        yield from ctx.stouch(4, write=True)
+        yield from participate_in_flush(ctx, state)
+
+    # Write the warp result into the double-ended stack.
+    wr.dir_off = layout.output_off + old_left
+    wr.data_off = (
+        layout.output_off + layout.output_bytes - old_right - wr.right_bytes
+    )
+    cursor = wr.data_off
+    for k, v in zip(keys, vals):
+        smem.write(cursor, k)
+        cursor += len(k)
+        smem.write(cursor, v)
+        cursor += len(v)
+    dcur = wr.dir_off + WARP_RESULT_HEADER
+    smem.write_u32(wr.dir_off, wr.count)
+    smem.write_u32(wr.dir_off + 4, wr.right_bytes)
+    for i, (ks, vs) in enumerate(zip(key_sizes, val_sizes)):
+        smem.write_u32(dcur, kpre[i])
+        smem.write_u32(dcur + 4, ks)
+        smem.write_u32(dcur + 8, vpre[i])
+        smem.write_u32(dcur + 12, vs)
+        dcur += OUT_DIR_PER_RECORD
+    # Parallel copy by the warp's lanes: one shared write step for the
+    # data, one for the directory entries.
+    yield from ctx.stouch(wr.right_bytes, write=True)
+    yield from ctx.stouch(WARP_RESULT_HEADER + OUT_DIR_PER_RECORD * wr.count,
+                          write=True)
+    state.warp_results.append(wr)
+
+
+def request_final_flush(ctx: WarpCtx, state: CollectorState):
+    """Called by the last compute warp once all rounds have finished."""
+    base = state.layout.flags_off
+    smem = ctx.smem
+    while smem.read_u32(base + OVF) != 0:
+        yield from participate_in_flush(ctx, state)
+    smem.write_u32(base + OVF, 2)  # eager: same step as the ==0 check
+    yield from ctx.fence_block()
+    yield from ctx.stouch(4, write=True)
+    yield from participate_in_flush(ctx, state)
+
+
+def wait_loop(ctx: WarpCtx, state: CollectorState):
+    """Helper warps (and early-finished compute warps) park here.
+
+    Polls the overflow flag — with the yield discipline measured in
+    Figure 8 — joining every flush until the final one completes.
+    """
+    base = state.layout.flags_off
+    smem = ctx.smem
+    interval = poll_interval(ctx, state.yield_sync)
+    while True:
+        yield from ctx.poll(lambda: smem.read_u32(base + OVF) != 0, interval)
+        final = smem.read_u32(base + OVF) == 2
+        yield from participate_in_flush(ctx, state)
+        if final:
+            return
+
+
+def participate_in_flush(ctx: WarpCtx, state: CollectorState):
+    """The block-cooperative stage-out step (Figure 3, Section III-D).
+
+    All ``n_warps`` warps pass through here once per flush epoch.  The
+    *last* warp to arrive acts as the leader (timing-equivalent to the
+    paper's "first thread of the block", which also runs only once all
+    warps reached the flush): it totals the collected warp results,
+    advances the three global tail counters with one atomic each, and
+    publishes the reserved bases.  Warps then drain warp results via a
+    shared-memory ticket counter, each flushed with coalesced global
+    writes; the last warp to finish resets the output area and bumps
+    the epoch.
+    """
+    layout = state.layout
+    base = layout.flags_off
+    smem = ctx.smem
+    out = state.out
+    epoch0 = smem.read_u32(base + EPOCH)
+
+    my = smem.atomic_add_u32(base + ARRIVE, 1)
+    yield AtomicShared(addr=base + ARRIVE, old=my)
+    if my == state.n_warps - 1:
+        # Leader: reserve global space for every collected warp result.
+        wrs = state.warp_results
+        yield from ctx.compute(4 * len(wrs) + 8)
+        ktot = sum(w.key_bytes for w in wrs)
+        vtot = sum(w.val_bytes for w in wrs)
+        rtot = sum(w.count for w in wrs)
+        kbase, vbase, rbase = yield from ctx.atomic_add_global_multi(
+            [(out.key_tail, ktot), (out.val_tail, vtot), (out.rec_count, rtot)]
+        )
+        out.check_reservation(kbase + ktot, vbase + vtot, rbase + rtot)
+        offs = []
+        ko, vo, ro = kbase, vbase, rbase
+        for w in wrs:
+            offs.append((ko, vo, ro))
+            ko += w.key_bytes
+            vo += w.val_bytes
+            ro += w.count
+        state.flush_offsets = offs
+        yield from ctx.fence_block()
+        smem.write_u32(base + RESERVE_READY, 1)
+        yield from ctx.stouch(4, write=True)
+    else:
+        yield from ctx.poll(
+            lambda: smem.read_u32(base + RESERVE_READY) == 1,
+            ctx.timing.poll_interval_spin,
+        )
+
+    # Drain warp results cooperatively (one ticket per warp result).
+    while True:
+        idx = smem.atomic_add_u32(base + WR_TAKEN, 1)
+        yield AtomicShared(addr=base + WR_TAKEN, old=idx)
+        if idx >= len(state.warp_results):
+            break
+        yield from _flush_one(ctx, state, idx)
+
+    d = smem.atomic_add_u32(base + DONE, 1)
+    yield AtomicShared(addr=base + DONE, old=d)
+    if d == state.n_warps - 1:
+        # Last finisher: reset the output area for the next epoch.
+        state.warp_results.clear()
+        state.flush_offsets = []
+        state.flushes += 1
+        ctx.count("flushes")
+        for off in (OVF, ARRIVE, RESERVE_READY, WR_TAKEN, DONE,
+                    LEFT_USED, RIGHT_USED, WR_COUNT):
+            smem.write_u32(base + off, 0)
+        smem.write_u32(base + EPOCH, epoch0 + 1)
+        yield from ctx.stouch(36, write=True)
+        yield from ctx.fence_block()
+    else:
+        yield from ctx.poll(
+            lambda: smem.read_u32(base + EPOCH) != epoch0,
+            ctx.timing.poll_interval_spin,
+        )
+
+
+def _flush_one(ctx: WarpCtx, state: CollectorState, idx: int):
+    """Copy one warp result from shared to global memory, coalesced."""
+    wr = state.warp_results[idx]
+    kbase, vbase, rbase = state.flush_offsets[idx]
+    out = state.out
+    # Read the warp result out of shared memory (data + directory)...
+    yield from ctx.stouch(wr.right_bytes + OUT_DIR_PER_RECORD * wr.count)
+    payload = ctx.smem.read(wr.data_off, wr.right_bytes)
+    kblob = b"".join(wr.keys)
+    vblob = b"".join(wr.vals)
+    if len(payload) != len(kblob) + len(vblob):
+        raise FrameworkError("output area corruption: warp result size mismatch")
+    # ...and write its blobs contiguously (coalesced within one warp
+    # result, as Section III-B notes).
+    if kblob:
+        yield from ctx.gwrite(out.keys_addr + kbase, kblob)
+    if vblob:
+        yield from ctx.gwrite(out.vals_addr + vbase, vblob)
+    kdir = np.zeros(2 * wr.count, dtype="<u4")
+    vdir = np.zeros(2 * wr.count, dtype="<u4")
+    ko, vo = kbase, vbase
+    for i, (k, v) in enumerate(zip(wr.keys, wr.vals)):
+        kdir[2 * i], kdir[2 * i + 1] = ko, len(k)
+        vdir[2 * i], vdir[2 * i + 1] = vo, len(v)
+        ko += len(k)
+        vo += len(v)
+    ctx.gmem.write_u32_array(out.key_dir_addr + 8 * rbase, kdir)
+    ctx.gmem.write_u32_array(out.val_dir_addr + 8 * rbase, vdir)
+    yield GlobalWrite(addr=out.key_dir_addr + 8 * rbase, nbytes=kdir.nbytes)
+    yield GlobalWrite(addr=out.val_dir_addr + 8 * rbase, nbytes=vdir.nbytes)
+
+
+# ----------------------------------------------------------------------
+# Direct path (G / GT / SI)
+# ----------------------------------------------------------------------
+
+
+def direct_emit_warp(
+    ctx: WarpCtx,
+    out: OutputBuffers,
+    keys: list[bytes],
+    vals: list[bytes],
+):
+    """Warp-aggregated direct write to global memory (Section IV-C)."""
+    if not keys:
+        return
+    key_sizes = [len(k) for k in keys]
+    val_sizes = [len(v) for v in vals]
+    kpre, ktot, vpre, vtot = yield from warp_exclusive_scan2(
+        ctx, key_sizes, val_sizes
+    )
+    n = len(keys)
+
+    # First lane: the three tail reservations, issued together.
+    kbase, vbase, rbase = yield from ctx.atomic_add_global_multi(
+        [(out.key_tail, ktot), (out.val_tail, vtot), (out.rec_count, n)]
+    )
+    out.check_reservation(kbase + ktot, vbase + vtot, rbase + n)
+    # Broadcast the bases through shared memory.
+    yield from ctx.stouch(12, write=True)
+    yield from ctx.stouch(12)
+
+    # Lanes store their records; the reserved ranges are contiguous so
+    # the stores coalesce within the warp.
+    yield from ctx.gwrite(out.keys_addr + kbase, b"".join(keys))
+    yield from ctx.gwrite(out.vals_addr + vbase, b"".join(vals))
+    kdir = np.zeros(2 * n, dtype="<u4")
+    vdir = np.zeros(2 * n, dtype="<u4")
+    for i in range(n):
+        kdir[2 * i], kdir[2 * i + 1] = kbase + kpre[i], key_sizes[i]
+        vdir[2 * i], vdir[2 * i + 1] = vbase + vpre[i], val_sizes[i]
+    ctx.gmem.write_u32_array(out.key_dir_addr + 8 * rbase, kdir)
+    ctx.gmem.write_u32_array(out.val_dir_addr + 8 * rbase, vdir)
+    yield GlobalWrite(addr=out.key_dir_addr + 8 * rbase, nbytes=kdir.nbytes)
+    yield GlobalWrite(addr=out.val_dir_addr + 8 * rbase, nbytes=vdir.nbytes)

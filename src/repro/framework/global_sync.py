@@ -1,0 +1,132 @@
+"""Inter-block (device-wide) synchronisation primitives.
+
+The paper's wait-signal primitive is *intra*-block; for *inter*-block
+coordination it cites Xiao & Feng's study of GPU device-wide barriers
+as complementary work (Section V).  This module implements the two
+classic software schemes from that line of work on the simulator:
+
+* **atomic-counter barrier** (`gpu_sync_atomic`): every block's leader
+  warp atomically increments a global counter on arrival and spins
+  until it reaches the block count — simple, but all blocks hammer one
+  address (the same serialisation the output-staging work avoids);
+* **lock-free barrier** (`gpu_sync_lockfree`): each block sets its own
+  arrival word, and block 0 polls all of them before raising a global
+  release flag — no atomics, but O(grid) polling by one block.
+
+Both require every block to be *resident* (grid <= blocks that fit on
+the device at once): a waiting resident block would otherwise occupy
+the slot a not-yet-started block needs — the classic deadlock these
+primitives are famous for.  The helper :func:`max_resident_blocks`
+computes the safe grid bound, and the barrier constructors enforce it.
+
+These are not used by the paper's MapReduce workflow (kernel
+boundaries globally synchronise its phases); they exist to support
+persistent-kernel experiments and as a measured comparison in
+``tests/framework/test_global_sync.py``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import FrameworkError
+from ..gpu.config import DeviceConfig
+from ..gpu.kernel import WarpCtx
+
+
+def max_resident_blocks(
+    config: DeviceConfig, threads_per_block: int, smem_bytes: int = 0,
+    regs_per_thread: int = 16,
+) -> int:
+    """Largest grid for which a device-wide software barrier is safe."""
+    per_mp = config.blocks_per_mp(threads_per_block, smem_bytes,
+                                  regs_per_thread)
+    return per_mp * config.mp_count
+
+
+@dataclass
+class GlobalBarrier:
+    """Reusable device-wide barrier state in global memory.
+
+    Allocate once per launch with :meth:`allocate`; every block's
+    *every warp* must call :meth:`sync` (warps first converge on an
+    intra-block ``__syncthreads``, then warp 0 performs the
+    inter-block protocol, then a second ``__syncthreads`` releases the
+    block — the structure of Xiao & Feng's GPU sync).
+    """
+
+    grid: int
+    counter_addr: int
+    release_addr: int
+    arrive_base: int
+    scheme: str = "atomic"
+    #: Probe spacing while spinning on the release flag.
+    poll_interval: float = 28.0
+
+    @classmethod
+    def allocate(cls, device, *, grid: int, threads_per_block: int,
+                 smem_bytes: int = 0, scheme: str = "atomic",
+                 poll_interval: float = 28.0) -> "GlobalBarrier":
+        limit = max_resident_blocks(device.config, threads_per_block,
+                                    smem_bytes)
+        if grid > limit:
+            raise FrameworkError(
+                f"grid {grid} exceeds the {limit} resident blocks a "
+                "software device barrier can safely synchronise"
+            )
+        if scheme not in ("atomic", "lockfree"):
+            raise FrameworkError(f"unknown barrier scheme {scheme!r}")
+        base = device.gmem.alloc(8 + 4 * grid, "global_barrier")
+        device.gmem.write(base, bytes(8 + 4 * grid))
+        return cls(
+            grid=grid,
+            counter_addr=base,
+            release_addr=base + 4,
+            arrive_base=base + 8,
+            scheme=scheme,
+            poll_interval=poll_interval,
+        )
+
+    # ------------------------------------------------------------------
+
+    def sync(self, ctx: WarpCtx, epoch: int):
+        """Device-wide barrier; ``epoch`` must count up per use."""
+        gm = ctx.gmem
+        yield from ctx.barrier()  # intra-block convergence first
+        if ctx.warp_id == 0:
+            if self.scheme == "atomic":
+                old = yield from ctx.atomic_add_global(self.counter_addr, 1)
+                if old == epoch * self.grid + self.grid - 1:
+                    # Last block: raise the release flag.
+                    gm.write_u32(self.release_addr, epoch + 1)
+                    yield from ctx.gwrite(self.release_addr, b"")
+                else:
+                    yield from ctx.poll(
+                        lambda: gm.read_u32(self.release_addr) > epoch,
+                        self.poll_interval,
+                    )
+            else:  # lock-free
+                gm.write_u32(self.arrive_base + 4 * ctx.block_id, epoch + 1)
+                yield from ctx.gwrite(
+                    self.arrive_base + 4 * ctx.block_id, b""
+                )
+                if ctx.block_id == 0:
+                    def all_arrived() -> bool:
+                        return all(
+                            gm.read_u32(self.arrive_base + 4 * b) > epoch
+                            for b in range(self.grid)
+                        )
+
+                    yield from ctx.poll(all_arrived, self.poll_interval)
+                    # Reads of the whole arrival array while polling.
+                    yield from ctx.gtouch_read(
+                        [(self.arrive_base, 4 * self.grid)]
+                    )
+                    gm.write_u32(self.release_addr, epoch + 1)
+                    yield from ctx.gwrite(self.release_addr, b"")
+                else:
+                    yield from ctx.poll(
+                        lambda: gm.read_u32(self.release_addr) > epoch,
+                        self.poll_interval,
+                    )
+        yield from ctx.barrier()  # fan the release back out

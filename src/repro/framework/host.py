@@ -1,0 +1,42 @@
+"""Host <-> device transfer model (the "I/O" slice of Figure 6).
+
+Both compared systems move the same input and output over PCIe; the
+paper notes only "slight difference" from data-definition details.
+The model is the standard affine one: a fixed per-transfer setup cost
+plus bytes over effective PCIe bandwidth, expressed in SP cycles so
+it composes with kernel times.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..gpu.config import DeviceConfig
+
+
+@dataclass(frozen=True)
+class TransferCost:
+    bytes_moved: int
+    cycles: float
+
+
+def transfer_cycles(nbytes: int, config: DeviceConfig) -> TransferCost:
+    """Cycles for one host<->device copy of ``nbytes``."""
+    t = config.timing
+    if nbytes <= 0:
+        return TransferCost(0, 0.0)
+    return TransferCost(
+        nbytes, t.pcie_setup_cycles + nbytes / t.pcie_bytes_per_cycle
+    )
+
+
+def upload_cost(payload_bytes: int, dir_bytes: int, config: DeviceConfig
+                ) -> TransferCost:
+    """Input upload: key/value blobs plus the two directory arrays."""
+    return transfer_cycles(payload_bytes + dir_bytes, config)
+
+
+def download_cost(payload_bytes: int, dir_bytes: int, config: DeviceConfig
+                  ) -> TransferCost:
+    """Final output download."""
+    return transfer_cycles(payload_bytes + dir_bytes, config)

@@ -1,0 +1,194 @@
+"""End-to-end MapReduce job orchestration (the paper's workflow).
+
+``run_job`` executes Input-upload -> Map -> Shuffle -> Reduce ->
+Output-download on the simulated device under a chosen memory-usage
+mode and reduce strategy, returning both the *functional* output
+(checkable against the CPU oracle) and the per-phase timing breakdown
+that Figure 6 stacks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..errors import FrameworkError
+from ..gpu.config import DeviceConfig
+from ..gpu.kernel import Device
+from ..gpu.stats import KernelStats
+from .api import MapReduceSpec
+from .host import download_cost, upload_cost
+from .map_engine import build_map_runtime, launch_map
+from .modes import MemoryMode, ReduceStrategy
+from .records import DIR_PER_RECORD, DeviceRecordSet, KeyValueSet
+from .reduce_engine import build_reduce_runtime, launch_reduce
+from .shuffle import shuffle
+
+
+@dataclass
+class PhaseTimings:
+    """Cycle counts per phase (Figure 6's stacked segments)."""
+
+    io_in: float = 0.0
+    map: float = 0.0
+    shuffle: float = 0.0
+    reduce: float = 0.0
+    io_out: float = 0.0
+
+    @property
+    def total(self) -> float:
+        return self.io_in + self.map + self.shuffle + self.reduce + self.io_out
+
+    @property
+    def io(self) -> float:
+        return self.io_in + self.io_out
+
+    def as_dict(self) -> dict[str, float]:
+        return {
+            "io_in": self.io_in,
+            "map": self.map,
+            "shuffle": self.shuffle,
+            "reduce": self.reduce,
+            "io_out": self.io_out,
+            "total": self.total,
+        }
+
+
+@dataclass
+class JobResult:
+    """Everything produced by one job run."""
+
+    spec_name: str
+    mode: MemoryMode | str
+    strategy: ReduceStrategy | None
+    output: KeyValueSet
+    intermediate_count: int
+    timings: PhaseTimings
+    map_stats: KernelStats = field(default_factory=KernelStats)
+    reduce_stats: KernelStats = field(default_factory=KernelStats)
+
+    @property
+    def total_cycles(self) -> float:
+        return self.timings.total
+
+
+def run_job(
+    spec: MapReduceSpec,
+    inp: KeyValueSet,
+    *,
+    mode: MemoryMode | str = MemoryMode.SIO,
+    reduce_mode: MemoryMode | str | None = None,
+    strategy: ReduceStrategy | None = None,
+    config: DeviceConfig | None = None,
+    device: Device | None = None,
+    threads_per_block: int = 128,
+    yield_sync: bool = True,
+    io_ratio: float | None = None,
+    shuffle_method: str = "sort",
+) -> JobResult:
+    """Run a complete MapReduce job on the simulated GPU.
+
+    ``strategy=None`` runs a Map-only job (MM, SM and II have no
+    Reduce phase; their Map output is the final output, per Table II).
+    ``reduce_mode`` lets the Reduce phase use a different memory mode
+    from Map — the adaptive per-phase selection the paper names as
+    future work in Section IV-F ("a better approach is to adopt
+    different memory modes in different phases adaptively"); the
+    evaluation's own finding is SIO for Map + G for Reduce.
+    ``shuffle_method`` selects the grouping cost model: ``"sort"``
+    (the paper's and Mars's shared bitonic sort), ``"hash"`` (the
+    MapCG-style extension) or ``"bitonic"`` (the event-driven sorter).
+    """
+    spec.validate()
+    if len(inp) == 0:
+        raise FrameworkError("empty input")
+    if strategy is not None and not spec.has_reduce:
+        raise FrameworkError(f"workload {spec.name} has no Reduce phase")
+    dev = device or Device(config or DeviceConfig.gtx280())
+    if mode == "auto":
+        # Runtime automatic configuration (the paper's Section VI
+        # future work, implemented in repro.framework.autotune).
+        from .autotune import autotune
+
+        report = autotune(spec, inp, config=dev.config, measure=True)
+        best = report.best
+        mode = best.mode
+        threads_per_block = best.threads_per_block
+        if io_ratio is None and mode.stages_input:
+            io_ratio = best.io_ratio
+    if isinstance(mode, str):
+        mode = MemoryMode(mode)
+    if reduce_mode is None:
+        reduce_mode = mode
+    elif isinstance(reduce_mode, str):
+        reduce_mode = MemoryMode(reduce_mode)
+    cfg = dev.config
+    timings = PhaseTimings()
+
+    # ---- input upload ---------------------------------------------------
+    d_in = DeviceRecordSet.upload(dev.gmem, inp, label=f"in.{spec.name}")
+    timings.io_in = upload_cost(
+        d_in.payload_bytes, DIR_PER_RECORD * d_in.count, cfg
+    ).cycles
+
+    # ---- Map --------------------------------------------------------------
+    map_rt = build_map_runtime(
+        dev,
+        spec,
+        mode,
+        d_in,
+        threads_per_block=threads_per_block,
+        yield_sync=yield_sync,
+        io_ratio=io_ratio,
+    )
+    map_stats = launch_map(dev, map_rt)
+    timings.map = map_stats.cycles
+    intermediate = map_rt.out.as_record_set()
+
+    if strategy is None:
+        output = intermediate.download()
+        timings.io_out = download_cost(
+            intermediate.payload_bytes, DIR_PER_RECORD * intermediate.count, cfg
+        ).cycles
+        return JobResult(
+            spec_name=spec.name,
+            mode=mode,
+            strategy=None,
+            output=output,
+            intermediate_count=intermediate.count,
+            timings=timings,
+            map_stats=map_stats,
+        )
+
+    # ---- Shuffle ----------------------------------------------------------
+    shuf = shuffle(dev.gmem, intermediate, cfg, label=f"shuf.{spec.name}",
+                   method=shuffle_method, device=dev)
+    timings.shuffle = shuf.cycles
+
+    # ---- Reduce -----------------------------------------------------------
+    red_rt = build_reduce_runtime(
+        dev,
+        spec,
+        reduce_mode,
+        strategy,
+        shuf.grouped,
+        threads_per_block=threads_per_block,
+        yield_sync=yield_sync,
+    )
+    red_stats = launch_reduce(dev, red_rt)
+    timings.reduce = red_stats.cycles
+    final = red_rt.out.as_record_set()
+    output = final.download()
+    timings.io_out = download_cost(
+        final.payload_bytes, DIR_PER_RECORD * final.count, cfg
+    ).cycles
+
+    return JobResult(
+        spec_name=spec.name,
+        mode=mode,
+        strategy=strategy,
+        output=output,
+        intermediate_count=intermediate.count,
+        timings=timings,
+        map_stats=map_stats,
+        reduce_stats=red_stats,
+    )

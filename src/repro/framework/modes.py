@@ -1,0 +1,96 @@
+"""Memory-usage modes and reduction strategies (paper Section IV-C).
+
+The evaluation compares five memory-usage modes for each kernel:
+
+* ``SIO`` — stage input **and** output in shared memory (the paper's
+  full design, Section III).
+* ``SO`` — stage only output; input read directly from global memory.
+* ``SI`` — stage only input; each warp writes its own output directly
+  to global memory using warp-aggregated atomics (in-warp prefix sum,
+  one set of atomic adds by the first lane).
+* ``G`` — no staging; like Mars but single-pass via atomics (the
+  "MapCG-like" scheme).
+* ``GT`` — like G, but input bound to texture buffers and fetched
+  through the read-only texture cache.
+
+and two Reduce strategies:
+
+* ``TR`` — thread-level reduction: one thread per distinct key set
+  (Mars / Hadoop style).  Cannot stage input: a key set may be
+  arbitrarily large.
+* ``BR`` — block-level reduction: a block tree-reduces one key set
+  (Catanzaro style).  Cannot use GT: it updates values in place and
+  the texture cache is not coherent with same-kernel writes.
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+
+from ..errors import FrameworkError
+
+
+class MemoryMode(str, Enum):
+    G = "G"
+    GT = "GT"
+    SI = "SI"
+    SO = "SO"
+    SIO = "SIO"
+
+    @property
+    def stages_input(self) -> bool:
+        return self in (MemoryMode.SI, MemoryMode.SIO)
+
+    @property
+    def stages_output(self) -> bool:
+        return self in (MemoryMode.SO, MemoryMode.SIO)
+
+    @property
+    def uses_texture(self) -> bool:
+        return self is MemoryMode.GT
+
+    @property
+    def needs_wait_signal(self) -> bool:
+        """Intra-block wait-signal sync is only needed when output is
+        staged (Section IV-C)."""
+        return self.stages_output
+
+
+class ReduceStrategy(str, Enum):
+    TR = "TR"
+    BR = "BR"
+
+
+#: All modes, in the order the paper's figures list them.
+ALL_MODES = (
+    MemoryMode.G,
+    MemoryMode.GT,
+    MemoryMode.SI,
+    MemoryMode.SO,
+    MemoryMode.SIO,
+)
+
+
+def effective_reduce_mode(
+    mode: MemoryMode, strategy: ReduceStrategy
+) -> MemoryMode:
+    """Map a requested mode to the one actually run in the Reduce phase.
+
+    Per the paper: TR cannot stage input, so SI falls back to G and
+    SIO to SO (Figure 6's note); BR cannot use the texture cache.
+    """
+    if strategy is ReduceStrategy.TR:
+        if mode is MemoryMode.SI:
+            return MemoryMode.G
+        if mode is MemoryMode.SIO:
+            return MemoryMode.SO
+        return mode
+    if strategy is ReduceStrategy.BR:
+        if mode is MemoryMode.GT:
+            raise FrameworkError(
+                "BR reduce kernels cannot use the texture cache: they "
+                "update values in place and texture caches are not "
+                "coherent with same-kernel global writes (Section IV-C)"
+            )
+        return mode
+    raise FrameworkError(f"unknown strategy {strategy!r}")

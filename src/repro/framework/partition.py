@@ -1,0 +1,75 @@
+"""Thread-role partitioning: compute warps vs. helper warps.
+
+Section III-C: "threads within a block are partitioned into compute
+threads, which carry out Map/Reduce computation, and helper threads,
+which remain idle during computation but cooperatively handle result
+overflows.  To avoid warp divergence, we divide them between warps...
+As the concurrency may not be a multiple of the warp size, we increase
+the number of compute threads to the nearest multiple of the warp
+size."
+
+The partitioning is (re)computed at the end of each input staging
+operation, because the number of staged records — and hence the
+useful concurrency — varies per iteration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import FrameworkError
+from ..gpu.config import WARP_SIZE
+from .modes import MemoryMode
+
+
+@dataclass(frozen=True)
+class RolePartition:
+    """Warp-role assignment for one input iteration."""
+
+    compute_warps: tuple[int, ...]
+    helper_warps: tuple[int, ...]
+
+    @property
+    def compute_threads(self) -> int:
+        return WARP_SIZE * len(self.compute_warps)
+
+    def role_of(self, warp_id: int) -> str:
+        return "compute" if warp_id in self.compute_warps else "helper"
+
+
+def partition_warps(
+    *,
+    n_warps: int,
+    concurrency: int,
+    mode: MemoryMode,
+) -> RolePartition:
+    """Split a block's warps into compute and helper roles.
+
+    ``concurrency`` is the number of records available this iteration
+    (staged records for SI/SIO; the block's round quota otherwise).
+
+    Rules:
+
+    * Modes that stage output (SO/SIO) always keep **at least one
+      helper warp** for overflow handling — the cost the paper calls
+      out for MM with 64-thread blocks, where "they have to leave a
+      warp of 32 threads as helper threads, which halves the threads
+      available for computation".
+    * Other modes have no helpers (no intra-block sync needed).
+    * Compute warps are rounded *up* to cover ``concurrency``; the
+      last compute warp may be partially idle.
+    """
+    if n_warps < 1:
+        raise FrameworkError("a block needs at least one warp")
+    if mode.stages_output and n_warps < 2:
+        raise FrameworkError(
+            f"{mode.value} mode needs >= 2 warps per block (>= 64 threads): "
+            "one warp must be reserved as helpers for overflow handling"
+        )
+    max_compute = n_warps - 1 if mode.stages_output else n_warps
+    needed = max(1, (max(0, concurrency) + WARP_SIZE - 1) // WARP_SIZE)
+    n_compute = min(max_compute, needed)
+    return RolePartition(
+        compute_warps=tuple(range(n_compute)),
+        helper_warps=tuple(range(n_compute, n_warps)),
+    )

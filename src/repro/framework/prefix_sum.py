@@ -1,0 +1,125 @@
+"""Prefix-sum (scan) primitives.
+
+Three scans appear in the reproduced systems:
+
+* **In-warp scan** — used by every result-collection path to find each
+  lane's output offset inside a warp result.  Threads of a warp run in
+  lockstep, so no synchronisation is needed (Section III-D); cost is
+  ``log2(32) = 5`` shared-memory steps.
+* **Block scan** — used by block-level reductions and the Mars count
+  passes' intra-block stage.
+* **Device scan** — Mars's inter-pass prefix summing "executed across
+  all threads with output size values" (Section II-B), implemented as
+  the classic scan-then-propagate three-kernel sequence.
+
+Each primitive has a *pure* function (used by host-side planning and
+tests) and a *timed* coroutine that charges the simulator.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from ..gpu.config import WARP_SIZE
+from ..gpu.kernel import WarpCtx
+
+#: Hillis-Steele steps for a 32-wide scan.
+WARP_SCAN_STEPS = 5
+
+
+def exclusive_scan(values: Sequence[int]) -> tuple[list[int], int]:
+    """Pure exclusive prefix sum; returns ``(prefixes, total)``."""
+    out: list[int] = []
+    acc = 0
+    for v in values:
+        out.append(acc)
+        acc += v
+    return out, acc
+
+
+def warp_exclusive_scan(ctx: WarpCtx, values: Sequence[int]):
+    """Timed in-warp exclusive scan over up to 32 per-lane values.
+
+    Returns ``(prefixes, total)``.  Charges the Hillis-Steele shared
+    memory ping-pong: 5 read+add+write rounds, conflict-free (stride-1
+    word layout), no ``__syncthreads`` thanks to warp lockstep.
+    """
+    assert len(values) <= WARP_SIZE
+    for _ in range(WARP_SCAN_STEPS):
+        yield from ctx.stouch(4 * WARP_SIZE)
+        yield from ctx.compute(ctx.timing.issue_cycles)
+        yield from ctx.stouch(4 * WARP_SIZE, write=True)
+    return exclusive_scan(values)
+
+
+def warp_exclusive_scan2(ctx: WarpCtx, a: Sequence[int], b: Sequence[int]):
+    """One timed warp scan over *two* packed size arrays.
+
+    Sizes fit in 16 bits, so the classic trick applies: pack both into
+    one 32-bit word and run a single Hillis-Steele pass — the form the
+    result-collection fast path uses (one scan per warp result, not
+    two).  Returns ``(prefix_a, total_a, prefix_b, total_b)``.
+    """
+    assert len(a) == len(b) <= WARP_SIZE
+    for _ in range(WARP_SCAN_STEPS):
+        yield from ctx.stouch(4 * WARP_SIZE)
+        yield from ctx.compute(ctx.timing.issue_cycles)
+        yield from ctx.stouch(4 * WARP_SIZE, write=True)
+    pa, ta = exclusive_scan(a)
+    pb, tb = exclusive_scan(b)
+    return pa, ta, pb, tb
+
+
+def block_exclusive_scan(ctx: WarpCtx, warp_totals_slot: int, my_total: int):
+    """Timed block-level exclusive scan of one value per warp.
+
+    Each warp deposits its total in a shared array, warp 0 scans it
+    (one warp-scan since blocks have <= 16 warps), and every warp reads
+    back its base.  Caller must barrier before/after as appropriate;
+    this helper charges the memory traffic only.
+
+    Returns this warp's exclusive base (functionally resolved by the
+    caller: the canonical pattern stores totals via ``block_state``).
+    """
+    smem = ctx.smem
+    smem.write_u32(warp_totals_slot + 4 * ctx.warp_id, my_total)
+    yield from ctx.stouch(4, write=True)
+    yield from ctx.barrier()
+    if ctx.warp_id == 0:
+        totals = [
+            smem.read_u32(warp_totals_slot + 4 * w)
+            for w in range(ctx.warps_per_block)
+        ]
+        prefixes, total = yield from warp_exclusive_scan(ctx, totals)
+        for w in range(ctx.warps_per_block):
+            smem.write_u32(warp_totals_slot + 4 * w, prefixes[w])
+        smem.write_u32(warp_totals_slot + 4 * ctx.warps_per_block, total)
+        yield from ctx.stouch(4 * (ctx.warps_per_block + 1), write=True)
+    yield from ctx.barrier()
+    base = smem.read_u32(warp_totals_slot + 4 * ctx.warp_id)
+    yield from ctx.stouch(4)
+    return base
+
+
+def device_scan_cycles(n: int, timing, mp_count: int) -> float:
+    """Analytic cost of Mars's device-wide exclusive scan over ``n`` values.
+
+    The classic three-kernel scan (scan blocks, scan block sums,
+    add base) reads and writes each 4-byte element ~3 times through
+    global memory plus ~2*log2(block) shared steps per element.  The
+    cost is dominated by bandwidth; latency is amortised over the
+    whole device.  Used by :mod:`repro.mars.scan` (which also runs a
+    functional scan for the data itself).
+    """
+    if n <= 0:
+        return 0.0
+    bytes_moved = 3 * 2 * 4 * n  # 3 passes x (read + write) x 4B
+    txns = max(1, bytes_moved // timing.txn_bytes)
+    bandwidth_cycles = txns * timing.txn_service_cycles
+    # Per-element shared-memory work spread over all MPs' issue ports.
+    alu_cycles = (2 * np.log2(max(2, n)) * n * timing.issue_cycles) / (
+        mp_count * WARP_SIZE
+    )
+    return float(2 * timing.global_latency + bandwidth_cycles + alu_cycles)

@@ -1,0 +1,286 @@
+"""Key/value record sets and their device memory layout.
+
+Mars and this framework share the same structure-of-arrays layout
+(Section II-B / III-B): a *record set* is four device buffers —
+
+* ``keys``    — all key bytes, concatenated;
+* ``vals``    — all value bytes, concatenated;
+* ``key_dir`` — per record ``(offset, length)`` of its key, 8 bytes;
+* ``val_dir`` — per record ``(offset, length)`` of its value.
+
+:class:`KeyValueSet` is the host-side container (plain Python bytes),
+:class:`DeviceRecordSet` the device-resident image with addresses into
+simulator global memory.  Directories are ``uint32`` little-endian,
+matching what the staging copies move byte-for-byte.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Sequence
+
+import numpy as np
+
+from ..errors import FrameworkError
+from ..gpu.memory import GlobalMemory
+
+#: Bytes per directory entry (offset u32 + length u32).
+DIR_ENTRY = 8
+
+#: Bytes of directory data per record (key entry + value entry).
+DIR_PER_RECORD = 2 * DIR_ENTRY
+
+
+class KeyValueSet:
+    """An ordered collection of ``(key: bytes, value: bytes)`` records."""
+
+    __slots__ = ("_keys", "_vals")
+
+    def __init__(self, records: Iterable[tuple[bytes, bytes]] = ()):
+        self._keys: list[bytes] = []
+        self._vals: list[bytes] = []
+        for k, v in records:
+            self.append(k, v)
+
+    def append(self, key: bytes, value: bytes) -> None:
+        if not isinstance(key, (bytes, bytearray)) or not isinstance(
+            value, (bytes, bytearray)
+        ):
+            raise FrameworkError("keys and values must be bytes")
+        self._keys.append(bytes(key))
+        self._vals.append(bytes(value))
+
+    def __len__(self) -> int:
+        return len(self._keys)
+
+    def __iter__(self) -> Iterator[tuple[bytes, bytes]]:
+        return iter(zip(self._keys, self._vals))
+
+    def __getitem__(self, i: int) -> tuple[bytes, bytes]:
+        return self._keys[i], self._vals[i]
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, KeyValueSet):
+            return NotImplemented
+        return self._keys == other._keys and self._vals == other._vals
+
+    @property
+    def keys(self) -> Sequence[bytes]:
+        return self._keys
+
+    @property
+    def values(self) -> Sequence[bytes]:
+        return self._vals
+
+    @property
+    def key_bytes(self) -> int:
+        return sum(map(len, self._keys))
+
+    @property
+    def val_bytes(self) -> int:
+        return sum(map(len, self._vals))
+
+    @property
+    def total_bytes(self) -> int:
+        """Payload plus directory footprint."""
+        return self.key_bytes + self.val_bytes + DIR_PER_RECORD * len(self)
+
+    def sorted_by_key(self) -> "KeyValueSet":
+        order = sorted(range(len(self)), key=lambda i: self._keys[i])
+        out = KeyValueSet()
+        for i in order:
+            out.append(self._keys[i], self._vals[i])
+        return out
+
+    def record_stats(self) -> dict:
+        """Mean/stddev of key and value sizes (Table II inputs)."""
+        ks = np.array([len(k) for k in self._keys], dtype=float)
+        vs = np.array([len(v) for v in self._vals], dtype=float)
+        if len(ks) == 0:
+            return {"key_mean": 0.0, "key_std": 0.0, "val_mean": 0.0, "val_std": 0.0}
+        return {
+            "key_mean": float(ks.mean()),
+            "key_std": float(ks.std()),
+            "val_mean": float(vs.mean()),
+            "val_std": float(vs.std()),
+        }
+
+
+@dataclass
+class DeviceRecordSet:
+    """A record set resident in simulator global memory."""
+
+    gmem: GlobalMemory
+    count: int
+    keys_addr: int
+    keys_size: int
+    vals_addr: int
+    vals_size: int
+    key_dir_addr: int
+    val_dir_addr: int
+
+    # ------------------------------------------------------------------
+    # Host <-> device
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def upload(
+        cls, gmem: GlobalMemory, kvs: KeyValueSet, label: str = "in"
+    ) -> "DeviceRecordSet":
+        """Copy a host record set into global memory (SoA layout)."""
+        n = len(kvs)
+        keys_blob = b"".join(kvs.keys)
+        vals_blob = b"".join(kvs.values)
+        key_dir = np.zeros(2 * n, dtype="<u4")
+        val_dir = np.zeros(2 * n, dtype="<u4")
+        off = 0
+        for i, k in enumerate(kvs.keys):
+            key_dir[2 * i] = off
+            key_dir[2 * i + 1] = len(k)
+            off += len(k)
+        off = 0
+        for i, v in enumerate(kvs.values):
+            val_dir[2 * i] = off
+            val_dir[2 * i + 1] = len(v)
+            off += len(v)
+
+        keys_addr = gmem.alloc(max(1, len(keys_blob)), f"{label}.keys")
+        vals_addr = gmem.alloc(max(1, len(vals_blob)), f"{label}.vals")
+        kd_addr = gmem.alloc(max(4, key_dir.nbytes), f"{label}.key_dir")
+        vd_addr = gmem.alloc(max(4, val_dir.nbytes), f"{label}.val_dir")
+        gmem.write(keys_addr, keys_blob)
+        gmem.write(vals_addr, vals_blob)
+        gmem.write_u32_array(kd_addr, key_dir)
+        gmem.write_u32_array(vd_addr, val_dir)
+        return cls(
+            gmem=gmem,
+            count=n,
+            keys_addr=keys_addr,
+            keys_size=len(keys_blob),
+            vals_addr=vals_addr,
+            vals_size=len(vals_blob),
+            key_dir_addr=kd_addr,
+            val_dir_addr=vd_addr,
+        )
+
+    def download(self) -> KeyValueSet:
+        """Copy the record set back to the host."""
+        out = KeyValueSet()
+        for i in range(self.count):
+            ko, kl, vo, vl = self.dir_entry(i)
+            out.append(
+                self.gmem.read(self.keys_addr + ko, kl),
+                self.gmem.read(self.vals_addr + vo, vl),
+            )
+        return out
+
+    # ------------------------------------------------------------------
+    # Per-record access
+    # ------------------------------------------------------------------
+
+    def dir_entry(self, i: int) -> tuple[int, int, int, int]:
+        """``(key_off, key_len, val_off, val_len)`` of record ``i``."""
+        if not 0 <= i < self.count:
+            raise FrameworkError(f"record index {i} out of range [0,{self.count})")
+        ko = self.gmem.read_u32(self.key_dir_addr + DIR_ENTRY * i)
+        kl = self.gmem.read_u32(self.key_dir_addr + DIR_ENTRY * i + 4)
+        vo = self.gmem.read_u32(self.val_dir_addr + DIR_ENTRY * i)
+        vl = self.gmem.read_u32(self.val_dir_addr + DIR_ENTRY * i + 4)
+        return ko, kl, vo, vl
+
+    def key_bytes_of(self, i: int) -> bytes:
+        ko, kl, _, _ = self.dir_entry(i)
+        return self.gmem.read(self.keys_addr + ko, kl)
+
+    def val_bytes_of(self, i: int) -> bytes:
+        _, _, vo, vl = self.dir_entry(i)
+        return self.gmem.read(self.vals_addr + vo, vl)
+
+    @property
+    def payload_bytes(self) -> int:
+        return self.keys_size + self.vals_size
+
+    @property
+    def total_bytes(self) -> int:
+        return self.payload_bytes + DIR_PER_RECORD * self.count
+
+
+@dataclass
+class OutputBuffers:
+    """Appendable device output buffers with atomic tail counters.
+
+    The single-pass design (Section II-B, last paragraph): output
+    regions are over-provisioned, and three 32-bit tail counters in
+    global memory are advanced with ``atomicAdd`` — one for key bytes,
+    one for value bytes, one for the record count.  These three hot
+    words are exactly the contention point the output-staging modes
+    exist to relieve.
+    """
+
+    gmem: GlobalMemory
+    keys_addr: int
+    keys_cap: int
+    vals_addr: int
+    vals_cap: int
+    key_dir_addr: int
+    val_dir_addr: int
+    dir_cap_records: int
+    #: Addresses of the three tail counters.
+    key_tail: int
+    val_tail: int
+    rec_count: int
+
+    @classmethod
+    def allocate(
+        cls,
+        gmem: GlobalMemory,
+        *,
+        key_capacity: int,
+        val_capacity: int,
+        record_capacity: int,
+        label: str = "out",
+    ) -> "OutputBuffers":
+        keys_addr = gmem.alloc(max(1, key_capacity), f"{label}.keys")
+        vals_addr = gmem.alloc(max(1, val_capacity), f"{label}.vals")
+        kd = gmem.alloc(max(4, DIR_ENTRY * record_capacity), f"{label}.key_dir")
+        vd = gmem.alloc(max(4, DIR_ENTRY * record_capacity), f"{label}.val_dir")
+        ctrs = gmem.alloc(12, f"{label}.tails")
+        gmem.write(ctrs, bytes(12))
+        return cls(
+            gmem=gmem,
+            keys_addr=keys_addr,
+            keys_cap=key_capacity,
+            vals_addr=vals_addr,
+            vals_cap=val_capacity,
+            key_dir_addr=kd,
+            val_dir_addr=vd,
+            dir_cap_records=record_capacity,
+            key_tail=ctrs,
+            val_tail=ctrs + 4,
+            rec_count=ctrs + 8,
+        )
+
+    def check_reservation(self, key_end: int, val_end: int, rec_end: int) -> None:
+        """Fail loudly if an atomic reservation ran past capacity."""
+        if key_end > self.keys_cap or val_end > self.vals_cap or (
+            rec_end > self.dir_cap_records
+        ):
+            raise FrameworkError(
+                "output buffer overflow: reserve to "
+                f"(keys={key_end}/{self.keys_cap}, vals={val_end}/"
+                f"{self.vals_cap}, recs={rec_end}/{self.dir_cap_records}); "
+                "raise the output capacity factor"
+            )
+
+    def as_record_set(self) -> DeviceRecordSet:
+        """Freeze the appended output into a readable record set."""
+        return DeviceRecordSet(
+            gmem=self.gmem,
+            count=self.gmem.read_u32(self.rec_count),
+            keys_addr=self.keys_addr,
+            keys_size=self.gmem.read_u32(self.key_tail),
+            vals_addr=self.vals_addr,
+            vals_size=self.gmem.read_u32(self.val_tail),
+            key_dir_addr=self.key_dir_addr,
+            val_dir_addr=self.val_dir_addr,
+        )

@@ -1,0 +1,159 @@
+"""Input staging: tiling the input and the cooperative stage-in copy.
+
+Section III-A, "Staging in": *all* threads of a block cooperate on
+moving a contiguous slice of the input — key bytes, value bytes and
+the two directory arrays, each a contiguous segment of its global
+buffer — into the shared-memory input area.  Threads see the slice as
+raw bytes, so neighbouring lanes always move neighbouring words and
+every transaction is coalesced.
+
+Tiles are planned host-side by greedy packing against the input-area
+capacity (the framework's stage-in loop performs the same linear scan
+on-device; planning it up front is a documented simplification that
+moves no data and charges no fewer transactions).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..gpu.config import WARP_SIZE
+from ..gpu.kernel import WarpCtx
+from ..errors import FrameworkError
+from .layout import SmemLayout
+from .records import DIR_ENTRY, DeviceRecordSet
+
+
+@dataclass(frozen=True)
+class Tile:
+    """A contiguous range of input records processed in one iteration."""
+
+    start: int
+    count: int
+
+    @property
+    def end(self) -> int:
+        return self.start + self.count
+
+
+@dataclass
+class StagedTile:
+    """Where a tile's pieces landed in shared memory."""
+
+    tile: Tile
+    keys_off: int
+    vals_off: int
+    key_dir_off: int
+    val_dir_off: int
+    #: Global base offsets of the staged slices (for address mapping:
+    #: ``smem_off = smem_base + (global_off - g_base)``).
+    g_key_base: int
+    g_val_base: int
+
+
+def plan_tiles_staged(
+    layout: SmemLayout,
+    key_sizes: list[int],
+    val_sizes: list[int],
+    *,
+    stage_values: bool = True,
+    stage_keys: bool = True,
+) -> list[Tile]:
+    """Greedy tile packing for input-staging modes (SI/SIO).
+
+    When ``stage_values`` / ``stage_keys`` is false (Matrix
+    Multiplication: "only the indices for a row/column vector can be
+    staged into shared memory", Section IV-C), those bytes do not
+    count against the input area.
+    """
+    n = len(key_sizes)
+    ks = key_sizes if stage_keys else [0] * n
+    vs = val_sizes if stage_values else [0] * n
+    key_sizes = ks
+    tiles: list[Tile] = []
+    start = 0
+    while start < n:
+        fit = layout.records_fit(key_sizes, vs, start)
+        if fit == 0:
+            raise FrameworkError(
+                f"record {start} alone exceeds the input area "
+                f"({layout.input_bytes} B); raise io_ratio or block size"
+            )
+        tiles.append(Tile(start, fit))
+        start += fit
+    return tiles
+
+
+def plan_tiles_unstaged(
+    n_records: int, threads_per_block: int, rounds_per_tile: int = 1
+) -> list[Tile]:
+    """Fixed-size tiles for modes reading input straight from global."""
+    per_tile = max(WARP_SIZE, threads_per_block * rounds_per_tile)
+    return [
+        Tile(start, min(per_tile, n_records - start))
+        for start in range(0, n_records, per_tile)
+    ]
+
+
+def stage_in(
+    ctx: WarpCtx,
+    layout: SmemLayout,
+    inp: DeviceRecordSet,
+    tile: Tile,
+    *,
+    stage_values: bool = True,
+    stage_keys: bool = True,
+):
+    """Cooperatively copy one tile into the shared-memory input area.
+
+    Every warp moves an equal contiguous chunk of the combined
+    (keys + values + directories) byte range: bulk coalesced reads
+    from global, bulk writes to shared.  Returns the
+    :class:`StagedTile` describing the resulting layout.  Caller must
+    barrier afterwards before any warp consumes staged data.
+    """
+    first, last = tile.start, tile.end - 1
+    k0 = inp.gmem.read_u32(inp.key_dir_addr + DIR_ENTRY * first)
+    klast_off = inp.gmem.read_u32(inp.key_dir_addr + DIR_ENTRY * last)
+    klast_len = inp.gmem.read_u32(inp.key_dir_addr + DIR_ENTRY * last + 4)
+    ktot = (klast_off + klast_len - k0) if stage_keys else 0
+    v0 = inp.gmem.read_u32(inp.val_dir_addr + DIR_ENTRY * first)
+    vlast_off = inp.gmem.read_u32(inp.val_dir_addr + DIR_ENTRY * last)
+    vlast_len = inp.gmem.read_u32(inp.val_dir_addr + DIR_ENTRY * last + 4)
+    vtot = (vlast_off + vlast_len - v0) if stage_values else 0
+    dir_bytes = DIR_ENTRY * tile.count
+
+    st = StagedTile(
+        tile=tile,
+        keys_off=layout.input_off,
+        vals_off=layout.input_off + ktot,
+        key_dir_off=layout.input_off + ktot + vtot,
+        val_dir_off=layout.input_off + ktot + vtot + dir_bytes,
+        g_key_base=inp.keys_addr + k0,
+        g_val_base=inp.vals_addr + v0,
+    )
+    total = ktot + vtot + 2 * dir_bytes
+    if total > layout.input_bytes:
+        raise FrameworkError(
+            f"tile needs {total} B but input area has {layout.input_bytes} B"
+        )
+
+    # Chunked cooperative copy: warp w moves chunk w of each segment.
+    nw = ctx.warps_per_block
+    w = ctx.warp_id
+    segments = [
+        (inp.keys_addr + k0, st.keys_off, ktot),
+        (inp.vals_addr + v0, st.vals_off, vtot),
+        (inp.key_dir_addr + DIR_ENTRY * first, st.key_dir_off, dir_bytes),
+        (inp.val_dir_addr + DIR_ENTRY * first, st.val_dir_off, dir_bytes),
+    ]
+    for g_addr, s_off, size in segments:
+        if size == 0:
+            continue
+        chunk = (size + nw - 1) // nw
+        lo = min(w * chunk, size)
+        hi = min(lo + chunk, size)
+        if hi > lo:
+            data = yield from ctx.gread(g_addr + lo, hi - lo)
+            yield from ctx.swrite(s_off + lo, data)
+    return st

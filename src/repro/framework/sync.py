@@ -1,0 +1,163 @@
+"""Software wait-signal synchronisation between warps of a block.
+
+CUDA (of the paper's generation) offers only a block-wide barrier,
+``__syncthreads()``, which hangs or is undefined when executed on
+divergent paths — and compute/helper warps *are* divergent by design.
+Section III-C therefore builds a wait-signal primitive out of per-warp
+flag words in shared memory:
+
+* the **signal group** raises its flags (after a
+  ``__threadfence_block()`` so prior shared-memory writes are visible
+  under the GPU's processor-consistency model);
+* the **wait group** polls the signal flags, then raises per-warp
+  *seen* flags;
+* signal-group warps leave once every wait warp is in the "seen"
+  state, resetting their own flags on the way out;
+* the *last* wait warp to set its seen flag waits for all signal
+  flags to clear and then resets the seen flags, restoring the
+  primitive to its initial state for reuse.
+
+A single condition must not be re-signalled back-to-back: the
+signaller could raise the next round's flag before the last waiter
+observed the previous clear, deadlocking both.  The framework
+therefore always *alternates two conditions* (:func:`make_pair`:
+overflow -> handled -> overflow -> ...), exactly the structure of the
+paper's Figure 3 workflow.
+
+Busy-waiting warps would otherwise compete for the MP's issue slots
+with compute warps, so the paper adds a *yield* operation: a dummy
+global-memory read+write that gets the polling warp swapped out for
+roughly a memory round-trip.  Here that simply widens the poll
+interval from :attr:`TimingParams.poll_interval_spin` to
+:attr:`TimingParams.poll_interval_yield` — Figure 8 measures exactly
+this knob.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from ..errors import FrameworkError
+from ..gpu.kernel import WarpCtx
+
+
+def poll_interval(ctx: WarpCtx, yield_sync: bool) -> float:
+    """Probe spacing for a busy-wait loop under the chosen discipline."""
+    t = ctx.timing
+    return t.poll_interval_yield if yield_sync else t.poll_interval_spin
+
+
+@dataclass
+class WaitSignal:
+    """One reusable wait-signal condition over shared-memory flags.
+
+    ``base_off`` points at ``2 * n_warps`` u32 flag words in shared
+    memory: ``signal[w]`` then ``seen[w]``.  Group membership must be
+    known in advance (Section III-C); it is fixed per instance here
+    and re-derivable each input iteration by the caller.
+    """
+
+    base_off: int
+    n_warps: int
+    signal_group: tuple[int, ...]
+    wait_group: tuple[int, ...]
+    yield_sync: bool = True
+
+    def __post_init__(self) -> None:
+        if set(self.signal_group) & set(self.wait_group):
+            raise FrameworkError("a warp cannot be in both groups")
+        if not self.signal_group or not self.wait_group:
+            raise FrameworkError("both groups must be non-empty")
+
+    # -- flag addressing ----------------------------------------------------
+
+    def _sig_off(self, w: int) -> int:
+        return self.base_off + 4 * w
+
+    def _seen_off(self, w: int) -> int:
+        return self.base_off + 4 * (self.n_warps + w)
+
+    def _all_signals_set(self, ctx: WarpCtx) -> bool:
+        smem = ctx.smem
+        return all(smem.read_u32(self._sig_off(w)) == 1 for w in self.signal_group)
+
+    def _all_signals_clear(self, ctx: WarpCtx) -> bool:
+        smem = ctx.smem
+        return all(smem.read_u32(self._sig_off(w)) == 0 for w in self.signal_group)
+
+    def _all_seen_set(self, ctx: WarpCtx) -> bool:
+        smem = ctx.smem
+        return all(smem.read_u32(self._seen_off(w)) == 1 for w in self.wait_group)
+
+    # -- protocol ------------------------------------------------------------
+
+    def signal(self, ctx: WarpCtx):
+        """Called by every signal-group warp."""
+        if ctx.warp_id not in self.signal_group:
+            raise FrameworkError(f"warp {ctx.warp_id} is not in the signal group")
+        # Make prior shared-memory updates visible before raising the
+        # flag (processor consistency; <1% overhead per the paper).
+        yield from ctx.fence_block()
+        ctx.smem.write_u32(self._sig_off(ctx.warp_id), 1)
+        yield from ctx.stouch(4, write=True)
+        # Wait until every wait-group warp acknowledged.
+        yield from ctx.poll(
+            lambda: self._all_seen_set(ctx), poll_interval(ctx, self.yield_sync)
+        )
+        ctx.smem.write_u32(self._sig_off(ctx.warp_id), 0)
+        yield from ctx.stouch(4, write=True)
+
+    def wait(self, ctx: WarpCtx):
+        """Called by every wait-group warp."""
+        if ctx.warp_id not in self.wait_group:
+            raise FrameworkError(f"warp {ctx.warp_id} is not in the wait group")
+        yield from ctx.poll(
+            lambda: self._all_signals_set(ctx), poll_interval(ctx, self.yield_sync)
+        )
+        ctx.smem.write_u32(self._seen_off(ctx.warp_id), 1)
+        yield from ctx.stouch(4, write=True)
+        if self._all_seen_set(ctx):
+            # Last wait warp: restore initial state once the signal
+            # group has observed the acknowledgement and left.
+            yield from ctx.poll(
+                lambda: self._all_signals_clear(ctx),
+                poll_interval(ctx, self.yield_sync),
+            )
+            for w in self.wait_group:
+                ctx.smem.write_u32(self._seen_off(w), 0)
+            yield from ctx.stouch(4 * len(self.wait_group), write=True)
+
+
+def make_pair(
+    *,
+    base_off: int,
+    n_warps: int,
+    compute_warps: Sequence[int],
+    helper_warps: Sequence[int],
+    yield_sync: bool = True,
+) -> tuple[WaitSignal, WaitSignal]:
+    """The two conditions of the overflow workflow (Figure 3).
+
+    ``overflow``: compute warps signal, helper warps wait.
+    ``handled``: helper warps signal, compute warps wait.
+
+    They use disjoint flag storage so a new overflow can be raised
+    while stragglers finish leaving the previous ``handled`` round.
+    """
+    flags_per_cond = 8 * n_warps
+    overflow = WaitSignal(
+        base_off=base_off,
+        n_warps=n_warps,
+        signal_group=tuple(compute_warps),
+        wait_group=tuple(helper_warps),
+        yield_sync=yield_sync,
+    )
+    handled = WaitSignal(
+        base_off=base_off + flags_per_cond,
+        n_warps=n_warps,
+        signal_group=tuple(helper_warps),
+        wait_group=tuple(compute_warps),
+        yield_sync=yield_sync,
+    )
+    return overflow, handled

@@ -1,0 +1,56 @@
+"""``repro.gpu`` — a discrete-event SIMT GPU timing simulator.
+
+This subpackage is the substrate substitution for the paper's
+GTX 280: it models multiprocessors with warp schedulers, the
+half-warp coalescing rules, software-managed shared memory with bank
+conflicts, a device-wide bandwidth queue, a per-address-serialising
+atomic unit, and a read-only texture cache — the exact mechanisms the
+paper's design decisions are built around.
+
+Typical use::
+
+    from repro.gpu import Device, DeviceConfig
+
+    dev = Device(DeviceConfig.gtx280())
+
+    def kernel(ctx, src, dst, n):
+        per_block = n // ctx.grid_blocks
+        base = ctx.block_id * per_block
+        data = yield from ctx.gread(src + base, per_block)
+        yield from ctx.gwrite(dst + base, data)
+
+    src = dev.gmem.alloc(1024); dst = dev.gmem.alloc(1024)
+    stats = dev.launch(kernel, grid=4, block=64, args=(src, dst, 1024))
+    print(stats.cycles, stats.global_transactions)
+"""
+
+from .accessor import Accessor, AccessTrace, lockstep_accesses
+from .config import HALF_WARP, WARP_SIZE, DeviceConfig, TimingParams
+from .engine import Engine
+from .l2cache import L2Cache
+from .kernel import Device, WarpCtx
+from .memory import GlobalMemory, SharedMemory
+from .stats import KernelStats
+from .texture import TextureCache, TextureCoherenceError
+from .timeline import Timeline, TimelineEvent
+
+__all__ = [
+    "Accessor",
+    "AccessTrace",
+    "Device",
+    "DeviceConfig",
+    "Engine",
+    "GlobalMemory",
+    "HALF_WARP",
+    "KernelStats",
+    "L2Cache",
+    "SharedMemory",
+    "TextureCache",
+    "TextureCoherenceError",
+    "Timeline",
+    "TimelineEvent",
+    "TimingParams",
+    "WARP_SIZE",
+    "WarpCtx",
+    "lockstep_accesses",
+]

@@ -1,0 +1,63 @@
+"""Atomic-unit timing model: per-address serialisation.
+
+The enabling hardware feature for the paper's single-pass design is
+the global atomic RMW (Section II-B).  Its performance hazard — the
+reason the paper stages output through shared memory — is that
+*conflicting* atomics (same address) are serialised by the memory
+partition's atomic unit.  With thousands of threads appending to one
+output buffer, the tail counter becomes "a critical section with
+severe competition" (Section III-A).
+
+This model captures exactly that: each address has a FIFO service
+point; an atomic issued at time ``t`` completes no earlier than the
+previous atomic to the same address plus a service interval.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class AtomicUnit:
+    """Serialises atomic RMWs per address.
+
+    Parameters
+    ----------
+    latency:
+        One-way-plus-return travel time to the unit (cycles).
+    service:
+        Occupancy of the unit per conflicting op (cycles).
+    """
+
+    latency: float = 500.0
+    service: float = 24.0
+    _free_at: dict[int, float] = field(default_factory=dict)
+    #: Total ops processed, and ops that had to queue behind a
+    #: conflicting op (contention indicator surfaced in KernelStats).
+    ops: int = 0
+    conflicts: int = 0
+    queue_cycles: float = 0.0
+
+    def request(self, addr: int, t_issue: float) -> float:
+        """Register an atomic to ``addr`` issued at ``t_issue``.
+
+        Returns the completion time (when the old value is available
+        to the issuing warp).
+        """
+        arrive = t_issue + self.latency / 2.0
+        free = self._free_at.get(addr, 0.0)
+        start = max(arrive, free)
+        if free > arrive:
+            self.conflicts += 1
+            self.queue_cycles += free - arrive
+        done_at_unit = start + self.service
+        self._free_at[addr] = done_at_unit
+        self.ops += 1
+        return done_at_unit + self.latency / 2.0
+
+    def reset(self) -> None:
+        self._free_at.clear()
+        self.ops = 0
+        self.conflicts = 0
+        self.queue_cycles = 0.0

@@ -1,0 +1,50 @@
+"""Shared-memory bank-conflict model.
+
+GT200 shared memory is organised as 16 banks of 32-bit words;
+successive words live in successive banks.  A half-warp whose lanes
+hit distinct banks (or broadcast-read the same word) completes in one
+pass; ``k`` lanes hitting the *same* bank with *different* words
+serialise into ``k`` passes.  The conflict degree computed here feeds
+:class:`repro.gpu.instructions.SharedRead`/``SharedWrite``.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Sequence
+
+#: Number of shared-memory banks on GT200.
+NUM_BANKS = 16
+
+#: Bank word width in bytes.
+BANK_WIDTH = 4
+
+
+def conflict_degree(
+    word_addrs: Sequence[int], half_warp: int = 16, banks: int = NUM_BANKS
+) -> int:
+    """Maximum serialisation factor over the half-warps of a warp.
+
+    ``word_addrs`` are byte addresses of the 4-byte word each active
+    lane touches.  Broadcast (all lanes reading the same word) counts
+    as conflict-free, matching the hardware's broadcast path.
+    """
+    worst = 1
+    for i in range(0, len(word_addrs), half_warp):
+        per_bank: dict[int, set[int]] = defaultdict(set)
+        for a in word_addrs[i : i + half_warp]:
+            word = a // BANK_WIDTH
+            per_bank[word % banks].add(word)
+        degree = max((len(words) for words in per_bank.values()), default=1)
+        worst = max(worst, degree)
+    return worst
+
+
+def strided_conflict_degree(stride_words: int, lanes: int = 16) -> int:
+    """Conflict degree of lane ``i`` accessing word ``i * stride``.
+
+    The classic result: odd strides are conflict-free, stride 2 gives
+    2-way conflicts, stride 16 gives 16-way.
+    """
+    addrs = [lane * stride_words * BANK_WIDTH for lane in range(lanes)]
+    return conflict_degree(addrs, half_warp=lanes)

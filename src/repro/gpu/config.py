@@ -1,0 +1,275 @@
+"""Device and timing configuration for the SIMT GPU simulator.
+
+The default parameters model the NVIDIA GeForce GTX 280 used in the
+paper's testbed (Section IV-A): 30 multiprocessors (MPs), 8 scalar
+processors per MP, 16 KB of software-managed shared memory per MP,
+16384 32-bit registers per MP, 1 GB of global memory, and a read-only
+texture cache per MP.
+
+Two layers of configuration are separated:
+
+* :class:`DeviceConfig` — architectural *capacities* (counts, sizes,
+  limits) that determine occupancy and functional behaviour.
+* :class:`TimingParams` — *latencies and throughputs* used by the
+  discrete-event timing model.  These are calibrated to public GT200
+  numbers (global latency 400-700 cycles, shared memory latency of a
+  few dozen cycles, ~141.7 GB/s DRAM bandwidth at a 1.296 GHz SP
+  clock) but are deliberately tunable: the reproduction targets the
+  *shape* of the paper's results, not absolute microseconds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from ..errors import ConfigError
+
+#: Number of threads that execute in lockstep (a warp).  Fixed across
+#: all NVIDIA architectures the paper considers.
+WARP_SIZE = 32
+
+#: A half-warp: the unit of global-memory coalescing on GT200
+#: (Section II-A of the paper).
+HALF_WARP = WARP_SIZE // 2
+
+
+@dataclass(frozen=True)
+class TimingParams:
+    """Latency/throughput knobs for the discrete-event timing model.
+
+    All times are in SP-clock cycles (GTX 280: 1.296 GHz, so
+    1000 cycles = 0.77 us).
+    """
+
+    #: Cycles to issue one warp instruction on an MP (32 lanes / 8 SPs).
+    issue_cycles: float = 4.0
+
+    #: Round-trip latency of an L2-less global memory access.
+    global_latency: float = 500.0
+
+    #: Latency of a shared-memory access (conflict-free).
+    shared_latency: float = 24.0
+
+    #: Extra shared-memory cycles per additional conflicting bank access.
+    bank_conflict_penalty: float = 20.0
+
+    #: Device-wide service time per 64-byte memory transaction, in
+    #: cycles.  141.7 GB/s at 1.296 GHz is ~109 B/cycle, i.e. ~0.59
+    #: cycles per 64 B transaction.
+    txn_service_cycles: float = 0.59
+
+    #: Size of one coalesced memory transaction in bytes.
+    txn_bytes: int = 64
+
+    #: Additional serialisation cost per atomic RMW to the *same*
+    #: global address.  GT200 performs atomics at the memory
+    #: partitions; published microbenchmarks put same-address atomicAdd
+    #: throughput at roughly one op per ~300-550 cycles, which is what
+    #: makes a single appendable-buffer tail counter "a critical
+    #: section with severe competition" (Section III-A).
+    atomic_service_cycles: float = 160.0
+
+    #: Latency part of a global atomic (travel to the memory partition).
+    atomic_latency: float = 500.0
+
+    #: Serialisation cost for shared-memory atomics / intra-block
+    #: reservations (much cheaper: stays on chip).
+    shared_atomic_service_cycles: float = 6.0
+
+    #: Outstanding streaming loads per warp: compilers unroll record
+    #: scans / value loops so several independent global loads are in
+    #: flight at once (memory-level parallelism).  Replay paths group
+    #: this many lockstep access steps into one round-trip.
+    memory_parallelism: int = 4
+
+    #: Cost of a ``__syncthreads()`` once the last warp arrives.
+    barrier_cycles: float = 8.0
+
+    #: Cost of ``__threadfence_block()``; the paper measured <1 %
+    #: overhead for the fence in its signal routine (Section III-C).
+    fence_cycles: float = 4.0
+
+    #: Latency of a texture fetch that *hits* the texture cache.  Per
+    #: the paper (Section II-A) a hit does **not** decrease fetch
+    #: latency relative to global memory; it only removes the
+    #: bandwidth demand.
+    texture_hit_latency: float = 500.0
+
+    #: Latency of a texture fetch miss (fill from global memory).
+    texture_miss_latency: float = 560.0
+
+    #: Latency of a global read served by the L2 cache (Fermi-class
+    #: configs only; ~a third of the DRAM round trip).
+    l2_hit_latency: float = 180.0
+
+    #: Polling interval, in cycles, of a busy-wait loop that never
+    #: yields: roughly one shared-memory read plus a branch.
+    poll_interval_spin: float = 28.0
+
+    #: Polling interval of a busy-wait loop that yields via a dummy
+    #: global-memory read+write (Section III-C): the warp is swapped
+    #: out for about a global round-trip.
+    poll_interval_yield: float = 1000.0
+
+    #: Host<->device PCIe bandwidth in bytes per cycle (PCIe 2.0 x16,
+    #: ~5 GB/s effective, at 1.296 GHz -> ~3.9 B/cycle).
+    pcie_bytes_per_cycle: float = 3.9
+
+    #: Fixed per-transfer PCIe/driver overhead in cycles (~15 us).
+    pcie_setup_cycles: float = 20000.0
+
+    #: SP clock in GHz, used only to convert cycles to milliseconds
+    #: for human-readable reports.
+    clock_ghz: float = 1.296
+
+    def cycles_to_ms(self, cycles: float) -> float:
+        """Convert a cycle count to milliseconds at :attr:`clock_ghz`."""
+        return cycles / (self.clock_ghz * 1e6)
+
+
+@dataclass(frozen=True)
+class DeviceConfig:
+    """Architectural capacities of the simulated device."""
+
+    name: str = "GeForce GTX 280 (simulated)"
+
+    #: Number of multiprocessors.
+    mp_count: int = 30
+
+    #: Scalar processors per MP (determines issue throughput).
+    sp_per_mp: int = 8
+
+    #: Shared memory per MP in bytes.
+    shared_mem_per_mp: int = 16 * 1024
+
+    #: 32-bit registers per MP.
+    registers_per_mp: int = 16384
+
+    #: Global memory size in bytes.  The simulator backs this with a
+    #: growable buffer, so this acts as an allocation limit only.
+    global_mem_bytes: int = 1 << 30
+
+    #: Maximum thread blocks resident on one MP.
+    max_blocks_per_mp: int = 8
+
+    #: Maximum resident threads per MP.
+    max_threads_per_mp: int = 1024
+
+    #: Maximum threads per block.
+    max_threads_per_block: int = 512
+
+    #: Texture cache capacity per MP, bytes (6-8 KB on GT200; we use 8).
+    texture_cache_bytes: int = 8 * 1024
+
+    #: Texture cache line size in bytes.
+    texture_line_bytes: int = 32
+
+    #: Texture cache associativity.
+    texture_ways: int = 4
+
+    #: Unified L2 cache in front of DRAM; 0 = none (GT200, the
+    #: paper's testbed).  Set by :meth:`fermi` for the paper's
+    #: future-work architecture.
+    l2_cache_bytes: int = 0
+    l2_line_bytes: int = 128
+    l2_ways: int = 16
+
+    timing: TimingParams = field(default_factory=TimingParams)
+
+    def __post_init__(self) -> None:
+        if self.mp_count <= 0:
+            raise ConfigError("mp_count must be positive")
+        if self.shared_mem_per_mp <= 0:
+            raise ConfigError("shared_mem_per_mp must be positive")
+        if self.max_threads_per_block % WARP_SIZE:
+            raise ConfigError(
+                f"max_threads_per_block must be a multiple of {WARP_SIZE}"
+            )
+        if self.texture_line_bytes <= 0 or (
+            self.texture_cache_bytes % self.texture_line_bytes
+        ):
+            raise ConfigError("texture cache size must be a multiple of line size")
+
+    # ------------------------------------------------------------------
+    # Convenience constructors
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def gtx280(cls) -> "DeviceConfig":
+        """The paper's testbed GPU (Section IV-A)."""
+        return cls()
+
+    @classmethod
+    def fermi(cls) -> "DeviceConfig":
+        """A Fermi-class (GTX 480-like) device: the paper's future-work
+        target with a global-memory (L2) cache and larger shared
+        memory.  14 SMs with 32 lanes' worth of issue, 48 KB shared
+        memory, 768 KB unified L2."""
+        return cls(
+            name="GeForce GTX 480 (simulated)",
+            mp_count=14,
+            sp_per_mp=32,
+            shared_mem_per_mp=48 * 1024,
+            registers_per_mp=32768,
+            max_threads_per_mp=1536,
+            max_threads_per_block=512,
+            max_blocks_per_mp=8,
+            l2_cache_bytes=768 * 1024,
+            timing=TimingParams(
+                issue_cycles=2.0,
+                global_latency=400.0,
+                shared_latency=26.0,
+                txn_service_cycles=0.45,  # ~177 GB/s at 1.4 GHz
+                clock_ghz=1.4,
+            ),
+        )
+
+    @classmethod
+    def small(cls, mp_count: int = 4) -> "DeviceConfig":
+        """A reduced-MP device for fast unit tests.
+
+        Occupancy rules and per-MP behaviour are identical to
+        :meth:`gtx280`; only the MP count (and hence how many blocks
+        run concurrently) changes.
+        """
+        return cls(name=f"sim-small-{mp_count}mp", mp_count=mp_count)
+
+    def with_timing(self, **kwargs) -> "DeviceConfig":
+        """Return a copy with some :class:`TimingParams` overridden."""
+        return replace(self, timing=replace(self.timing, **kwargs))
+
+    # ------------------------------------------------------------------
+    # Occupancy
+    # ------------------------------------------------------------------
+
+    def blocks_per_mp(
+        self,
+        threads_per_block: int,
+        smem_per_block: int,
+        regs_per_thread: int = 16,
+    ) -> int:
+        """How many blocks of the given shape fit on one MP.
+
+        Mirrors the CUDA occupancy calculation: the limit is the
+        minimum over the block-slot, thread, register and shared
+        memory constraints.  Returns 0 when a single block does not
+        fit (the launch is invalid).
+        """
+        if threads_per_block <= 0:
+            raise ConfigError("threads_per_block must be positive")
+        if threads_per_block > self.max_threads_per_block:
+            return 0
+        if smem_per_block > self.shared_mem_per_mp:
+            return 0
+        regs_per_block = regs_per_thread * threads_per_block
+        if regs_per_block > self.registers_per_mp:
+            return 0
+        limits = [
+            self.max_blocks_per_mp,
+            self.max_threads_per_mp // threads_per_block,
+        ]
+        if smem_per_block > 0:
+            limits.append(self.shared_mem_per_mp // smem_per_block)
+        if regs_per_block > 0:
+            limits.append(self.registers_per_mp // regs_per_block)
+        return max(0, min(limits))

@@ -1,0 +1,482 @@
+"""Discrete-event SIMT execution engine.
+
+The engine runs a kernel launch to completion and returns a
+:class:`~repro.gpu.stats.KernelStats`.  Model summary:
+
+* **Warp granularity.** Each warp is one Python generator coroutine
+  yielding :mod:`~repro.gpu.instructions` descriptors.  A warp has a
+  wake time; the soonest-awake warp issues next (min-heap).
+* **Issue port.** Each MP issues at most one warp instruction per
+  ``issue_cycles`` (single scheduler port, 32 lanes over 8 SPs).  This
+  is the resource that busy-wait polling steals — the mechanism behind
+  the paper's Figure 8.
+* **Memory system.** All global transactions pass through one
+  device-wide bandwidth queue (:class:`MemorySystem`); reads block the
+  warp for queueing + latency, writes only for queue admission.
+* **Atomic unit.** Global atomics serialise per address
+  (:class:`AtomicUnit`) — the contention the paper's output staging
+  exists to avoid.
+* **Blocks.** A block dispatcher starts as many blocks per MP as the
+  occupancy calculation allows and backfills as blocks retire,
+  matching Section II-A's description of block scheduling.
+
+Determinism: events are ordered by ``(time, sequence_number)``; no
+randomness or wall-clock time is consulted anywhere.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Any, Callable, Generator, Iterable
+
+from ..errors import (
+    BarrierDivergenceError,
+    DeadlockError,
+    KernelFault,
+    LaunchError,
+)
+from .atomics import AtomicUnit
+from .coalescing import bytes_touched, transactions_for
+from .config import WARP_SIZE, DeviceConfig
+from .instructions import (
+    AtomicGlobal,
+    AtomicGlobalMulti,
+    AtomicShared,
+    Barrier,
+    Compute,
+    Fence,
+    GlobalRead,
+    GlobalWrite,
+    Nop,
+    Op,
+    Poll,
+    SharedRead,
+    SharedWrite,
+    TextureRead,
+)
+from .interconnect import MemorySystem
+from .l2cache import L2Cache
+from .memory import SharedMemory
+from .stats import KernelStats
+from .texture import TextureCache
+
+#: Safety cap on consecutive unsuccessful probes of a single Poll op;
+#: prevents an un-satisfiable condition from spinning forever in real
+#: time.  Generous: a real deadlock is detected far earlier by the
+#: empty-heap check whenever no poller is involved.
+MAX_POLL_RETRIES = 2_000_000
+
+
+@dataclass
+class _MP:
+    """Per-multiprocessor scheduling state."""
+
+    index: int
+    issue_free: float = 0.0
+    active_blocks: int = 0
+    texture: TextureCache | None = None
+
+
+@dataclass
+class _BlockRt:
+    """Runtime state of one resident thread block."""
+
+    block_id: int
+    mp: _MP
+    smem: SharedMemory
+    n_warps: int
+    warps_done: int = 0
+    barrier_waiting: list["_Warp"] = field(default_factory=list)
+    shared_atomics: AtomicUnit | None = None
+    #: Non-timed bookkeeping shared across the block's warps (the
+    #: framework keeps its Python-side mirrors of smem structures here).
+    state: dict[str, Any] = field(default_factory=dict)
+
+
+@dataclass
+class _Warp:
+    gen: Generator[Op, Any, None]
+    block: _BlockRt
+    warp_id: int
+    inbox: Any = None
+    done: bool = False
+    retry_op: Poll | None = None
+    poll_retries: int = 0
+    barrier_arrived_at: float = 0.0
+
+
+class Engine:
+    """Executes one kernel launch."""
+
+    def __init__(
+        self,
+        config: DeviceConfig,
+        *,
+        uses_texture: bool = False,
+        max_cycles: float = float("inf"),
+        timeline=None,
+    ):
+        self.config = config
+        self.timing = config.timing
+        self.uses_texture = uses_texture
+        self.max_cycles = max_cycles
+        self.timeline = timeline
+        t = self.timing
+        self.memsys = MemorySystem(latency=t.global_latency, service=t.txn_service_cycles)
+        self.l2: L2Cache | None = None
+        if config.l2_cache_bytes > 0:
+            self.l2 = L2Cache(
+                capacity=config.l2_cache_bytes,
+                line_bytes=config.l2_line_bytes,
+                ways=config.l2_ways,
+                hit_latency=t.l2_hit_latency,
+            )
+        self.atomics = AtomicUnit(latency=t.atomic_latency, service=t.atomic_service_cycles)
+        self.mps = [
+            _MP(
+                index=i,
+                texture=TextureCache(
+                    capacity=config.texture_cache_bytes,
+                    line_bytes=config.texture_line_bytes,
+                    ways=config.texture_ways,
+                )
+                if uses_texture
+                else None,
+            )
+            for i in range(config.mp_count)
+        ]
+        self.stats = KernelStats()
+        self._heap: list[tuple[float, int, _Warp]] = []
+        self._seq = 0
+        self._now = 0.0
+        self._blocks_live = 0
+
+    # ------------------------------------------------------------------
+    # Launch plumbing
+    # ------------------------------------------------------------------
+
+    def run(
+        self,
+        *,
+        grid: int,
+        threads_per_block: int,
+        smem_bytes: int,
+        make_warp: Callable[[_BlockRt, int], Generator[Op, Any, None]],
+        regs_per_thread: int = 16,
+    ) -> KernelStats:
+        """Dispatch ``grid`` blocks and run the event loop to completion.
+
+        ``make_warp(block_rt, warp_id)`` constructs the coroutine for
+        one warp of one block (the kernel launcher in
+        :mod:`repro.gpu.kernel` supplies this).
+        """
+        if grid <= 0:
+            raise LaunchError("grid must have at least one block")
+        if threads_per_block <= 0 or threads_per_block % WARP_SIZE:
+            raise LaunchError(
+                f"threads_per_block must be a positive multiple of {WARP_SIZE}"
+            )
+        occupancy = self.config.blocks_per_mp(
+            threads_per_block, smem_bytes, regs_per_thread
+        )
+        if occupancy == 0:
+            raise LaunchError(
+                f"block shape (threads={threads_per_block}, smem={smem_bytes}B, "
+                f"regs/thr={regs_per_thread}) does not fit on an MP"
+            )
+        self.stats.grid_blocks = grid
+        self.stats.threads_per_block = threads_per_block
+        self.stats.blocks_per_mp = occupancy
+
+        n_warps = threads_per_block // WARP_SIZE
+        self._pending = list(range(grid))
+        self._pending.reverse()  # pop() yields block 0 first
+        self._make_warp = make_warp
+        self._n_warps = n_warps
+        self._smem_bytes = smem_bytes
+
+        for mp in self.mps:
+            for _ in range(occupancy):
+                if not self._start_block(mp, at=0.0):
+                    break
+
+        self._event_loop()
+        self.stats.cycles = self._now
+        self._harvest_counters()
+        return self.stats
+
+    def _start_block(self, mp: _MP, at: float) -> bool:
+        if not self._pending:
+            return False
+        bid = self._pending.pop()
+        t = self.timing
+        blk = _BlockRt(
+            block_id=bid,
+            mp=mp,
+            smem=SharedMemory(max(self._smem_bytes, 16)),
+            n_warps=self._n_warps,
+            shared_atomics=AtomicUnit(
+                latency=t.shared_latency, service=t.shared_atomic_service_cycles
+            ),
+        )
+        mp.active_blocks += 1
+        self._blocks_live += 1
+        for w in range(self._n_warps):
+            warp = _Warp(gen=self._make_warp(blk, w), block=blk, warp_id=w)
+            self._push(at, warp)
+        return True
+
+    def _push(self, time: float, warp: _Warp) -> None:
+        self._seq += 1
+        heapq.heappush(self._heap, (time, self._seq, warp))
+
+    # ------------------------------------------------------------------
+    # Event loop
+    # ------------------------------------------------------------------
+
+    def _event_loop(self) -> None:
+        heap = self._heap
+        while heap:
+            t, _, warp = heapq.heappop(heap)
+            if warp.done:
+                continue
+            self._now = max(self._now, t)
+            if self._now > self.max_cycles:
+                raise DeadlockError(
+                    f"simulation exceeded max_cycles={self.max_cycles}"
+                )
+            mp = warp.block.mp
+            t_issue = max(t, mp.issue_free)
+            mp.issue_free = t_issue + self.timing.issue_cycles
+            self._now = max(self._now, t_issue)
+
+            # Re-probe of an unsatisfied Poll: no coroutine step needed.
+            if warp.retry_op is not None:
+                op: Op = warp.retry_op
+                warp.retry_op = None
+            else:
+                try:
+                    op = warp.gen.send(warp.inbox)
+                except StopIteration:
+                    self._retire_warp(warp, t_issue)
+                    continue
+                except Exception as exc:  # pragma: no cover - defensive
+                    if isinstance(exc, (DeadlockError, BarrierDivergenceError)):
+                        raise
+                    raise KernelFault(
+                        f"kernel raised in block {warp.block.block_id} "
+                        f"warp {warp.warp_id}: {exc!r}"
+                    ) from exc
+                warp.inbox = None
+
+            self._execute(warp, op, t_issue)
+
+        if self._blocks_live:
+            waiting = sum(
+                1
+                for mp in self.mps
+                for _ in range(mp.active_blocks)
+            )
+            raise DeadlockError(
+                f"{self._blocks_live} block(s) still resident with no runnable "
+                f"warp (barrier divergence or unsatisfiable wait); "
+                f"{waiting} block slots affected"
+            )
+
+    def _retire_warp(self, warp: _Warp, t: float) -> None:
+        warp.done = True
+        blk = warp.block
+        blk.warps_done += 1
+        # A finished warp no longer participates in barriers; if the
+        # remaining warps are all parked at the barrier, release them.
+        self._maybe_release_barrier(blk, t)
+        if blk.warps_done == blk.n_warps:
+            self._blocks_live -= 1
+            blk.mp.active_blocks -= 1
+            self._start_block(blk.mp, at=t)
+
+    # ------------------------------------------------------------------
+    # Instruction semantics
+    # ------------------------------------------------------------------
+
+    def _execute(self, warp: _Warp, op: Op, t_issue: float) -> None:
+        st = self.stats
+        st.instructions += 1
+        tm = self.timing
+
+        if type(op) is Compute:
+            st.compute_ops += 1
+            self._note(warp, "compute", t_issue, t_issue + op.cycles)
+            self._push(t_issue + op.cycles, warp)
+
+        elif type(op) is SharedRead or type(op) is SharedWrite:
+            st.shared_ops += 1
+            lat = tm.shared_latency + (op.conflict - 1) * tm.bank_conflict_penalty
+            self._note(warp, "shared", t_issue, t_issue + lat)
+            self._push(t_issue + lat, warp)
+
+        elif type(op) is GlobalRead:
+            st.global_reads += 1
+            ntxn = transactions_for(
+                addr=op.addr, nbytes=op.nbytes, addrs=op.addrs, seg=tm.txn_bytes
+            )
+            nbytes = bytes_touched(nbytes=op.nbytes, addrs=op.addrs)
+            if self.l2 is not None:
+                ranges = list(op.addrs) if op.addrs is not None else [
+                    (op.addr, op.nbytes)
+                ]
+                done = self.l2.access_read(self.memsys, t_issue, ranges)
+            else:
+                done = self.memsys.request_read(t_issue, ntxn, nbytes)
+            self._note(warp, "global_read", t_issue, done)
+            self._push(done, warp)
+
+        elif type(op) is GlobalWrite:
+            st.global_writes += 1
+            ntxn = transactions_for(
+                addr=op.addr, nbytes=op.nbytes, addrs=op.addrs, seg=tm.txn_bytes
+            )
+            nbytes = bytes_touched(nbytes=op.nbytes, addrs=op.addrs)
+            if self.l2 is not None:
+                ranges = list(op.addrs) if op.addrs is not None else [
+                    (op.addr, op.nbytes)
+                ]
+                done = self.l2.access_write(
+                    self.memsys, t_issue, ranges, ntxn, nbytes
+                )
+            else:
+                done = self.memsys.request_write(t_issue, ntxn, nbytes)
+            if self.uses_texture:
+                self._mark_texture_dirty(op)
+            self._note(warp, "global_write", t_issue, done)
+            self._push(done, warp)
+
+        elif type(op) is AtomicGlobal:
+            st.atomics_global += 1
+            done = self.atomics.request(op.addr, t_issue)
+            # Atomics also occupy crossbar/DRAM bandwidth.
+            self.memsys.request_write(t_issue, 1, 4)
+            warp.inbox = op.old
+            self._note(warp, "atomic", t_issue, done)
+            self._push(done, warp)
+
+        elif type(op) is AtomicGlobalMulti:
+            st.atomics_global += len(op.addrs)
+            done = t_issue
+            for addr in op.addrs:
+                done = max(done, self.atomics.request(addr, t_issue))
+            self.memsys.request_write(t_issue, len(op.addrs), 4 * len(op.addrs))
+            warp.inbox = tuple(op.olds)
+            self._note(warp, "atomic", t_issue, done)
+            self._push(done, warp)
+
+        elif type(op) is AtomicShared:
+            st.atomics_shared += 1
+            unit = warp.block.shared_atomics
+            done = unit.request(op.addr, t_issue)
+            warp.inbox = op.old
+            self._note(warp, "shared_atomic", t_issue, done)
+            self._push(done, warp)
+
+        elif type(op) is TextureRead:
+            st.texture_reads += 1
+            tex = warp.block.mp.texture
+            if tex is None:
+                raise LaunchError(
+                    "TextureRead in a launch without uses_texture=True"
+                )
+            hit_lines = miss_lines = 0
+            for addr, size in op.addrs:
+                h, m = tex.access(addr, size)
+                hit_lines += h
+                miss_lines += m
+            if miss_lines:
+                fill_bytes = miss_lines * self.config.texture_line_bytes
+                ntxn = max(1, fill_bytes // tm.txn_bytes)
+                done = self.memsys.request_read(t_issue, ntxn, fill_bytes)
+                done = max(done, t_issue + tm.texture_miss_latency)
+            else:
+                done = t_issue + tm.texture_hit_latency
+            self._note(warp, "texture", t_issue, done)
+            self._push(done, warp)
+
+        elif type(op) is Barrier:
+            st.barriers += 1
+            blk = warp.block
+            blk.barrier_waiting.append(warp)
+            warp.barrier_arrived_at = t_issue
+            self._maybe_release_barrier(blk, t_issue)
+
+        elif type(op) is Fence:
+            st.fences += 1
+            self._push(t_issue + tm.fence_cycles, warp)
+
+        elif type(op) is Poll:
+            st.polls += 1
+            if op.check():
+                warp.inbox = True
+                warp.poll_retries = 0
+                self._note(warp, "poll", t_issue, t_issue + tm.issue_cycles)
+                self._push(t_issue + tm.issue_cycles, warp)
+            else:
+                warp.poll_retries += 1
+                if warp.poll_retries > MAX_POLL_RETRIES:
+                    raise DeadlockError(
+                        f"warp {warp.warp_id} of block {warp.block.block_id} "
+                        f"exceeded {MAX_POLL_RETRIES} poll probes"
+                    )
+                warp.retry_op = op
+                self._note(warp, "poll", t_issue, t_issue + op.interval)
+                self._push(t_issue + op.interval, warp)
+
+        elif type(op) is Nop:
+            self._push(t_issue, warp)
+
+        else:  # pragma: no cover - defensive
+            raise KernelFault(f"unknown instruction {op!r}")
+
+    def _note(self, warp: _Warp, category: str, start: float, end: float
+              ) -> None:
+        self.stats.stall(category, end - start)
+        if self.timeline is not None:
+            self.timeline.record(
+                warp.block.block_id, warp.warp_id, category, start, end
+            )
+
+    def _maybe_release_barrier(self, blk: _BlockRt, t: float) -> None:
+        live = blk.n_warps - blk.warps_done
+        if live and len(blk.barrier_waiting) == live:
+            release = t + self.timing.barrier_cycles
+            for w in blk.barrier_waiting:
+                self._note(w, "barrier", w.barrier_arrived_at, release)
+                self._push(release, w)
+            blk.barrier_waiting.clear()
+
+    def _mark_texture_dirty(self, op: GlobalWrite) -> None:
+        ranges: Iterable[tuple[int, int]]
+        if op.addrs is not None:
+            ranges = op.addrs
+        else:
+            ranges = ((op.addr, op.nbytes),)
+        for mp in self.mps:
+            if mp.texture is not None:
+                for addr, size in ranges:
+                    mp.texture.note_global_write(addr, size)
+
+    # ------------------------------------------------------------------
+
+    def _harvest_counters(self) -> None:
+        st = self.stats
+        st.global_transactions = self.memsys.transactions
+        st.global_bytes = self.memsys.bytes_moved
+        st.memory_queue_cycles = self.memsys.queue_cycles
+        st.atomic_conflicts = self.atomics.conflicts
+        st.atomic_queue_cycles = self.atomics.queue_cycles
+        for mp in self.mps:
+            if mp.texture is not None:
+                st.texture_hits += mp.texture.hits
+                st.texture_misses += mp.texture.misses
+        if self.l2 is not None:
+            st.extra["l2_hits"] = self.l2.hits
+            st.extra["l2_misses"] = self.l2.misses

@@ -1,0 +1,172 @@
+"""Warp-level instruction descriptors.
+
+Kernels in this simulator are Python generator coroutines executed at
+*warp* granularity (the paper reasons at warp granularity throughout:
+warp results, in-warp prefix sums, first-lane atomics, compute vs.
+helper *warps*).  A kernel ``yield``\\ s instances of the classes below;
+the engine charges simulated time for each and resumes the coroutine
+with the instruction's result (where one exists, e.g. the old value of
+an atomic).
+
+Functional state (actual bytes in global/shared memory) is mutated
+*eagerly* by the kernel helpers before the descriptor is yielded, so
+results are exact and checkable; the descriptors exist purely to drive
+the timing model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+from .config import WARP_SIZE
+
+
+@dataclass(frozen=True)
+class Op:
+    """Base class for warp instructions."""
+
+    #: Number of active lanes executing this instruction (1..32).
+    lanes: int = WARP_SIZE
+
+
+@dataclass(frozen=True)
+class Compute(Op):
+    """`cycles` of ALU work by the warp (already warp-normalised)."""
+
+    cycles: float = 4.0
+
+
+@dataclass(frozen=True)
+class GlobalRead(Op):
+    """A warp-wide read from global memory.
+
+    Either ``addrs`` lists a per-lane ``(address, size)`` pair (for
+    scattered access, fed to the coalescing model), or ``addr``/
+    ``nbytes`` describe one contiguous range read cooperatively by the
+    warp (always coalesced: neighbouring lanes read neighbouring
+    words, the pattern used by the staging copies in Section III-A).
+    """
+
+    addr: int = 0
+    nbytes: int = 0
+    addrs: Sequence[tuple[int, int]] | None = None
+
+
+@dataclass(frozen=True)
+class GlobalWrite(Op):
+    """A warp-wide write to global memory (same addressing as reads).
+
+    Writes are retired through the bandwidth queue but do not stall
+    the warp for the full round-trip latency (stores are
+    fire-and-forget on GT200 unless a fence/atomic orders them).
+    """
+
+    addr: int = 0
+    nbytes: int = 0
+    addrs: Sequence[tuple[int, int]] | None = None
+
+
+@dataclass(frozen=True)
+class SharedRead(Op):
+    """A warp-wide shared-memory read.
+
+    ``conflict`` is the bank-conflict degree (1 = conflict free); use
+    :mod:`repro.gpu.banks` to derive it from per-lane addresses.
+    """
+
+    nbytes: int = 4 * WARP_SIZE
+    conflict: int = 1
+
+
+@dataclass(frozen=True)
+class SharedWrite(Op):
+    nbytes: int = 4 * WARP_SIZE
+    conflict: int = 1
+
+
+@dataclass(frozen=True)
+class AtomicGlobal(Op):
+    """A read-modify-write on a global address by one lane.
+
+    The engine serialises atomics per address; the functional update
+    has already happened (the ``old`` value is carried along so the
+    engine can hand it back as the instruction result, mirroring
+    ``atomicAdd`` semantics).
+    """
+
+    addr: int = 0
+    old: int = 0
+    lanes: int = 1
+
+
+@dataclass(frozen=True)
+class AtomicGlobalMulti(Op):
+    """Several *independent* global atomics issued back-to-back.
+
+    The reservation paths advance independent tail counters (key
+    bytes, value bytes, record count); real code issues all three and
+    waits once, so completion is the max of the per-address times, not
+    their sum.
+    """
+
+    addrs: Sequence[int] = field(default_factory=tuple)
+    olds: Sequence[int] = field(default_factory=tuple)
+    lanes: int = 1
+
+
+@dataclass(frozen=True)
+class AtomicShared(Op):
+    """A read-modify-write on a shared-memory cell by one lane."""
+
+    addr: int = 0
+    old: int = 0
+    lanes: int = 1
+
+
+@dataclass(frozen=True)
+class TextureRead(Op):
+    """A warp-wide read through the read-only texture path.
+
+    Carries per-lane ``(address, size)`` pairs; the engine probes the
+    MP's texture cache.  Hits cost full latency but no global
+    bandwidth (Section II-A); misses fill a line and consume
+    bandwidth.
+    """
+
+    addrs: Sequence[tuple[int, int]] = field(default_factory=tuple)
+
+
+@dataclass(frozen=True)
+class Barrier(Op):
+    """``__syncthreads()`` — all warps of the block must arrive."""
+
+
+@dataclass(frozen=True)
+class Fence(Op):
+    """``__threadfence_block()`` — ordering only, small fixed cost."""
+
+
+@dataclass(frozen=True)
+class Poll(Op):
+    """One busy-wait probe of a condition.
+
+    ``check`` reads *functional* state (e.g. flag variables in shared
+    memory).  The engine evaluates it at issue time; if false the warp
+    re-arms after ``interval`` cycles, consuming an MP issue slot per
+    probe — this is precisely the mechanism behind Figure 8: a
+    spinning helper warp (small ``interval``) steals issue slots from
+    compute warps, while a yielding one (interval ≈ a global-memory
+    round trip, implemented in the paper as a dummy global read+write)
+    probes rarely.
+
+    The instruction result is ``True`` once the condition holds.
+    """
+
+    check: Callable[[], bool] = bool
+    interval: float = 28.0
+
+
+@dataclass(frozen=True)
+class Nop(Op):
+    """Zero-cost marker (used by instrumentation hooks in tests)."""

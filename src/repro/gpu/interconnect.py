@@ -1,0 +1,66 @@
+"""Device-wide memory-system model: bandwidth queue plus latency.
+
+Every global-memory transaction (a coalesced 64-byte segment access)
+must pass through the DRAM subsystem, which serves transactions at a
+fixed rate derived from the device bandwidth.  Under light load a
+request completes after the base latency; under heavy load (many MPs
+streaming, or badly-coalesced access patterns multiplying the
+transaction count) requests queue and the *effective* latency grows.
+
+This single shared resource is what couples the simulated MPs
+together and produces the paper's memory-bound behaviours: Matrix
+Multiplication's flat scaling with block size (Section IV-D) and the
+bandwidth benefit of texture-cache hits (which bypass this queue
+entirely, Section II-A).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class MemorySystem:
+    """FIFO bandwidth queue for global-memory transactions."""
+
+    latency: float = 500.0
+    #: Service time per transaction in cycles (64 B / device B-per-cycle).
+    service: float = 0.59
+
+    _free_at: float = 0.0
+    #: Counters surfaced through KernelStats.
+    transactions: int = 0
+    bytes_moved: int = 0
+    queue_cycles: float = 0.0
+
+    def request_read(self, t_issue: float, ntxn: int, nbytes: int) -> float:
+        """A blocking read of ``ntxn`` transactions; returns data-ready time."""
+        if ntxn <= 0:
+            return t_issue
+        start = max(t_issue, self._free_at)
+        self.queue_cycles += start - t_issue
+        self._free_at = start + ntxn * self.service
+        self.transactions += ntxn
+        self.bytes_moved += nbytes
+        return self._free_at + self.latency
+
+    def request_write(self, t_issue: float, ntxn: int, nbytes: int) -> float:
+        """A posted write; returns when the warp may proceed.
+
+        Stores retire through the same bandwidth queue but the warp
+        only waits for queue admission, not the DRAM round trip.
+        """
+        if ntxn <= 0:
+            return t_issue
+        start = max(t_issue, self._free_at)
+        self.queue_cycles += start - t_issue
+        self._free_at = start + ntxn * self.service
+        self.transactions += ntxn
+        self.bytes_moved += nbytes
+        return self._free_at
+
+    def reset(self) -> None:
+        self._free_at = 0.0
+        self.transactions = 0
+        self.bytes_moved = 0
+        self.queue_cycles = 0.0

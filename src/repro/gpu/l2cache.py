@@ -1,0 +1,104 @@
+"""Optional L2 cache model — the paper's "newer GPU architecture".
+
+Section VI: "We also plan to extend our work to the newer GPU
+architecture, which has a global memory cache".  Fermi (the
+generation after the paper's GT200) added a unified ~768 KB L2 in
+front of DRAM.  This model sits between the engine and the
+:class:`~repro.gpu.interconnect.MemorySystem`: read transactions that
+hit in L2 are served at L2 latency without consuming DRAM bandwidth;
+misses fill a line through the DRAM queue.  Writes go through
+(write-through with allocate, a simplification noted in DESIGN.md).
+
+Enable it via ``DeviceConfig.fermi()`` or by setting
+``l2_cache_bytes`` on any config; GT200 configs leave it at 0.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .interconnect import MemorySystem
+
+
+@dataclass
+class L2Cache:
+    """Set-associative write-through cache in front of DRAM."""
+
+    capacity: int = 768 * 1024
+    line_bytes: int = 128
+    ways: int = 16
+    hit_latency: float = 180.0
+
+    hits: int = 0
+    misses: int = 0
+
+    _sets: list[dict[int, None]] = field(default_factory=list, repr=False)
+
+    def __post_init__(self) -> None:
+        n_lines = max(1, self.capacity // self.line_bytes)
+        self.n_sets = max(1, n_lines // self.ways)
+        # Ordered dicts double as LRU queues.
+        self._sets = [dict() for _ in range(self.n_sets)]
+
+    def _touch_line(self, line: int) -> bool:
+        s = self._sets[line % self.n_sets]
+        if line in s:
+            s.pop(line)
+            s[line] = None  # LRU refresh
+            return True
+        s[line] = None
+        if len(s) > self.ways:
+            s.pop(next(iter(s)))
+        return False
+
+    def access_read(
+        self,
+        memsys: MemorySystem,
+        t_issue: float,
+        ranges: list[tuple[int, int]],
+    ) -> float:
+        """Serve a read of byte ``ranges``; returns data-ready time."""
+        miss_lines = 0
+        hit_any = False
+        for addr, size in ranges:
+            if size <= 0:
+                continue
+            first = addr // self.line_bytes
+            last = (addr + size - 1) // self.line_bytes
+            for line in range(first, last + 1):
+                if self._touch_line(line):
+                    self.hits += 1
+                    hit_any = True
+                else:
+                    self.misses += 1
+                    miss_lines += 1
+        if miss_lines:
+            fill = miss_lines * self.line_bytes
+            ntxn = max(1, fill // 64)
+            return memsys.request_read(t_issue, ntxn, fill)
+        if hit_any:
+            return t_issue + self.hit_latency
+        return t_issue
+
+    def access_write(
+        self,
+        memsys: MemorySystem,
+        t_issue: float,
+        ranges: list[tuple[int, int]],
+        ntxn: int,
+        nbytes: int,
+    ) -> float:
+        """Write-through: allocate lines, pass traffic to DRAM."""
+        for addr, size in ranges:
+            if size <= 0:
+                continue
+            first = addr // self.line_bytes
+            last = (addr + size - 1) // self.line_bytes
+            for line in range(first, last + 1):
+                self._touch_line(line)
+        return memsys.request_write(t_issue, ntxn, nbytes)
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0

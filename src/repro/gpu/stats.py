@@ -1,0 +1,105 @@
+"""Execution statistics collected by the engine for each kernel launch."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class KernelStats:
+    """Counters and the headline cycle count for one kernel launch.
+
+    ``cycles`` is the simulated wall time of the launch (time from
+    launch to the completion of the last block).  The remaining fields
+    are diagnostic counters used by tests, the ablation benches, and
+    the per-figure analysis in EXPERIMENTS.md.
+    """
+
+    cycles: float = 0.0
+
+    #: Instructions issued, by category.
+    instructions: int = 0
+    compute_ops: int = 0
+    global_reads: int = 0
+    global_writes: int = 0
+    shared_ops: int = 0
+    atomics_global: int = 0
+    atomics_shared: int = 0
+    texture_reads: int = 0
+    barriers: int = 0
+    fences: int = 0
+    polls: int = 0
+
+    #: Memory-system totals.
+    global_transactions: int = 0
+    global_bytes: int = 0
+    memory_queue_cycles: float = 0.0
+
+    #: Atomic-unit totals.
+    atomic_conflicts: int = 0
+    atomic_queue_cycles: float = 0.0
+
+    #: Texture cache totals.
+    texture_hits: int = 0
+    texture_misses: int = 0
+
+    #: Launch geometry.
+    grid_blocks: int = 0
+    threads_per_block: int = 0
+    blocks_per_mp: int = 0
+
+    #: Warp-cycles spent waiting on each instruction category
+    #: (completion time minus issue time, summed over all warps).
+    #: Profiler view: where a kernel's time would go if nothing
+    #: overlapped; compare categories *between* runs, not to
+    #: ``cycles`` (which benefits from latency hiding).
+    stall_cycles: dict[str, float] = field(default_factory=dict)
+
+    #: Free-form counters incremented by framework code via
+    #: ``WarpCtx.count(name)`` — e.g. output-overflow flushes.
+    extra: dict[str, int] = field(default_factory=dict)
+
+    def count(self, name: str, inc: int = 1) -> None:
+        self.extra[name] = self.extra.get(name, 0) + inc
+
+    def stall(self, category: str, cycles: float) -> None:
+        self.stall_cycles[category] = (
+            self.stall_cycles.get(category, 0.0) + cycles
+        )
+
+    def stall_breakdown(self) -> dict[str, float]:
+        """Fraction of total warp wait time per category."""
+        total = sum(self.stall_cycles.values())
+        if not total:
+            return {}
+        return {k: v / total for k, v in sorted(self.stall_cycles.items())}
+
+    @property
+    def texture_hit_rate(self) -> float:
+        total = self.texture_hits + self.texture_misses
+        return self.texture_hits / total if total else 0.0
+
+    def merge(self, other: "KernelStats") -> "KernelStats":
+        """Aggregate counters of two launches (cycles are summed).
+
+        Used by multi-kernel phases (e.g. Mars's count pass + scan +
+        real pass) to report one phase-level stats object.
+        """
+        out = KernelStats()
+        for f in (
+            "cycles instructions compute_ops global_reads global_writes "
+            "shared_ops atomics_global atomics_shared texture_reads barriers "
+            "fences polls global_transactions global_bytes memory_queue_cycles "
+            "atomic_conflicts atomic_queue_cycles texture_hits texture_misses"
+        ).split():
+            setattr(out, f, getattr(self, f) + getattr(other, f))
+        out.grid_blocks = max(self.grid_blocks, other.grid_blocks)
+        out.threads_per_block = max(self.threads_per_block, other.threads_per_block)
+        out.blocks_per_mp = max(self.blocks_per_mp, other.blocks_per_mp)
+        out.extra = dict(self.extra)
+        for k, v in other.extra.items():
+            out.extra[k] = out.extra.get(k, 0) + v
+        out.stall_cycles = dict(self.stall_cycles)
+        for k, v in other.stall_cycles.items():
+            out.stall_cycles[k] = out.stall_cycles.get(k, 0.0) + v
+        return out

@@ -1,0 +1,105 @@
+"""Read-only texture cache model (paper Section II-A).
+
+Each Texture Processing Cluster on GT200 has a small (6-8 KB per MP)
+set-associative, read-only texture cache.  Two properties from the
+paper's description are modelled faithfully because the evaluation
+depends on them:
+
+1. *A hit does not decrease fetch latency* — it "reduces the global
+   memory bandwidth demand" only.  So a hit is charged the same
+   latency as a global access but consumes **no** transaction in the
+   :class:`~repro.gpu.interconnect.MemorySystem` queue.
+2. The cache is *not coherent* with global writes in the same kernel,
+   which is why the paper cannot implement the GT mode for BR reduce
+   kernels (they update values in place).  The simulator enforces
+   this by letting callers mark address ranges dirty; reading a dirty
+   line through the texture path raises an error in strict mode.
+
+The simulator instantiates one cache per MP (a slight simplification
+of the per-TPC sharing; capacity per MP matches the paper's
+"6KB-8KB per MP" figure).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..errors import ReproError
+
+
+class TextureCoherenceError(ReproError):
+    """A texture fetch observed memory written during this kernel."""
+
+
+@dataclass
+class TextureCache:
+    """Set-associative LRU read-only cache."""
+
+    capacity: int = 8 * 1024
+    line_bytes: int = 32
+    ways: int = 4
+    strict_coherence: bool = True
+
+    hits: int = 0
+    misses: int = 0
+
+    _sets: list[list[int]] = field(default_factory=list, repr=False)
+    _dirty_lines: set[int] = field(default_factory=set, repr=False)
+
+    def __post_init__(self) -> None:
+        n_lines = self.capacity // self.line_bytes
+        self.n_sets = max(1, n_lines // self.ways)
+        self._sets = [[] for _ in range(self.n_sets)]
+
+    # ------------------------------------------------------------------
+
+    def _line_of(self, addr: int) -> int:
+        return addr // self.line_bytes
+
+    def access(self, addr: int, size: int) -> tuple[int, int]:
+        """Access ``[addr, addr+size)``; returns ``(hit_lines, miss_lines)``."""
+        if size <= 0:
+            return (0, 0)
+        first = self._line_of(addr)
+        last = self._line_of(addr + size - 1)
+        hits = misses = 0
+        for line in range(first, last + 1):
+            if self.strict_coherence and line in self._dirty_lines:
+                raise TextureCoherenceError(
+                    f"texture fetch of line {line} after a global write to it "
+                    "within the same kernel (texture caches are not coherent; "
+                    "see paper Section IV-C on why GT cannot back BR kernels)"
+                )
+            s = self._sets[line % self.n_sets]
+            if line in s:
+                s.remove(line)
+                s.append(line)  # LRU refresh
+                hits += 1
+            else:
+                misses += 1
+                s.append(line)
+                if len(s) > self.ways:
+                    s.pop(0)
+        self.hits += hits
+        self.misses += misses
+        return hits, misses
+
+    def note_global_write(self, addr: int, size: int) -> None:
+        """Record that ``[addr, addr+size)`` was written by this kernel."""
+        if size <= 0:
+            return
+        first = self._line_of(addr)
+        last = self._line_of(addr + size - 1)
+        self._dirty_lines.update(range(first, last + 1))
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def reset(self) -> None:
+        for s in self._sets:
+            s.clear()
+        self._dirty_lines.clear()
+        self.hits = 0
+        self.misses = 0

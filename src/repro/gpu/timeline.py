@@ -1,0 +1,133 @@
+"""Opt-in per-warp timeline tracing and text-Gantt rendering.
+
+Attach a :class:`Timeline` to a launch to record every instruction's
+``(warp, category, issue, completion)`` tuple, then render an ASCII
+Gantt chart or export the trace for offline analysis.  This is the
+debugging view that makes the framework's behaviour *visible*: helper
+warps parked in polls, compute warps stalling on the atomic unit,
+flush epochs synchronising the block.
+
+Tracing costs memory and time proportional to the instruction count,
+so it is off by default; enable per launch::
+
+    from repro.gpu.timeline import Timeline
+    tl = Timeline()
+    stats = dev.launch(kernel, grid=1, block=128, timeline=tl)
+    print(tl.render(width=100))
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable
+
+#: One glyph per instruction category in the Gantt rendering.
+GLYPHS = {
+    "compute": "#",
+    "shared": "s",
+    "shared_atomic": "S",
+    "global_read": "r",
+    "global_write": "w",
+    "atomic": "A",
+    "texture": "t",
+    "barrier": "B",
+    "fence": "f",
+    "poll": ".",
+    "nop": " ",
+}
+
+
+@dataclass(frozen=True)
+class TimelineEvent:
+    block: int
+    warp: int
+    category: str
+    start: float
+    end: float
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+
+@dataclass
+class Timeline:
+    """Collects events during one launch (pass via ``launch(timeline=...)``)."""
+
+    events: list[TimelineEvent] = field(default_factory=list)
+    #: Record only these blocks (None = all); tracing every block of a
+    #: big launch is rarely useful and very verbose.
+    blocks: set[int] | None = None
+
+    def record(self, block: int, warp: int, category: str,
+               start: float, end: float) -> None:
+        if self.blocks is not None and block not in self.blocks:
+            return
+        self.events.append(TimelineEvent(block, warp, category, start, end))
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+
+    def lanes(self) -> list[tuple[int, int]]:
+        """The distinct (block, warp) lanes, in order."""
+        return sorted({(e.block, e.warp) for e in self.events})
+
+    def span(self) -> tuple[float, float]:
+        if not self.events:
+            return (0.0, 0.0)
+        return (
+            min(e.start for e in self.events),
+            max(e.end for e in self.events),
+        )
+
+    def busy_cycles(self, block: int, warp: int) -> dict[str, float]:
+        """Per-category occupied cycles for one warp."""
+        out: dict[str, float] = {}
+        for e in self.events:
+            if (e.block, e.warp) == (block, warp):
+                out[e.category] = out.get(e.category, 0.0) + e.duration
+        return out
+
+    def utilisation(self, block: int, warp: int) -> float:
+        """Fraction of the launch span this warp spent occupied."""
+        lo, hi = self.span()
+        if hi <= lo:
+            return 0.0
+        busy = sum(self.busy_cycles(block, warp).values())
+        return min(1.0, busy / (hi - lo))
+
+    # ------------------------------------------------------------------
+    # Rendering
+    # ------------------------------------------------------------------
+
+    def render(self, width: int = 100, lanes: Iterable[tuple[int, int]] | None = None
+               ) -> str:
+        """ASCII Gantt: one row per warp, one column per time bucket.
+
+        Later events overwrite earlier ones within a bucket; polls
+        render as '.', making parked helper warps visually obvious.
+        """
+        lo, hi = self.span()
+        if hi <= lo:
+            return "(empty timeline)"
+        lanes = list(lanes) if lanes is not None else self.lanes()
+        scale = (hi - lo) / width
+        rows: dict[tuple[int, int], list[str]] = {
+            lane: [" "] * width for lane in lanes
+        }
+        for e in sorted(self.events, key=lambda e: e.start):
+            lane = (e.block, e.warp)
+            if lane not in rows:
+                continue
+            c0 = int((e.start - lo) / scale)
+            c1 = max(c0 + 1, int((e.end - lo) / scale))
+            glyph = GLYPHS.get(e.category, "?")
+            for c in range(c0, min(c1, width)):
+                rows[lane][c] = glyph
+        legend = "  ".join(f"{g}={k}" for k, g in GLYPHS.items() if g != " ")
+        lines = [f"timeline {lo:.0f}..{hi:.0f} cycles ({scale:.0f} cy/col)"]
+        for (b, w), cells in rows.items():
+            lines.append(f"b{b:03d}w{w:02d} |{''.join(cells)}|")
+        lines.append(legend)
+        return "\n".join(lines)

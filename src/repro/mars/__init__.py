@@ -1,0 +1,15 @@
+"""``repro.mars`` — the Mars two-pass baseline (He et al., PACT'08 design)."""
+
+from .count_pass import CountArrays
+from .framework import mars_map_phase, mars_reduce_phase, run_mars_job
+from .scan import ScanResult, device_exclusive_scan, multi_scan
+
+__all__ = [
+    "CountArrays",
+    "ScanResult",
+    "device_exclusive_scan",
+    "mars_map_phase",
+    "mars_reduce_phase",
+    "multi_scan",
+    "run_mars_job",
+]

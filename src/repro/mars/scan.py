@@ -1,0 +1,50 @@
+"""Mars's device-wide exclusive prefix scan.
+
+Between its two passes, Mars runs "a prefix summing operation ...
+across all threads with output size values in order to find their own
+starting output address" (Section II-B).  The scan is performed
+functionally with NumPy (exactly) and charged with the analytic
+three-kernel scan cost model shared with the framework
+(:func:`repro.framework.prefix_sum.device_scan_cycles`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..framework.prefix_sum import device_scan_cycles
+from ..gpu.config import DeviceConfig
+
+
+@dataclass(frozen=True)
+class ScanResult:
+    """Exclusive prefix sums plus totals and modelled cost."""
+
+    offsets: np.ndarray
+    total: int
+    cycles: float
+
+
+def device_exclusive_scan(sizes: np.ndarray, config: DeviceConfig) -> ScanResult:
+    """Exclusive scan of per-task sizes -> per-task start offsets."""
+    sizes = np.asarray(sizes, dtype=np.int64)
+    offsets = np.zeros_like(sizes)
+    if len(sizes):
+        np.cumsum(sizes[:-1], out=offsets[1:])
+    total = int(sizes.sum())
+    cycles = device_scan_cycles(len(sizes), config.timing, config.mp_count)
+    return ScanResult(offsets=offsets, total=total, cycles=cycles)
+
+
+def multi_scan(
+    size_arrays: list[np.ndarray], config: DeviceConfig
+) -> tuple[list[ScanResult], float]:
+    """Scan several size arrays (key bytes, value bytes, record counts).
+
+    Mars scans each output-size component; the passes are independent
+    kernels, so cycles add.
+    """
+    results = [device_exclusive_scan(a, config) for a in size_arrays]
+    return results, sum(r.cycles for r in results)

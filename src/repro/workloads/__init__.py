@@ -1,0 +1,39 @@
+"""``repro.workloads`` — the five evaluation workloads of Table I,
+plus two extras from the wider Mars/Phoenix suites (Similarity Score,
+Histogram) demonstrating framework generality."""
+
+from .base import SIZES, ProblemSize, Workload
+from .histogram import Histogram
+from .invertedindex import InvertedIndex
+from .kmeans import KMeans
+from .matrixmul import MatrixMultiplication
+from .similarity import SimilarityScore
+from .stringmatch import StringMatch
+from .wordcount import WordCount
+
+#: Table I order.
+ALL_WORKLOADS = (
+    WordCount,
+    MatrixMultiplication,
+    StringMatch,
+    InvertedIndex,
+    KMeans,
+)
+
+#: Extra workloads beyond the paper's Table I.
+EXTRA_WORKLOADS = (SimilarityScore, Histogram)
+
+__all__ = [
+    "ALL_WORKLOADS",
+    "EXTRA_WORKLOADS",
+    "Histogram",
+    "SimilarityScore",
+    "InvertedIndex",
+    "KMeans",
+    "MatrixMultiplication",
+    "ProblemSize",
+    "SIZES",
+    "StringMatch",
+    "WordCount",
+    "Workload",
+]

@@ -1,0 +1,86 @@
+"""Workload interface: Table I's five benchmarks behind one protocol.
+
+A :class:`Workload` bundles a :class:`MapReduceSpec` (the user
+functions + tuning hints) with seeded input generation at the paper's
+three problem sizes.  Sizes are scaled down from the paper's (the
+simulator runs mechanisms, not silicon); ``scale`` multiplies them
+back up for larger experiments.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+
+from ..framework.api import MapReduceSpec
+from ..framework.modes import ReduceStrategy
+from ..framework.records import KeyValueSet
+
+#: Problem-size names used throughout the paper.
+SIZES = ("small", "medium", "large")
+
+
+@dataclass(frozen=True)
+class ProblemSize:
+    """A named problem size with its paper-scale description."""
+
+    name: str
+    #: The quantity our generator uses (bytes of text, matrix order,
+    #: vector count — workload-specific).
+    value: int
+    #: What the paper used at this size (for Table I).
+    paper: str
+
+
+class Workload(abc.ABC):
+    """One of the five evaluation workloads."""
+
+    #: Short name: WC, MM, SM, II, KM.
+    code: str
+    #: Full name for Table I.
+    title: str
+    #: Does the workload have a Reduce phase (Table II '-' rows don't)?
+    has_reduce: bool
+
+    @abc.abstractmethod
+    def spec(self) -> MapReduceSpec:
+        """The framework spec (user functions + hints)."""
+
+    @abc.abstractmethod
+    def sizes(self) -> dict[str, ProblemSize]:
+        """The three problem sizes (scaled; see module docstring)."""
+
+    @abc.abstractmethod
+    def generate(self, size: str = "small", *, seed: int = 0, scale: float = 1.0
+                 ) -> KeyValueSet:
+        """Deterministically generate the input record set."""
+
+    # ------------------------------------------------------------------
+
+    def spec_for_size(self, size: str = "small", *, seed: int = 0,
+                      scale: float = 1.0) -> MapReduceSpec:
+        """Spec matching a particular generated input.
+
+        Most workloads have one spec; Matrix Multiplication overrides
+        this because its constant region (the matrices) depends on the
+        problem size, and KMeans because its centroids depend on the
+        seed.
+        """
+        if hasattr(self, "spec_for_seed"):
+            return self.spec_for_seed(seed)
+        return self.spec()
+
+    def reduce_strategies(self) -> tuple[ReduceStrategy, ...]:
+        return (ReduceStrategy.TR, ReduceStrategy.BR) if self.has_reduce else ()
+
+    def size_value(self, size: str, scale: float = 1.0) -> int:
+        ps = self.sizes()[size]
+        return max(1, int(ps.value * scale))
+
+    def table1_row(self) -> tuple[str, str]:
+        """(workload title, problem sizes) — one row of Table I."""
+        sizes = self.sizes()
+        return (
+            f"{self.title} ({self.code})",
+            " / ".join(sizes[s].paper for s in SIZES),
+        )

@@ -1,0 +1,102 @@
+"""Histogram (HG) — from the Phoenix/Mars benchmark families.
+
+Beyond the paper's Table I; included to demonstrate framework
+generality with an *extreme* key-set shape: a fixed, tiny key space
+(256 intensity buckets) with enormous per-key populations — the
+opposite corner from Word Count's many-small key sets, and exactly
+the regime where block-level reduction (BR) shines and where the
+Map phase's output contention concentrates on few hot records.
+
+Input records are pixel rows (value = raw bytes); Map emits one
+``(bucket, count)`` pair per bucket present in the row (a per-task
+combiner, as real histogram kernels do); Reduce sums per bucket.
+"""
+
+from __future__ import annotations
+
+import struct
+from collections import Counter
+
+import numpy as np
+
+from ..framework.api import MapReduceSpec
+from ..framework.records import KeyValueSet
+from .base import ProblemSize, Workload
+
+#: Intensity buckets (one byte of dynamic range).
+BUCKETS = 64
+
+
+def hg_map(key, value, emit, const) -> None:
+    """Emit (bucket, partial_count) for every bucket in this row."""
+    row = value.to_bytes()
+    counts = Counter(b * BUCKETS // 256 for b in row)
+    for bucket in sorted(counts):
+        emit(struct.pack("<I", bucket), struct.pack("<I", counts[bucket]))
+
+
+def hg_reduce(key, values, emit, const) -> None:
+    emit(key.to_bytes(), struct.pack("<Q", sum(v.u32() for v in values)))
+
+
+def hg_combine(a: bytes, b: bytes) -> bytes:
+    ai = int.from_bytes(a.ljust(8, b"\0")[:8], "little")
+    bi = int.from_bytes(b.ljust(8, b"\0")[:8], "little")
+    return struct.pack("<Q", ai + bi)
+
+
+def hg_finalize(key: bytes, acc: bytes, count: int) -> tuple[bytes, bytes]:
+    return key, acc
+
+
+class Histogram(Workload):
+    code = "HG"
+    title = "Histogram"
+    has_reduce = True
+
+    def spec(self) -> MapReduceSpec:
+        return MapReduceSpec(
+            name="histogram",
+            map_record=hg_map,
+            reduce_record=hg_reduce,
+            combine=hg_combine,
+            finalize=hg_finalize,
+            io_ratio=0.4,
+            cycles_per_record=48.0,  # the per-row counting loop
+            cycles_per_access=4.0,
+            out_bytes_factor=4.0,
+            out_records_factor=48.0,
+        )
+
+    def sizes(self) -> dict[str, ProblemSize]:
+        # Pixel-row bytes (Phoenix used multi-MP images).
+        return {
+            "small": ProblemSize("small", 64 * 1024, "small bitmap"),
+            "medium": ProblemSize("medium", 128 * 1024, "medium bitmap"),
+            "large": ProblemSize("large", 256 * 1024, "large bitmap"),
+        }
+
+    def generate(self, size: str = "small", *, seed: int = 0, scale: float = 1.0
+                 ) -> KeyValueSet:
+        total = self.size_value(size, scale)
+        row_bytes = 64
+        rng = np.random.default_rng(seed)
+        # A lumpy intensity distribution (mixture of two gaussians),
+        # so buckets are unevenly hot like a real photo's histogram.
+        n_rows = max(1, total // row_bytes)
+        means = rng.choice([60.0, 180.0], size=n_rows)
+        out = KeyValueSet()
+        for i in range(n_rows):
+            row = np.clip(
+                rng.normal(means[i], 35.0, size=row_bytes), 0, 255
+            ).astype(np.uint8)
+            out.append(struct.pack("<I", i), row.tobytes())
+        return out
+
+    def expected_histogram(self, inp: KeyValueSet) -> dict[int, int]:
+        counts: dict[int, int] = {}
+        for _, row in inp:
+            for b in row:
+                bucket = b * BUCKETS // 256
+                counts[bucket] = counts.get(bucket, 0) + 1
+        return counts

@@ -1,0 +1,80 @@
+"""Inverted Index (II): link extraction from html fragments.
+
+"Each Map task takes one part of the input, and searches for a link.
+Whenever it finds one, it emits the link as well as the link's
+position in the document.  No Reduce phase" (Section IV-B).
+
+Table II shapes: input key = an 8-byte ``(doc_id, chunk_id)`` pair,
+input value = the html fragment (63.9 / 123.2 bytes — large variance);
+output key = the URL (31.67 / 17.34), output value = an 8-byte
+position.  The variance in fragment size is what makes II's compute
+rounds uneven across lanes (the paper blames exactly this for SO's
+busy-wait overhead on II-M), and the long scans of large values are
+why II "benefits significantly and solely from staging input".
+"""
+
+from __future__ import annotations
+
+import struct
+
+from ..framework.api import MapReduceSpec
+from ..framework.records import KeyValueSet
+from .base import ProblemSize, Workload
+from .datagen import html_chunks
+
+_ANCHOR = b'<a href="'
+
+
+def ii_map(key, value, emit, const) -> None:
+    """Extract every ``<a href="...">`` URL with its position."""
+    text = value.to_bytes()
+    doc = key.u32(0)
+    start = 0
+    while True:
+        pos = text.find(_ANCHOR, start)
+        if pos < 0:
+            break
+        url_start = pos + len(_ANCHOR)
+        end = text.find(b'"', url_start)
+        if end < 0:
+            break
+        url = text[url_start:end]
+        if url:
+            emit(url, struct.pack("<II", doc, pos))
+        start = end + 1
+
+
+class InvertedIndex(Workload):
+    code = "II"
+    title = "Inverted Index"
+    has_reduce = False
+
+    def spec(self) -> MapReduceSpec:
+        return MapReduceSpec(
+            name="invertedindex",
+            map_record=ii_map,
+            io_ratio=0.65,  # big, variable inputs: favour the input area
+            # "long, complex computation phases with conditional
+            # branches" (Section IV-D): higher per-access ALU cost.
+            cycles_per_record=40.0,
+            cycles_per_access=12.0,
+            out_bytes_factor=2.0,
+            out_records_factor=4.0,
+        )
+
+    def sizes(self) -> dict[str, ProblemSize]:
+        # Paper: 16 / 32 / 64 MB of html; scaled ~256x down.
+        return {
+            "small": ProblemSize("small", 64 * 1024, "16MB"),
+            "medium": ProblemSize("medium", 128 * 1024, "32MB"),
+            "large": ProblemSize("large", 256 * 1024, "64MB"),
+        }
+
+    def generate(self, size: str = "small", *, seed: int = 0, scale: float = 1.0
+                 ) -> KeyValueSet:
+        nbytes = self.size_value(size, scale)
+        chunks = html_chunks(nbytes, seed=seed)
+        out = KeyValueSet()
+        for i, chunk in enumerate(chunks):
+            out.append(struct.pack("<II", i // 64, i % 64), chunk)
+        return out

@@ -1,0 +1,128 @@
+"""KMeans (KM): one clustering iteration as MapReduce.
+
+"Each Map task takes one vector and calculates its distance to K
+centroid vectors of existing clusters, and then emits as an
+intermediate result the id of the nearest cluster and the vector
+itself.  Each Reduce task takes one cluster, and computes its new
+centroid" (Section IV-B).
+
+Table II shapes: input key empty, input value a 32-byte vector
+(8 x f32); intermediate key = 4-byte cluster id, value = the vector;
+Reduce ratio = vectors per cluster (huge).  The Map function re-reads
+the input vector once per centroid — the "strong access locality"
+that makes staged input shine — while the K centroids live in the
+constant region (global memory, or the texture cache under GT, which
+is why "the GT mode wins" for KM-M).
+"""
+
+from __future__ import annotations
+
+import struct
+
+import numpy as np
+
+from ..framework.api import MapReduceSpec
+from ..framework.records import KeyValueSet
+from .base import ProblemSize, Workload
+from .datagen import clustered_vectors
+
+DIM = 8
+VEC_BYTES = 4 * DIM
+
+
+def km_map(key, value, emit, const) -> None:
+    """Assign the vector (value) to its nearest centroid."""
+    n_centroids = len(const) // VEC_BYTES
+    best = -1
+    best_d = np.inf
+    for c in range(n_centroids):
+        # Re-read the input vector for each centroid: the access
+        # locality Section IV-D highlights.
+        vec = value.f32_array(0, DIM)
+        cen = const.f32_array(c * VEC_BYTES, DIM)
+        d = float(((vec - cen) ** 2).sum())
+        if d < best_d:
+            best_d = d
+            best = c
+    emit(struct.pack("<I", best), value.to_bytes())
+
+
+def km_reduce(key, values, emit, const) -> None:
+    """TR reduce: new centroid = mean of the cluster's vectors."""
+    acc = np.zeros(DIM, dtype=np.float64)
+    for v in values:
+        acc += v.f32_array(0, DIM)
+    mean = (acc / max(1, len(values))).astype("<f4")
+    emit(key.to_bytes(), mean.tobytes())
+
+
+def km_combine(a: bytes, b: bytes) -> bytes:
+    """BR combine: elementwise vector sum."""
+    va = np.frombuffer(a, dtype="<f4")
+    vb = np.frombuffer(b, dtype="<f4")
+    return (va.astype(np.float64) + vb.astype(np.float64)).astype("<f4").tobytes()
+
+
+def km_finalize(key: bytes, acc: bytes, count: int) -> tuple[bytes, bytes]:
+    """Divide the summed vector by the cluster population."""
+    v = np.frombuffer(acc, dtype="<f4").astype(np.float64) / max(1, count)
+    return key, v.astype("<f4").tobytes()
+
+
+class KMeans(Workload):
+    code = "KM"
+    title = "KMeans"
+    has_reduce = True
+
+    def __init__(self, *, k: int = 16):
+        self.k = k
+        self._centroids: dict[int, bytes] = {}
+
+    def spec(self) -> MapReduceSpec:
+        # Constant region: the K current centroids.  Deterministic per
+        # seed; generate() caches them.
+        const = self._centroids.get(0)
+        if const is None:
+            _, init = clustered_vectors(1, dim=DIM, k=self.k, seed=0)
+            const = init.tobytes()
+            self._centroids[0] = const
+        return MapReduceSpec(
+            name="kmeans",
+            map_record=km_map,
+            reduce_record=km_reduce,
+            combine=km_combine,
+            finalize=km_finalize,
+            const_bytes=const,
+            io_ratio=0.5,
+            cycles_per_record=32.0,
+            cycles_per_access=6.0,
+            out_bytes_factor=3.0,
+            out_records_factor=4.0,
+        )
+
+    def sizes(self) -> dict[str, ProblemSize]:
+        # Paper: 4 / 16 / 64 MB of vectors; scaled ~256x down.  The
+        # value is the vector count (x 32 B each).
+        return {
+            "small": ProblemSize("small", 512, "4MB"),
+            "medium": ProblemSize("medium", 2048, "16MB"),
+            "large": ProblemSize("large", 8192, "64MB"),
+        }
+
+    def generate(self, size: str = "small", *, seed: int = 0, scale: float = 1.0
+                 ) -> KeyValueSet:
+        n = self.size_value(size, scale)
+        vecs, init = clustered_vectors(n, dim=DIM, k=self.k, seed=seed)
+        self._centroids[seed] = init.tobytes()
+        out = KeyValueSet()
+        for v in vecs:
+            out.append(b"", v.tobytes())
+        return out
+
+    def spec_for_seed(self, seed: int) -> MapReduceSpec:
+        """Spec whose centroids match ``generate(seed=seed)``."""
+        if seed not in self._centroids:
+            self.generate("small", seed=seed)
+        spec = self.spec()
+        spec.const_bytes = self._centroids[seed]
+        return spec

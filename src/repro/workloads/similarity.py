@@ -1,0 +1,114 @@
+"""Similarity Score (SS) — from the Mars benchmark suite.
+
+Beyond the paper's Table I (it evaluates five of Mars's six
+workloads); included here to demonstrate framework generality.
+Computes the cosine similarity of document feature-vector pairs:
+each Map task takes one ``(doc_a, doc_b)`` pair, reads both feature
+vectors, and emits the pair id with its similarity score.  No Reduce
+phase.
+
+Memory behaviour sits between MM and KM: like MM the vectors live in
+a shared constant region (texture-cacheable), like KM each task's
+arithmetic re-walks its vectors, so SI helps via the staged indices
+and GT via cached vectors.
+"""
+
+from __future__ import annotations
+
+import struct
+
+import numpy as np
+
+from ..framework.api import MapReduceSpec
+from ..framework.records import KeyValueSet
+from .base import ProblemSize, Workload
+
+DIM = 16
+VEC_BYTES = 4 * DIM
+
+
+def make_ss_map(n_docs: int):
+    def ss_map(key, value, emit, const) -> None:
+        a = key.u32(0)
+        b = key.u32(4)
+        va = const.f32_array(VEC_BYTES * a, DIM).astype(np.float64)
+        vb = const.f32_array(VEC_BYTES * b, DIM).astype(np.float64)
+        denom = float(np.linalg.norm(va) * np.linalg.norm(vb))
+        score = float(va @ vb) / denom if denom else 0.0
+        emit(key.to_bytes(), struct.pack("<f", score))
+
+    return ss_map
+
+
+class SimilarityScore(Workload):
+    code = "SS"
+    title = "Similarity Score"
+    has_reduce = False
+
+    def __init__(self) -> None:
+        self._cache: dict[tuple[int, int], np.ndarray] = {}
+
+    def _vectors(self, n_docs: int, seed: int) -> np.ndarray:
+        key = (n_docs, seed)
+        if key not in self._cache:
+            rng = np.random.default_rng(seed)
+            self._cache[key] = rng.uniform(
+                0.1, 1.0, size=(n_docs, DIM)
+            ).astype(np.float32)
+        return self._cache[key]
+
+    def spec_for(self, n_docs: int, seed: int = 0) -> MapReduceSpec:
+        vecs = self._vectors(n_docs, seed)
+        return MapReduceSpec(
+            name=f"similarity{n_docs}",
+            map_record=make_ss_map(n_docs),
+            const_bytes=vecs.tobytes(),
+            stage_values=False,
+            io_ratio=0.5,
+            working_bytes_per_thread=16,
+            cycles_per_record=24.0,
+            cycles_per_access=3.0,
+            out_bytes_factor=3.0,
+            out_records_factor=2.0,
+        )
+
+    def spec(self) -> MapReduceSpec:
+        return self.spec_for(self.sizes()["small"].value)
+
+    def spec_for_size(self, size: str = "small", *, seed: int = 0,
+                      scale: float = 1.0) -> MapReduceSpec:
+        return self.spec_for(self.size_value(size, scale), seed)
+
+    def sizes(self) -> dict[str, ProblemSize]:
+        # Mars used document sets in the thousands; each doc pairs with
+        # a random sample of others.
+        return {
+            "small": ProblemSize("small", 48, "2K docs"),
+            "medium": ProblemSize("medium", 96, "8K docs"),
+            "large": ProblemSize("large", 160, "32K docs"),
+        }
+
+    def generate(self, size: str = "small", *, seed: int = 0, scale: float = 1.0
+                 ) -> KeyValueSet:
+        """Pairs: each doc against 8 pseudo-random partners."""
+        n = self.size_value(size, scale)
+        self._vectors(n, seed)
+        rng = np.random.default_rng(seed + 1)
+        out = KeyValueSet()
+        for a in range(n):
+            partners = rng.choice(n, size=min(8, n), replace=False)
+            for b in partners:
+                out.append(struct.pack("<II", a, int(b)), b"")
+        return out
+
+    def expected_scores(self, inp: KeyValueSet, size: str = "small", *,
+                        seed: int = 0, scale: float = 1.0) -> dict:
+        vecs = self._vectors(self.size_value(size, scale), seed).astype(
+            np.float64
+        )
+        out = {}
+        for key, _ in inp:
+            a, b = struct.unpack("<II", key)
+            denom = np.linalg.norm(vecs[a]) * np.linalg.norm(vecs[b])
+            out[(a, b)] = float(vecs[a] @ vecs[b] / denom) if denom else 0.0
+        return out

@@ -1,0 +1,69 @@
+"""String Match (SM): grep-style keyword search.
+
+"Each Map task takes a line and searches for the keyword.  If a
+keyword is found, the line is emitted as a result.  No Reduce phase"
+(Section IV-B).  Output records are ``(line_id, match_position)`` —
+two 4-byte fields, matching Table II's 4/0 output key and value, with
+a hit on roughly 1 line in 3.83 (the Map ratio).
+
+The keyword lives in the constant region (the texture-bound buffer in
+GT mode); the scan charges the whole line, which is what gives SM its
+"slight benefit from SI: more access locality when processing the
+input data" (Section IV-D).
+"""
+
+from __future__ import annotations
+
+import struct
+
+from ..framework.api import MapReduceSpec
+from ..framework.records import KeyValueSet
+from .base import ProblemSize, Workload
+from .datagen import match_lines
+
+#: The planted keyword (also the paper's usage: a single search term).
+KEYWORD = b"needle"
+
+
+def sm_map(key, value, emit, const) -> None:
+    """Scan the line (key) for the keyword; emit (line_id, position)."""
+    keyword = const.to_bytes() if const is not None else KEYWORD
+    pos = key.find(keyword)
+    if pos >= 0:
+        line_id = value.u32()
+        emit(struct.pack("<I", line_id), struct.pack("<I", pos))
+
+
+class StringMatch(Workload):
+    code = "SM"
+    title = "String Match"
+    has_reduce = False
+
+    def spec(self) -> MapReduceSpec:
+        return MapReduceSpec(
+            name="stringmatch",
+            map_record=sm_map,
+            const_bytes=KEYWORD,
+            io_ratio=0.5,
+            cycles_per_record=16.0,
+            cycles_per_access=4.0,
+            out_bytes_factor=2.0,
+            out_records_factor=4.0,
+        )
+
+    def sizes(self) -> dict[str, ProblemSize]:
+        # Paper: 16 / 32 / 64 MB; scaled ~256x down.
+        return {
+            "small": ProblemSize("small", 64 * 1024, "16MB"),
+            "medium": ProblemSize("medium", 128 * 1024, "32MB"),
+            "large": ProblemSize("large", 256 * 1024, "64MB"),
+        }
+
+    def generate(self, size: str = "small", *, seed: int = 0, scale: float = 1.0
+                 ) -> KeyValueSet:
+        nbytes = self.size_value(size, scale)
+        lines = match_lines(nbytes, KEYWORD, seed=seed)
+        out = KeyValueSet()
+        for i, line in enumerate(lines):
+            out.append(line, struct.pack("<I", i))
+        return out

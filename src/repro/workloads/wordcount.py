@@ -1,0 +1,95 @@
+"""Word Count (WC): the canonical MapReduce workload.
+
+"Each Map task takes a part of the input and emits a ``<word, 1>``
+pair for each word it sees.  Each Reduce task takes one distinct key
+(word) and sums all the values sharing the same key" (Section IV-B).
+
+Record shapes match Table II: input key = a text line (32.44 / 2.59
+bytes), input value = a 4-byte line index; intermediate key = a word
+(5.46 / 2.53), value = the 4-byte constant 1; Map emits ~5 words per
+line, and the Zipf vocabulary yields the large (tens:1) Reduce ratio.
+"""
+
+from __future__ import annotations
+
+import struct
+
+from ..framework.api import MapReduceSpec
+from ..framework.records import KeyValueSet
+from .base import ProblemSize, Workload
+from .datagen import text_lines
+
+ONE = (1).to_bytes(4, "little")
+
+
+def wc_map(key, value, emit, const) -> None:
+    """Emit ``(word, 1)`` for every word in the line (the key)."""
+    line = key.to_bytes()
+    for word in line.split(b" "):
+        if word:
+            emit(word, ONE)
+
+
+def wc_reduce(key, values, emit, const) -> None:
+    """TR reduce: sum the occurrence counts of one word."""
+    total = 0
+    for v in values:
+        total += v.u32()
+    emit(key.to_bytes(), struct.pack("<I", total))
+
+
+def wc_combine(a: bytes, b: bytes) -> bytes:
+    """BR combine: add two partial counts."""
+    return struct.pack(
+        "<I", (struct.unpack("<I", a)[0] + struct.unpack("<I", b)[0]) & 0xFFFFFFFF
+    )
+
+
+def wc_finalize(key: bytes, acc: bytes, count: int) -> tuple[bytes, bytes]:
+    return key, acc
+
+
+class WordCount(Workload):
+    code = "WC"
+    title = "Word Count"
+    has_reduce = True
+
+    def __init__(self, *, vocabulary_size: int = 512, zipf_s: float = 1.05):
+        self.vocabulary_size = vocabulary_size
+        self.zipf_s = zipf_s
+
+    def spec(self) -> MapReduceSpec:
+        return MapReduceSpec(
+            name="wordcount",
+            map_record=wc_map,
+            reduce_record=wc_reduce,
+            combine=wc_combine,
+            finalize=wc_finalize,
+            io_ratio=0.25,  # WC is output-heavy: favour the output area
+            cycles_per_record=24.0,
+            cycles_per_access=6.0,
+            out_bytes_factor=4.0,
+            out_records_factor=16.0,
+        )
+
+    def sizes(self) -> dict[str, ProblemSize]:
+        # Paper: 16 / 32 / 64 MB documents; scaled ~256x down.
+        return {
+            "small": ProblemSize("small", 64 * 1024, "16MB"),
+            "medium": ProblemSize("medium", 128 * 1024, "32MB"),
+            "large": ProblemSize("large", 256 * 1024, "64MB"),
+        }
+
+    def generate(self, size: str = "small", *, seed: int = 0, scale: float = 1.0
+                 ) -> KeyValueSet:
+        nbytes = self.size_value(size, scale)
+        lines = text_lines(
+            nbytes,
+            seed=seed,
+            vocabulary_size=self.vocabulary_size,
+            zipf_s=self.zipf_s,
+        )
+        out = KeyValueSet()
+        for i, line in enumerate(lines):
+            out.append(line, struct.pack("<I", i))
+        return out

@@ -1,0 +1,128 @@
+"""Tests for the table/figure runners and renderers."""
+
+import pytest
+
+from repro.analysis import figures, report, tables
+from repro.framework.modes import MemoryMode, ReduceStrategy
+from repro.gpu import DeviceConfig
+from repro.workloads import ALL_WORKLOADS, KMeans, StringMatch, WordCount
+
+CFG = DeviceConfig.small(2)
+SCALE = 0.1  # keep analysis tests quick
+
+
+class TestTables:
+    def test_table1_has_five_rows(self):
+        rows = tables.table1([cls() for cls in ALL_WORKLOADS])
+        assert len(rows) == 5
+        assert rows[0][0].startswith("Word Count")
+
+    def test_table2_wc_statistics(self):
+        row = tables.measure_table2_row(WordCount(), "small", scale=0.3)
+        assert abs(row.input_key.mean - 32.44) < 5
+        assert row.input_val.mean == 4.0
+        assert 1 / row.map_ratio > 3  # several words per line
+        assert row.reduce_ratio > 2
+
+    def test_table2_sm_no_reduce(self):
+        row = tables.measure_table2_row(StringMatch(), "small", scale=0.3)
+        assert row.reduce_ratio is None
+        assert row.inter_key is None
+        assert row.output_key.mean == 4.0
+
+    def test_map_ratio_format(self):
+        assert tables.map_ratio_str(3.83) == "3.83:1"
+        assert tables.map_ratio_str(1 / 4.98) == "1:4.98"
+
+    def test_render_table2(self):
+        row = tables.measure_table2_row(StringMatch(), "small", scale=0.2)
+        text = report.render_table2([row])
+        assert "paper" in text and "ours" in text and "SM" in text
+
+
+class TestFig5Runners:
+    def test_map_sweep_structure(self):
+        res = figures.fig5_map_sweep(
+            StringMatch(), size="small", block_sizes=(64, 128),
+            modes=(MemoryMode.G, MemoryMode.SIO), config=CFG, scale=SCALE,
+        )
+        assert set(res.series) == {"G", "SIO"}
+        assert all(len(s) == 2 for s in res.series.values())
+        assert all(v and v > 0 for s in res.series.values() for v in s)
+        text = report.render_map_sweep(res)
+        assert "SM" in text
+
+    def test_sweep_helpers(self):
+        res = figures.fig5_map_sweep(
+            StringMatch(), size="small", block_sizes=(64,),
+            modes=(MemoryMode.G, MemoryMode.SIO), config=CFG, scale=SCALE,
+        )
+        best = res.best_mode(64)
+        assert best in ("G", "SIO")
+        assert res.speedup("SIO", "G", 64) == pytest.approx(
+            res.series["G"][0] / res.series["SIO"][0]
+        )
+
+    def test_reduce_sweep_gt_br_is_none(self):
+        res = figures.fig5_reduce_sweep(
+            WordCount(), ReduceStrategy.BR, size="small",
+            block_sizes=(64,), modes=(MemoryMode.G, MemoryMode.GT),
+            config=CFG, scale=SCALE,
+        )
+        assert res.series["GT"] == [None]  # texture x BR impossible
+        assert res.series["G"][0] > 0
+        report.render_reduce_sweep(res)  # renders the None as '-'
+
+
+class TestFig6And7:
+    def test_end_to_end_rows(self):
+        rows = figures.fig6_end_to_end(
+            StringMatch(), sizes=("small",), config=CFG, scale=SCALE,
+        )
+        systems = [r.system for r in rows]
+        assert systems[0] == "Mars"
+        assert "SIO" in systems
+        assert all(r.timings.total > 0 for r in rows)
+        text = report.render_end_to_end(rows)
+        assert "Mars" in text
+
+    def test_speedup_rows(self):
+        rows = figures.fig7_speedup_over_mars(
+            WordCount(), size="small", config=CFG, scale=SCALE,
+        )
+        phases = {r.phase for r in rows}
+        assert phases == {"map", "reduce"}
+        map_row = next(r for r in rows if r.phase == "map")
+        assert set(map_row.speedups) == {"G", "GT", "SI", "SO", "SIO"}
+        assert all(v > 0 for v in map_row.speedups.values())
+        report.render_speedups(rows)
+
+
+class TestFig8:
+    def test_yield_rows(self):
+        rows = figures.fig8_yield_sweep(
+            WordCount(), size="small", block_sizes=(128, 256),
+            config=CFG, scale=SCALE,
+        )
+        assert len(rows) == 2
+        for r in rows:
+            assert r.cycles_spin > 0 and r.cycles_yield > 0
+            assert -50 < r.improvement_pct < 90
+        report.render_yield(rows)
+
+
+class TestCli:
+    def test_cli_table1(self, capsys):
+        from repro.analysis.cli import main
+
+        assert main(["table1", "--workload", "WC"]) == 0
+        out = capsys.readouterr().out
+        assert "Word Count" in out
+
+    def test_cli_fig7(self, capsys):
+        from repro.analysis.cli import main
+
+        assert main(["fig7", "--workload", "SM", "--size", "small",
+                     "--scale", "0.1", "--mps", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "speedup over Mars" in out

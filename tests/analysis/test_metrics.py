@@ -1,0 +1,70 @@
+"""Tests for derived kernel metrics."""
+
+import pytest
+
+from repro.analysis.figures import run_map_kernel
+from repro.analysis.metrics import KernelMetrics, compare_modes, derive_metrics
+from repro.framework.modes import MemoryMode
+from repro.gpu import Device, DeviceConfig
+from repro.gpu.stats import KernelStats
+from repro.workloads import WordCount
+
+
+class TestDeriveMetrics:
+    def test_empty_stats(self):
+        m = derive_metrics(KernelStats(), DeviceConfig.gtx280())
+        assert m.bandwidth_utilisation == 0.0
+        assert m.bytes_per_transaction == 0.0
+        assert m.stall_breakdown == {}
+
+    def test_bandwidth_bounded_by_peak(self):
+        st = KernelStats(cycles=100.0, global_transactions=10 ** 6,
+                         global_bytes=64 * 10 ** 6)
+        m = derive_metrics(st, DeviceConfig.gtx280())
+        assert m.bandwidth_utilisation == 1.0
+
+    def test_occupancy(self):
+        st = KernelStats(cycles=1000.0, threads_per_block=256, blocks_per_mp=4)
+        m = derive_metrics(st, DeviceConfig.gtx280())
+        # 8 warps/block x 4 blocks = 32 of 32 max resident warps.
+        assert m.occupancy == 1.0
+
+    def test_render_contains_fields(self):
+        st = KernelStats(cycles=5000.0, instructions=100, polls=10,
+                         atomics_global=20, global_transactions=50,
+                         global_bytes=2000)
+        st.stall("atomic", 100.0)
+        text = derive_metrics(st, DeviceConfig.gtx280()).render()
+        assert "bandwidth" in text and "atomics/kcycle" in text
+        assert "atomic" in text
+
+    def test_real_kernel_sane_ranges(self):
+        st = run_map_kernel(WordCount(), MemoryMode.SIO, size="small",
+                            config=DeviceConfig.small(2))
+        m = derive_metrics(st, DeviceConfig.small(2))
+        assert 0 <= m.bandwidth_utilisation <= 1
+        assert 0 < m.occupancy <= 1
+        assert m.bytes_per_transaction > 0
+        assert abs(sum(m.stall_breakdown.values()) - 1.0) < 1e-6
+
+
+class TestCompareModes:
+    def test_comparison_story(self):
+        """G shows high atomic pressure; SIO shows polls instead."""
+        cfg = DeviceConfig.gtx280()
+        metrics = {}
+        for mode in (MemoryMode.G, MemoryMode.SIO):
+            st = run_map_kernel(WordCount(), mode, size="small", config=cfg)
+            metrics[mode.value] = derive_metrics(st, cfg)
+        table = compare_modes(metrics, reference="G")
+        assert "SIO" in table and "vs G" in table
+        assert metrics["G"].atomics_per_kcycle > metrics["SIO"].atomics_per_kcycle
+        assert metrics["SIO"].poll_fraction > metrics["G"].poll_fraction
+
+    def test_missing_reference_falls_back(self):
+        m = KernelMetrics(cycles=10, bandwidth_utilisation=0,
+                          bytes_per_transaction=0, occupancy=0,
+                          atomics_per_kcycle=0, poll_fraction=0,
+                          stall_breakdown={})
+        table = compare_modes({"SIO": m}, reference="G")
+        assert "SIO" in table

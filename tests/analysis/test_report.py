@@ -1,0 +1,72 @@
+"""Tests for the text renderers (tables, sweeps, breakdowns)."""
+
+import pytest
+
+from repro.analysis.figures import (
+    EndToEndRow,
+    MapSweepResult,
+    ReduceSweepResult,
+    SpeedupRow,
+    YieldRow,
+)
+from repro.analysis.report import (
+    _fmt,
+    render_end_to_end,
+    render_map_sweep,
+    render_reduce_sweep,
+    render_speedups,
+    render_table,
+    render_yield,
+)
+from repro.framework.job import PhaseTimings
+
+
+class TestFormatting:
+    def test_fmt_scales(self):
+        assert _fmt(None).strip() == "-"
+        assert _fmt(12.3).strip() == "12.3"
+        assert _fmt(12_345).strip() == "12.3K"
+        assert _fmt(3_200_000).strip() == "3.20M"
+
+    def test_render_table_alignment(self):
+        text = render_table(["a", "long-header"], [["x", "y"], ["zz", "w"]])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        widths = {len(l) for l in lines}
+        assert len(widths) == 1  # all rows padded to equal width
+
+
+class TestRenderers:
+    def test_map_sweep(self):
+        res = MapSweepResult(workload="WC", size="small", block_sizes=(64, 128))
+        res.series = {"G": [100.0, 90.0], "SIO": [50.0, None]}
+        text = render_map_sweep(res)
+        assert "WC" in text and "64" in text and "-" in text
+
+    def test_reduce_sweep(self):
+        res = ReduceSweepResult(workload="KM", strategy="BR", size="small",
+                                block_sizes=(64,))
+        res.series = {"G": [10.0], "GT": [None]}
+        text = render_reduce_sweep(res)
+        assert "KM-BR" in text
+
+    def test_end_to_end(self):
+        rows = [EndToEndRow("WC", "small", "Mars",
+                            PhaseTimings(io_in=1, map=2, shuffle=3,
+                                         reduce=4, io_out=5))]
+        text = render_end_to_end(rows)
+        assert "Mars" in text and "total" in text
+
+    def test_speedups(self):
+        rows = [SpeedupRow("WC", "map", {"G": 0.5, "SIO": 2.5})]
+        text = render_speedups(rows)
+        assert "0.50x" in text and "2.50x" in text
+
+    def test_yield(self):
+        rows = [YieldRow("II", 128, 1000.0, 900.0)]
+        text = render_yield(rows)
+        assert "+10.0%" in text
+
+    def test_yield_improvement_math(self):
+        r = YieldRow("WC", 64, 200.0, 220.0)
+        assert r.improvement_pct == pytest.approx(-10.0)

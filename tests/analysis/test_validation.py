@@ -1,0 +1,83 @@
+"""Tests for the conformance-validation module."""
+
+import pytest
+
+from repro.analysis.validation import (
+    ValidationReport,
+    outputs_match,
+    validate_all,
+    validate_workload,
+)
+from repro.framework import KeyValueSet
+from repro.gpu import DeviceConfig
+from repro.workloads import Histogram, KMeans, StringMatch, WordCount
+
+CFG = DeviceConfig.small(2)
+
+
+class TestOutputsMatch:
+    def test_exact(self):
+        a = KeyValueSet([(b"k", b"v")])
+        b = KeyValueSet([(b"k", b"v")])
+        assert outputs_match(a, b)
+
+    def test_order_insensitive(self):
+        a = KeyValueSet([(b"a", b"1"), (b"b", b"2")])
+        b = KeyValueSet([(b"b", b"2"), (b"a", b"1")])
+        assert outputs_match(a, b)
+
+    def test_float_tolerance(self):
+        import numpy as np
+
+        va = np.array([1.0, 2.0], dtype="<f4").tobytes()
+        vb = np.array([1.0 + 5e-8, 2.0], dtype="<f4").tobytes()
+        a = KeyValueSet([(b"k", va)])
+        b = KeyValueSet([(b"k", vb)])
+        assert outputs_match(a, b, float32_values=True)
+        assert not outputs_match(
+            KeyValueSet([(b"k", va)]),
+            KeyValueSet([(b"k", np.array([9.0, 2.0], dtype="<f4").tobytes())]),
+            float32_values=True,
+        )
+
+    def test_length_mismatch(self):
+        assert not outputs_match(
+            KeyValueSet([(b"k", b"v")]), KeyValueSet()
+        )
+
+
+class TestValidateWorkload:
+    def test_stringmatch_all_modes_pass(self):
+        rep = validate_workload(StringMatch(), size="small", scale=0.15,
+                                config=CFG)
+        assert rep.passed
+        assert len(rep.cases) == 5  # map-only x 5 modes
+        assert "PASS" in rep.render()
+
+    def test_wordcount_full_matrix(self):
+        rep = validate_workload(WordCount(), size="small", scale=0.1,
+                                config=CFG)
+        # TR x 5 + BR x 4 (GT x BR illegal).
+        assert len(rep.cases) == 9
+        assert rep.passed, rep.render()
+
+    def test_kmeans_uses_float_tolerance(self):
+        rep = validate_workload(KMeans(), size="small", scale=0.4, config=CFG)
+        assert rep.passed, rep.render()
+
+    def test_validate_all_aggregates(self):
+        rep = validate_all([StringMatch(), Histogram()], size="small",
+                           scale=0.1, config=CFG)
+        codes = {c.workload for c in rep.cases}
+        assert codes == {"SM", "HG"}
+        ok, total = rep.counts
+        assert ok == total
+
+    def test_report_render_failures(self):
+        rep = ValidationReport()
+        from repro.analysis.validation import ValidationCase
+
+        rep.cases.append(ValidationCase("WC", "G", "TR", False, "boom"))
+        text = rep.render()
+        assert "FAIL" in text and "boom" in text
+        assert not rep.passed

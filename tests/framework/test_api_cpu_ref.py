@@ -1,0 +1,117 @@
+"""Tests for the public spec API and the CPU reference oracle itself."""
+
+import struct
+
+import pytest
+
+from repro.cpu_ref import (
+    normalised,
+    reference_job,
+    reference_map,
+    reference_reduce,
+    reference_shuffle,
+)
+from repro.errors import FrameworkError
+from repro.framework import KeyValueSet, ReduceStrategy
+from repro.framework.api import MapReduceSpec
+
+
+def wc_map(key, value, emit, const):
+    for w in key.to_bytes().split(b" "):
+        if w:
+            emit(w, struct.pack("<I", 1))
+
+
+def wc_reduce(key, values, emit, const):
+    emit(key.to_bytes(), struct.pack("<I", sum(v.u32() for v in values)))
+
+
+class TestSpecValidation:
+    def test_minimal_spec_valid(self):
+        MapReduceSpec(name="m", map_record=wc_map).validate()
+
+    def test_map_must_be_callable(self):
+        with pytest.raises(FrameworkError):
+            MapReduceSpec(name="m", map_record="not callable").validate()
+
+    def test_combine_requires_finalize(self):
+        spec = MapReduceSpec(name="m", map_record=wc_map,
+                             combine=lambda a, b: a)
+        with pytest.raises(FrameworkError, match="finalize"):
+            spec.validate()
+
+    def test_io_ratio_bounds(self):
+        with pytest.raises(FrameworkError):
+            MapReduceSpec(name="m", map_record=wc_map,
+                          io_ratio=0.01).validate()
+
+    def test_has_reduce(self):
+        assert not MapReduceSpec(name="m", map_record=wc_map).has_reduce
+        assert MapReduceSpec(name="m", map_record=wc_map,
+                             reduce_record=wc_reduce).has_reduce
+
+    def test_output_capacity_scales(self):
+        spec = MapReduceSpec(name="m", map_record=wc_map,
+                             out_bytes_factor=2.0, out_records_factor=4.0)
+        k, v, r = spec.output_capacity(None, payload=1000, count=10)
+        assert k >= 2000 and v >= 2000 and r >= 40
+
+
+class TestReferenceOracle:
+    def make_input(self):
+        return KeyValueSet([
+            (b"aa bb", struct.pack("<I", 0)),
+            (b"bb cc bb", struct.pack("<I", 1)),
+        ])
+
+    def test_reference_map(self):
+        spec = MapReduceSpec(name="m", map_record=wc_map)
+        inter = reference_map(spec, self.make_input())
+        assert len(inter) == 5
+        assert inter.keys.count(b"bb") == 3
+
+    def test_reference_shuffle_sorted(self):
+        spec = MapReduceSpec(name="m", map_record=wc_map)
+        grouped = reference_shuffle(reference_map(spec, self.make_input()))
+        keys = [k for k, _ in grouped]
+        assert keys == sorted(keys) == [b"aa", b"bb", b"cc"]
+        counts = {k: len(vs) for k, vs in grouped}
+        assert counts == {b"aa": 1, b"bb": 3, b"cc": 1}
+
+    def test_reference_reduce_tr(self):
+        spec = MapReduceSpec(name="m", map_record=wc_map,
+                             reduce_record=wc_reduce)
+        out = reference_job(spec, self.make_input(), ReduceStrategy.TR)
+        got = dict(list(out))
+        assert got[b"bb"] == struct.pack("<I", 3)
+
+    def test_reference_reduce_br_uses_combine(self):
+        spec = MapReduceSpec(
+            name="m", map_record=wc_map,
+            combine=lambda a, b: struct.pack(
+                "<I", struct.unpack("<I", a)[0] + struct.unpack("<I", b)[0]
+            ),
+            finalize=lambda k, acc, n: (k + b"!", acc),
+        )
+        grouped = reference_shuffle(reference_map(spec, self.make_input()))
+        out = reference_reduce(spec, grouped, ReduceStrategy.BR)
+        got = dict(list(out))
+        assert got[b"bb!"] == struct.pack("<I", 3)
+
+    def test_reference_job_map_only(self):
+        spec = MapReduceSpec(name="m", map_record=wc_map)
+        out = reference_job(spec, self.make_input(), None)
+        assert len(out) == 5
+
+    def test_normalised_sorts(self):
+        a = KeyValueSet([(b"z", b"1"), (b"a", b"2")])
+        assert normalised(a) == [(b"a", b"2"), (b"z", b"1")]
+
+    def test_const_reaches_reference_map(self):
+        spec = MapReduceSpec(
+            name="m",
+            map_record=lambda k, v, emit, const: emit(const.to_bytes(), b""),
+            const_bytes=b"CONST",
+        )
+        out = reference_map(spec, self.make_input())
+        assert all(k == b"CONST" for k in out.keys)

@@ -1,0 +1,133 @@
+"""Tests for the runtime autotuner (the paper's Section VI extension)."""
+
+import struct
+
+import pytest
+
+from repro.framework import KeyValueSet, MemoryMode
+from repro.framework.api import MapReduceSpec
+from repro.framework.autotune import (
+    TuningChoice,
+    autotune,
+    probe_workload,
+    suggest,
+)
+from repro.gpu import DeviceConfig
+from repro.workloads import InvertedIndex, WordCount
+
+
+def heavy_emit_map(key, value, emit, const):
+    for w in key.to_bytes().split(b" "):
+        if w:
+            emit(w, struct.pack("<I", 1))
+
+
+def silent_map(key, value, emit, const):
+    pass
+
+
+class TestProbe:
+    def test_counts_emissions_and_bytes(self):
+        spec = MapReduceSpec(name="p", map_record=heavy_emit_map)
+        inp = KeyValueSet([(b"aa bb cc", b"xxxx")] * 10)
+        probe = probe_workload(spec, inp)
+        assert probe.records == 10
+        assert probe.emissions == 30
+        assert probe.in_bytes == 10 * 12
+        assert probe.out_bytes == 30 * (2 + 4)
+        assert probe.emissions_per_record == 3.0
+
+    def test_sample_bound(self):
+        spec = MapReduceSpec(name="p", map_record=heavy_emit_map)
+        inp = KeyValueSet([(b"a", b"")] * 1000)
+        probe = probe_workload(spec, inp, sample=50)
+        assert probe.records == 50
+
+    def test_zero_output(self):
+        spec = MapReduceSpec(name="p", map_record=silent_map)
+        inp = KeyValueSet([(b"abc", b"")] * 5)
+        probe = probe_workload(spec, inp)
+        assert probe.out_in_ratio == 0.0
+        assert probe.emissions == 0
+
+    def test_max_record_bytes(self):
+        spec = MapReduceSpec(name="p", map_record=silent_map)
+        inp = KeyValueSet([(b"a" * 100, b"b" * 50), (b"c", b"d")])
+        probe = probe_workload(spec, inp)
+        assert probe.max_record_bytes == 150
+
+
+class TestSuggest:
+    def test_heavy_emitters_get_output_leaning_sio(self):
+        wc = WordCount()
+        inp = wc.generate("small", seed=0, scale=0.1)
+        probe = probe_workload(wc.spec(), inp)
+        choice = suggest(probe)
+        assert choice.mode is MemoryMode.SIO
+        assert choice.io_ratio < 0.5
+
+    def test_big_scanning_records_get_si(self):
+        ii = InvertedIndex()
+        inp = ii.generate("small", seed=0, scale=0.1)
+        probe = probe_workload(ii.spec(), inp)
+        choice = suggest(probe)
+        assert choice.mode is MemoryMode.SI
+        assert choice.io_ratio > 0.5
+
+    def test_huge_records_avoid_input_staging(self):
+        probe_huge = probe_workload(
+            MapReduceSpec(name="x", map_record=silent_map),
+            KeyValueSet([(b"k" * 4000, b"")] * 4),
+        )
+        choice = suggest(probe_huge)
+        assert choice.io_ratio <= 0.5
+
+
+class TestAutotune:
+    def test_heuristic_only(self):
+        wc = WordCount()
+        inp = wc.generate("small", seed=1, scale=0.1)
+        report = autotune(wc.spec(), inp, measure=False,
+                          config=DeviceConfig.small(2))
+        assert report.measured == []
+        assert report.best == report.suggestion
+
+    def test_measured_search_finds_a_winner(self):
+        wc = WordCount()
+        inp = wc.generate("small", seed=1, scale=0.2)
+        report = autotune(
+            wc.spec(), inp, config=DeviceConfig.small(2),
+            sample_records=256, block_sizes=(128,),
+            io_ratios=(0.25, 0.6),
+        )
+        assert len(report.measured) >= 4
+        best = report.best
+        assert best.cycles is not None
+        assert all(
+            best.cycles <= c.cycles for c in report.measured if c.cycles
+        )
+
+    def test_wc_measured_choice_stages_output(self):
+        """For WC the measured winner must stage output (the paper's
+        central result)."""
+        wc = WordCount()
+        inp = wc.generate("small", seed=2, scale=0.3)
+        report = autotune(
+            wc.spec(), inp, config=DeviceConfig.gtx280(),
+            sample_records=512, block_sizes=(128,),
+        )
+        assert report.best.mode in (MemoryMode.SO, MemoryMode.SIO)
+
+    def test_invalid_candidates_skipped(self):
+        """32-thread SO candidates are impossible; search must skip,
+        not die."""
+        wc = WordCount()
+        inp = wc.generate("small", seed=3, scale=0.1)
+        report = autotune(
+            wc.spec(), inp, config=DeviceConfig.small(2),
+            block_sizes=(32,),
+            modes=(MemoryMode.G, MemoryMode.SO),
+        )
+        modes = {c.mode for c in report.measured}
+        assert MemoryMode.SO not in modes
+        assert MemoryMode.G in modes

@@ -1,0 +1,130 @@
+"""Tests for the device-executed bitonic sorter."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.framework.bitonic import BitonicResult, bitonic_sort_device, fnv1a
+from repro.gpu import Device, DeviceConfig
+
+
+def sort_keys(keys, mps=2, tpb=64):
+    dev = Device(DeviceConfig.small(mps))
+    return bitonic_sort_device(dev, keys, threads_per_block=tpb)
+
+
+def reference_order(keys):
+    return sorted(range(len(keys)), key=lambda i: (fnv1a(keys[i]), i))
+
+
+class TestFunctional:
+    def test_sorts_by_hash(self):
+        keys = [f"key{i}".encode() for i in range(50)]
+        res = sort_keys(keys)
+        assert list(res.order) == reference_order(keys)
+
+    def test_duplicates_stay_stable(self):
+        keys = [b"same"] * 9 + [b"other"] * 7
+        res = sort_keys(keys)
+        hashes = [fnv1a(keys[i]) for i in res.order]
+        assert hashes == sorted(hashes)
+        # Equal hashes keep index order (the composite's low bits).
+        same_positions = [i for i in res.order if keys[i] == b"same"]
+        assert same_positions == sorted(same_positions)
+
+    def test_single_and_empty(self):
+        assert list(sort_keys([b"x"]).order) == [0]
+        assert len(sort_keys([]).order) == 0
+
+    def test_non_power_of_two(self):
+        keys = [bytes([i * 7 % 251]) for i in range(37)]
+        res = sort_keys(keys)
+        assert sorted(res.order) == list(range(37))
+        assert list(res.order) == reference_order(keys)
+
+    @given(st.lists(st.binary(min_size=0, max_size=12), min_size=1,
+                    max_size=80))
+    @settings(max_examples=15, deadline=None)
+    def test_is_a_sorting_permutation(self, keys):
+        res = sort_keys(keys)
+        assert sorted(res.order) == list(range(len(keys)))
+        hashes = [fnv1a(keys[i]) for i in res.order]
+        assert hashes == sorted(hashes)
+
+
+class TestTiming:
+    def test_stage_count_is_bitonic(self):
+        """log2(n) * (log2(n)+1) / 2 stages for padded n."""
+        res = sort_keys([bytes([i]) for i in range(60)])  # pads to 64
+        lg = int(math.log2(64))
+        assert res.stages == lg * (lg + 1) // 2
+
+    def test_cycles_grow_superlinearly(self):
+        small = sort_keys([bytes([i % 251]) for i in range(32)])
+        big = sort_keys([b"%03d" % (i % 999) for i in range(256)])
+        assert big.stats.cycles > 2 * small.stats.cycles
+
+    def test_analytic_model_is_same_order_of_magnitude(self):
+        """The analytic shuffle cost and the simulated sorter must
+        agree within a small factor at equal n (sanity for Fig 6)."""
+        from repro.framework.shuffle import shuffle_cycles
+
+        n = 256
+        keys = [b"%04d" % (i * 37 % 1000) for i in range(n)]
+        res = sort_keys(keys, mps=30, tpb=128)
+        analytic = shuffle_cycles(
+            n_records=n, avg_record_bytes=4, config=DeviceConfig.gtx280()
+        )
+        ratio = res.stats.cycles / analytic
+        assert 0.1 < ratio < 10.0, (res.stats.cycles, analytic)
+
+    def test_memory_traffic_charged(self):
+        res = sort_keys([bytes([i]) for i in range(64)])
+        assert res.stats.global_transactions > 0
+        assert res.stats.global_reads > 0
+
+
+class TestShuffleIntegration:
+    def test_bitonic_shuffle_in_full_job(self):
+        """run_job(shuffle_method='bitonic') produces identical output
+        with an event-driven (measured) shuffle cost."""
+        import struct
+
+        from repro.cpu_ref import normalised
+        from repro.framework import MemoryMode, ReduceStrategy, run_job
+        from repro.framework.api import MapReduceSpec
+
+        def m(key, value, emit, const):
+            for w in key.to_bytes().split(b" "):
+                if w:
+                    emit(w, struct.pack("<I", 1))
+
+        def r(key, values, emit, const):
+            emit(key.to_bytes(), struct.pack("<I", sum(v.u32() for v in values)))
+
+        spec = MapReduceSpec(name="bshuf", map_record=m, reduce_record=r)
+        from repro.framework import KeyValueSet
+
+        inp = KeyValueSet([(b"aa bb cc aa", struct.pack("<I", i))
+                           for i in range(40)])
+        cfg = DeviceConfig.small(2)
+        a = run_job(spec, inp, mode=MemoryMode.G, strategy=ReduceStrategy.TR,
+                    config=cfg, shuffle_method="sort")
+        b = run_job(spec, inp, mode=MemoryMode.G, strategy=ReduceStrategy.TR,
+                    config=cfg, shuffle_method="bitonic")
+        assert normalised(a.output) == normalised(b.output)
+        assert b.timings.shuffle > 0
+        assert b.timings.shuffle != a.timings.shuffle
+
+    def test_bitonic_needs_device(self):
+        from repro.framework import DeviceRecordSet, KeyValueSet
+        from repro.framework.shuffle import shuffle as _shuffle
+        from repro.gpu.memory import GlobalMemory
+
+        g = GlobalMemory()
+        inter = DeviceRecordSet.upload(g, KeyValueSet([(b"k", b"v")]))
+        with pytest.raises(ValueError, match="needs the device"):
+            _shuffle(g, inter, DeviceConfig.gtx280(), method="bitonic")

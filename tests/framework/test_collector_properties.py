@@ -1,0 +1,161 @@
+"""Property-based stress tests for result collection.
+
+The central invariant of the whole framework: *no emission is ever
+lost or corrupted*, regardless of emission pattern, warp-result sizes,
+overflow timing, or which warps emit — under both the staged and the
+direct collection paths.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.framework import MemoryMode, OutputBuffers, plan_layout
+from repro.framework.collector import (
+    COMPUTE_DONE,
+    CollectorState,
+    collect_warp_result,
+    direct_emit_warp,
+    init_collector,
+    request_final_flush,
+    wait_loop,
+)
+from repro.gpu import Device, DeviceConfig
+from repro.gpu.instructions import AtomicShared
+
+# Per-compute-warp emission plans: a list of rounds, each round a list
+# of (key, value) pairs (max 32 = one warp result).
+emission_plan = st.lists(  # rounds
+    st.lists(  # records in one warp result
+        st.tuples(
+            st.binary(min_size=1, max_size=24),
+            st.binary(min_size=0, max_size=16),
+        ),
+        min_size=0,
+        max_size=8,
+    ),
+    min_size=0,
+    max_size=6,
+)
+
+
+def run_staged(plans: dict[int, list], n_warps: int = 4):
+    """Run the SO collection kernel with the given per-warp plans."""
+    dev = Device(DeviceConfig.small(1))
+    layout = plan_layout(
+        smem_budget=16 * 1024, threads_per_block=32 * n_warps,
+        mode=MemoryMode.SO,
+    )
+    out = OutputBuffers.allocate(
+        dev.gmem, key_capacity=1 << 16, val_capacity=1 << 16,
+        record_capacity=4096,
+    )
+    n_compute = n_warps - 1
+
+    def kernel(ctx):
+        bs = ctx.block_state
+        if ctx.warp_id == 0:
+            cs = CollectorState(layout=layout, out=out, n_warps=n_warps,
+                                n_compute=n_compute)
+            init_collector(ctx, cs)
+            bs["cs"] = cs
+        yield from ctx.barrier()
+        cs = bs["cs"]
+        if ctx.warp_id < n_compute:
+            for round_records in plans.get(ctx.warp_id, []):
+                keys = [k for k, _ in round_records]
+                vals = [v for _, v in round_records]
+                yield from collect_warp_result(ctx, cs, keys, vals)
+            done = ctx.smem.atomic_add_u32(layout.flags_off + COMPUTE_DONE, 1)
+            yield AtomicShared(addr=layout.flags_off + COMPUTE_DONE, old=done)
+            if done == n_compute - 1:
+                yield from request_final_flush(ctx, cs)
+            else:
+                yield from wait_loop(ctx, cs)
+        else:
+            yield from wait_loop(ctx, cs)
+
+    dev.launch(kernel, grid=1, block=32 * n_warps,
+               smem_bytes=layout.smem_bytes, max_cycles=5e8)
+    return sorted(out.as_record_set().download())
+
+
+@given(emission_plan, emission_plan, emission_plan)
+@settings(max_examples=30, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+def test_staged_collection_loses_nothing(p0, p1, p2):
+    plans = {0: p0, 1: p1, 2: p2}
+    expected = sorted(
+        (k, v) for plan in plans.values() for rnd in plan for k, v in rnd
+    )
+    assert run_staged(plans) == expected
+
+
+@given(
+    st.lists(
+        st.lists(
+            st.tuples(st.binary(min_size=1, max_size=16),
+                      st.binary(min_size=0, max_size=16)),
+            min_size=0, max_size=8,
+        ),
+        min_size=1, max_size=4,
+    )
+)
+@settings(max_examples=30, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+def test_direct_emit_loses_nothing(rounds):
+    dev = Device(DeviceConfig.small(1))
+    out = OutputBuffers.allocate(
+        dev.gmem, key_capacity=1 << 16, val_capacity=1 << 16,
+        record_capacity=4096,
+    )
+
+    def kernel(ctx):
+        for rnd in rounds:
+            keys = [k for k, _ in rnd]
+            vals = [v for _, v in rnd]
+            yield from direct_emit_warp(ctx, out, keys, vals)
+
+    dev.launch(kernel, grid=2, block=64, smem_bytes=1024)
+    got = sorted(out.as_record_set().download())
+    per_warp = sorted((k, v) for rnd in rounds for k, v in rnd)
+    # 2 blocks x 2 warps all emit the same plan.
+    assert got == sorted(per_warp * 4)
+
+
+def test_tiny_output_area_forces_many_flushes_without_loss():
+    """Adversarial: output area barely bigger than one warp result."""
+    dev = Device(DeviceConfig.small(1))
+    layout = plan_layout(
+        smem_budget=16 * 1024, threads_per_block=64, mode=MemoryMode.SO,
+        working_bytes_per_thread=200,  # squeeze the output area
+    )
+    assert layout.output_bytes < 4096
+    out = OutputBuffers.allocate(
+        dev.gmem, key_capacity=1 << 16, val_capacity=1 << 16,
+        record_capacity=4096,
+    )
+
+    def kernel(ctx):
+        bs = ctx.block_state
+        if ctx.warp_id == 0:
+            cs = CollectorState(layout=layout, out=out, n_warps=2, n_compute=1)
+            init_collector(ctx, cs)
+            bs["cs"] = cs
+        yield from ctx.barrier()
+        cs = bs["cs"]
+        if ctx.warp_id == 0:
+            for r in range(50):
+                keys = [f"key{r:02d}x{i}".encode() for i in range(16)]
+                vals = [bytes([r, i]) for i in range(16)]
+                yield from collect_warp_result(ctx, cs, keys, vals)
+            yield from request_final_flush(ctx, cs)
+        else:
+            yield from wait_loop(ctx, cs)
+
+    st_ = dev.launch(kernel, grid=1, block=64, smem_bytes=layout.smem_bytes)
+    rs = out.as_record_set()
+    assert rs.count == 50 * 16
+    assert st_.extra["overflow_flushes"] >= 5
+    got = dict(list(rs.download()))
+    assert got[b"key37x9"] == bytes([37, 9])

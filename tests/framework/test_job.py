@@ -1,0 +1,164 @@
+"""Tests for end-to-end job orchestration."""
+
+import struct
+
+import pytest
+
+from repro.errors import FrameworkError
+from repro.framework import KeyValueSet, MemoryMode, ReduceStrategy, run_job
+from repro.framework.api import MapReduceSpec
+from repro.gpu import DeviceConfig
+
+
+def word_map(key, value, emit, const):
+    for w in key.to_bytes().split(b" "):
+        if w:
+            emit(w, struct.pack("<I", 1))
+
+
+def word_reduce(key, values, emit, const):
+    emit(key.to_bytes(), struct.pack("<I", sum(v.u32() for v in values)))
+
+
+def make_spec(**kw):
+    d = dict(name="mini_wc", map_record=word_map, reduce_record=word_reduce,
+             combine=lambda a, b: struct.pack(
+                 "<I", struct.unpack("<I", a)[0] + struct.unpack("<I", b)[0]),
+             finalize=lambda k, acc, n: (k, acc))
+    d.update(kw)
+    return MapReduceSpec(**d)
+
+
+def make_input():
+    lines = [b"the cat sat", b"the dog sat", b"a cat ran far away today"]
+    return KeyValueSet([(ln, struct.pack("<I", i)) for i, ln in enumerate(lines)])
+
+
+CFG = DeviceConfig.small(2)
+
+
+class TestRunJob:
+    def test_full_job(self):
+        res = run_job(make_spec(), make_input(), mode=MemoryMode.SIO,
+                      strategy=ReduceStrategy.TR, config=CFG, threads_per_block=64)
+        got = dict(list(res.output))
+        assert got[b"the"] == struct.pack("<I", 2)
+        assert got[b"sat"] == struct.pack("<I", 2)
+        assert got[b"dog"] == struct.pack("<I", 1)
+        assert res.intermediate_count == 12
+
+    def test_map_only_job(self):
+        res = run_job(make_spec(), make_input(), mode=MemoryMode.G,
+                      strategy=None, config=CFG, threads_per_block=64)
+        assert len(res.output) == 12
+        assert res.timings.shuffle == 0
+        assert res.timings.reduce == 0
+
+    def test_all_phase_timings_positive(self):
+        res = run_job(make_spec(), make_input(), mode=MemoryMode.G,
+                      strategy=ReduceStrategy.TR, config=CFG,
+                      threads_per_block=64)
+        t = res.timings
+        assert t.io_in > 0 and t.map > 0 and t.shuffle > 0
+        assert t.reduce > 0 and t.io_out > 0
+        assert t.total == pytest.approx(
+            t.io_in + t.map + t.shuffle + t.reduce + t.io_out
+        )
+        assert t.io == t.io_in + t.io_out
+
+    def test_timings_dict(self):
+        res = run_job(make_spec(), make_input(), mode=MemoryMode.G,
+                      strategy=None, config=CFG, threads_per_block=64)
+        d = res.timings.as_dict()
+        assert set(d) == {"io_in", "map", "shuffle", "reduce", "io_out", "total"}
+
+    def test_br_strategy(self):
+        res = run_job(make_spec(), make_input(), mode=MemoryMode.SI,
+                      strategy=ReduceStrategy.BR, config=CFG,
+                      threads_per_block=64)
+        got = dict(list(res.output))
+        assert got[b"cat"] == struct.pack("<I", 2)
+
+    def test_empty_input_rejected(self):
+        with pytest.raises(FrameworkError):
+            run_job(make_spec(), KeyValueSet(), config=CFG)
+
+    def test_strategy_without_reduce_fn_rejected(self):
+        spec = make_spec(reduce_record=None, combine=None, finalize=None)
+        with pytest.raises(FrameworkError):
+            run_job(spec, make_input(), strategy=ReduceStrategy.TR, config=CFG)
+
+    def test_result_metadata(self):
+        res = run_job(make_spec(), make_input(), mode=MemoryMode.SO,
+                      strategy=ReduceStrategy.TR, config=CFG,
+                      threads_per_block=64)
+        assert res.spec_name == "mini_wc"
+        assert res.mode is MemoryMode.SO
+        assert res.strategy is ReduceStrategy.TR
+        assert res.total_cycles == res.timings.total
+
+    def test_shared_device_allows_sequential_jobs(self):
+        from repro.gpu import Device
+
+        dev = Device(CFG)
+        r1 = run_job(make_spec(), make_input(), mode=MemoryMode.G,
+                     strategy=None, device=dev, threads_per_block=64)
+        r2 = run_job(make_spec(), make_input(), mode=MemoryMode.SIO,
+                     strategy=None, device=dev, threads_per_block=64)
+        assert sorted(zip(r1.output.keys, r1.output.values)) == sorted(
+            zip(r2.output.keys, r2.output.values)
+        )
+
+
+class TestAutoMode:
+    def test_mode_auto_runs_and_matches(self):
+        """run_job(mode='auto') autotunes and still matches the oracle."""
+        from repro.cpu_ref import normalised, reference_job
+
+        spec = make_spec()
+        inp = make_input()
+        ref = normalised(reference_job(spec, inp, ReduceStrategy.TR))
+        res = run_job(spec, inp, mode="auto", strategy=ReduceStrategy.TR,
+                      config=CFG)
+        assert normalised(res.output) == ref
+        assert isinstance(res.mode, MemoryMode)
+
+    def test_mode_string_coerced(self):
+        res = run_job(make_spec(), make_input(), mode="SIO", strategy=None,
+                      config=CFG, threads_per_block=64)
+        assert res.mode is MemoryMode.SIO
+
+
+class TestAdaptivePerPhaseModes:
+    def test_reduce_mode_override(self):
+        """Section IV-F future work: SIO for Map, G for Reduce."""
+        from repro.cpu_ref import normalised, reference_job
+
+        spec = make_spec()
+        inp = make_input()
+        ref = normalised(reference_job(spec, inp, ReduceStrategy.TR))
+        res = run_job(spec, inp, mode=MemoryMode.SIO, reduce_mode=MemoryMode.G,
+                      strategy=ReduceStrategy.TR, config=CFG,
+                      threads_per_block=64)
+        assert normalised(res.output) == ref
+
+    def test_adaptive_beats_uniform_sio(self):
+        """The paper's own evaluation implies SIO-map + G-reduce
+        should beat uniform SIO end-to-end for Word Count (its reduce
+        runs best under G)."""
+        from repro.workloads import WordCount
+
+        wc = WordCount()
+        inp = wc.generate("small", seed=5, scale=0.5)
+        spec = wc.spec()
+        from repro.gpu import DeviceConfig
+
+        cfg = DeviceConfig.gtx280()
+        uniform = run_job(spec, inp, mode=MemoryMode.SIO,
+                          strategy=ReduceStrategy.TR, config=cfg)
+        adaptive = run_job(spec, inp, mode=MemoryMode.SIO,
+                           reduce_mode=MemoryMode.G,
+                           strategy=ReduceStrategy.TR, config=cfg)
+        assert adaptive.timings.map == uniform.timings.map
+        assert adaptive.timings.reduce <= uniform.timings.reduce
+        assert adaptive.total_cycles <= uniform.total_cycles

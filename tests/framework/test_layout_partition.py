@@ -1,0 +1,150 @@
+"""Tests for shared-memory layout planning and warp-role partitioning."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import ConfigError, FrameworkError
+from repro.framework import MemoryMode, partition_warps, plan_layout
+from repro.framework.layout import (
+    CONTROL_BYTES,
+    FLAG_BYTES_PER_WARP,
+    STAGED_DIR_PER_RECORD,
+)
+
+
+class TestPlanLayout:
+    def test_regions_are_disjoint_and_ordered(self):
+        lay = plan_layout(
+            smem_budget=16 * 1024, threads_per_block=128, mode=MemoryMode.SIO
+        )
+        assert lay.flags_off == 0
+        assert lay.working_off >= FLAG_BYTES_PER_WARP * 4 + CONTROL_BYTES
+        assert lay.input_off == lay.working_off + 16 * 128
+        assert lay.output_off == lay.input_off + lay.input_bytes
+        assert lay.output_off + lay.output_bytes <= 16 * 1024
+
+    def test_io_ratio_splits_staging_space(self):
+        lay = plan_layout(
+            smem_budget=16 * 1024, threads_per_block=64,
+            mode=MemoryMode.SIO, io_ratio=0.25,
+        )
+        assert lay.input_bytes < lay.output_bytes
+        total = lay.input_bytes + lay.output_bytes
+        assert lay.input_bytes == pytest.approx(total * 0.25, abs=2)
+
+    def test_si_gets_all_staging_space(self):
+        lay = plan_layout(
+            smem_budget=16 * 1024, threads_per_block=64, mode=MemoryMode.SI
+        )
+        assert lay.output_bytes == 0
+        assert lay.input_bytes > 10 * 1024
+
+    def test_so_gets_all_staging_space(self):
+        lay = plan_layout(
+            smem_budget=16 * 1024, threads_per_block=64, mode=MemoryMode.SO
+        )
+        assert lay.input_bytes == 0
+        assert lay.output_bytes > 10 * 1024
+
+    def test_g_mode_needs_only_control_space(self):
+        lay = plan_layout(
+            smem_budget=16 * 1024, threads_per_block=64, mode=MemoryMode.G
+        )
+        assert lay.input_bytes == 0 and lay.output_bytes == 0
+        assert lay.smem_bytes < 2048
+
+    def test_big_blocks_shrink_staging(self):
+        small = plan_layout(smem_budget=16 * 1024, threads_per_block=64,
+                            mode=MemoryMode.SIO)
+        big = plan_layout(smem_budget=16 * 1024, threads_per_block=512,
+                          mode=MemoryMode.SIO)
+        assert big.input_bytes < small.input_bytes
+
+    def test_rejects_bad_ratio(self):
+        with pytest.raises(ConfigError):
+            plan_layout(smem_budget=16 * 1024, threads_per_block=64,
+                        mode=MemoryMode.SIO, io_ratio=0.99)
+
+    def test_rejects_non_warp_multiple(self):
+        with pytest.raises(ConfigError):
+            plan_layout(smem_budget=16 * 1024, threads_per_block=100,
+                        mode=MemoryMode.G)
+
+    def test_rejects_too_small_budget(self):
+        with pytest.raises(ConfigError):
+            plan_layout(smem_budget=3 * 1024, threads_per_block=512,
+                        mode=MemoryMode.SIO, working_bytes_per_thread=16)
+
+    @given(
+        st.sampled_from([64, 128, 256, 512]),
+        st.sampled_from(list(MemoryMode)),
+        st.floats(0.1, 0.9),
+    )
+    def test_never_exceeds_budget(self, tpb, mode, ratio):
+        lay = plan_layout(
+            smem_budget=16 * 1024, threads_per_block=tpb, mode=mode,
+            io_ratio=ratio, working_bytes_per_thread=8,
+        )
+        assert lay.smem_bytes <= 16 * 1024
+
+
+class TestRecordsFit:
+    def lay(self):
+        return plan_layout(smem_budget=16 * 1024, threads_per_block=64,
+                           mode=MemoryMode.SI)
+
+    def test_packs_until_full(self):
+        lay = self.lay()
+        per = 100 + STAGED_DIR_PER_RECORD
+        n = lay.records_fit([50] * 1000, [50] * 1000, 0)
+        assert n == lay.input_bytes // per
+
+    def test_respects_start(self):
+        lay = self.lay()
+        sizes = [lay.input_bytes] * 2  # each record alone too big with dir
+        assert lay.records_fit(sizes, [0, 0], 0) == 0
+
+    def test_empty_tail(self):
+        lay = self.lay()
+        assert lay.records_fit([10], [10], 1) == 0
+
+
+class TestPartition:
+    def test_g_mode_all_compute(self):
+        p = partition_warps(n_warps=4, concurrency=1000, mode=MemoryMode.G)
+        assert p.compute_warps == (0, 1, 2, 3)
+        assert p.helper_warps == ()
+
+    def test_staged_output_reserves_helper(self):
+        """Even at full concurrency, SO/SIO keep >= 1 helper warp (the
+        MM 64-thread cost the paper mentions)."""
+        for mode in (MemoryMode.SO, MemoryMode.SIO):
+            p = partition_warps(n_warps=2, concurrency=1000, mode=mode)
+            assert len(p.compute_warps) == 1
+            assert len(p.helper_warps) == 1
+
+    def test_concurrency_rounds_up_to_warps(self):
+        p = partition_warps(n_warps=8, concurrency=33, mode=MemoryMode.SIO)
+        assert len(p.compute_warps) == 2  # ceil(33/32)
+        assert p.compute_threads == 64
+
+    def test_low_concurrency_single_warp(self):
+        p = partition_warps(n_warps=8, concurrency=1, mode=MemoryMode.SI)
+        assert p.compute_warps == (0,)
+
+    def test_so_needs_two_warps(self):
+        with pytest.raises(FrameworkError):
+            partition_warps(n_warps=1, concurrency=10, mode=MemoryMode.SO)
+
+    def test_role_of(self):
+        p = partition_warps(n_warps=4, concurrency=64, mode=MemoryMode.SIO)
+        assert p.role_of(0) == "compute"
+        assert p.role_of(3) == "helper"
+
+    @given(st.integers(2, 16), st.integers(0, 5000))
+    def test_partition_covers_all_warps(self, n_warps, conc):
+        p = partition_warps(n_warps=n_warps, concurrency=conc,
+                            mode=MemoryMode.SIO)
+        assert sorted(p.compute_warps + p.helper_warps) == list(range(n_warps))
+        assert len(p.helper_warps) >= 1

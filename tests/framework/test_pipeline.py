@@ -1,0 +1,110 @@
+"""Tests for the iterative-job driver."""
+
+import struct
+
+import numpy as np
+import pytest
+
+from repro.errors import FrameworkError
+from repro.framework import KeyValueSet, MemoryMode, ReduceStrategy
+from repro.framework.pipeline import IterativeJob
+from repro.gpu import DeviceConfig
+from repro.workloads.datagen import clustered_vectors
+from repro.workloads.kmeans import (
+    DIM,
+    km_combine,
+    km_finalize,
+    km_map,
+    km_reduce,
+)
+from repro.framework.api import MapReduceSpec
+
+CFG = DeviceConfig.small(2)
+
+
+def km_spec(centroids: np.ndarray) -> MapReduceSpec:
+    return MapReduceSpec(
+        name="km_iter",
+        map_record=km_map,
+        reduce_record=km_reduce,
+        combine=km_combine,
+        finalize=km_finalize,
+        const_bytes=centroids.astype("<f4").tobytes(),
+    )
+
+
+def fold(result, centroids: np.ndarray) -> np.ndarray:
+    new = centroids.copy()
+    for key, val in result.output:
+        cid = struct.unpack("<I", key)[0]
+        new[cid] = np.frombuffer(val, dtype="<f4")
+    return new
+
+
+def make_job(**kw):
+    defaults = dict(
+        make_spec=lambda i, c: km_spec(c),
+        update=lambda i, r, c: fold(r, c),
+        converged=lambda i, old, new: float(np.abs(new - old).max()) < 1e-4,
+        mode=MemoryMode.SI,
+        strategy=ReduceStrategy.TR,
+        config=CFG,
+    )
+    defaults.update(kw)
+    return IterativeJob(**defaults)
+
+
+def km_problem(n=160, k=4, seed=11):
+    vecs, _ = clustered_vectors(n, dim=DIM, k=k, seed=seed, spread=0.05)
+    inp = KeyValueSet((b"", v.tobytes()) for v in vecs)
+    init = vecs[:k].copy()
+    return vecs, inp, init
+
+
+class TestIterativeJob:
+    def test_converges(self):
+        vecs, inp, init = km_problem()
+        res = make_job().run(inp, init, max_iterations=25)
+        assert res.converged
+        assert 1 <= res.n_iterations <= 25
+        assert res.total_cycles > 0
+        # Final centroids sit inside the data hull.
+        final = res.state
+        assert final.min() >= vecs.min() - 1e-5
+        assert final.max() <= vecs.max() + 1e-5
+
+    def test_quality_improves(self):
+        vecs, inp, init = km_problem()
+        res = make_job().run(inp, init, max_iterations=25)
+
+        def cost(cents):
+            d = np.linalg.norm(vecs[:, None, :] - cents[None], axis=2)
+            return float(d.min(axis=1).mean())
+
+        assert cost(res.state) <= cost(init) + 1e-9
+
+    def test_max_iterations_bound(self):
+        _, inp, init = km_problem()
+        job = make_job(converged=lambda i, a, b: False)  # never converge
+        res = job.run(inp, init, max_iterations=3)
+        assert not res.converged
+        assert res.n_iterations == 3
+
+    def test_traces_and_last(self):
+        _, inp, init = km_problem()
+        res = make_job().run(inp, init, max_iterations=5)
+        assert [t.index for t in res.iterations] == list(range(res.n_iterations))
+        assert res.last is not None
+        assert res.last.strategy is ReduceStrategy.TR
+
+    def test_invalid_iteration_count(self):
+        _, inp, init = km_problem()
+        with pytest.raises(FrameworkError):
+            make_job().run(inp, init, max_iterations=0)
+
+    def test_br_strategy_loop(self):
+        _, inp, init = km_problem(n=96)
+        res = make_job(strategy=ReduceStrategy.BR, mode=MemoryMode.SIO).run(
+            inp, init, max_iterations=6
+        )
+        assert res.n_iterations >= 1

@@ -1,0 +1,164 @@
+"""Tests for the shuffle phase and the host-transfer model."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.framework import DeviceRecordSet, KeyValueSet, shuffle
+from repro.framework.host import download_cost, transfer_cycles, upload_cost
+from repro.framework.shuffle import group_host, shuffle_cycles
+from repro.gpu import DeviceConfig
+from repro.gpu.memory import GlobalMemory
+
+
+def make_grouped(records):
+    g = GlobalMemory()
+    inter = DeviceRecordSet.upload(g, KeyValueSet(records))
+    return shuffle(g, inter, DeviceConfig.gtx280())
+
+
+class TestShuffleGrouping:
+    def test_groups_by_key_sorted(self):
+        res = make_grouped([
+            (b"b", b"1"), (b"a", b"2"), (b"b", b"3"), (b"c", b"4"), (b"a", b"5"),
+        ])
+        grp = res.grouped
+        assert grp.n_groups == 3
+        assert [grp.group_key(i) for i in range(3)] == [b"a", b"b", b"c"]
+        assert list(grp.group_counts) == [2, 2, 1]
+        assert grp.group_value(0, 0) == b"2"
+        assert grp.group_value(0, 1) == b"5"
+        assert grp.group_value(1, 1) == b"3"
+
+    def test_values_contiguous_within_group(self):
+        """BR's coalescing relies on group values being contiguous."""
+        res = make_grouped([(b"k", bytes([i]) * 8) for i in range(10)])
+        geom = res.grouped.group_value_geometry(0)
+        for (a1, l1), (a2, _) in zip(geom, geom[1:]):
+            assert a2 == a1 + l1
+
+    def test_single_group(self):
+        res = make_grouped([(b"same", bytes([i])) for i in range(5)])
+        assert res.grouped.n_groups == 1
+        assert res.n_records == 5
+
+    def test_empty_values_ok(self):
+        res = make_grouped([(b"k", b""), (b"k", b"")])
+        assert res.grouped.group_value(0, 0) == b""
+
+    def test_group_host_matches_device(self):
+        records = [(bytes([65 + i % 3]), bytes([i])) for i in range(30)]
+        host = group_host(KeyValueSet(records))
+        res = make_grouped(records)
+        assert res.grouped.n_groups == len(host)
+        for i in range(res.grouped.n_groups):
+            k = res.grouped.group_key(i)
+            vals = [
+                res.grouped.group_value(i, j)
+                for j in range(int(res.grouped.group_counts[i]))
+            ]
+            assert vals == host[k]
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.binary(min_size=1, max_size=6), st.binary(min_size=0, max_size=6)
+            ),
+            min_size=1,
+            max_size=60,
+        )
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_value_conservation(self, records):
+        res = make_grouped(records)
+        assert res.grouped.n_values == len(records)
+        total = int(res.grouped.group_counts.sum())
+        assert total == len(records)
+
+
+class TestShuffleCost:
+    def test_zero_or_one_record_free(self):
+        cfg = DeviceConfig.gtx280()
+        assert shuffle_cycles(n_records=0, avg_record_bytes=8, config=cfg) == 0
+        assert shuffle_cycles(n_records=1, avg_record_bytes=8, config=cfg) == 0
+
+    def test_superlinear_growth(self):
+        """Bitonic sort is n log^2 n: doubling records more than
+        doubles cycles."""
+        cfg = DeviceConfig.gtx280()
+        c1 = shuffle_cycles(n_records=10000, avg_record_bytes=10, config=cfg)
+        c2 = shuffle_cycles(n_records=80000, avg_record_bytes=10, config=cfg)
+        assert c2 > 8 * c1
+
+    def test_cost_attached_to_result(self):
+        res = make_grouped([(b"a", b"1"), (b"b", b"2")])
+        assert res.cycles > 0
+
+
+class TestHostTransfers:
+    def test_affine_model(self):
+        cfg = DeviceConfig.gtx280()
+        t = cfg.timing
+        c = transfer_cycles(3900, cfg)
+        assert c.cycles == pytest.approx(t.pcie_setup_cycles + 1000)
+
+    def test_zero_bytes_free(self):
+        cfg = DeviceConfig.gtx280()
+        assert transfer_cycles(0, cfg).cycles == 0
+
+    def test_upload_download_symmetry(self):
+        cfg = DeviceConfig.gtx280()
+        up = upload_cost(1000, 160, cfg)
+        down = download_cost(1000, 160, cfg)
+        assert up.cycles == down.cycles
+        assert up.bytes_moved == 1160
+
+    def test_bandwidth_dominates_large_transfers(self):
+        cfg = DeviceConfig.gtx280()
+        big = transfer_cycles(1 << 26, cfg)
+        assert big.cycles > 100 * cfg.timing.pcie_setup_cycles
+
+
+class TestHashShuffle:
+    def test_same_grouping_either_method(self):
+        from repro.framework.shuffle import shuffle as _shuffle
+
+        records = [(bytes([65 + i % 5]), bytes([i])) for i in range(40)]
+        g1 = GlobalMemory()
+        s1 = _shuffle(g1, DeviceRecordSet.upload(g1, KeyValueSet(records)),
+                      DeviceConfig.gtx280(), method="sort")
+        g2 = GlobalMemory()
+        s2 = _shuffle(g2, DeviceRecordSet.upload(g2, KeyValueSet(records)),
+                      DeviceConfig.gtx280(), method="hash")
+        assert s1.grouped.n_groups == s2.grouped.n_groups
+        for i in range(s1.grouped.n_groups):
+            assert s1.grouped.group_key(i) == s2.grouped.group_key(i)
+
+    def test_hash_beats_sort_asymptotically(self):
+        """MapCG's claim: hashing is linear, bitonic sort n log^2 n."""
+        from repro.framework.shuffle import hash_shuffle_cycles
+
+        cfg = DeviceConfig.gtx280()
+        n = 200_000
+        sort_c = shuffle_cycles(n_records=n, avg_record_bytes=10, config=cfg)
+        hash_c = hash_shuffle_cycles(n_records=n, n_groups=5000,
+                                     avg_record_bytes=10, config=cfg)
+        assert hash_c < sort_c
+
+    def test_hash_contention_with_few_groups(self):
+        """A single hot bucket (KM-like, few groups) pays atomics."""
+        from repro.framework.shuffle import hash_shuffle_cycles
+
+        cfg = DeviceConfig.gtx280()
+        few = hash_shuffle_cycles(n_records=50_000, n_groups=4,
+                                  avg_record_bytes=32, config=cfg)
+        many = hash_shuffle_cycles(n_records=50_000, n_groups=4096,
+                                   avg_record_bytes=32, config=cfg)
+        assert few > many
+
+    def test_tiny_inputs_free(self):
+        from repro.framework.shuffle import hash_shuffle_cycles
+
+        assert hash_shuffle_cycles(n_records=1, n_groups=1,
+                                   avg_record_bytes=4,
+                                   config=DeviceConfig.gtx280()) == 0.0

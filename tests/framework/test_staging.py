@@ -1,0 +1,159 @@
+"""Tests for input tiling and the cooperative stage-in copy."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import FrameworkError, KernelFault
+from repro.framework import DeviceRecordSet, KeyValueSet, MemoryMode, plan_layout
+from repro.framework.staging import (
+    Tile,
+    plan_tiles_staged,
+    plan_tiles_unstaged,
+    stage_in,
+)
+from repro.gpu import Device, DeviceConfig
+
+
+def layout_for(mode=MemoryMode.SI, tpb=64):
+    return plan_layout(smem_budget=16 * 1024, threads_per_block=tpb, mode=mode)
+
+
+class TestPlanTilesStaged:
+    def test_covers_all_records_without_overlap(self):
+        lay = layout_for()
+        keys = [30] * 500
+        vals = [10] * 500
+        tiles = plan_tiles_staged(lay, keys, vals)
+        assert tiles[0].start == 0
+        for a, b in zip(tiles, tiles[1:]):
+            assert b.start == a.end
+        assert tiles[-1].end == 500
+
+    def test_variable_sizes_pack_greedily(self):
+        lay = layout_for()
+        keys = [10, 5000, 10, 10]
+        vals = [0, 0, 0, 0]
+        tiles = plan_tiles_staged(lay, keys, vals)
+        assert [t.count for t in tiles][0] >= 1
+        assert sum(t.count for t in tiles) == 4
+
+    def test_oversized_record_rejected(self):
+        lay = layout_for()
+        with pytest.raises(FrameworkError, match="exceeds the input area"):
+            plan_tiles_staged(lay, [lay.input_bytes + 100], [0])
+
+    def test_stage_values_false_ignores_value_bytes(self):
+        lay = layout_for()
+        keys = [8] * 100
+        vals = [10 ** 6] * 100  # enormous values
+        tiles = plan_tiles_staged(lay, keys, vals, stage_values=False)
+        assert len(tiles) == 1
+
+    def test_stage_keys_false_ignores_key_bytes(self):
+        lay = layout_for()
+        tiles = plan_tiles_staged(lay, [10 ** 6] * 10, [8] * 10, stage_keys=False)
+        assert len(tiles) == 1
+
+    @given(st.lists(st.integers(1, 200), min_size=1, max_size=300))
+    @settings(max_examples=30, deadline=None)
+    def test_partition_property(self, sizes):
+        lay = layout_for()
+        tiles = plan_tiles_staged(lay, sizes, [4] * len(sizes))
+        assert sum(t.count for t in tiles) == len(sizes)
+        assert all(t.count > 0 for t in tiles)
+
+
+class TestPlanTilesUnstaged:
+    def test_fixed_size_tiles(self):
+        tiles = plan_tiles_unstaged(1000, 128, rounds_per_tile=2)
+        assert all(t.count == 256 for t in tiles[:-1])
+        assert sum(t.count for t in tiles) == 1000
+
+    def test_single_small_tile(self):
+        tiles = plan_tiles_unstaged(10, 128)
+        assert len(tiles) == 1
+        assert tiles[0] == Tile(0, 10)
+
+    def test_empty(self):
+        assert plan_tiles_unstaged(0, 128) == []
+
+
+class TestStageIn:
+    def make_input(self, dev, n=40):
+        kvs = KeyValueSet(
+            [(f"key{i:04d}".encode(), f"value{i:05d}!".encode()) for i in range(n)]
+        )
+        return kvs, DeviceRecordSet.upload(dev.gmem, kvs)
+
+    def test_bytes_land_in_shared_memory(self):
+        dev = Device(DeviceConfig.small(1))
+        kvs, d_in = self.make_input(dev)
+        lay = layout_for()
+        tile = Tile(0, 40)
+        seen = {}
+
+        def k(ctx, lay, d_in, tile):
+            stg = yield from stage_in(ctx, lay, d_in, tile)
+            yield from ctx.barrier()
+            if ctx.warp_id == 0:
+                # Record 7's key as staged in shared memory.
+                ko = d_in.gmem.read_u32(d_in.key_dir_addr + 8 * 7)
+                seen["key7"] = ctx.smem.read(
+                    stg.keys_off + ko - (stg.g_key_base - d_in.keys_addr), 7
+                )
+                vo = d_in.gmem.read_u32(d_in.val_dir_addr + 8 * 7)
+                seen["val7"] = ctx.smem.read(
+                    stg.vals_off + vo - (stg.g_val_base - d_in.vals_addr), 11
+                )
+
+        dev.launch(k, grid=1, block=64, smem_bytes=lay.smem_bytes,
+                   args=(lay, d_in, tile))
+        assert seen["key7"] == b"key0007"
+        assert seen["val7"] == b"value00007!"
+
+    def test_coalesced_transactions(self):
+        """Stage-in must read each byte ~once, coalesced: transactions
+        close to payload/64."""
+        dev = Device(DeviceConfig.small(1))
+        kvs, d_in = self.make_input(dev, n=64)
+        lay = layout_for()
+        tile = Tile(0, 64)
+
+        def k(ctx, lay, d_in, tile):
+            yield from stage_in(ctx, lay, d_in, tile)
+            yield from ctx.barrier()
+
+        st = dev.launch(k, grid=1, block=64, smem_bytes=lay.smem_bytes,
+                        args=(lay, d_in, tile))
+        payload = 64 * (7 + 11) + 2 * 8 * 64
+        # Chunking across 2 warps, 4 segments: allow modest slack.
+        assert st.global_transactions <= payload // 64 + 16
+
+    def test_partial_tile(self):
+        dev = Device(DeviceConfig.small(1))
+        kvs, d_in = self.make_input(dev, n=10)
+        lay = layout_for()
+        tile = Tile(4, 3)
+
+        def k(ctx, lay, d_in, tile):
+            stg = yield from stage_in(ctx, lay, d_in, tile)
+            yield from ctx.barrier()
+            if ctx.warp_id == 0:
+                assert ctx.smem.read(stg.keys_off, 7) == b"key0004"
+
+        dev.launch(k, grid=1, block=64, smem_bytes=lay.smem_bytes,
+                   args=(lay, d_in, tile))
+
+    def test_tile_too_big_raises(self):
+        dev = Device(DeviceConfig.small(1))
+        kvs = KeyValueSet([(b"k" * 6000, b"v" * 6000)] * 2)
+        d_in = DeviceRecordSet.upload(dev.gmem, kvs)
+        lay = layout_for()
+
+        def k(ctx, lay, d_in):
+            yield from stage_in(ctx, lay, d_in, Tile(0, 2))
+
+        with pytest.raises(KernelFault, match="input area"):
+            dev.launch(k, grid=1, block=64, smem_bytes=lay.smem_bytes,
+                       args=(lay, d_in))

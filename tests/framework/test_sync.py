@@ -1,0 +1,178 @@
+"""Tests for the wait-signal primitive (paper Section III-C)."""
+
+import pytest
+
+from repro.errors import FrameworkError
+from repro.framework.sync import WaitSignal, make_pair, poll_interval
+from repro.gpu import Device, DeviceConfig
+
+
+def make_device():
+    return Device(DeviceConfig.small(1))
+
+
+class TestConstruction:
+    def test_groups_must_be_disjoint(self):
+        with pytest.raises(FrameworkError):
+            WaitSignal(base_off=0, n_warps=4, signal_group=(0, 1),
+                       wait_group=(1, 2))
+
+    def test_groups_must_be_nonempty(self):
+        with pytest.raises(FrameworkError):
+            WaitSignal(base_off=0, n_warps=4, signal_group=(), wait_group=(1,))
+
+    def test_make_pair_disjoint_flag_storage(self):
+        ovf, handled = make_pair(
+            base_off=0, n_warps=4, compute_warps=(0, 1), helper_warps=(2, 3)
+        )
+        assert handled.base_off >= ovf.base_off + 8 * 4
+
+    def test_wrong_group_membership_raises(self):
+        from repro.errors import KernelFault
+
+        dev = make_device()
+        ws = WaitSignal(base_off=0, n_warps=2, signal_group=(0,), wait_group=(1,))
+
+        def k(ctx):
+            if ctx.warp_id == 0:
+                yield from ws.wait(ctx)  # warp 0 is a signaller: invalid
+            else:
+                yield from ws.wait(ctx)
+
+        with pytest.raises(KernelFault, match="not in the wait group"):
+            dev.launch(k, grid=1, block=64, smem_bytes=256)
+
+
+class TestProtocol:
+    def test_one_to_one_roundtrip(self):
+        dev = make_device()
+        ws = WaitSignal(base_off=0, n_warps=2, signal_group=(0,), wait_group=(1,))
+        order = []
+
+        def k(ctx):
+            if ctx.warp_id == 0:
+                yield from ctx.compute(3000)
+                order.append("work-done")
+                yield from ws.signal(ctx)
+            else:
+                yield from ws.wait(ctx)
+                order.append("waiter-woke")
+
+        dev.launch(k, grid=1, block=64, smem_bytes=256)
+        assert order == ["work-done", "waiter-woke"]
+
+    def test_many_to_many(self):
+        dev = make_device()
+        ws = WaitSignal(base_off=0, n_warps=8, signal_group=(0, 1, 2, 3),
+                        wait_group=(4, 5, 6, 7))
+        woke = []
+
+        def k(ctx):
+            if ctx.warp_id in ws.signal_group:
+                yield from ctx.compute(100 * (ctx.warp_id + 1))
+                yield from ws.signal(ctx)
+            else:
+                yield from ws.wait(ctx)
+                woke.append(ctx.warp_id)
+
+        dev.launch(k, grid=1, block=256, smem_bytes=256)
+        assert sorted(woke) == [4, 5, 6, 7]
+
+    def test_reuse_via_alternating_pair(self):
+        """Reuse is safe when two conditions alternate, which is how
+        the workflow uses the primitive (overflow -> handled -> ...,
+        Figure 3).  Back-to-back reuse of a *single* condition would
+        race (the signaller could re-raise before the waiter observed
+        the clear), so the framework always pairs conditions."""
+        dev = make_device()
+        ovf, handled = make_pair(
+            base_off=0, n_warps=2, compute_warps=(0,), helper_warps=(1,)
+        )
+        rounds = []
+
+        def k(ctx):
+            for i in range(5):
+                if ctx.warp_id == 0:
+                    yield from ctx.compute(500)
+                    yield from ovf.signal(ctx)      # raise overflow
+                    yield from handled.wait(ctx)    # wait for handling
+                else:
+                    yield from ovf.wait(ctx)        # see the overflow
+                    rounds.append(i)
+                    yield from handled.signal(ctx)  # report handled
+
+        dev.launch(k, grid=1, block=64, smem_bytes=256)
+        assert rounds == [0, 1, 2, 3, 4]
+
+    def test_signal_blocks_until_seen(self):
+        """The signaller cannot leave before the (late) waiter raises
+        its seen flag — it must poll across the waiter's delay."""
+        dev = make_device()
+        ws = WaitSignal(base_off=0, n_warps=2, signal_group=(0,), wait_group=(1,))
+        seen_state = {}
+
+        def k(ctx):
+            if ctx.warp_id == 0:
+                yield from ws.signal(ctx)
+                # By protocol, the waiter's seen flag was observed set
+                # at some point; the last waiter has already cleared it
+                # only after watching our signal flag go down.
+                seen_state["signal_flag"] = ctx.smem.read_u32(ws._sig_off(0))
+            else:
+                yield from ctx.compute(50000)  # waiter arrives very late
+                yield from ws.wait(ctx)
+
+        st = dev.launch(k, grid=1, block=64, smem_bytes=256)
+        assert seen_state["signal_flag"] == 0
+        # The signaller had to poll across the ~50000-cycle delay.
+        assert st.polls >= 5
+
+    def test_fence_charged(self):
+        dev = make_device()
+        ws = WaitSignal(base_off=0, n_warps=2, signal_group=(0,), wait_group=(1,))
+
+        def k(ctx):
+            if ctx.warp_id == 0:
+                yield from ws.signal(ctx)
+            else:
+                yield from ws.wait(ctx)
+
+        st = dev.launch(k, grid=1, block=64, smem_bytes=256)
+        assert st.fences >= 1
+        assert st.polls >= 2
+
+
+class TestYieldDiscipline:
+    def test_poll_interval_values(self):
+        dev = make_device()
+        holder = {}
+
+        def k(ctx):
+            holder["spin"] = poll_interval(ctx, False)
+            holder["yield"] = poll_interval(ctx, True)
+            yield from ctx.compute(1)
+
+        dev.launch(k, grid=1, block=32)
+        assert holder["yield"] > 10 * holder["spin"]
+
+    def test_spin_consumes_more_issue_slots(self):
+        """The Figure 8 mechanism: a spinning waiter probes far more
+        often than a yielding one over the same wait."""
+
+        def run(yield_sync):
+            dev = make_device()
+            ws = WaitSignal(base_off=0, n_warps=2, signal_group=(0,),
+                            wait_group=(1,), yield_sync=yield_sync)
+
+            def k(ctx):
+                if ctx.warp_id == 0:
+                    yield from ctx.compute(20000)
+                    yield from ws.signal(ctx)
+                else:
+                    yield from ws.wait(ctx)
+
+            return dev.launch(k, grid=1, block=64, smem_bytes=256)
+
+        spin = run(False)
+        yld = run(True)
+        assert spin.polls > 5 * yld.polls

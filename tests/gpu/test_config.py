@@ -1,0 +1,88 @@
+"""Tests for device configuration and occupancy rules."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.gpu import DeviceConfig, WARP_SIZE
+from repro.gpu.config import TimingParams
+
+
+class TestDeviceConfig:
+    def test_gtx280_matches_paper_testbed(self):
+        cfg = DeviceConfig.gtx280()
+        assert cfg.mp_count == 30
+        assert cfg.shared_mem_per_mp == 16 * 1024
+        assert cfg.registers_per_mp == 16384
+        assert cfg.global_mem_bytes == 1 << 30
+
+    def test_small_config_only_changes_mp_count(self):
+        cfg = DeviceConfig.small(4)
+        ref = DeviceConfig.gtx280()
+        assert cfg.mp_count == 4
+        assert cfg.shared_mem_per_mp == ref.shared_mem_per_mp
+        assert cfg.timing == ref.timing
+
+    def test_with_timing_overrides_one_knob(self):
+        cfg = DeviceConfig.gtx280().with_timing(global_latency=700.0)
+        assert cfg.timing.global_latency == 700.0
+        assert cfg.timing.shared_latency == DeviceConfig.gtx280().timing.shared_latency
+
+    def test_invalid_mp_count_rejected(self):
+        with pytest.raises(ConfigError):
+            DeviceConfig(mp_count=0)
+
+    def test_max_threads_must_be_warp_multiple(self):
+        with pytest.raises(ConfigError):
+            DeviceConfig(max_threads_per_block=100)
+
+    def test_global_latency_in_paper_range(self):
+        t = DeviceConfig.gtx280().timing
+        assert 400 <= t.global_latency <= 700  # Section II-A
+        assert t.shared_latency < 100  # "within dozens of cycles"
+
+
+class TestOccupancy:
+    def test_block_slots_limit(self):
+        cfg = DeviceConfig.gtx280()
+        # Tiny blocks: limited by the 8-blocks-per-MP cap.
+        assert cfg.blocks_per_mp(WARP_SIZE, 0) == 8
+
+    def test_thread_limit(self):
+        cfg = DeviceConfig.gtx280()
+        # 512-thread blocks: 1024 threads/MP allows only 2.
+        assert cfg.blocks_per_mp(512, 0) == 2
+
+    def test_shared_memory_limit(self):
+        cfg = DeviceConfig.gtx280()
+        # 6 KB of smem per block: floor(16/6) = 2 blocks.
+        assert cfg.blocks_per_mp(64, 6 * 1024) == 2
+
+    def test_smem_oversubscription_fails(self):
+        cfg = DeviceConfig.gtx280()
+        assert cfg.blocks_per_mp(64, 17 * 1024) == 0
+
+    def test_register_limit(self):
+        cfg = DeviceConfig.gtx280()
+        # 64 regs x 256 threads = 16384: exactly one block.
+        assert cfg.blocks_per_mp(256, 0, regs_per_thread=64) == 1
+        assert cfg.blocks_per_mp(256, 0, regs_per_thread=65) == 0
+
+    def test_too_many_threads_per_block(self):
+        cfg = DeviceConfig.gtx280()
+        assert cfg.blocks_per_mp(1024, 0) == 0
+
+    def test_threads_must_be_positive(self):
+        with pytest.raises(ConfigError):
+            DeviceConfig.gtx280().blocks_per_mp(0, 0)
+
+
+class TestTimingParams:
+    def test_cycles_to_ms(self):
+        t = TimingParams(clock_ghz=1.0)
+        assert t.cycles_to_ms(1_000_000) == pytest.approx(1.0)
+
+    def test_default_bandwidth_consistent_with_gtx280(self):
+        t = TimingParams()
+        bytes_per_cycle = t.txn_bytes / t.txn_service_cycles
+        # 141.7 GB/s at 1.296 GHz is ~109 B/cycle; allow slack.
+        assert 90 <= bytes_per_cycle <= 130

@@ -1,0 +1,335 @@
+"""Behavioural tests for the discrete-event engine and launch API."""
+
+import pytest
+
+from repro.errors import DeadlockError, KernelFault, LaunchError
+from repro.gpu import Device, DeviceConfig
+
+
+def make_device(mps=2, **timing):
+    cfg = DeviceConfig.small(mps)
+    if timing:
+        cfg = cfg.with_timing(**timing)
+    return Device(cfg)
+
+
+class TestLaunchValidation:
+    def test_block_must_be_warp_multiple(self):
+        dev = make_device()
+
+        def k(ctx):
+            yield from ctx.compute(1)
+
+        with pytest.raises(LaunchError):
+            dev.launch(k, grid=1, block=48)
+
+    def test_grid_must_be_positive(self):
+        dev = make_device()
+
+        def k(ctx):
+            yield from ctx.compute(1)
+
+        with pytest.raises(LaunchError):
+            dev.launch(k, grid=0, block=32)
+
+    def test_oversized_smem_rejected(self):
+        dev = make_device()
+
+        def k(ctx):
+            yield from ctx.compute(1)
+
+        with pytest.raises(LaunchError):
+            dev.launch(k, grid=1, block=32, smem_bytes=32 * 1024)
+
+    def test_stats_record_geometry(self):
+        dev = make_device()
+
+        def k(ctx):
+            yield from ctx.compute(1)
+
+        st = dev.launch(k, grid=6, block=64, smem_bytes=4096)
+        assert st.grid_blocks == 6
+        assert st.threads_per_block == 64
+        assert st.blocks_per_mp == 4  # 16KB / 4KB
+
+
+class TestFunctionalExecution:
+    def test_every_block_runs(self):
+        dev = make_device()
+        flags = dev.gmem.alloc(4 * 64)
+
+        def k(ctx, base):
+            if ctx.warp_id == 0:
+                ctx.gmem.write_u32(base + 4 * ctx.block_id, ctx.block_id + 1)
+                yield from ctx.gwrite(base + 4 * ctx.block_id, b"")
+            yield from ctx.compute(1)
+
+        dev.launch(k, grid=64, block=64, args=(flags,))
+        for b in range(64):
+            assert dev.gmem.read_u32(flags + 4 * b) == b + 1
+
+    def test_kernel_exception_wrapped(self):
+        dev = make_device()
+
+        def k(ctx):
+            yield from ctx.compute(1)
+            raise ValueError("boom")
+
+        with pytest.raises(KernelFault, match="boom"):
+            dev.launch(k, grid=1, block=32)
+
+    def test_atomic_returns_old_value_in_issue_order(self):
+        dev = make_device()
+        ctr = dev.gmem.alloc(4)
+        seen = []
+
+        def k(ctx):
+            old = yield from ctx.atomic_add_global(ctr, 1)
+            seen.append(old)
+
+        dev.launch(k, grid=4, block=32)
+        assert sorted(seen) == [0, 1, 2, 3]
+        assert dev.gmem.read_u32(ctr) == 4
+
+    def test_shared_atomic_is_block_local(self):
+        dev = make_device()
+        out = dev.gmem.alloc(8 * 4)
+
+        def k(ctx):
+            old = yield from ctx.atomic_add_shared(0, 1)
+            if old == ctx.warps_per_block - 1:  # last warp of the block
+                ctx.gmem.write_u32(out + 4 * ctx.block_id, ctx.smem.read_u32(0))
+                yield from ctx.gwrite(out + 4 * ctx.block_id, b"")
+
+        dev.launch(k, grid=2, block=4 * 32, smem_bytes=64)
+        assert dev.gmem.read_u32(out) == 4
+        assert dev.gmem.read_u32(out + 4) == 4
+
+
+class TestBarrier:
+    def test_barrier_orders_phases(self):
+        dev = make_device()
+        # Warp 0 writes smem, all barrier, warp 1 reads it.
+        result = dev.gmem.alloc(4)
+
+        def k(ctx):
+            if ctx.warp_id == 0:
+                yield from ctx.compute(500)  # arrive late
+                yield from ctx.swrite(0, (1234).to_bytes(4, "little"))
+            yield from ctx.barrier()
+            if ctx.warp_id == 1:
+                val = ctx.smem.read_u32(0)
+                ctx.gmem.write_u32(result, val)
+                yield from ctx.gwrite(result, b"")
+
+        dev.launch(k, grid=1, block=64, smem_bytes=64)
+        assert dev.gmem.read_u32(result) == 1234
+
+    def test_exited_warps_do_not_block_barrier(self):
+        dev = make_device()
+
+        def k(ctx):
+            if ctx.warp_id == 0:
+                return  # exits immediately
+                yield  # pragma: no cover
+            yield from ctx.barrier()
+            yield from ctx.compute(1)
+
+        st = dev.launch(k, grid=1, block=96)
+        assert st.barriers == 2
+
+    def test_divergent_barrier_deadlocks(self):
+        """A barrier on a branch some warps never take must hang —
+        the constraint motivating the paper's wait-signal primitive."""
+        dev = make_device()
+
+        def k(ctx):
+            if ctx.warp_id == 0:
+                yield from ctx.barrier()
+            else:
+                flag = []
+                yield from ctx.poll(lambda: bool(flag), interval=10.0)
+
+        with pytest.raises(DeadlockError):
+            dev.launch(k, grid=1, block=64, max_cycles=1e6)
+
+
+class TestPoll:
+    def test_wait_signal_roundtrip(self):
+        dev = make_device()
+        order = []
+
+        def k(ctx):
+            flag = ctx.block_state.setdefault("flag", [])
+            if ctx.warp_id == 0:
+                yield from ctx.compute(5000)
+                order.append("signal")
+                flag.append(1)
+            else:
+                yield from ctx.poll(lambda: bool(flag), interval=50.0)
+                order.append("woke")
+
+        dev.launch(k, grid=1, block=64)
+        assert order == ["signal", "woke"]
+
+    def test_poll_counts_probes(self):
+        dev = make_device()
+
+        def k(ctx):
+            flag = ctx.block_state.setdefault("flag", [])
+            if ctx.warp_id == 0:
+                yield from ctx.compute(1000)
+                flag.append(1)
+            else:
+                yield from ctx.poll(lambda: bool(flag), interval=100.0)
+
+        st = dev.launch(k, grid=1, block=64)
+        # Roughly 1000/100 probes plus the final successful one.
+        assert 5 <= st.polls <= 20
+
+    def test_unsatisfiable_poll_hits_max_cycles(self):
+        dev = make_device()
+
+        def k(ctx):
+            yield from ctx.poll(lambda: False, interval=10.0)
+
+        with pytest.raises(DeadlockError):
+            dev.launch(k, grid=1, block=32, max_cycles=1e5)
+
+
+class TestTiming:
+    def test_compute_cost(self):
+        dev = make_device(1)
+
+        def k(ctx):
+            yield from ctx.compute(1000)
+
+        st = dev.launch(k, grid=1, block=32)
+        assert 1000 <= st.cycles < 1100
+
+    def test_latency_hiding_with_more_warps(self):
+        """More warps per block hide global latency (Section II-A)."""
+        dev1 = make_device(1)
+        dev8 = make_device(1)
+        src1 = dev1.gmem.alloc(1 << 16)
+        src8 = dev8.gmem.alloc(1 << 16)
+
+        def k(ctx, src):
+            for i in range(8):
+                yield from ctx.gread(
+                    src + (ctx.global_warp_id * 8 + i) * 128, 128
+                )
+
+        t1 = dev1.launch(k, grid=1, block=32, args=(src1,)).cycles
+        t8 = dev8.launch(k, grid=1, block=256, args=(src8,)).cycles
+        # 8x the work in well under 8x the time.
+        assert t8 < 4 * t1
+
+    def test_scattered_reads_slower_than_coalesced(self):
+        deva = make_device(1)
+        devb = make_device(1)
+        n = 1 << 16
+        srca = deva.gmem.alloc(n)
+        srcb = devb.gmem.alloc(n)
+
+        def coalesced(ctx, src):
+            for i in range(64):
+                yield from ctx.gread(src + i * 128, 128)
+
+        def scattered(ctx, src):
+            for i in range(64):
+                accesses = [(src + ((i * 32 + l) * 997) % (n - 4), 4) for l in ctx.lane_ids]
+                yield from ctx.gread_scattered(accesses)
+
+        tc = deva.launch(coalesced, grid=1, block=32, args=(srca,))
+        ts = devb.launch(scattered, grid=1, block=32, args=(srcb,))
+        assert ts.global_transactions > 4 * tc.global_transactions
+
+    def test_atomic_contention_slows_kernel(self):
+        """Many warps hammering one counter vs. distinct counters."""
+        dev_hot = make_device(2)
+        dev_cold = make_device(2)
+        hot = dev_hot.gmem.alloc(4)
+        cold = dev_cold.gmem.alloc(4 * 1024)
+
+        def k_hot(ctx, a):
+            for _ in range(8):
+                yield from ctx.atomic_add_global(a, 1)
+
+        def k_cold(ctx, a):
+            for _ in range(8):
+                yield from ctx.atomic_add_global(a + 4 * ctx.global_warp_id, 1)
+
+        th = dev_hot.launch(k_hot, grid=8, block=256, args=(hot,)).cycles
+        tc = dev_cold.launch(k_cold, grid=8, block=256, args=(cold,)).cycles
+        assert th > 2 * tc
+        assert dev_hot.gmem.read_u32(hot) == 8 * 8 * 8
+
+    def test_block_backfill(self):
+        """More blocks than fit at once still all run, serially."""
+        dev = make_device(1)
+        ctr = dev.gmem.alloc(4)
+
+        def k(ctx, a):
+            if ctx.warp_id == 0:
+                yield from ctx.atomic_add_global(a, 1)
+
+        # 1 MP x 8 block slots, 20 blocks: requires backfill.
+        st = dev.launch(k, grid=20, block=32, args=(ctr,))
+        assert dev.gmem.read_u32(ctr) == 20
+        assert st.cycles > 0
+
+
+class TestTexturePath:
+    def test_texture_requires_flag(self):
+        dev = make_device()
+        src = dev.gmem.alloc(64)
+
+        def k(ctx, src):
+            yield from ctx.tex_read([(src, 4)])
+
+        with pytest.raises(LaunchError):
+            dev.launch(k, grid=1, block=32, args=(src,))
+
+    def test_texture_hits_save_bandwidth_not_latency(self):
+        dev = make_device(1, global_latency=500.0, texture_hit_latency=500.0)
+        src = dev.gmem.alloc(4096)
+
+        def k(ctx, src):
+            for _ in range(4):
+                yield from ctx.tex_read([(src + 4 * l, 4) for l in ctx.lane_ids])
+
+        st = dev.launch(k, grid=1, block=32, args=(src,), uses_texture=True)
+        assert st.texture_hits > 0
+        assert st.texture_misses > 0
+        # Hits consumed no global transactions: far fewer than 4 warp reads.
+        assert st.global_transactions <= st.texture_misses
+
+    def test_texture_data_is_correct(self):
+        dev = make_device()
+        src = dev.gmem.alloc(64)
+        dev.gmem.write(src, b"texturecache!+.."[:16] * 4)
+        out = []
+
+        def k(ctx, src):
+            data = yield from ctx.tex_read([(src, 8)])
+            out.append(data[0])
+
+        dev.launch(k, grid=1, block=32, args=(src,), uses_texture=True)
+        assert out == [b"texturec"]
+
+
+class TestDeterminism:
+    def test_identical_runs_identical_cycles(self):
+        def run():
+            dev = make_device()
+            a = dev.gmem.alloc(4)
+
+            def k(ctx, a):
+                yield from ctx.atomic_add_global(a, 1)
+                yield from ctx.gread(a, 4)
+                yield from ctx.compute(10)
+
+            return dev.launch(k, grid=16, block=128, args=(a,)).cycles
+
+        assert run() == run()

@@ -1,0 +1,89 @@
+"""Property tests on engine-level invariants."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.gpu import Device, DeviceConfig
+
+
+class TestMonotonicity:
+    @given(st.integers(1, 12))
+    @settings(max_examples=10, deadline=None)
+    def test_more_compute_never_faster(self, n):
+        """Adding work to every warp cannot reduce kernel time."""
+
+        def run(rounds):
+            dev = Device(DeviceConfig.small(1))
+
+            def k(ctx):
+                for _ in range(rounds):
+                    yield from ctx.compute(100)
+
+            return dev.launch(k, grid=2, block=64).cycles
+
+        assert run(n + 1) >= run(n)
+
+    @given(st.integers(0, 6))
+    @settings(max_examples=10, deadline=None)
+    def test_more_blocks_never_faster(self, extra):
+        def run(grid):
+            dev = Device(DeviceConfig.small(1))
+            a = dev.gmem.alloc(4)
+
+            def k(ctx, a):
+                yield from ctx.atomic_add_global(a, 1)
+                yield from ctx.compute(200)
+
+            return dev.launch(k, grid=grid, block=32, args=(a,)).cycles
+
+        assert run(9 + extra) >= run(9) - 1e-9
+
+    def test_higher_latency_never_faster(self):
+        def run(lat):
+            dev = Device(DeviceConfig.small(1).with_timing(global_latency=lat))
+            src = dev.gmem.alloc(4096)
+
+            def k(ctx, src):
+                for i in range(8):
+                    yield from ctx.gread(src + 512 * i, 512)
+
+            return dev.launch(k, grid=1, block=32, args=(src,)).cycles
+
+        assert run(300.0) <= run(500.0) <= run(700.0)
+
+
+class TestConservation:
+    @given(st.integers(1, 8), st.integers(1, 4))
+    @settings(max_examples=10, deadline=None)
+    def test_instruction_count_exact(self, per_warp, n_warps):
+        dev = Device(DeviceConfig.small(1))
+
+        def k(ctx):
+            for _ in range(per_warp):
+                yield from ctx.compute(1)
+
+        stt = dev.launch(k, grid=1, block=32 * n_warps)
+        assert stt.compute_ops == per_warp * n_warps
+        assert stt.instructions == per_warp * n_warps
+
+    def test_bytes_moved_matches_requests(self):
+        dev = Device(DeviceConfig.small(1))
+        src = dev.gmem.alloc(8192)
+
+        def k(ctx, src):
+            yield from ctx.gread(src, 1000)
+            yield from ctx.gwrite(src, b"z" * 500)
+
+        stt = dev.launch(k, grid=1, block=32, args=(src,))
+        assert stt.global_bytes == 1000 + 500  # exactly the requested bytes
+
+    def test_stall_sum_vs_span(self):
+        """Total warp wait-time >= the kernel span for a serial warp."""
+        dev = Device(DeviceConfig.small(1))
+
+        def k(ctx):
+            yield from ctx.compute(1000)
+
+        stt = dev.launch(k, grid=1, block=32)
+        assert sum(stt.stall_cycles.values()) >= 1000

@@ -1,0 +1,156 @@
+"""Tests for WarpCtx helper operations not covered elsewhere."""
+
+import pytest
+
+from repro.gpu import Device, DeviceConfig
+from repro.gpu.instructions import Nop
+
+
+def make_device():
+    return Device(DeviceConfig.small(1))
+
+
+class TestScatteredOps:
+    def test_gwrite_scattered_moves_bytes(self):
+        dev = make_device()
+        dst = dev.gmem.alloc(1024)
+
+        def k(ctx, dst):
+            writes = [(dst + 100 * i, bytes([i]) * 10) for i in range(5)]
+            yield from ctx.gwrite_scattered(writes)
+
+        st = dev.launch(k, grid=1, block=32, args=(dst,))
+        for i in range(5):
+            assert dev.gmem.read(dst + 100 * i, 10) == bytes([i]) * 10
+        # 5 scattered 10-byte writes: one transaction each (or two if
+        # straddling), never coalesced into fewer than 5.
+        assert st.global_transactions >= 5
+
+    def test_gread_scattered_returns_data(self):
+        dev = make_device()
+        src = dev.gmem.alloc(256)
+        dev.gmem.write(src, bytes(range(256)))
+        got = {}
+
+        def k(ctx, src):
+            datas = yield from ctx.gread_scattered([(src + 7, 3), (src + 99, 2)])
+            got["d"] = datas
+
+        dev.launch(k, grid=1, block=32, args=(src,))
+        assert got["d"] == [bytes([7, 8, 9]), bytes([99, 100])]
+
+    def test_atomic_multi_returns_all_olds(self):
+        dev = make_device()
+        base = dev.gmem.alloc(12)
+        got = {}
+
+        def k(ctx, base):
+            olds = yield from ctx.atomic_add_global_multi(
+                [(base, 5), (base + 4, 7), (base + 8, 9)]
+            )
+            got.setdefault("olds", []).append(olds)
+
+        dev.launch(k, grid=1, block=64, args=(base,))
+        assert dev.gmem.read_u32(base) == 10
+        assert dev.gmem.read_u32(base + 4) == 14
+        assert dev.gmem.read_u32(base + 8) == 18
+        all_olds = sorted(got["olds"])
+        assert all_olds == [(0, 0, 0), (5, 7, 9)]
+
+    def test_multi_atomic_parallel_completion(self):
+        """Three independent counters complete in ~one round trip, not
+        three chained ones."""
+        dev_multi = make_device()
+        dev_chain = make_device()
+        b1 = dev_multi.gmem.alloc(12)
+        b2 = dev_chain.gmem.alloc(12)
+
+        def k_multi(ctx, b):
+            yield from ctx.atomic_add_global_multi(
+                [(b, 1), (b + 4, 1), (b + 8, 1)]
+            )
+
+        def k_chain(ctx, b):
+            for off in (0, 4, 8):
+                yield from ctx.atomic_add_global(b + off, 1)
+
+        tm = dev_multi.launch(k_multi, grid=1, block=32, args=(b1,)).cycles
+        tc = dev_chain.launch(k_chain, grid=1, block=32, args=(b2,)).cycles
+        assert tm < 0.6 * tc
+
+
+class TestMiscOps:
+    def test_nop_costs_nothing_extra(self):
+        dev = make_device()
+
+        def k(ctx):
+            yield Nop()
+            yield from ctx.compute(10)
+
+        st = dev.launch(k, grid=1, block=32)
+        assert st.instructions == 2
+
+    def test_fence_counted(self):
+        dev = make_device()
+
+        def k(ctx):
+            yield from ctx.fence_block()
+
+        st = dev.launch(k, grid=1, block=32)
+        assert st.fences == 1
+
+    def test_count_helper(self):
+        dev = make_device()
+
+        def k(ctx):
+            ctx.count("custom_events", 3)
+            yield from ctx.compute(1)
+
+        st = dev.launch(k, grid=1, block=64)
+        assert st.extra["custom_events"] == 6  # both warps
+
+    def test_identity_properties(self):
+        dev = make_device()
+        seen = {}
+
+        def k(ctx):
+            seen[(ctx.block_id, ctx.warp_id)] = (
+                ctx.global_warp_id, ctx.warps_per_block,
+                len(list(ctx.lane_ids)),
+            )
+            yield from ctx.compute(1)
+
+        dev.launch(k, grid=3, block=64)
+        assert seen[(2, 1)] == (5, 2, 32)
+
+    def test_stouch_with_bank_pattern(self):
+        dev = make_device()
+
+        def k(ctx):
+            # 16-way conflict: lane i touches word i*16.
+            addrs = [i * 16 * 4 for i in range(16)]
+            yield from ctx.stouch(64, word_addrs=addrs)
+
+        st = dev.launch(k, grid=1, block=32, smem_bytes=4096)
+        t = DeviceConfig.small(1).timing
+        expected = t.shared_latency + 15 * t.bank_conflict_penalty
+        assert st.cycles >= expected
+
+
+class TestMemoryViews:
+    def test_labelled_regions_roundtrip(self):
+        dev = make_device()
+        a = dev.gmem.alloc(100, label="mybuf")
+        addr, size = dev.gmem.region("mybuf")
+        assert (addr, size) == (a, 100)
+
+    def test_view_reflects_kernel_writes(self):
+        dev = make_device()
+        a = dev.gmem.alloc(16)
+        v = dev.gmem.view(a, 16)
+
+        def k(ctx, a):
+            yield from ctx.gwrite(a, b"ABCDEFGHIJKLMNOP")
+
+        dev.launch(k, grid=1, block=32, args=(a,))
+        assert bytes(v) == b"ABCDEFGHIJKLMNOP"

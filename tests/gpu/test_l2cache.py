@@ -1,0 +1,144 @@
+"""Tests for the Fermi-style L2 cache extension (paper Section VI)."""
+
+import pytest
+
+from repro.framework import MemoryMode
+from repro.gpu import Device, DeviceConfig
+from repro.gpu.interconnect import MemorySystem
+from repro.gpu.l2cache import L2Cache
+
+
+class TestL2Model:
+    def make(self, **kw):
+        defaults = dict(capacity=4096, line_bytes=128, ways=2, hit_latency=100)
+        defaults.update(kw)
+        return L2Cache(**defaults), MemorySystem(latency=500, service=0.5)
+
+    def test_miss_then_hit(self):
+        l2, mem = self.make()
+        t1 = l2.access_read(mem, 0.0, [(0, 64)])
+        assert t1 > 400  # DRAM fill
+        t2 = l2.access_read(mem, 0.0, [(0, 64)])
+        assert t2 == pytest.approx(100)  # L2 hit
+        assert l2.hits == 1 and l2.misses == 1
+
+    def test_hits_save_dram_bandwidth(self):
+        l2, mem = self.make()
+        l2.access_read(mem, 0.0, [(0, 128)])
+        before = mem.transactions
+        l2.access_read(mem, 0.0, [(0, 128)])
+        assert mem.transactions == before
+
+    def test_lru_eviction(self):
+        l2, mem = self.make(capacity=256, ways=1)  # 2 sets x 1 way
+        l2.access_read(mem, 0.0, [(0, 1)])       # line 0 -> set 0
+        l2.access_read(mem, 0.0, [(256, 1)])     # line 2 -> set 0, evicts
+        t = l2.access_read(mem, 0.0, [(0, 1)])
+        assert t > 400  # miss again
+        assert l2.hit_rate < 0.5
+
+    def test_write_through_allocates(self):
+        l2, mem = self.make()
+        l2.access_write(mem, 0.0, [(0, 64)], ntxn=1, nbytes=64)
+        t = l2.access_read(mem, 0.0, [(0, 64)])
+        assert t == pytest.approx(100)
+
+    def test_empty_ranges(self):
+        l2, mem = self.make()
+        assert l2.access_read(mem, 5.0, [(0, 0)]) == 5.0
+
+
+class TestFermiConfig:
+    def test_preset_shape(self):
+        cfg = DeviceConfig.fermi()
+        assert cfg.l2_cache_bytes == 768 * 1024
+        assert cfg.shared_mem_per_mp == 48 * 1024
+        assert cfg.mp_count == 14
+
+    def test_gt200_has_no_l2(self):
+        assert DeviceConfig.gtx280().l2_cache_bytes == 0
+
+    def test_repeated_reads_cheaper_on_fermi(self):
+        """The future-work hypothesis: a global-memory cache absorbs
+        re-reads that GT200 pays full price for."""
+
+        def run(cfg):
+            dev = Device(cfg)
+            src = dev.gmem.alloc(4096)
+
+            def k(ctx, src):
+                for _ in range(16):
+                    yield from ctx.gread(src, 1024)  # same kilobyte
+
+            return dev.launch(k, grid=1, block=32, args=(src,)).cycles
+
+        gt200 = run(DeviceConfig.small(1))
+        fermi_cfg = DeviceConfig.fermi()
+        from dataclasses import replace
+
+        fermi = run(replace(fermi_cfg, mp_count=1))
+        assert fermi < gt200
+
+    def test_l2_counters_in_stats(self):
+        dev = Device(DeviceConfig.fermi())
+        src = dev.gmem.alloc(1024)
+
+        def k(ctx, src):
+            yield from ctx.gread(src, 512)
+            yield from ctx.gread(src, 512)
+
+        st = dev.launch(k, grid=1, block=32, args=(src,))
+        assert st.extra["l2_hits"] > 0
+        assert st.extra["l2_misses"] > 0
+
+
+class TestFrameworkOnFermi:
+    def test_wordcount_runs_on_fermi(self):
+        """The whole framework runs unchanged on the Fermi config —
+        the paper's portability goal."""
+        import struct
+
+        from repro.framework import (
+            KeyValueSet,
+            MapReduceSpec,
+            ReduceStrategy,
+            run_job,
+        )
+
+        def wc_map(key, value, emit, const):
+            for w in key.to_bytes().split(b" "):
+                if w:
+                    emit(w, struct.pack("<I", 1))
+
+        def wc_reduce(key, values, emit, const):
+            emit(key.to_bytes(), struct.pack("<I", sum(v.u32() for v in values)))
+
+        spec = MapReduceSpec(name="fermi_wc", map_record=wc_map,
+                             reduce_record=wc_reduce)
+        inp = KeyValueSet([(b"x y x", struct.pack("<I", i)) for i in range(64)])
+        res = run_job(spec, inp, mode=MemoryMode.SIO,
+                      strategy=ReduceStrategy.TR,
+                      config=DeviceConfig.fermi(), threads_per_block=128)
+        got = dict(list(res.output))
+        assert got[b"x"] == struct.pack("<I", 128)
+        assert got[b"y"] == struct.pack("<I", 64)
+
+    def test_g_mode_gap_narrows_with_cache(self):
+        """With an L2 absorbing re-reads, the G-vs-SI gap shrinks for
+        a scan-heavy workload (the architectural trend that made
+        Mars-style frameworks obsolete)."""
+        from repro.analysis.figures import run_map_kernel
+        from repro.workloads import InvertedIndex
+
+        ii = InvertedIndex()
+        g_gt200 = run_map_kernel(ii, MemoryMode.G, size="small",
+                                 config=DeviceConfig.gtx280(), scale=0.5)
+        si_gt200 = run_map_kernel(ii, MemoryMode.SI, size="small",
+                                  config=DeviceConfig.gtx280(), scale=0.5)
+        g_fermi = run_map_kernel(ii, MemoryMode.G, size="small",
+                                 config=DeviceConfig.fermi(), scale=0.5)
+        si_fermi = run_map_kernel(ii, MemoryMode.SI, size="small",
+                                  config=DeviceConfig.fermi(), scale=0.5)
+        gap_gt200 = g_gt200.cycles / si_gt200.cycles
+        gap_fermi = g_fermi.cycles / si_fermi.cycles
+        assert gap_fermi < gap_gt200

@@ -1,0 +1,84 @@
+"""Tests for the stall-breakdown profiler."""
+
+import pytest
+
+from repro.analysis.figures import run_map_kernel
+from repro.framework.modes import MemoryMode
+from repro.gpu import Device, DeviceConfig
+from repro.gpu.stats import KernelStats
+from repro.workloads import WordCount
+
+
+class TestStallAccounting:
+    def test_compute_only_kernel(self):
+        dev = Device(DeviceConfig.small(1))
+
+        def k(ctx):
+            yield from ctx.compute(100)
+
+        st = dev.launch(k, grid=1, block=32)
+        assert st.stall_cycles["compute"] == pytest.approx(100)
+        assert st.stall_breakdown() == {"compute": 1.0}
+
+    def test_categories_present(self):
+        dev = Device(DeviceConfig.small(1))
+        a = dev.gmem.alloc(256)
+
+        def k(ctx, a):
+            yield from ctx.gread(a, 128)
+            yield from ctx.gwrite(a, b"x" * 64)
+            yield from ctx.atomic_add_global(a + 128, 1)
+            yield from ctx.swrite(0, b"y" * 16)
+            yield from ctx.barrier()
+
+        st = dev.launch(k, grid=1, block=64, smem_bytes=64, args=(a,))
+        for cat in ("global_read", "global_write", "atomic", "shared",
+                    "barrier"):
+            assert cat in st.stall_cycles, cat
+        frac = st.stall_breakdown()
+        assert sum(frac.values()) == pytest.approx(1.0)
+
+    def test_barrier_wait_measures_straggler(self):
+        dev = Device(DeviceConfig.small(1))
+
+        def k(ctx):
+            if ctx.warp_id == 0:
+                yield from ctx.compute(10_000)
+            yield from ctx.barrier()
+
+        st = dev.launch(k, grid=1, block=128)
+        # 3 warps wait ~10K cycles each for warp 0.
+        assert st.stall_cycles["barrier"] > 25_000
+
+    def test_merge_adds_stalls(self):
+        a = KernelStats()
+        a.stall("compute", 10.0)
+        b = KernelStats()
+        b.stall("compute", 5.0)
+        b.stall("atomic", 2.0)
+        m = a.merge(b)
+        assert m.stall_cycles == {"compute": 15.0, "atomic": 2.0}
+
+    def test_empty_breakdown(self):
+        assert KernelStats().stall_breakdown() == {}
+
+
+class TestModeProfiles:
+    """The profiler must tell the paper's story by itself."""
+
+    def test_g_mode_wc_is_atomic_dominated(self):
+        st = run_map_kernel(WordCount(), MemoryMode.G, size="small",
+                            config=DeviceConfig.gtx280())
+        frac = st.stall_breakdown()
+        assert frac["atomic"] > 0.3
+        assert frac["atomic"] > frac.get("shared", 0)
+
+    def test_sio_mode_wc_shifts_waits_off_atomics(self):
+        g = run_map_kernel(WordCount(), MemoryMode.G, size="small",
+                           config=DeviceConfig.gtx280())
+        sio = run_map_kernel(WordCount(), MemoryMode.SIO, size="small",
+                             config=DeviceConfig.gtx280())
+        assert (
+            sio.stall_cycles.get("atomic", 0.0)
+            < 0.2 * g.stall_cycles["atomic"]
+        )

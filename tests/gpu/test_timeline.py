@@ -1,0 +1,102 @@
+"""Tests for the per-warp timeline tracer."""
+
+import pytest
+
+from repro.gpu import Device, DeviceConfig, Timeline
+
+
+def make_device():
+    return Device(DeviceConfig.small(1))
+
+
+class TestTimeline:
+    def test_records_events(self):
+        dev = make_device()
+        tl = Timeline()
+        a = dev.gmem.alloc(256)
+
+        def k(ctx, a):
+            yield from ctx.compute(50)
+            yield from ctx.gread(a, 128)
+
+        dev.launch(k, grid=1, block=64, args=(a,), timeline=tl)
+        cats = {e.category for e in tl.events}
+        assert "compute" in cats and "global_read" in cats
+        assert len(tl.lanes()) == 2  # two warps
+
+    def test_span_and_durations(self):
+        dev = make_device()
+        tl = Timeline()
+
+        def k(ctx):
+            yield from ctx.compute(100)
+
+        dev.launch(k, grid=1, block=32, timeline=tl)
+        lo, hi = tl.span()
+        assert hi - lo >= 100
+        assert all(e.duration > 0 for e in tl.events)
+
+    def test_block_filter(self):
+        dev = make_device()
+        tl = Timeline(blocks={1})
+
+        def k(ctx):
+            yield from ctx.compute(10)
+
+        dev.launch(k, grid=4, block=32, timeline=tl)
+        assert {e.block for e in tl.events} == {1}
+
+    def test_busy_and_utilisation(self):
+        dev = make_device()
+        tl = Timeline()
+
+        def k(ctx):
+            if ctx.warp_id == 0:
+                yield from ctx.compute(1000)
+            yield from ctx.barrier()
+
+        dev.launch(k, grid=1, block=64, timeline=tl)
+        busy0 = tl.busy_cycles(0, 0)
+        assert busy0["compute"] == pytest.approx(1000)
+        # Warp 1 spent nearly the whole launch at the barrier.
+        busy1 = tl.busy_cycles(0, 1)
+        assert busy1["barrier"] > 900
+        assert 0.0 < tl.utilisation(0, 0) <= 1.0
+
+    def test_render_gantt(self):
+        dev = make_device()
+        tl = Timeline()
+        a = dev.gmem.alloc(64)
+
+        def k(ctx, a):
+            yield from ctx.compute(200)
+            yield from ctx.atomic_add_global(a, 1)
+
+        dev.launch(k, grid=1, block=64, args=(a,), timeline=tl)
+        art = tl.render(width=60)
+        assert "b000w00" in art and "b000w01" in art
+        assert "#" in art  # compute glyph
+        assert "A" in art  # atomic glyph
+
+    def test_empty_render(self):
+        assert Timeline().render() == "(empty timeline)"
+
+    def test_helper_warp_polls_are_visible(self):
+        """The framework's parked helpers show up as poll glyphs."""
+        from repro.framework import DeviceRecordSet, KeyValueSet, MemoryMode
+        from repro.framework.map_engine import build_map_runtime, map_kernel
+        from repro.framework.api import MapReduceSpec
+
+        dev = make_device()
+        tl = Timeline(blocks={0})
+        spec = MapReduceSpec(
+            name="t", map_record=lambda k, v, e, c: e(k.to_bytes(), b"1")
+        )
+        inp = KeyValueSet([(b"record%03d" % i, b"") for i in range(64)])
+        d_in = DeviceRecordSet.upload(dev.gmem, inp)
+        rt = build_map_runtime(dev, spec, MemoryMode.SIO, d_in,
+                               threads_per_block=128)
+        dev.launch(map_kernel, grid=rt.grid, block=128,
+                   smem_bytes=rt.layout.smem_bytes, args=(rt,), timeline=tl)
+        polls = [e for e in tl.events if e.category == "poll"]
+        assert polls  # helpers were parked at some point

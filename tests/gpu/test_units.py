@@ -1,0 +1,159 @@
+"""Tests for the atomic unit, memory system, banks and texture cache."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.gpu.atomics import AtomicUnit
+from repro.gpu.banks import conflict_degree, strided_conflict_degree
+from repro.gpu.interconnect import MemorySystem
+from repro.gpu.texture import TextureCache, TextureCoherenceError
+
+
+class TestAtomicUnit:
+    def test_uncontended_atomic_costs_latency_plus_service(self):
+        u = AtomicUnit(latency=500, service=24)
+        done = u.request(addr=0, t_issue=0.0)
+        assert done == pytest.approx(500 + 24)
+        assert u.conflicts == 0
+
+    def test_same_address_serialises(self):
+        u = AtomicUnit(latency=500, service=24)
+        d1 = u.request(0, 0.0)
+        d2 = u.request(0, 0.0)
+        assert d2 == pytest.approx(d1 + 24)
+        assert u.conflicts == 1
+        assert u.queue_cycles > 0
+
+    def test_different_addresses_parallel(self):
+        u = AtomicUnit(latency=500, service=24)
+        d1 = u.request(0, 0.0)
+        d2 = u.request(64, 0.0)
+        assert d1 == d2
+        assert u.conflicts == 0
+
+    def test_contention_grows_linearly(self):
+        """N conflicting atomics take ~N * service — the bottleneck
+        behind the paper's G-mode Word Count results."""
+        u = AtomicUnit(latency=500, service=24)
+        last = 0.0
+        for _ in range(100):
+            last = u.request(0, 0.0)
+        assert last == pytest.approx(500 + 100 * 24)
+
+    def test_reset(self):
+        u = AtomicUnit()
+        u.request(0, 0.0)
+        u.reset()
+        assert u.ops == 0 and u.conflicts == 0
+
+    @given(st.lists(st.tuples(st.integers(0, 3), st.floats(0, 1e6)), max_size=50))
+    def test_completion_monotone_per_address(self, reqs):
+        u = AtomicUnit()
+        seen: dict[int, float] = {}
+        for addr, t in reqs:
+            done = u.request(addr, t)
+            assert done > t
+            if addr in seen:
+                assert done > seen[addr]
+            seen[addr] = done
+
+
+class TestMemorySystem:
+    def test_idle_read_costs_latency(self):
+        m = MemorySystem(latency=500, service=0.5)
+        assert m.request_read(0.0, 1, 64) == pytest.approx(500.5)
+
+    def test_write_is_posted(self):
+        m = MemorySystem(latency=500, service=0.5)
+        done = m.request_write(0.0, 4, 256)
+        assert done == pytest.approx(2.0)  # queue admission only
+
+    def test_bandwidth_queueing_under_load(self):
+        m = MemorySystem(latency=500, service=1.0)
+        m.request_read(0.0, 1000, 64000)
+        done = m.request_read(0.0, 1, 64)
+        # The second request queues behind 1000 transactions.
+        assert done == pytest.approx(1000 + 1 + 500)
+        assert m.queue_cycles > 0
+
+    def test_zero_transactions_free(self):
+        m = MemorySystem()
+        assert m.request_read(7.0, 0, 0) == 7.0
+
+    def test_counters(self):
+        m = MemorySystem()
+        m.request_read(0.0, 3, 192)
+        m.request_write(0.0, 2, 128)
+        assert m.transactions == 5
+        assert m.bytes_moved == 320
+        m.reset()
+        assert m.transactions == 0
+
+
+class TestBanks:
+    def test_sequential_words_conflict_free(self):
+        assert strided_conflict_degree(1) == 1
+
+    def test_stride_two_is_two_way(self):
+        assert strided_conflict_degree(2) == 2
+
+    def test_stride_sixteen_worst_case(self):
+        assert strided_conflict_degree(16) == 16
+
+    def test_odd_strides_conflict_free(self):
+        for stride in (1, 3, 5, 7, 9, 15):
+            assert strided_conflict_degree(stride) == 1
+
+    def test_broadcast_is_free(self):
+        assert conflict_degree([128] * 16) == 1
+
+    def test_empty(self):
+        assert conflict_degree([]) == 1
+
+
+class TestTextureCache:
+    def test_miss_then_hit(self):
+        t = TextureCache(capacity=1024, line_bytes=32, ways=4)
+        assert t.access(0, 4) == (0, 1)
+        assert t.access(0, 4) == (1, 0)
+        assert t.access(4, 4) == (1, 0)  # same line
+        assert t.hit_rate == pytest.approx(2 / 3)
+
+    def test_capacity_eviction_lru(self):
+        # 1 set x 2 ways: third distinct line evicts the oldest.
+        t = TextureCache(capacity=64, line_bytes=32, ways=2)
+        t.access(0, 4)
+        t.access(32, 4)
+        t.access(64, 4)  # evicts line 0
+        assert t.access(0, 4) == (0, 1)
+
+    def test_multi_line_access(self):
+        t = TextureCache(capacity=1024, line_bytes=32, ways=4)
+        hits, misses = t.access(0, 100)  # 4 lines
+        assert (hits, misses) == (0, 4)
+
+    def test_coherence_violation_detected(self):
+        """Mirrors why the paper cannot run GT-mode BR kernels: the
+        texture cache is not coherent with same-kernel global writes."""
+        t = TextureCache()
+        t.note_global_write(100, 4)
+        with pytest.raises(TextureCoherenceError):
+            t.access(100, 4)
+
+    def test_non_strict_mode_allows_stale_reads(self):
+        t = TextureCache(strict_coherence=False)
+        t.note_global_write(100, 4)
+        t.access(100, 4)  # no raise
+
+    def test_reset(self):
+        t = TextureCache()
+        t.access(0, 4)
+        t.note_global_write(0, 4)
+        t.reset()
+        assert t.hits == 0 and t.misses == 0
+        t.access(0, 4)  # dirty set cleared: no raise
+
+    def test_zero_size_access(self):
+        t = TextureCache()
+        assert t.access(0, 0) == (0, 0)

@@ -1,0 +1,153 @@
+"""Failure-injection tests: the system must fail loudly and cleanly.
+
+A simulator that silently produces wrong numbers is worse than one
+that crashes; these tests inject faults at awkward points (mid-flush,
+mid-staging, capacity edges) and assert the error surfaces as the
+right exception type with a useful message — never a hang, never
+corrupted output that looks plausible.
+"""
+
+import struct
+
+import pytest
+
+from repro.errors import (
+    DeadlockError,
+    FrameworkError,
+    KernelFault,
+    LaunchError,
+)
+from repro.framework import (
+    KeyValueSet,
+    MapReduceSpec,
+    MemoryMode,
+    ReduceStrategy,
+    run_job,
+)
+from repro.gpu import Device, DeviceConfig
+
+CFG = DeviceConfig.small(2)
+
+
+def make_input(n=60):
+    return KeyValueSet(
+        [(f"rec{i:03d}".encode(), struct.pack("<I", i)) for i in range(n)]
+    )
+
+
+class TestUserCodeFaults:
+    def test_map_fn_exception_becomes_kernel_fault(self):
+        def bad_map(key, value, emit, const):
+            if key.to_bytes() == b"rec037":
+                raise RuntimeError("injected map failure")
+            emit(key.to_bytes(), b"x")
+
+        spec = MapReduceSpec(name="bad", map_record=bad_map)
+        with pytest.raises(KernelFault, match="injected map failure"):
+            run_job(spec, make_input(), mode=MemoryMode.SIO, config=CFG)
+
+    def test_reduce_fn_exception_becomes_kernel_fault(self):
+        def ok_map(key, value, emit, const):
+            emit(b"k", b"v")
+
+        def bad_reduce(key, values, emit, const):
+            raise ValueError("injected reduce failure")
+
+        spec = MapReduceSpec(name="badr", map_record=ok_map,
+                             reduce_record=bad_reduce)
+        with pytest.raises(KernelFault, match="injected reduce failure"):
+            run_job(spec, make_input(), mode=MemoryMode.G,
+                    strategy=ReduceStrategy.TR, config=CFG)
+
+    def test_emit_non_bytes_fails(self):
+        def typo_map(key, value, emit, const):
+            emit("not-bytes", b"v")  # a str, not bytes
+
+        spec = MapReduceSpec(name="typo", map_record=typo_map)
+        with pytest.raises((KernelFault, TypeError)):
+            run_job(spec, make_input(), mode=MemoryMode.G, config=CFG)
+
+    def test_fault_during_staged_emission(self):
+        """Blow up after some emissions landed in the smem output
+        area: the launch must abort, not deadlock on the helpers."""
+        state = {"n": 0}
+
+        def flaky_map(key, value, emit, const):
+            emit(key.to_bytes() * 3, b"payload" * 4)
+            state["n"] += 1
+            if state["n"] == 40:
+                raise RuntimeError("mid-collection fault")
+
+        spec = MapReduceSpec(name="flaky", map_record=flaky_map)
+        with pytest.raises(KernelFault, match="mid-collection fault"):
+            run_job(spec, make_input(), mode=MemoryMode.SO, config=CFG)
+
+
+class TestCapacityEdges:
+    def test_output_capacity_exhaustion_is_detected(self):
+        def amplify_map(key, value, emit, const):
+            for i in range(64):
+                emit(key.to_bytes() + bytes([i]), b"y" * 64)
+
+        # out_bytes_factor far too small for 64x amplification.
+        spec = MapReduceSpec(name="amp", map_record=amplify_map,
+                             out_bytes_factor=0.5, out_records_factor=0.5)
+        with pytest.raises((KernelFault, FrameworkError), match="overflow"):
+            run_job(spec, make_input(), mode=MemoryMode.G, config=CFG)
+
+    def test_record_bigger_than_input_area(self):
+        spec = MapReduceSpec(
+            name="huge", map_record=lambda k, v, e, c: e(b"k", b"v")
+        )
+        inp = KeyValueSet([(b"x" * 15000, b"")])
+        with pytest.raises(FrameworkError, match="input area"):
+            run_job(spec, inp, mode=MemoryMode.SI, config=CFG)
+
+    def test_warp_result_bigger_than_output_area(self):
+        def monster_map(key, value, emit, const):
+            emit(b"k" * 8000, b"")
+
+        spec = MapReduceSpec(name="monster", map_record=monster_map)
+        with pytest.raises(KernelFault, match="output area"):
+            run_job(spec, make_input(), mode=MemoryMode.SO, config=CFG,
+                    threads_per_block=64)
+
+
+class TestSchedulerEdges:
+    def test_max_cycles_guards_runaway_kernels(self):
+        dev = Device(CFG)
+
+        def runaway(ctx):
+            while True:
+                yield from ctx.compute(1000)
+
+        with pytest.raises(DeadlockError, match="max_cycles"):
+            dev.launch(runaway, grid=1, block=32, max_cycles=1e6)
+
+    def test_zero_smem_launch_with_staging_rejected(self):
+        """Staged modes cannot run without their smem layout."""
+        spec = MapReduceSpec(
+            name="x", map_record=lambda k, v, e, c: e(b"k", b"v"),
+            working_bytes_per_thread=4096,  # overflows 16 KB at 128 thr
+        )
+        from repro.errors import ConfigError
+
+        with pytest.raises((FrameworkError, LaunchError, ConfigError)):
+            run_job(spec, make_input(), mode=MemoryMode.SIO, config=CFG)
+
+    def test_gmem_state_remains_usable_after_fault(self):
+        """A failed launch must not poison the device for later jobs."""
+        dev = Device(CFG)
+
+        def bad(ctx):
+            yield from ctx.compute(1)
+            raise RuntimeError("boom")
+
+        with pytest.raises(KernelFault):
+            dev.launch(bad, grid=1, block=32)
+
+        spec = MapReduceSpec(
+            name="after", map_record=lambda k, v, e, c: e(k.to_bytes(), b"1")
+        )
+        res = run_job(spec, make_input(10), mode=MemoryMode.G, device=dev)
+        assert len(res.output) == 10

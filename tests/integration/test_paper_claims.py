@@ -1,0 +1,211 @@
+"""Integration tests asserting the paper's *qualitative* claims.
+
+These are the reproduction's success criteria (DESIGN.md section 5):
+each test runs a scaled-down version of an evaluation experiment and
+asserts the directional result the paper reports — who wins, where the
+benefit comes from — not absolute numbers.
+"""
+
+import pytest
+
+from repro.analysis.figures import (
+    fig5_map_sweep,
+    fig5_reduce_sweep,
+    fig7_speedup_over_mars,
+    fig8_yield_sweep,
+    run_map_kernel,
+)
+from repro.framework.modes import MemoryMode, ReduceStrategy
+from repro.gpu import DeviceConfig
+from repro.workloads import (
+    InvertedIndex,
+    KMeans,
+    MatrixMultiplication,
+    StringMatch,
+    WordCount,
+)
+
+#: Full-size device: contention effects need the real MP count.
+GTX = DeviceConfig.gtx280()
+
+
+@pytest.fixture(scope="module")
+def wc_sweep():
+    return fig5_map_sweep(WordCount(), size="medium", config=GTX,
+                          block_sizes=(64, 128, 256))
+
+
+@pytest.fixture(scope="module")
+def ii_sweep():
+    return fig5_map_sweep(InvertedIndex(), size="small", config=GTX,
+                          block_sizes=(128,))
+
+
+@pytest.fixture(scope="module")
+def km_sweep():
+    # KM's contention effects need the large vector count.
+    return fig5_map_sweep(KMeans(), size="large", config=GTX,
+                          block_sizes=(256,))
+
+
+class TestMapClaims:
+    def test_wc_output_staging_wins_big(self, wc_sweep):
+        """Section IV-D: for WC, SO brings > 2x over G (atomic
+        contention relief)."""
+        assert wc_sweep.speedup("SO", "G", 128) > 2.0
+
+    def test_wc_sio_best_or_close(self, wc_sweep):
+        best = wc_sweep.best_mode(128)
+        assert best in ("SIO", "SO")
+        assert wc_sweep.speedup("SIO", "G", 128) > 2.0
+
+    def test_wc_g_does_not_scale_with_block_size(self, wc_sweep):
+        """'both G and SI produce longer Map execution time when the
+        number of threads per block increases, while SO and SIO
+        benefit' — G must not improve markedly from 64 to 256."""
+        g = wc_sweep.series["G"]
+        assert g[2] > 0.85 * g[0]
+
+    def test_wc_sio_improves_with_block_size(self, wc_sweep):
+        sio = wc_sweep.series["SIO"]
+        assert sio[2] < sio[0]
+
+    def test_ii_staged_input_dominates(self, ii_sweep):
+        """'II benefits significantly and solely from staging input.'"""
+        assert ii_sweep.speedup("SI", "G", 128) > 2.0
+        assert ii_sweep.speedup("SIO", "G", 128) > 2.0
+        # SO alone gives II little (may even hurt).
+        assert ii_sweep.speedup("SO", "G", 128) < 1.5
+
+    def test_km_needs_both(self, km_sweep):
+        """'only by combining SO and SI can we receive a significant
+        improvement' for KMeans: SO alone gives nothing, SIO is a
+        clear winner.  (Deviation noted in EXPERIMENTS.md: in our
+        simulator SI alone already captures most of the input-locality
+        gain, whereas the paper's SI-alone benefit was muted.)"""
+        sio_gain = km_sweep.speedup("SIO", "G", 256)
+        so_gain = km_sweep.speedup("SO", "G", 256)
+        assert sio_gain > 1.5
+        assert so_gain < 1.2          # SO alone: no real benefit
+        assert sio_gain > 2 * so_gain  # the combination is the winner
+
+    def test_mm_modes_are_close(self):
+        """MM 'reads data anyway from global memory, bringing the four
+        modes closer in performance' (within ~2x of each other)."""
+        res = fig5_map_sweep(MatrixMultiplication(), size="medium",
+                             config=GTX, block_sizes=(128,))
+        vals = [res.series[m][0] for m in ("G", "SI", "SO", "SIO")]
+        assert max(vals) / min(vals) < 2.0
+
+    def test_mm_gt_beats_si(self):
+        """'MM-M's GT mode shows superior performance over SI because
+        ... vectors can be cached' in the texture cache."""
+        res = fig5_map_sweep(MatrixMultiplication(), size="medium",
+                             config=GTX, block_sizes=(128,),
+                             modes=(MemoryMode.GT, MemoryMode.SI))
+        assert res.series["GT"][0] < res.series["SI"][0]
+
+    def test_average_sio_speedup_in_paper_band(self, wc_sweep, ii_sweep,
+                                               km_sweep):
+        """Paper: SIO averages 2.85x over G (max 7.5x).  Demand the
+        average across our workloads lands in a generous 1.5-8x band."""
+        sm = fig5_map_sweep(StringMatch(), size="medium", config=GTX,
+                            block_sizes=(128,))
+        gains = [
+            wc_sweep.speedup("SIO", "G", 128),
+            ii_sweep.speedup("SIO", "G", 128),
+            km_sweep.speedup("SIO", "G", 256),
+            sm.speedup("SIO", "G", 128),
+        ]
+        avg = sum(gains) / len(gains)
+        assert 1.5 < avg < 8.0
+
+
+class TestReduceClaims:
+    @pytest.fixture(scope="class")
+    def km_br(self):
+        return fig5_reduce_sweep(KMeans(), ReduceStrategy.BR, size="medium",
+                                 config=GTX, block_sizes=(128,))
+
+    @pytest.fixture(scope="class")
+    def wc_tr(self):
+        return fig5_reduce_sweep(WordCount(), ReduceStrategy.TR, size="small",
+                                 config=GTX, block_sizes=(128,))
+
+    def test_km_br_staged_input_wins(self, km_br):
+        """Section IV-E: KM-BR SI ~2.25x over G (wide vectors span
+        many segments under G)."""
+        g = km_br.series["G"][0]
+        si = km_br.series["SI"][0]
+        assert g / si > 1.4
+
+    def test_so_never_helps_reduce(self, km_br, wc_tr):
+        """'The benefit of staging output through shared memory cannot
+        offset its overhead' for Reduce: SO gives no real gain over G
+        (strictly worse for TR; within noise for BR, where our
+        collective-flush variant overlaps slightly differently)."""
+        assert km_br.series["SO"][0] >= 0.9 * km_br.series["G"][0]
+        assert wc_tr.series["SO"][0] >= wc_tr.series["G"][0]
+
+    def test_tr_vs_br_by_keyset_shape(self):
+        """'BR works better for KM (few large key sets), TR for WC
+        (many small ones).'"""
+        km_tr = fig5_reduce_sweep(KMeans(), ReduceStrategy.TR, size="medium",
+                                  config=GTX, block_sizes=(128,),
+                                  modes=(MemoryMode.G,))
+        km_br = fig5_reduce_sweep(KMeans(), ReduceStrategy.BR, size="medium",
+                                  config=GTX, block_sizes=(128,),
+                                  modes=(MemoryMode.G,))
+        assert km_br.series["G"][0] < km_tr.series["G"][0]
+
+        # "TR achieves more parallelism with WC across key sets": it
+        # needs a key-set population larger than the device's block
+        # slots, so use the vocabulary-rich WC configuration (the
+        # paper's 64 MB corpus has 10,000s of distinct words).
+        rich_wc = WordCount(vocabulary_size=8192)
+        wc_tr = fig5_reduce_sweep(rich_wc, ReduceStrategy.TR, size="small",
+                                  config=GTX, block_sizes=(128,),
+                                  modes=(MemoryMode.G,))
+        wc_br = fig5_reduce_sweep(rich_wc, ReduceStrategy.BR, size="small",
+                                  config=GTX, block_sizes=(128,),
+                                  modes=(MemoryMode.G,))
+        assert wc_tr.series["G"][0] < wc_br.series["G"][0]
+
+
+class TestMarsClaims:
+    def test_wc_g_map_loses_to_mars(self):
+        """Figure 7: 'negative speedup in WC and SM ... the two-pass
+        running is better' when atomics bottleneck the single pass."""
+        rows = fig7_speedup_over_mars(WordCount(), size="small", config=GTX)
+        map_row = next(r for r in rows if r.phase == "map")
+        assert map_row.speedups["G"] < 1.0
+
+    def test_wc_sio_map_beats_mars(self):
+        rows = fig7_speedup_over_mars(WordCount(), size="small", config=GTX)
+        map_row = next(r for r in rows if r.phase == "map")
+        assert 1.3 < map_row.speedups["SIO"] < 6.0
+
+    def test_g_reduce_beats_mars(self):
+        """'The G mode also delivers better performance for the two
+        Reduce kernels, compared to Mars.'"""
+        rows = fig7_speedup_over_mars(WordCount(), size="small", config=GTX)
+        red_row = next(r for r in rows if r.phase == "reduce")
+        assert red_row.speedups["G"] > 1.0
+
+    def test_ii_si_map_beats_mars(self):
+        rows = fig7_speedup_over_mars(InvertedIndex(), size="small",
+                                      config=GTX)
+        map_row = next(r for r in rows if r.phase == "map")
+        assert map_row.speedups["SI"] > 1.5
+
+
+class TestYieldClaims:
+    def test_yield_helps_at_large_blocks(self):
+        """Figure 8: the benefit appears at >= 128 threads/block and
+        the improvement lies in roughly the -1.2%..13% band (we allow
+        a wider band: poll costs are model-scaled)."""
+        rows = fig8_yield_sweep(WordCount(), size="medium", config=GTX,
+                                block_sizes=(128, 256))
+        for r in rows:
+            assert r.improvement_pct > -10.0
+        assert max(r.improvement_pct for r in rows) > 0.0

@@ -1,0 +1,87 @@
+"""Direct unit tests for the Mars count pass."""
+
+import struct
+
+import pytest
+
+from repro.framework import DeviceRecordSet, KeyValueSet, MemoryMode
+from repro.framework.api import MapReduceSpec
+from repro.framework.map_engine import build_map_runtime
+from repro.gpu import Device, DeviceConfig
+from repro.mars.count_pass import CountArrays, MarsCountRuntime, mars_map_count_kernel
+
+CFG = DeviceConfig.small(2)
+
+
+def var_map(key, value, emit, const):
+    """Record i emits i % 3 records of i-dependent sizes."""
+    i = value.u32()
+    for j in range(i % 3):
+        emit(key.to_bytes() * (j + 1), bytes(j))
+
+
+def run_count(inp):
+    dev = Device(CFG)
+    d_in = DeviceRecordSet.upload(dev.gmem, inp)
+    spec = MapReduceSpec(name="cnt", map_record=var_map)
+    rt = build_map_runtime(dev, spec, MemoryMode.G, d_in,
+                           threads_per_block=64)
+    crt = MarsCountRuntime(rt=rt, counts=CountArrays.zeros(d_in.count),
+                           counts_addr=dev.gmem.alloc(12 * d_in.count))
+    stats = dev.launch(mars_map_count_kernel, grid=rt.grid, block=64,
+                       smem_bytes=rt.layout.smem_bytes, args=(crt,))
+    return dev, crt, stats
+
+
+def make_input(n=50):
+    return KeyValueSet(
+        [(b"k%02d" % i, struct.pack("<I", i)) for i in range(n)]
+    )
+
+
+class TestMapCount:
+    def test_counts_match_direct_execution(self):
+        inp = make_input()
+        dev, crt, _ = run_count(inp)
+        for i, (k, v) in enumerate(inp):
+            n_emits = i % 3
+            assert crt.counts.records[i] == n_emits
+            expected_kb = sum(len(k) * (j + 1) for j in range(n_emits))
+            expected_vb = sum(j for j in range(n_emits))
+            assert crt.counts.key_bytes[i] == expected_kb
+            assert crt.counts.val_bytes[i] == expected_vb
+
+    def test_counts_written_to_device_memory(self):
+        inp = make_input(12)
+        dev, crt, _ = run_count(inp)
+        for i in range(12):
+            assert dev.gmem.read_u32(crt.counts_addr + 12 * i) == (
+                crt.counts.key_bytes[i]
+            )
+            assert dev.gmem.read_u32(crt.counts_addr + 12 * i + 8) == (
+                crt.counts.records[i]
+            )
+
+    def test_count_pass_emits_nothing(self):
+        """The first pass must not touch the output buffers."""
+        inp = make_input(20)
+        dev, crt, _ = run_count(inp)
+        assert crt.rt.out.as_record_set().count == 0
+
+    def test_count_pass_uses_no_atomics(self):
+        inp = make_input(30)
+        _, _, stats = run_count(inp)
+        assert stats.atomics_global == 0
+
+    def test_count_pass_pays_input_and_compute(self):
+        """The two-pass tax: counting reads the input like the real
+        pass does."""
+        inp = make_input(40)
+        _, _, stats = run_count(inp)
+        assert stats.global_reads > 0
+        assert stats.compute_ops > 0
+
+    def test_zeros_helper(self):
+        c = CountArrays.zeros(5)
+        assert list(c.key_bytes) == [0] * 5
+        assert c.records.dtype.kind == "i"

@@ -1,0 +1,172 @@
+"""Tests for the Mars two-pass baseline."""
+
+import struct
+
+import numpy as np
+import pytest
+
+from repro.errors import FrameworkError
+from repro.framework import (
+    DeviceRecordSet,
+    KeyValueSet,
+    MemoryMode,
+    ReduceStrategy,
+    run_job,
+    shuffle,
+)
+from repro.framework.api import MapReduceSpec
+from repro.gpu import Device, DeviceConfig
+from repro.mars import (
+    device_exclusive_scan,
+    mars_map_phase,
+    mars_reduce_phase,
+    multi_scan,
+    run_mars_job,
+)
+
+CFG = DeviceConfig.small(2)
+
+
+def word_map(key, value, emit, const):
+    for w in key.to_bytes().split(b" "):
+        if w:
+            emit(w, struct.pack("<I", 1))
+
+
+def word_reduce(key, values, emit, const):
+    emit(key.to_bytes(), struct.pack("<I", sum(v.u32() for v in values)))
+
+
+def make_spec():
+    return MapReduceSpec(name="mars_wc", map_record=word_map,
+                         reduce_record=word_reduce)
+
+
+def make_input():
+    lines = [b"aa bb aa", b"cc aa", b"bb bb cc dd"]
+    return KeyValueSet([(ln, struct.pack("<I", i)) for i, ln in enumerate(lines)])
+
+
+class TestScan:
+    def test_exclusive_scan_matches_numpy(self):
+        sizes = np.array([5, 0, 3, 7, 1])
+        res = device_exclusive_scan(sizes, CFG)
+        assert list(res.offsets) == [0, 5, 5, 8, 15]
+        assert res.total == 16
+        assert res.cycles > 0
+
+    def test_empty(self):
+        res = device_exclusive_scan(np.array([], dtype=np.int64), CFG)
+        assert res.total == 0
+
+    def test_multi_scan_sums_cycles(self):
+        arrays = [np.ones(100, dtype=np.int64)] * 3
+        results, cycles = multi_scan(arrays, CFG)
+        assert len(results) == 3
+        assert cycles == pytest.approx(sum(r.cycles for r in results))
+
+
+class TestMapPhase:
+    def test_functional_output(self):
+        dev = Device(CFG)
+        d_in = DeviceRecordSet.upload(dev.gmem, make_input())
+        inter, stats = mars_map_phase(dev, make_spec(), d_in,
+                                      threads_per_block=64)
+        got = sorted(inter.download())
+        assert got.count((b"aa", struct.pack("<I", 1))) == 3
+        assert len(got) == 9
+
+    def test_no_atomics_anywhere(self):
+        """Mars's defining property: the two-pass scheme needs no
+        atomic operations at all."""
+        dev = Device(CFG)
+        d_in = DeviceRecordSet.upload(dev.gmem, make_input())
+        _, stats = mars_map_phase(dev, make_spec(), d_in, threads_per_block=64)
+        assert stats.atomics_global == 0
+        assert stats.atomics_shared == 0
+
+    def test_two_passes_cost_more_than_one(self):
+        """Mars pays roughly the Map input/compute cost twice."""
+        dev = Device(CFG)
+        d_in = DeviceRecordSet.upload(dev.gmem, make_input())
+        _, stats = mars_map_phase(dev, make_spec(), d_in, threads_per_block=64)
+        # Both passes read every record: global read ops happen twice.
+        assert stats.extra.get("mars_scan_cycles", 0) > 0
+
+    def test_output_offsets_are_dense(self):
+        """The scan must produce gap-free packing."""
+        dev = Device(CFG)
+        d_in = DeviceRecordSet.upload(dev.gmem, make_input())
+        inter, _ = mars_map_phase(dev, make_spec(), d_in, threads_per_block=64)
+        kvs = inter.download()
+        assert sum(len(k) for k in kvs.keys) == inter.keys_size
+
+
+class TestReducePhase:
+    def test_reduce_sums(self):
+        dev = Device(CFG)
+        d_in = DeviceRecordSet.upload(dev.gmem, make_input())
+        inter, _ = mars_map_phase(dev, make_spec(), d_in, threads_per_block=64)
+        grouped = shuffle(dev.gmem, inter, CFG).grouped
+        final, stats = mars_reduce_phase(dev, make_spec(), grouped,
+                                         threads_per_block=64)
+        got = dict(list(final.download()))
+        assert got[b"aa"] == struct.pack("<I", 3)
+        assert got[b"bb"] == struct.pack("<I", 3)
+        assert got[b"dd"] == struct.pack("<I", 1)
+        assert stats.atomics_global == 0
+
+    def test_reduce_needs_tr_fn(self):
+        dev = Device(CFG)
+        d_in = DeviceRecordSet.upload(dev.gmem, make_input())
+        inter, _ = mars_map_phase(dev, make_spec(), d_in, threads_per_block=64)
+        grouped = shuffle(dev.gmem, inter, CFG).grouped
+        spec = MapReduceSpec(name="x", map_record=word_map)
+        with pytest.raises(FrameworkError):
+            mars_reduce_phase(dev, spec, grouped)
+
+
+class TestEndToEnd:
+    def test_matches_framework_output(self):
+        inp = make_input()
+        spec = make_spec()
+        mars = run_mars_job(spec, inp, strategy=ReduceStrategy.TR, config=CFG,
+                            threads_per_block=64)
+        ours = run_job(spec, inp, mode=MemoryMode.SIO,
+                       strategy=ReduceStrategy.TR, config=CFG,
+                       threads_per_block=64)
+        assert sorted(zip(mars.output.keys, mars.output.values)) == sorted(
+            zip(ours.output.keys, ours.output.values)
+        )
+
+    def test_map_only(self):
+        res = run_mars_job(make_spec(), make_input(), config=CFG,
+                           threads_per_block=64)
+        assert len(res.output) == 9
+        assert res.mode == "Mars"
+
+    def test_br_rejected(self):
+        with pytest.raises(FrameworkError, match="thread-level"):
+            run_mars_job(make_spec(), make_input(),
+                         strategy=ReduceStrategy.BR, config=CFG)
+
+    def test_phase_breakdown(self):
+        res = run_mars_job(make_spec(), make_input(),
+                           strategy=ReduceStrategy.TR, config=CFG,
+                           threads_per_block=64)
+        t = res.timings
+        assert t.io_in > 0 and t.map > 0 and t.shuffle > 0 and t.reduce > 0
+
+    def test_shared_shuffle_and_io_with_framework(self):
+        """Mars and the framework share host transfers + shuffle
+        (Section IV-F): identical inputs give identical io_in and
+        near-identical shuffle cost."""
+        inp = make_input()
+        spec = make_spec()
+        mars = run_mars_job(spec, inp, strategy=ReduceStrategy.TR, config=CFG,
+                            threads_per_block=64)
+        ours = run_job(spec, inp, mode=MemoryMode.G,
+                       strategy=ReduceStrategy.TR, config=CFG,
+                       threads_per_block=64)
+        assert mars.timings.io_in == ours.timings.io_in
+        assert mars.timings.shuffle == pytest.approx(ours.timings.shuffle)

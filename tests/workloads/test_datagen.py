@@ -1,0 +1,116 @@
+"""Tests for the synthetic data generators (Table II statistics)."""
+
+import numpy as np
+import pytest
+
+from repro.workloads.datagen import (
+    clustered_vectors,
+    html_chunks,
+    match_lines,
+    random_matrices,
+    text_lines,
+)
+
+
+class TestTextLines:
+    def test_volume(self):
+        lines = text_lines(10_000, seed=1)
+        assert sum(map(len, lines)) >= 10_000
+
+    def test_line_length_statistics(self):
+        """Table II: WC input key 32.44 / 2.59."""
+        lines = text_lines(100_000, seed=2)
+        lens = np.array([len(l) for l in lines], dtype=float)
+        assert abs(lens.mean() - 32.44) < 4.0
+
+    def test_word_length_statistics(self):
+        """Table II: intermediate key 5.46 / 2.53."""
+        lines = text_lines(100_000, seed=3)
+        words = [w for l in lines for w in l.split(b" ") if w]
+        lens = np.array([len(w) for w in words], dtype=float)
+        assert abs(lens.mean() - 5.46) < 1.5
+
+    def test_zipf_skew(self):
+        """Most frequent word much more common than the median."""
+        lines = text_lines(50_000, seed=4)
+        from collections import Counter
+
+        counts = Counter(w for l in lines for w in l.split(b" ") if w)
+        freqs = sorted(counts.values(), reverse=True)
+        assert freqs[0] > 10 * freqs[len(freqs) // 2]
+
+    def test_deterministic(self):
+        assert text_lines(5000, seed=7) == text_lines(5000, seed=7)
+        assert text_lines(5000, seed=7) != text_lines(5000, seed=8)
+
+
+class TestMatchLines:
+    def test_match_ratio(self):
+        """Table II: SM Map ratio 3.83:1."""
+        lines = match_lines(200_000, b"needle", seed=1)
+        hits = sum(1 for l in lines if b"needle" in l)
+        ratio = len(lines) / hits
+        assert 3.0 < ratio < 4.8
+
+    def test_line_lengths(self):
+        lines = match_lines(100_000, b"kw", seed=2)
+        lens = np.array([len(l) for l in lines], dtype=float)
+        assert abs(lens.mean() - 44.52) < 4.0
+
+    def test_keyword_intact(self):
+        lines = match_lines(20_000, b"xyzzy", seed=3)
+        assert any(l.count(b"xyzzy") >= 1 for l in lines)
+
+
+class TestHtmlChunks:
+    def test_link_ratio(self):
+        """Table II: II Map ratio 7.94:1."""
+        chunks = html_chunks(300_000, seed=1)
+        hits = sum(1 for c in chunks if b'<a href="' in c)
+        ratio = len(chunks) / hits
+        assert 5.5 < ratio < 11.0
+
+    def test_heavy_tail(self):
+        """Table II: value 63.9 / 123.2 — stddev far above the mean."""
+        chunks = html_chunks(300_000, seed=2)
+        lens = np.array([len(c) for c in chunks], dtype=float)
+        assert lens.std() > lens.mean()
+
+    def test_urls_parseable(self):
+        chunks = html_chunks(100_000, seed=3)
+        for c in chunks:
+            pos = c.find(b'<a href="')
+            if pos >= 0:
+                end = c.find(b'"', pos + 9)
+                assert end > pos + 9  # a closing quote exists
+                assert c[pos + 9:end].startswith(b"http://")
+
+
+class TestVectors:
+    def test_shapes_and_dtype(self):
+        vecs, init = clustered_vectors(100, dim=8, k=4, seed=1)
+        assert vecs.shape == (100, 8)
+        assert init.shape == (4, 8)
+        assert vecs.dtype == np.float32
+
+    def test_vectors_cluster_around_centres(self):
+        vecs, init = clustered_vectors(2000, dim=8, k=4, seed=2, spread=0.05)
+        # Each vector is close to SOME initial centroid.
+        d = np.linalg.norm(vecs[:, None, :] - init[None, :, :], axis=2)
+        assert np.median(d.min(axis=1)) < 0.5
+
+    def test_deterministic(self):
+        a, _ = clustered_vectors(50, seed=9)
+        b, _ = clustered_vectors(50, seed=9)
+        assert np.array_equal(a, b)
+
+
+class TestMatrices:
+    def test_shapes(self):
+        a, b = random_matrices(12, seed=1)
+        assert a.shape == b.shape == (12, 12)
+        assert a.dtype == np.float32
+
+    def test_range(self):
+        a, b = random_matrices(16, seed=2)
+        assert np.abs(a).max() <= 1.0

@@ -1,0 +1,109 @@
+"""Tests for the extra (beyond-Table-I) workloads: SS and HG."""
+
+import struct
+
+import numpy as np
+import pytest
+
+from repro.cpu_ref import normalised, reference_job
+from repro.framework import MemoryMode, ReduceStrategy, run_job
+from repro.gpu import DeviceConfig
+from repro.workloads import EXTRA_WORKLOADS, Histogram, SimilarityScore
+
+CFG = DeviceConfig.small(2)
+MODES = list(MemoryMode)
+
+
+class TestRegistry:
+    def test_extras_registered(self):
+        codes = [cls().code for cls in EXTRA_WORKLOADS]
+        assert codes == ["SS", "HG"]
+
+    def test_sizes_defined(self):
+        for cls in EXTRA_WORKLOADS:
+            assert set(cls().sizes()) == {"small", "medium", "large"}
+
+
+class TestSimilarityScore:
+    @pytest.mark.parametrize("mode", MODES, ids=[m.value for m in MODES])
+    def test_matches_oracle(self, mode):
+        ss = SimilarityScore()
+        inp = ss.generate("small", seed=1)
+        spec = ss.spec_for_size("small", seed=1)
+        ref = normalised(reference_job(spec, inp))
+        res = run_job(spec, inp, mode=mode, config=CFG, threads_per_block=64)
+        assert normalised(res.output) == ref
+
+    def test_scores_are_cosine_similarities(self):
+        ss = SimilarityScore()
+        inp = ss.generate("small", seed=2)
+        spec = ss.spec_for_size("small", seed=2)
+        res = run_job(spec, inp, mode=MemoryMode.SIO, config=CFG,
+                      threads_per_block=64)
+        want = ss.expected_scores(inp, "small", seed=2)
+        for key, val in res.output:
+            a, b = struct.unpack("<II", key)
+            got = struct.unpack("<f", val)[0]
+            assert got == pytest.approx(want[(a, b)], rel=1e-4)
+            assert 0.0 <= got <= 1.0 + 1e-6  # positive vectors
+
+    def test_gt_caches_shared_vectors(self):
+        """Vectors are shared across pairs: the texture cache must see
+        real reuse (the MM/SS-style GT benefit)."""
+        from repro.analysis.figures import run_map_kernel
+
+        st = run_map_kernel(SimilarityScore(), MemoryMode.GT, size="small",
+                            config=CFG)
+        assert st.texture_hit_rate > 0.3
+
+
+class TestHistogram:
+    @pytest.mark.parametrize("mode", [MemoryMode.G, MemoryMode.SIO],
+                             ids=["G", "SIO"])
+    def test_counts_exact(self, mode):
+        hg = Histogram()
+        inp = hg.generate("small", seed=3, scale=0.25)
+        res = run_job(hg.spec(), inp, mode=mode,
+                      strategy=ReduceStrategy.TR, config=CFG)
+        want = hg.expected_histogram(inp)
+        got = {
+            struct.unpack("<I", k)[0]: struct.unpack("<Q", v)[0]
+            for k, v in res.output
+        }
+        assert got == want
+        total_pixels = sum(len(v) for v in inp.values)
+        assert sum(got.values()) == total_pixels
+
+    def test_br_matches_tr(self):
+        hg = Histogram()
+        inp = hg.generate("small", seed=4, scale=0.2)
+        tr = run_job(hg.spec(), inp, mode=MemoryMode.G,
+                     strategy=ReduceStrategy.TR, config=CFG)
+        br = run_job(hg.spec(), inp, mode=MemoryMode.SI,
+                     strategy=ReduceStrategy.BR, config=CFG)
+        tr_q = {k: struct.unpack("<Q", v)[0] for k, v in tr.output}
+        br_q = {k: struct.unpack("<Q", v)[0] for k, v in br.output}
+        assert tr_q == br_q
+
+    def test_few_large_keysets_favour_br(self):
+        """HG's 64 buckets x thousands of values is BR territory,
+        like KMeans (Section IV-E)."""
+        from repro.analysis.figures import fig5_reduce_sweep
+
+        hg = Histogram()
+        tr = fig5_reduce_sweep(hg, ReduceStrategy.TR, size="small",
+                               config=DeviceConfig.gtx280(),
+                               block_sizes=(128,), modes=(MemoryMode.G,))
+        br = fig5_reduce_sweep(hg, ReduceStrategy.BR, size="small",
+                               config=DeviceConfig.gtx280(),
+                               block_sizes=(128,), modes=(MemoryMode.G,))
+        assert br.series["G"][0] < tr.series["G"][0]
+
+    def test_map_combiner_bounds_emissions(self):
+        """The per-row combiner caps emissions at BUCKETS per record."""
+        hg = Histogram()
+        inp = hg.generate("small", seed=5, scale=0.1)
+        res = run_job(hg.spec(), inp, mode=MemoryMode.G, config=CFG,
+                      strategy=None)
+        assert len(res.output) <= len(inp) * 64
+        assert len(res.output) >= len(inp)  # every row hits >=1 bucket
