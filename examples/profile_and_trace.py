@@ -1,62 +1,69 @@
 #!/usr/bin/env python
-"""Profile a Map kernel and visualise one block's warp timeline.
+"""Trace a whole job with the observability layer and export it.
 
-Uses the two observability tools the simulator offers beyond plain
-cycle counts:
+Runs Word Count under SIO/TR with a :class:`repro.obs.Tracer`
+attached, then shows the three views the obs layer offers:
 
-* **derived metrics** (`repro.analysis.metrics`): bandwidth
-  utilisation, occupancy, atomic pressure, wait-time breakdown —
-  the quantities that *explain* why SIO beats G on Word Count;
-* **timeline tracing** (`repro.gpu.timeline`): an ASCII Gantt of one
-  block, where you can literally see helper warps parked on polls
-  ('.') while compute warps emit, then everyone converging for a
-  flush.
+* **span tree** — the job's phases and kernels as nested spans on the
+  simulated clock, with per-kernel device-event summaries;
+* **profile report** — phase breakdown plus derived kernel metrics
+  (bandwidth utilisation, occupancy, wait-time breakdown);
+* **exports** — a Chrome/Perfetto ``trace.json`` (load it at
+  https://ui.perfetto.dev: blocks/warps appear as device tracks, with
+  poll-wait episodes and collector flush marks), an ``events.jsonl``,
+  and a diff-able ``metrics.json``.
+
+The same pipeline is available from the shell as ``repro-trace``.
 
 Run:  python examples/profile_and_trace.py
 """
 
-from repro.analysis.metrics import compare_modes, derive_metrics
-from repro.framework import DeviceRecordSet, MemoryMode
-from repro.framework.map_engine import build_map_runtime, launch_map, map_kernel
-from repro.gpu import Device, DeviceConfig, Timeline
+from pathlib import Path
+
+from repro.framework import MemoryMode, ReduceStrategy
+from repro.framework.job import run_job
+from repro.gpu import DeviceConfig
+from repro.obs import (
+    Tracer,
+    job_metrics_registry,
+    render_job_profile,
+    render_span_tree,
+    write_chrome_trace,
+    write_jsonl,
+)
 from repro.workloads import WordCount
 
 
 def main() -> None:
-    cfg = DeviceConfig.gtx280()
+    cfg = DeviceConfig.small(4)
     wc = WordCount()
     inp = wc.generate("small", seed=0)
-    spec = wc.spec()
 
-    # ---- per-mode derived metrics -----------------------------------
-    metrics = {}
-    for mode in (MemoryMode.G, MemoryMode.SI, MemoryMode.SO, MemoryMode.SIO):
-        dev = Device(cfg)
-        d_in = DeviceRecordSet.upload(dev.gmem, inp)
-        rt = build_map_runtime(dev, spec, mode, d_in, threads_per_block=128)
-        st = launch_map(dev, rt)
-        metrics[mode.value] = derive_metrics(st, cfg)
+    # Trace block 0 in detail (device events cost memory; 'blocks'
+    # limits them to the lanes you actually want to look at).
+    tr = Tracer(trace_blocks=frozenset({0}))
+    res = run_job(
+        wc.spec(), inp,
+        mode=MemoryMode.SIO, strategy=ReduceStrategy.TR,
+        config=cfg, tracer=tr,
+    )
 
-    print("Word Count Map kernel — who waits on what:\n")
-    print(compare_modes(metrics, reference="G"))
-    print("\nwait-time breakdown per mode:")
-    for name, m in metrics.items():
-        top = sorted(m.stall_breakdown.items(), key=lambda kv: -kv[1])[:3]
-        print(f"  {name:4s}: " + ", ".join(f"{k} {v:.0%}" for k, v in top))
+    print(render_job_profile(res, cfg))
+    print()
+    print(render_span_tree(tr))
 
-    # ---- timeline of one SIO block ----------------------------------
-    print("\nTimeline of block 0 under SIO (note the '.' poll rows — "
-          "helper warps parked by the wait-signal primitive):\n")
-    dev = Device(cfg)
-    d_in = DeviceRecordSet.upload(dev.gmem, inp)
-    rt = build_map_runtime(dev, spec, MemoryMode.SIO, d_in,
-                           threads_per_block=128)
-    tl = Timeline(blocks={0})
-    dev.launch(map_kernel, grid=rt.grid, block=128,
-               smem_bytes=rt.layout.smem_bytes, args=(rt,), timeline=tl)
-    print(tl.render(width=96))
-    for b, w in tl.lanes():
-        print(f"  warp {w}: {tl.utilisation(b, w):.0%} occupied")
+    out = Path("trace_out")
+    out.mkdir(exist_ok=True)
+    write_chrome_trace(tr, out / "trace.json")
+    write_jsonl(tr, out / "events.jsonl")
+    reg = job_metrics_registry(res, cfg)
+    (out / "metrics.json").write_text(reg.to_json(
+        extra={"workload": "wordcount", "mode": "SIO", "strategy": "TR"}))
+    print(f"\nwrote {out}/trace.json  (open in ui.perfetto.dev)")
+    print(f"wrote {out}/events.jsonl")
+    print(f"wrote {out}/metrics.json  "
+          f"(diff a later run: repro-trace wordcount --baseline "
+          f"{out}/metrics.json)")
 
 
 if __name__ == "__main__":

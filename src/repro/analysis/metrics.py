@@ -33,6 +33,19 @@ class KernelMetrics:
     #: Fraction of warp wait time per category (from the profiler).
     stall_breakdown: dict[str, float]
 
+    def as_dict(self) -> dict:
+        """Flat mapping for the metrics registry / JSON export
+        (:func:`repro.obs.metrics.job_metrics_registry`)."""
+        return {
+            "cycles": self.cycles,
+            "bandwidth_utilisation": self.bandwidth_utilisation,
+            "bytes_per_transaction": self.bytes_per_transaction,
+            "occupancy": self.occupancy,
+            "atomics_per_kcycle": self.atomics_per_kcycle,
+            "poll_fraction": self.poll_fraction,
+            "stall_breakdown": dict(sorted(self.stall_breakdown.items())),
+        }
+
     def render(self) -> str:
         lines = [
             f"cycles                 : {self.cycles:.0f}",

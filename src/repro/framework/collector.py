@@ -168,6 +168,7 @@ def collect_warp_result(
         # failed check, then participate in the flush.
         state.overflow_flushes += 1
         ctx.count("overflow_flushes")
+        ctx.mark("overflow_flush", epoch=state.flushes)
         smem.write_u32(base + OVF, 1)
         yield from ctx.fence_block()
         yield from ctx.stouch(4, write=True)
@@ -207,6 +208,7 @@ def request_final_flush(ctx: WarpCtx, state: CollectorState):
     smem = ctx.smem
     while smem.read_u32(base + OVF) != 0:
         yield from participate_in_flush(ctx, state)
+    ctx.mark("final_flush", epoch=state.flushes)
     smem.write_u32(base + OVF, 2)  # eager: same step as the ==0 check
     yield from ctx.fence_block()
     yield from ctx.stouch(4, write=True)
@@ -295,6 +297,7 @@ def participate_in_flush(ctx: WarpCtx, state: CollectorState):
         state.flush_offsets = []
         state.flushes += 1
         ctx.count("flushes")
+        ctx.mark("flush_done", epoch=state.flushes)
         for off in (OVF, ARRIVE, RESERVE_READY, WR_TAKEN, DONE,
                     LEFT_USED, RIGHT_USED, WR_COUNT):
             smem.write_u32(base + off, 0)

@@ -15,6 +15,7 @@ from ..errors import FrameworkError
 from ..gpu.config import DeviceConfig
 from ..gpu.kernel import Device
 from ..gpu.stats import KernelStats
+from ..obs.tracer import NULL_TRACER, Tracer
 from .api import MapReduceSpec
 from .host import download_cost, upload_cost
 from .map_engine import build_map_runtime, launch_map
@@ -84,6 +85,7 @@ def run_job(
     yield_sync: bool = True,
     io_ratio: float | None = None,
     shuffle_method: str = "sort",
+    tracer: Tracer | None = None,
 ) -> JobResult:
     """Run a complete MapReduce job on the simulated GPU.
 
@@ -97,6 +99,9 @@ def run_job(
     ``shuffle_method`` selects the grouping cost model: ``"sort"``
     (the paper's and Mars's shared bitonic sort), ``"hash"`` (the
     MapCG-style extension) or ``"bitonic"`` (the event-driven sorter).
+    ``tracer`` attaches a :class:`repro.obs.Tracer`: every phase and
+    kernel launch becomes a span on the job clock, with per-warp
+    device events for the tracer's traced blocks.
     """
     spec.validate()
     if len(inp) == 0:
@@ -123,64 +128,94 @@ def run_job(
         reduce_mode = MemoryMode(reduce_mode)
     cfg = dev.config
     timings = PhaseTimings()
+    tr = tracer if tracer is not None else NULL_TRACER
 
-    # ---- input upload ---------------------------------------------------
-    d_in = DeviceRecordSet.upload(dev.gmem, inp, label=f"in.{spec.name}")
-    timings.io_in = upload_cost(
-        d_in.payload_bytes, DIR_PER_RECORD * d_in.count, cfg
-    ).cycles
+    with tr.span(
+        f"job:{spec.name}",
+        workload=spec.name,
+        mode=getattr(mode, "value", mode),
+        strategy=getattr(strategy, "value", strategy),
+        shuffle=shuffle_method,
+        records=len(inp),
+    ):
+        # ---- input upload -------------------------------------------------
+        with tr.span("io_in"):
+            d_in = DeviceRecordSet.upload(dev.gmem, inp, label=f"in.{spec.name}")
+            timings.io_in = upload_cost(
+                d_in.payload_bytes, DIR_PER_RECORD * d_in.count, cfg
+            ).cycles
+            tr.advance(timings.io_in)
 
-    # ---- Map --------------------------------------------------------------
-    map_rt = build_map_runtime(
-        dev,
-        spec,
-        mode,
-        d_in,
-        threads_per_block=threads_per_block,
-        yield_sync=yield_sync,
-        io_ratio=io_ratio,
-    )
-    map_stats = launch_map(dev, map_rt)
-    timings.map = map_stats.cycles
-    intermediate = map_rt.out.as_record_set()
+        # ---- Map ----------------------------------------------------------
+        with tr.span("map", mode=getattr(mode, "value", mode)):
+            map_rt = build_map_runtime(
+                dev,
+                spec,
+                mode,
+                d_in,
+                threads_per_block=threads_per_block,
+                yield_sync=yield_sync,
+                io_ratio=io_ratio,
+            )
+            tl = tr.make_timeline()
+            map_stats = launch_map(dev, map_rt, timeline=tl)
+            tr.kernel("map_kernel", map_stats, timeline=tl,
+                      grid=map_rt.grid)
+            timings.map = map_stats.cycles
+            intermediate = map_rt.out.as_record_set()
 
-    if strategy is None:
-        output = intermediate.download()
-        timings.io_out = download_cost(
-            intermediate.payload_bytes, DIR_PER_RECORD * intermediate.count, cfg
-        ).cycles
-        return JobResult(
-            spec_name=spec.name,
-            mode=mode,
-            strategy=None,
-            output=output,
-            intermediate_count=intermediate.count,
-            timings=timings,
-            map_stats=map_stats,
-        )
+        if strategy is None:
+            with tr.span("io_out"):
+                output = intermediate.download()
+                timings.io_out = download_cost(
+                    intermediate.payload_bytes,
+                    DIR_PER_RECORD * intermediate.count, cfg
+                ).cycles
+                tr.advance(timings.io_out)
+            return JobResult(
+                spec_name=spec.name,
+                mode=mode,
+                strategy=None,
+                output=output,
+                intermediate_count=intermediate.count,
+                timings=timings,
+                map_stats=map_stats,
+            )
 
-    # ---- Shuffle ----------------------------------------------------------
-    shuf = shuffle(dev.gmem, intermediate, cfg, label=f"shuf.{spec.name}",
-                   method=shuffle_method, device=dev)
-    timings.shuffle = shuf.cycles
+        # ---- Shuffle ------------------------------------------------------
+        with tr.span("shuffle", method=shuffle_method) as shuffle_span:
+            shuf = shuffle(dev.gmem, intermediate, cfg, label=f"shuf.{spec.name}",
+                           method=shuffle_method, device=dev)
+            timings.shuffle = shuf.cycles
+            if shuffle_span is not None:
+                shuffle_span.attrs["groups"] = shuf.grouped.n_groups
+            tr.advance(timings.shuffle)
 
-    # ---- Reduce -----------------------------------------------------------
-    red_rt = build_reduce_runtime(
-        dev,
-        spec,
-        reduce_mode,
-        strategy,
-        shuf.grouped,
-        threads_per_block=threads_per_block,
-        yield_sync=yield_sync,
-    )
-    red_stats = launch_reduce(dev, red_rt)
-    timings.reduce = red_stats.cycles
-    final = red_rt.out.as_record_set()
-    output = final.download()
-    timings.io_out = download_cost(
-        final.payload_bytes, DIR_PER_RECORD * final.count, cfg
-    ).cycles
+        # ---- Reduce -------------------------------------------------------
+        with tr.span("reduce", mode=getattr(reduce_mode, "value", reduce_mode),
+                     strategy=getattr(strategy, "value", strategy)):
+            red_rt = build_reduce_runtime(
+                dev,
+                spec,
+                reduce_mode,
+                strategy,
+                shuf.grouped,
+                threads_per_block=threads_per_block,
+                yield_sync=yield_sync,
+            )
+            tl = tr.make_timeline()
+            red_stats = launch_reduce(dev, red_rt, timeline=tl)
+            tr.kernel("reduce_kernel", red_stats, timeline=tl,
+                      grid=red_rt.grid)
+            timings.reduce = red_stats.cycles
+            final = red_rt.out.as_record_set()
+
+        with tr.span("io_out"):
+            output = final.download()
+            timings.io_out = download_cost(
+                final.payload_bytes, DIR_PER_RECORD * final.count, cfg
+            ).cycles
+            tr.advance(timings.io_out)
 
     return JobResult(
         spec_name=spec.name,

@@ -196,8 +196,8 @@ def build_map_runtime(
     )
 
 
-def launch_map(device: Device, rt: MapRuntime, *, max_cycles: float = float("inf")
-               ) -> KernelStats:
+def launch_map(device: Device, rt: MapRuntime, *, max_cycles: float = float("inf"),
+               timeline=None) -> KernelStats:
     """Run the Map phase and return its kernel statistics."""
     return device.launch(
         map_kernel,
@@ -207,6 +207,7 @@ def launch_map(device: Device, rt: MapRuntime, *, max_cycles: float = float("inf
         args=(rt,),
         uses_texture=rt.mode.uses_texture,
         max_cycles=max_cycles,
+        timeline=timeline,
     )
 
 

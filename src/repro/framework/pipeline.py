@@ -15,8 +15,9 @@ from typing import Callable
 
 from ..errors import FrameworkError
 from ..gpu.config import DeviceConfig
+from ..obs.tracer import NULL_TRACER, Tracer
 from .api import MapReduceSpec
-from .job import JobResult, run_job
+from .job import JobResult, PhaseTimings, run_job
 from .modes import MemoryMode, ReduceStrategy
 from .records import KeyValueSet
 
@@ -36,6 +37,13 @@ class IterationTrace:
     index: int
     cycles: float
     output_records: int
+    #: Full per-phase timing breakdown of the iteration's job, so
+    #: convergence loops can be profiled phase by phase (not just by
+    #: total cycles).
+    timings: PhaseTimings = field(default_factory=PhaseTimings)
+
+    def phase_dict(self) -> dict[str, float]:
+        return self.timings.as_dict()
 
 
 @dataclass
@@ -79,27 +87,36 @@ class IterativeJob:
     threads_per_block: int = 128
 
     def run(self, inp: KeyValueSet, initial_state: object,
-            *, max_iterations: int = 32) -> IterativeResult:
+            *, max_iterations: int = 32,
+            tracer: Tracer | None = None) -> IterativeResult:
         if max_iterations <= 0:
             raise FrameworkError("max_iterations must be positive")
         state = initial_state
         result = IterativeResult(state=state)
-        for i in range(max_iterations):
-            spec = self.make_spec(i, state)
-            job = run_job(
-                spec, inp, mode=self.mode, strategy=self.strategy,
-                config=self.config, threads_per_block=self.threads_per_block,
-            )
-            new_state = self.update(i, job, state)
-            result.iterations.append(IterationTrace(
-                index=i, cycles=job.total_cycles,
-                output_records=len(job.output),
-            ))
-            result.last = job
-            done = self.converged(i, state, new_state)
-            state = new_state
-            result.state = state
-            if done:
-                result.converged = True
-                break
+        tr = tracer if tracer is not None else NULL_TRACER
+        with tr.span("iterative_job", mode=self.mode.value,
+                     strategy=self.strategy.value if self.strategy else None):
+            for i in range(max_iterations):
+                spec = self.make_spec(i, state)
+                with tr.span(f"iteration[{i}]", index=i):
+                    job = run_job(
+                        spec, inp, mode=self.mode, strategy=self.strategy,
+                        config=self.config,
+                        threads_per_block=self.threads_per_block,
+                        tracer=tracer,
+                    )
+                new_state = self.update(i, job, state)
+                result.iterations.append(IterationTrace(
+                    index=i, cycles=job.total_cycles,
+                    output_records=len(job.output),
+                    timings=job.timings,
+                ))
+                result.last = job
+                done = self.converged(i, state, new_state)
+                state = new_state
+                result.state = state
+                if done:
+                    result.converged = True
+                    tr.instant("converged", iteration=i)
+                    break
         return result

@@ -143,7 +143,7 @@ def build_reduce_runtime(
 
 
 def launch_reduce(device: Device, rt: ReduceRuntime, *,
-                  max_cycles: float = float("inf")) -> KernelStats:
+                  max_cycles: float = float("inf"), timeline=None) -> KernelStats:
     if rt.grouped.n_groups == 0:
         return KernelStats()
     kernel = reduce_tr_kernel if rt.strategy is ReduceStrategy.TR else reduce_br_kernel
@@ -155,6 +155,7 @@ def launch_reduce(device: Device, rt: ReduceRuntime, *,
         args=(rt,),
         uses_texture=rt.mode.uses_texture,
         max_cycles=max_cycles,
+        timeline=timeline,
     )
 
 

@@ -152,6 +152,11 @@ class Engine:
         self._now = 0.0
         self._blocks_live = 0
 
+    @property
+    def now(self) -> float:
+        """Current simulated time (used by untimed timeline marks)."""
+        return self._now
+
     # ------------------------------------------------------------------
     # Launch plumbing
     # ------------------------------------------------------------------

@@ -55,6 +55,7 @@ class WarpCtx:
         "threads_per_block",
         "stats",
         "timing",
+        "_engine",
     )
 
     def __init__(
@@ -65,6 +66,7 @@ class WarpCtx:
         grid_blocks: int,
         threads_per_block: int,
         stats: KernelStats,
+        engine: Engine | None = None,
     ):
         self.device = device
         self.gmem: GlobalMemory = device.gmem
@@ -74,6 +76,7 @@ class WarpCtx:
         self.threads_per_block = threads_per_block
         self.stats = stats
         self.timing = device.config.timing
+        self._engine = engine
 
     # ------------------------------------------------------------------
     # Identity
@@ -217,6 +220,18 @@ class WarpCtx:
         """Increment a free-form stats counter (not timed)."""
         self.stats.count(name, inc)
 
+    def mark(self, name: str, **attrs) -> None:
+        """Record an untimed instant marker into the launch timeline.
+
+        No-op unless the launch was given a timeline, so framework
+        code can mark episodes (overflow flush, final flush) without
+        affecting timing or untraced runs.
+        """
+        eng = self._engine
+        if eng is not None and eng.timeline is not None:
+            eng.timeline.mark(self.block_id, self.warp_id, name,
+                              eng.now, attrs or None)
+
 
 class Device:
     """A simulated GPU: configuration + global memory + launch entry."""
@@ -250,7 +265,7 @@ class Device:
         stats = engine.stats
 
         def make_warp(blk: _BlockRt, warp_id: int):
-            ctx = WarpCtx(self, blk, warp_id, grid, block, stats)
+            ctx = WarpCtx(self, blk, warp_id, grid, block, stats, engine)
             return kernel(ctx, *args)
 
         return engine.run(

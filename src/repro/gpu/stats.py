@@ -2,7 +2,12 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, fields
+
+#: Launch-geometry fields describe the launch shape rather than an
+#: accumulating quantity, so :meth:`KernelStats.merge` takes their max
+#: instead of their sum.
+GEOMETRY_FIELDS = frozenset({"grid_blocks", "threads_per_block", "blocks_per_mp"})
 
 
 @dataclass
@@ -83,23 +88,22 @@ class KernelStats:
         """Aggregate counters of two launches (cycles are summed).
 
         Used by multi-kernel phases (e.g. Mars's count pass + scan +
-        real pass) to report one phase-level stats object.
+        real pass) to report one phase-level stats object.  Fields are
+        discovered via :func:`dataclasses.fields`: numeric counters
+        sum, dict counters merge key-wise, and launch geometry
+        (:data:`GEOMETRY_FIELDS`) takes the max — so a newly added
+        counter can never be silently dropped from merged stats.
         """
         out = KernelStats()
-        for f in (
-            "cycles instructions compute_ops global_reads global_writes "
-            "shared_ops atomics_global atomics_shared texture_reads barriers "
-            "fences polls global_transactions global_bytes memory_queue_cycles "
-            "atomic_conflicts atomic_queue_cycles texture_hits texture_misses"
-        ).split():
-            setattr(out, f, getattr(self, f) + getattr(other, f))
-        out.grid_blocks = max(self.grid_blocks, other.grid_blocks)
-        out.threads_per_block = max(self.threads_per_block, other.threads_per_block)
-        out.blocks_per_mp = max(self.blocks_per_mp, other.blocks_per_mp)
-        out.extra = dict(self.extra)
-        for k, v in other.extra.items():
-            out.extra[k] = out.extra.get(k, 0) + v
-        out.stall_cycles = dict(self.stall_cycles)
-        for k, v in other.stall_cycles.items():
-            out.stall_cycles[k] = out.stall_cycles.get(k, 0.0) + v
+        for f in fields(self):
+            a, b = getattr(self, f.name), getattr(other, f.name)
+            if f.name in GEOMETRY_FIELDS:
+                setattr(out, f.name, max(a, b))
+            elif isinstance(a, dict):
+                merged = dict(a)
+                for k, v in b.items():
+                    merged[k] = merged.get(k, type(v)(0)) + v
+                setattr(out, f.name, merged)
+            else:
+                setattr(out, f.name, a + b)
         return out

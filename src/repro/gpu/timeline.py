@@ -50,11 +50,29 @@ class TimelineEvent:
         return self.end - self.start
 
 
+@dataclass(frozen=True)
+class TimelineMark:
+    """A named instant raised by framework code (e.g. a flush epoch).
+
+    Marks cost nothing and do not participate in rendering or
+    utilisation; they exist so exporters can pin framework-level
+    episodes (overflow flush, final flush) onto the warp timeline.
+    """
+
+    block: int
+    warp: int
+    name: str
+    time: float
+    attrs: dict = field(default_factory=dict)
+
+
 @dataclass
 class Timeline:
     """Collects events during one launch (pass via ``launch(timeline=...)``)."""
 
     events: list[TimelineEvent] = field(default_factory=list)
+    #: Instant markers raised via :meth:`mark` (flush epochs etc.).
+    marks: list[TimelineMark] = field(default_factory=list)
     #: Record only these blocks (None = all); tracing every block of a
     #: big launch is rarely useful and very verbose.
     blocks: set[int] | None = None
@@ -64,6 +82,12 @@ class Timeline:
         if self.blocks is not None and block not in self.blocks:
             return
         self.events.append(TimelineEvent(block, warp, category, start, end))
+
+    def mark(self, block: int, warp: int, name: str, time: float,
+             attrs: dict | None = None) -> None:
+        if self.blocks is not None and block not in self.blocks:
+            return
+        self.marks.append(TimelineMark(block, warp, name, time, attrs or {}))
 
     # ------------------------------------------------------------------
     # Queries

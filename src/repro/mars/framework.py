@@ -43,6 +43,7 @@ from ..framework.records import (
 )
 from ..framework.shuffle import GroupedDeviceSet, shuffle
 from ..framework.staging import Tile, plan_tiles_unstaged
+from ..obs.tracer import NULL_TRACER, Tracer
 from ..gpu.accessor import Accessor, AccessTrace
 from ..gpu.config import WARP_SIZE, DeviceConfig
 from ..gpu.instructions import GlobalWrite
@@ -73,8 +74,10 @@ def mars_map_phase(
     d_in: DeviceRecordSet,
     *,
     threads_per_block: int = 128,
+    tracer: Tracer | None = None,
 ) -> tuple[DeviceRecordSet, KernelStats]:
     """MapCount -> scan -> Map; returns (intermediate, merged stats)."""
+    tr = tracer if tracer is not None else NULL_TRACER
     rt = build_map_runtime(
         device, spec, MemoryMode.G, d_in, threads_per_block=threads_per_block
     )
@@ -85,13 +88,16 @@ def mars_map_phase(
     crt = MarsCountRuntime(
         rt=rt, counts=CountArrays.zeros(n), counts_addr=counts_addr
     )
+    tl = tr.make_timeline()
     count_stats = device.launch(
         mars_map_count_kernel,
         grid=rt.grid,
         block=threads_per_block,
         smem_bytes=rt.layout.smem_bytes,
         args=(crt,),
+        timeline=tl,
     )
+    tr.kernel("map_count_kernel", count_stats, timeline=tl)
 
     # Prefix scans over the three size arrays.
     scans, scan_cycles = multi_scan(
@@ -99,6 +105,8 @@ def mars_map_phase(
         device.config,
     )
     kscan, vscan, rscan = scans
+    with tr.span("prefix_scan"):
+        tr.advance(scan_cycles)
 
     # Pass 2: the real Map, writing at the scanned offsets.
     rrt = MarsRealRuntime(
@@ -107,13 +115,16 @@ def mars_map_phase(
         val_offs_out=vscan.offsets,
         rec_offs_out=rscan.offsets,
     )
+    tl = tr.make_timeline()
     real_stats = device.launch(
         mars_real_map_kernel,
         grid=rt.grid,
         block=threads_per_block,
         smem_bytes=rt.layout.smem_bytes,
         args=(rrt,),
+        timeline=tl,
     )
+    tr.kernel("map_real_kernel", real_stats, timeline=tl)
     # Publish the totals (done by the host in Mars).
     gm = device.gmem
     gm.write_u32(rt.out.key_tail, kscan.total)
@@ -245,8 +256,10 @@ def mars_reduce_phase(
     grouped: GroupedDeviceSet,
     *,
     threads_per_block: int = 128,
+    tracer: Tracer | None = None,
 ) -> tuple[DeviceRecordSet, KernelStats]:
     """ReduceCount -> scan -> Reduce (thread-level)."""
+    tr = tracer if tracer is not None else NULL_TRACER
     if spec.reduce_record is None:
         raise FrameworkError(f"{spec.name}: Mars reduce needs a TR reduce fn")
     gm = device.gmem
@@ -273,23 +286,29 @@ def mars_reduce_phase(
     if n == 0:
         return out.as_record_set(), KernelStats()
 
+    tl = tr.make_timeline()
     count_stats = device.launch(
         mars_reduce_kernel, grid=grid, block=threads_per_block,
-        smem_bytes=1024, args=(rrt,),
+        smem_bytes=1024, args=(rrt,), timeline=tl,
     )
+    tr.kernel("reduce_count_kernel", count_stats, timeline=tl)
     scans, scan_cycles = multi_scan(
         [rrt.counts.key_bytes, rrt.counts.val_bytes, rrt.counts.records],
         device.config,
     )
     kscan, vscan, rscan = scans
+    with tr.span("prefix_scan"):
+        tr.advance(scan_cycles)
     rrt.count_only = False
     rrt.key_offs_out = kscan.offsets
     rrt.val_offs_out = vscan.offsets
     rrt.rec_offs_out = rscan.offsets
+    tl = tr.make_timeline()
     real_stats = device.launch(
         mars_reduce_kernel, grid=grid, block=threads_per_block,
-        smem_bytes=1024, args=(rrt,),
+        smem_bytes=1024, args=(rrt,), timeline=tl,
     )
+    tr.kernel("reduce_real_kernel", real_stats, timeline=tl)
     gm.write_u32(out.key_tail, kscan.total)
     gm.write_u32(out.val_tail, vscan.total)
     gm.write_u32(out.rec_count, rscan.total)
@@ -439,11 +458,14 @@ def run_mars_job(
     config: DeviceConfig | None = None,
     device: Device | None = None,
     threads_per_block: int = 128,
+    tracer: Tracer | None = None,
 ) -> JobResult:
     """Run a complete Mars-style job (two-pass Map, two-pass Reduce).
 
     ``strategy`` may only be None or TR — "Mars supports only
-    thread-level reduction" (Section IV-F).
+    thread-level reduction" (Section IV-F).  ``tracer`` records the
+    two-pass structure: each phase span holds its count-pass kernel,
+    prefix-scan and real-pass kernel as children.
     """
     if strategy is ReduceStrategy.BR:
         raise FrameworkError("Mars supports only thread-level reduction (TR)")
@@ -451,43 +473,66 @@ def run_mars_job(
     dev = device or Device(config or DeviceConfig.gtx280())
     cfg = dev.config
     timings = PhaseTimings()
+    tr = tracer if tracer is not None else NULL_TRACER
 
-    d_in = DeviceRecordSet.upload(dev.gmem, inp, label=f"mars_in.{spec.name}")
-    timings.io_in = upload_cost(
-        d_in.payload_bytes, DIR_PER_RECORD * d_in.count, cfg
-    ).cycles
+    with tr.span(
+        f"job:{spec.name}", workload=spec.name, mode="Mars",
+        strategy=getattr(strategy, "value", strategy), records=len(inp),
+    ):
+        with tr.span("io_in"):
+            d_in = DeviceRecordSet.upload(
+                dev.gmem, inp, label=f"mars_in.{spec.name}")
+            timings.io_in = upload_cost(
+                d_in.payload_bytes, DIR_PER_RECORD * d_in.count, cfg
+            ).cycles
+            tr.advance(timings.io_in)
 
-    intermediate, map_stats = mars_map_phase(
-        dev, spec, d_in, threads_per_block=threads_per_block
-    )
-    timings.map = map_stats.cycles
+        with tr.span("map", mode="Mars"):
+            intermediate, map_stats = mars_map_phase(
+                dev, spec, d_in, threads_per_block=threads_per_block,
+                tracer=tracer,
+            )
+            timings.map = map_stats.cycles
 
-    if strategy is None:
-        output = intermediate.download()
-        timings.io_out = download_cost(
-            intermediate.payload_bytes, DIR_PER_RECORD * intermediate.count, cfg
-        ).cycles
-        return JobResult(
-            spec_name=spec.name,
-            mode="Mars",
-            strategy=None,
-            output=output,
-            intermediate_count=intermediate.count,
-            timings=timings,
-            map_stats=map_stats,
-        )
+        if strategy is None:
+            with tr.span("io_out"):
+                output = intermediate.download()
+                timings.io_out = download_cost(
+                    intermediate.payload_bytes,
+                    DIR_PER_RECORD * intermediate.count, cfg
+                ).cycles
+                tr.advance(timings.io_out)
+            return JobResult(
+                spec_name=spec.name,
+                mode="Mars",
+                strategy=None,
+                output=output,
+                intermediate_count=intermediate.count,
+                timings=timings,
+                map_stats=map_stats,
+            )
 
-    shuf = shuffle(dev.gmem, intermediate, cfg, label=f"mars_shuf.{spec.name}")
-    timings.shuffle = shuf.cycles
+        with tr.span("shuffle") as shuffle_span:
+            shuf = shuffle(dev.gmem, intermediate, cfg,
+                           label=f"mars_shuf.{spec.name}")
+            timings.shuffle = shuf.cycles
+            if shuffle_span is not None:
+                shuffle_span.attrs["groups"] = shuf.grouped.n_groups
+            tr.advance(timings.shuffle)
 
-    final, red_stats = mars_reduce_phase(
-        dev, spec, shuf.grouped, threads_per_block=threads_per_block
-    )
-    timings.reduce = red_stats.cycles
-    output = final.download()
-    timings.io_out = download_cost(
-        final.payload_bytes, DIR_PER_RECORD * final.count, cfg
-    ).cycles
+        with tr.span("reduce", mode="Mars"):
+            final, red_stats = mars_reduce_phase(
+                dev, spec, shuf.grouped, threads_per_block=threads_per_block,
+                tracer=tracer,
+            )
+            timings.reduce = red_stats.cycles
+
+        with tr.span("io_out"):
+            output = final.download()
+            timings.io_out = download_cost(
+                final.payload_bytes, DIR_PER_RECORD * final.count, cfg
+            ).cycles
+            tr.advance(timings.io_out)
     return JobResult(
         spec_name=spec.name,
         mode="Mars",

@@ -1,0 +1,50 @@
+"""``repro.obs`` — unified tracing, profiling and metrics.
+
+The observability layer ties the host-side phases of a job (upload ->
+Map -> Shuffle -> Reduce -> download), iterative and streamed drivers,
+and per-warp kernel events into one inspectable record:
+
+* :class:`Tracer` — nested spans and instant events on a monotonic
+  sim-cycle clock, captured by passing ``tracer=`` to
+  :func:`repro.framework.job.run_job` (and the iterative / streamed /
+  Mars drivers);
+* exporters — Chrome/Perfetto ``trace_event`` JSON and a compact
+  JSONL event log (:mod:`repro.obs.exporters`);
+* :class:`MetricsRegistry` — counters / gauges / histograms derived
+  from :class:`~repro.gpu.stats.KernelStats` and the analysis layer,
+  serialised deterministically for perf-regression diffing
+  (:mod:`repro.obs.metrics`);
+* the ``repro-trace`` CLI (:mod:`repro.obs.cli`) — run any workload
+  under any mode/strategy and emit trace + profile + metrics files.
+"""
+
+from .exporters import (
+    to_chrome_trace,
+    write_chrome_trace,
+    write_jsonl,
+)
+from .metrics import (
+    MetricsRegistry,
+    diff_metrics,
+    flatten_metrics,
+    job_metrics_registry,
+)
+from .report import render_job_profile, render_span_tree
+from .tracer import NULL_TRACER, DeviceEvent, NullTracer, Span, Tracer
+
+__all__ = [
+    "DeviceEvent",
+    "MetricsRegistry",
+    "NULL_TRACER",
+    "NullTracer",
+    "Span",
+    "Tracer",
+    "diff_metrics",
+    "flatten_metrics",
+    "job_metrics_registry",
+    "render_job_profile",
+    "render_span_tree",
+    "to_chrome_trace",
+    "write_chrome_trace",
+    "write_jsonl",
+]

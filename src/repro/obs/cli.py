@@ -1,0 +1,188 @@
+"""``repro-trace`` — run a workload under full tracing and export.
+
+Runs any named workload under any memory mode / reduce strategy with
+the :mod:`repro.obs` tracer attached, then writes three artefacts into
+``--out`` (default ``trace_out/``):
+
+* ``trace.json``   — Chrome/Perfetto ``trace_event`` JSON (open at
+  https://ui.perfetto.dev): job -> phase -> kernel spans on the host
+  track, per-warp activity and flush/poll events on device tracks;
+* ``events.jsonl`` — the same record, one JSON object per line;
+* ``metrics.json`` — the job's full metrics registry, byte-stable for
+  a fixed seed (the perf-regression baseline format).
+
+Examples::
+
+    repro-trace wordcount --mode SIO --strategy TR
+    repro-trace WC --mode G --size medium --mps 4
+    repro-trace kmeans --mars --out /tmp/km_mars
+    repro-trace wordcount --baseline old/metrics.json --tolerance 0.02
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+
+from ..framework.job import run_job
+from ..framework.modes import MemoryMode, ReduceStrategy
+from ..gpu.config import DeviceConfig
+from ..workloads import ALL_WORKLOADS, EXTRA_WORKLOADS, Workload
+from .exporters import write_chrome_trace, write_jsonl
+from .metrics import diff_metrics, job_metrics_registry
+from .report import render_job_profile, render_span_tree
+from .tracer import Tracer
+
+
+def _workload_index() -> dict[str, type[Workload]]:
+    index: dict[str, type[Workload]] = {}
+    for cls in (*ALL_WORKLOADS, *EXTRA_WORKLOADS):
+        index[cls.code.lower()] = cls
+        index[cls.__name__.lower()] = cls
+        index[cls.title.lower().replace(" ", "")] = cls
+    return index
+
+
+def resolve_workload(name: str) -> Workload:
+    """Accepts a code (``WC``), class name or title (``wordcount``)."""
+    index = _workload_index()
+    key = name.lower().replace(" ", "").replace("-", "").replace("_", "")
+    if key not in index:
+        known = sorted({cls.code for cls in index.values()})
+        raise SystemExit(
+            f"unknown workload {name!r}; known codes: {', '.join(known)}"
+        )
+    return index[key]()
+
+
+def _parse_blocks(arg: str) -> set[int] | None:
+    if arg == "all":
+        return None
+    if arg in ("none", ""):
+        return set()
+    try:
+        return {int(b) for b in arg.split(",")}
+    except ValueError:
+        raise SystemExit(
+            f"--blocks expects a comma-separated list of block ids, "
+            f"'all' or 'none'; got {arg!r}"
+        ) from None
+
+
+def main(argv: list[str] | None = None) -> int:
+    p = argparse.ArgumentParser(prog="repro-trace", description=__doc__,
+                                formatter_class=argparse.RawDescriptionHelpFormatter)
+    p.add_argument("workload",
+                   help="workload code or name (WC, wordcount, kmeans, ...)")
+    p.add_argument("--mode", default="SIO",
+                   choices=[m.value for m in MemoryMode] + ["auto"])
+    p.add_argument("--strategy", default="auto",
+                   choices=["auto", "none", "TR", "BR"],
+                   help="reduce strategy; 'auto' = TR when the workload "
+                        "has a Reduce phase (default)")
+    p.add_argument("--reduce-mode", default=None,
+                   choices=[m.value for m in MemoryMode],
+                   help="memory mode for the Reduce phase (default: same as Map)")
+    p.add_argument("--size", default="small",
+                   choices=["small", "medium", "large"])
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--scale", type=float, default=1.0)
+    p.add_argument("--mps", type=int, default=0,
+                   help="simulate this many MPs instead of the full 30")
+    p.add_argument("--threads-per-block", type=int, default=128)
+    p.add_argument("--shuffle", default="sort",
+                   choices=["sort", "hash", "bitonic"])
+    p.add_argument("--mars", action="store_true",
+                   help="run the Mars two-pass baseline instead")
+    p.add_argument("--blocks", default="0",
+                   help="blocks to trace at warp level: comma list, "
+                        "'all', or 'none' (default: block 0)")
+    p.add_argument("--out", default="trace_out",
+                   help="output directory (created if missing)")
+    p.add_argument("--baseline",
+                   help="previous metrics.json to diff against")
+    p.add_argument("--tolerance", type=float, default=0.0,
+                   help="relative change tolerated by --baseline diffing")
+    p.add_argument("--quiet", action="store_true",
+                   help="write files only, skip the console report")
+    args = p.parse_args(argv)
+
+    workload = resolve_workload(args.workload)
+    if args.strategy == "auto":
+        strategy = ReduceStrategy.TR if workload.has_reduce else None
+    elif args.strategy == "none":
+        strategy = None
+    else:
+        strategy = ReduceStrategy(args.strategy)
+    config = DeviceConfig.small(args.mps) if args.mps else DeviceConfig.gtx280()
+    inp = workload.generate(args.size, seed=args.seed, scale=args.scale)
+    spec = workload.spec_for_size(args.size, seed=args.seed, scale=args.scale)
+
+    blocks = _parse_blocks(args.blocks)
+    tracer = Tracer(kernel_detail=blocks is None or bool(blocks),
+                    trace_blocks=blocks)
+    if args.mars:
+        from ..mars.framework import run_mars_job
+
+        result = run_mars_job(
+            spec, inp, strategy=strategy, config=config,
+            threads_per_block=args.threads_per_block, tracer=tracer,
+        )
+    else:
+        result = run_job(
+            spec, inp, mode=args.mode, reduce_mode=args.reduce_mode,
+            strategy=strategy, config=config,
+            threads_per_block=args.threads_per_block,
+            shuffle_method=args.shuffle, tracer=tracer,
+        )
+
+    os.makedirs(args.out, exist_ok=True)
+    trace_path = os.path.join(args.out, "trace.json")
+    jsonl_path = os.path.join(args.out, "events.jsonl")
+    metrics_path = os.path.join(args.out, "metrics.json")
+    write_chrome_trace(tracer, trace_path)
+    write_jsonl(tracer, jsonl_path)
+    registry = job_metrics_registry(result, config)
+    header = {
+        "workload": workload.code,
+        "mode": "Mars" if args.mars else args.mode,
+        "strategy": strategy.value if strategy else None,
+        "size": args.size,
+        "seed": args.seed,
+        "scale": args.scale,
+        "mps": args.mps or config.mp_count,
+    }
+    with open(metrics_path, "w", encoding="utf-8") as fh:
+        fh.write(registry.to_json(extra=header))
+
+    if not args.quiet:
+        print(render_job_profile(result, config))
+        print()
+        print("span tree:")
+        print(render_span_tree(tracer))
+        print()
+        print(f"trace   : {trace_path}")
+        print(f"events  : {jsonl_path}")
+        print(f"metrics : {metrics_path}")
+
+    if args.baseline:
+        with open(args.baseline, encoding="utf-8") as fh:
+            baseline = json.load(fh)
+        with open(metrics_path, encoding="utf-8") as fh:
+            current = json.load(fh)
+        deltas = diff_metrics(baseline, current, rel_tol=args.tolerance)
+        if deltas:
+            print(f"\n{len(deltas)} metric(s) changed beyond "
+                  f"tolerance {args.tolerance:g}:")
+            for d in deltas:
+                print("  " + d.render())
+            return 1
+        print("\nno metric changes beyond tolerance "
+              f"{args.tolerance:g} vs {args.baseline}")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,120 @@
+"""Trace exporters: Chrome/Perfetto ``trace_event`` JSON and JSONL.
+
+The Chrome format (loadable at https://ui.perfetto.dev) places host
+spans on one track (pid 0) and device activity on per-warp tracks of
+a second process (pid 1): one thread per traced ``(block, warp)``
+lane, named ``block B / warp W``.  Timestamps are simulated cycles
+written into the ``ts``/``dur`` microsecond fields — absolute
+magnitudes are meaningless, relative ones are exact.
+
+All serialisation is deterministic (sorted keys, insertion-ordered
+events, no wall-clock anywhere), so traces and metrics for a fixed
+seed are byte-stable across runs.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .tracer import Tracer
+
+HOST_PID = 0
+DEVICE_PID = 1
+
+#: tid layout for device tracks: one slot per warp, block-major.
+_WARP_SLOTS = 64
+
+
+def _lane_tid(block: int, warp: int) -> int:
+    return 1 + block * _WARP_SLOTS + warp
+
+
+def to_chrome_trace(tracer: "Tracer") -> dict:
+    """Convert a finished trace into a ``trace_event`` JSON object."""
+    events: list[dict] = [
+        {"ph": "M", "pid": HOST_PID, "tid": 0, "name": "process_name",
+         "args": {"name": "host"}},
+        {"ph": "M", "pid": HOST_PID, "tid": 0, "name": "thread_name",
+         "args": {"name": "job phases"}},
+    ]
+    lanes = sorted({(e.block, e.warp) for e in tracer.device_events})
+    if lanes:
+        events.append({"ph": "M", "pid": DEVICE_PID, "tid": 0,
+                       "name": "process_name", "args": {"name": "device"}})
+        for block, warp in lanes:
+            events.append({
+                "ph": "M", "pid": DEVICE_PID, "tid": _lane_tid(block, warp),
+                "name": "thread_name",
+                "args": {"name": f"block {block} / warp {warp}"},
+            })
+
+    for sp in tracer.spans:
+        events.append({
+            "ph": "X", "pid": HOST_PID, "tid": 0, "cat": "host",
+            "name": sp.name, "ts": sp.start, "dur": sp.duration,
+            "args": dict(sp.attrs),
+        })
+    for ev in tracer.instants:
+        events.append({
+            "ph": "i", "s": "t", "pid": HOST_PID, "tid": 0, "cat": "host",
+            "name": ev.name, "ts": ev.time, "args": dict(ev.attrs),
+        })
+    for de in tracer.device_events:
+        tid = _lane_tid(de.block, de.warp)
+        args = {"block": de.block, "warp": de.warp, "kernel": de.kernel,
+                **de.attrs}
+        if de.category == "mark":
+            events.append({
+                "ph": "i", "s": "t", "pid": DEVICE_PID, "tid": tid,
+                "cat": "device", "name": de.name or "mark",
+                "ts": de.start, "args": args,
+            })
+        else:
+            events.append({
+                "ph": "X", "pid": DEVICE_PID, "tid": tid, "cat": "device",
+                "name": de.category, "ts": de.start, "dur": de.duration,
+                "args": args,
+            })
+    return {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "otherData": {"clock": "simulated GPU cycles"},
+    }
+
+
+def write_chrome_trace(tracer: "Tracer", path: str) -> None:
+    """Write the Chrome/Perfetto trace JSON to ``path``."""
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(to_chrome_trace(tracer), fh, sort_keys=True,
+                  separators=(",", ":"))
+        fh.write("\n")
+
+
+def write_jsonl(tracer: "Tracer", path: str) -> None:
+    """Write a compact JSONL event log: one JSON object per line.
+
+    Span records carry their tree position (``depth`` plus the parent
+    span's name), device records their lane; the file replays in time
+    order within each record class.
+    """
+    with open(path, "w", encoding="utf-8") as fh:
+        for sp in tracer.spans:
+            fh.write(json.dumps({
+                "type": "span", "name": sp.name, "start": sp.start,
+                "end": sp.end, "depth": sp.depth,
+                "parent": sp.parent.name if sp.parent else None,
+                "attrs": dict(sp.attrs),
+            }, sort_keys=True) + "\n")
+        for ev in tracer.instants:
+            fh.write(json.dumps({
+                "type": "instant", "name": ev.name, "time": ev.time,
+                "attrs": dict(ev.attrs),
+            }, sort_keys=True) + "\n")
+        for de in tracer.device_events:
+            fh.write(json.dumps({
+                "type": "device", "kernel": de.kernel, "block": de.block,
+                "warp": de.warp, "category": de.category, "name": de.name,
+                "start": de.start, "end": de.end, "attrs": dict(de.attrs),
+            }, sort_keys=True) + "\n")

@@ -1,0 +1,76 @@
+"""Human-readable views of a trace: span tree and job profile."""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..framework.job import JobResult
+    from ..gpu.config import DeviceConfig
+    from .tracer import Span, Tracer
+
+
+def render_span_tree(tracer: "Tracer", *, attrs: bool = False) -> str:
+    """ASCII tree of the trace's spans with durations and % of root.
+
+    Device events are summarised per kernel span (event and poll-
+    episode counts) rather than listed, keeping the tree readable.
+    """
+    lines: list[str] = []
+    for root in tracer.roots:
+        total = max(root.duration, 1e-12)
+        _render_span(tracer, root, total, lines, attrs)
+    return "\n".join(lines) if lines else "(empty trace)"
+
+
+def _render_span(
+    tracer: "Tracer", sp: "Span", total: float,
+    lines: list[str], attrs: bool,
+) -> None:
+    label = f"{'  ' * sp.depth}{sp.name}"
+    pct = f"{sp.duration / total:6.1%}" if total else "      "
+    line = f"{label:<44s} {sp.duration:>14.0f} cy  {pct}"
+    devs = [d for d in tracer.device_events if d.kernel == sp.name]
+    if devs:
+        polls = sum(1 for d in devs if d.category == "poll_wait")
+        marks = sum(1 for d in devs if d.category == "mark")
+        line += f"  [{len(devs)} device events"
+        if polls:
+            line += f", {polls} poll episodes"
+        if marks:
+            line += f", {marks} marks"
+        line += "]"
+    if attrs and sp.attrs:
+        line += "  " + ", ".join(
+            f"{k}={v}" for k, v in sorted(sp.attrs.items())
+        )
+    lines.append(line)
+    for child in sp.children:
+        _render_span(tracer, child, total, lines, attrs)
+
+
+def render_job_profile(result: "JobResult", config: "DeviceConfig") -> str:
+    """Phase breakdown plus derived kernel metrics for one job."""
+    from ..analysis.metrics import derive_metrics
+
+    timings = result.timings
+    total = max(timings.total, 1e-12)
+    strategy = getattr(result.strategy, "value", result.strategy)
+    lines = [
+        f"job {result.spec_name}  mode={getattr(result.mode, 'value', result.mode)}"
+        f"  strategy={strategy or '-'}",
+        f"total cycles           : {timings.total:.0f}",
+        "phase breakdown        :",
+    ]
+    for phase, cycles in timings.as_dict().items():
+        if phase == "total":
+            continue
+        lines.append(f"  {phase:<8s} {cycles:>14.0f} cy  {cycles / total:6.1%}")
+    lines.append("")
+    lines.append("Map kernel:")
+    lines.append(derive_metrics(result.map_stats, config).render())
+    if result.strategy is not None and result.reduce_stats.cycles:
+        lines.append("")
+        lines.append("Reduce kernel:")
+        lines.append(derive_metrics(result.reduce_stats, config).render())
+    return "\n".join(lines)

@@ -108,3 +108,35 @@ class TestIterativeJob:
             inp, init, max_iterations=6
         )
         assert res.n_iterations >= 1
+
+    def test_iteration_traces_preserve_phase_timings(self):
+        """Each IterationTrace carries the iteration's full per-phase
+        breakdown, not just the total (phase-level convergence traces)."""
+        _, inp, init = km_problem()
+        res = make_job().run(inp, init, max_iterations=3)
+        for t in res.iterations:
+            assert t.timings.total == pytest.approx(t.cycles)
+            phases = t.phase_dict()
+            assert set(phases) == {
+                "io_in", "map", "shuffle", "reduce", "io_out", "total"}
+            # A KMeans iteration exercises every phase.
+            for phase in ("io_in", "map", "shuffle", "reduce", "io_out"):
+                assert phases[phase] > 0
+
+    def test_iterative_tracer_spans(self):
+        from repro.obs import Tracer
+
+        _, inp, init = km_problem()
+        tr = Tracer(kernel_detail=False)
+        res = make_job().run(inp, init, max_iterations=3, tracer=tr)
+        root = tr.roots[0]
+        assert root.name == "iterative_job"
+        iter_spans = [s for s in root.children if s.name.startswith("iteration[")]
+        assert len(iter_spans) == res.n_iterations
+        # Each iteration span holds the job span, which holds the phases.
+        job_span = iter_spans[0].children[0]
+        assert job_span.name.startswith("job:")
+        names = [c.name for c in job_span.children]
+        assert names == ["io_in", "map", "shuffle", "reduce", "io_out"]
+        if res.converged:
+            assert any(e.name == "converged" for e in tr.instants)

@@ -1,0 +1,60 @@
+"""KernelStats.merge is introspective: every field participates.
+
+The merge used to enumerate field names by hand, which silently
+dropped any counter added later.  It now walks ``dataclasses.fields``;
+these tests pin that contract so a new field can never regress it.
+"""
+
+from dataclasses import fields
+
+from repro.gpu.stats import GEOMETRY_FIELDS, KernelStats
+
+
+def _numbered(offset: int) -> KernelStats:
+    """A stats object with a distinct value in every scalar field."""
+    st = KernelStats()
+    for i, f in enumerate(fields(st)):
+        val = getattr(st, f.name)
+        if isinstance(val, dict):
+            continue
+        setattr(st, f.name, type(val)(offset + i))
+    return st
+
+
+class TestMergeCoversEveryField:
+    def test_every_numeric_field_is_merged(self):
+        a, b = _numbered(10), _numbered(1000)
+        merged = a.merge(b)
+        for f in fields(KernelStats):
+            va, vb = getattr(a, f.name), getattr(b, f.name)
+            if isinstance(va, dict):
+                continue
+            got = getattr(merged, f.name)
+            if f.name in GEOMETRY_FIELDS:
+                assert got == max(va, vb), f.name
+            else:
+                assert got == va + vb, f.name
+            # The field actually changed — catches a merge that copies
+            # neither side and leaves the default.
+            assert got != type(va)(0), f.name
+
+    def test_geometry_fields_exist(self):
+        names = {f.name for f in fields(KernelStats)}
+        assert GEOMETRY_FIELDS <= names
+
+    def test_dict_fields_merge_keywise(self):
+        a, b = KernelStats(), KernelStats()
+        a.count("flushes", 3)
+        a.stall("atomic", 10.0)
+        b.count("flushes", 2)
+        b.count("overflow_flushes", 1)
+        b.stall("memory", 5.0)
+        merged = a.merge(b)
+        assert merged.extra == {"flushes": 5, "overflow_flushes": 1}
+        assert merged.stall_cycles == {"atomic": 10.0, "memory": 5.0}
+
+    def test_merge_is_non_destructive(self):
+        a, b = _numbered(1), _numbered(2)
+        before = (a.cycles, b.cycles)
+        a.merge(b)
+        assert (a.cycles, b.cycles) == before

@@ -100,3 +100,77 @@ class TestTimeline:
                    smem_bytes=rt.layout.smem_bytes, args=(rt,), timeline=tl)
         polls = [e for e in tl.events if e.category == "poll"]
         assert polls  # helpers were parked at some point
+
+
+class TestTimelineEdgeCases:
+    def test_zero_duration_span_renders_empty(self):
+        tl = Timeline()
+        tl.record(0, 0, "compute", 500.0, 500.0)
+        assert tl.span() == (500.0, 500.0)
+        assert tl.render() == "(empty timeline)"
+
+    def test_zero_duration_span_utilisation(self):
+        tl = Timeline()
+        tl.record(0, 0, "compute", 500.0, 500.0)
+        assert tl.utilisation(0, 0) == 0.0
+
+    def test_render_explicit_lane_subset(self):
+        dev = make_device()
+
+        def k(ctx):
+            yield from ctx.compute(50)
+
+        tl = Timeline()
+        dev.launch(k, grid=2, block=64, timeline=tl)
+        out = tl.render(lanes=[(0, 0)])
+        assert "b000w00" in out
+        assert "b000w01" not in out
+        assert "b001w00" not in out
+
+    def test_utilisation_for_silent_warp(self):
+        dev = make_device()
+
+        def k(ctx):
+            yield from ctx.compute(50)
+
+        tl = Timeline()
+        dev.launch(k, grid=1, block=32, timeline=tl)
+        # Warp 9 of block 5 never ran: no events, utilisation is zero.
+        assert tl.utilisation(5, 9) == 0.0
+
+    def test_empty_timeline_utilisation_and_span(self):
+        tl = Timeline()
+        assert tl.span() == (0.0, 0.0)
+        assert tl.utilisation(0, 0) == 0.0
+
+
+class TestTimelineMarks:
+    def test_mark_records_and_respects_block_filter(self):
+        tl = Timeline(blocks={0})
+        tl.mark(0, 1, "flush", 42.0, {"epoch": 1})
+        tl.mark(3, 0, "flush", 50.0)  # filtered out
+        assert len(tl.marks) == 1
+        m = tl.marks[0]
+        assert (m.block, m.warp, m.name, m.time) == (0, 1, "flush", 42.0)
+        assert m.attrs == {"epoch": 1}
+
+    def test_marks_do_not_affect_render_or_utilisation(self):
+        tl = Timeline()
+        tl.mark(0, 0, "flush", 10.0)
+        assert tl.render() == "(empty timeline)"
+        assert tl.utilisation(0, 0) == 0.0
+
+    def test_ctx_mark_surfaces_through_launch(self):
+        dev = make_device()
+
+        def k(ctx):
+            yield from ctx.compute(10)
+            ctx.mark("checkpoint", stage=1)
+            yield from ctx.compute(10)
+
+        tl = Timeline()
+        dev.launch(k, grid=1, block=32, timeline=tl)
+        marks = [m for m in tl.marks if m.name == "checkpoint"]
+        assert len(marks) == 1
+        assert marks[0].attrs == {"stage": 1}
+        assert marks[0].time > 0.0

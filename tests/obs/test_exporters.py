@@ -1,0 +1,108 @@
+"""Exporter schema: Chrome trace_event JSON and the JSONL log."""
+
+import json
+
+from repro.framework import MemoryMode, ReduceStrategy
+from repro.framework.job import run_job
+from repro.gpu import DeviceConfig
+from repro.obs import Tracer, to_chrome_trace, write_chrome_trace, write_jsonl
+from repro.obs.exporters import DEVICE_PID, HOST_PID, _lane_tid
+from repro.workloads import WordCount
+
+VALID_PH = {"X", "i", "M"}
+
+
+def traced_job():
+    wc = WordCount()
+    inp = wc.generate("small", seed=0)
+    tr = Tracer()
+    res = run_job(wc.spec(), inp, mode=MemoryMode.SIO,
+                  strategy=ReduceStrategy.TR,
+                  config=DeviceConfig.small(1), tracer=tr)
+    return tr, res
+
+
+class TestChromeTrace:
+    def setup_method(self):
+        self.tr, self.res = traced_job()
+        self.doc = to_chrome_trace(self.tr)
+
+    def test_document_shape(self):
+        assert set(self.doc) == {
+            "traceEvents", "displayTimeUnit", "otherData"}
+        for ev in self.doc["traceEvents"]:
+            assert ev["ph"] in VALID_PH
+            assert ev["pid"] in (HOST_PID, DEVICE_PID)
+            if ev["ph"] == "X":
+                assert ev["dur"] >= 0
+                assert ev["ts"] >= 0
+
+    def test_process_and_thread_metadata(self):
+        meta = [e for e in self.doc["traceEvents"] if e["ph"] == "M"]
+        procs = {e["args"]["name"] for e in meta
+                 if e["name"] == "process_name"}
+        assert procs == {"host", "device"}
+        lanes = sorted({(e.block, e.warp)
+                        for e in self.tr.device_events})
+        thread_tids = {e["tid"] for e in meta
+                       if e["name"] == "thread_name" and e["pid"] == DEVICE_PID}
+        assert thread_tids == {_lane_tid(b, w) for b, w in lanes}
+
+    def test_host_spans_nest(self):
+        """job -> phases -> kernel spans: every child interval is
+        contained in its parent's, and the expected names appear."""
+        spans = [e for e in self.doc["traceEvents"]
+                 if e["ph"] == "X" and e["pid"] == HOST_PID]
+        names = [e["name"] for e in spans]
+        assert names[0].startswith("job:")
+        for expected in ("io_in", "map", "map_kernel", "shuffle",
+                         "reduce", "reduce_kernel", "io_out"):
+            assert expected in names
+        job = spans[0]
+        for e in spans[1:]:
+            assert e["ts"] >= job["ts"]
+            assert e["ts"] + e["dur"] <= job["ts"] + job["dur"]
+        # Kernel spans sit inside their phase spans.
+        by_name = {e["name"]: e for e in spans}
+        for kern, phase in (("map_kernel", "map"),
+                            ("reduce_kernel", "reduce")):
+            k, p = by_name[kern], by_name[phase]
+            assert p["ts"] <= k["ts"]
+            assert k["ts"] + k["dur"] <= p["ts"] + p["dur"]
+
+    def test_device_events_present(self):
+        dev = [e for e in self.doc["traceEvents"]
+               if e.get("cat") == "device"]
+        assert dev, "traced block produced no device events"
+        cats = {e["name"] for e in dev if e["ph"] == "X"}
+        assert "poll_wait" in cats  # SIO wait-signal episodes
+        marks = {e["name"] for e in dev if e["ph"] == "i"}
+        assert "flush_done" in marks  # collector flush epochs
+
+    def test_written_file_is_valid_json(self, tmp_path):
+        path = tmp_path / "trace.json"
+        write_chrome_trace(self.tr, path)
+        doc = json.loads(path.read_text())
+        assert doc == json.loads(json.dumps(self.doc))
+
+
+class TestJsonl:
+    def test_records_and_types(self, tmp_path):
+        tr, _ = traced_job()
+        path = tmp_path / "events.jsonl"
+        write_jsonl(tr, path)
+        records = [json.loads(line)
+                   for line in path.read_text().splitlines()]
+        types = {r["type"] for r in records}
+        assert types == {"span", "device"} or types == {
+            "span", "instant", "device"}
+        spans = [r for r in records if r["type"] == "span"]
+        assert len(spans) == len(tr.spans)
+        root = spans[0]
+        assert root["parent"] is None and root["depth"] == 0
+        for r in spans[1:]:
+            assert r["depth"] >= 1 and r["parent"] is not None
+        devs = [r for r in records if r["type"] == "device"]
+        assert len(devs) == len(tr.device_events)
+        assert all(set(r) >= {"kernel", "block", "warp", "category",
+                              "start", "end"} for r in devs)

@@ -1,0 +1,65 @@
+"""Tracer hooks in the Mars baseline and the streamed-job pipeline."""
+
+import pytest
+
+from repro.framework import MemoryMode, ReduceStrategy
+from repro.framework.streaming import run_streamed_job
+from repro.gpu import DeviceConfig
+from repro.mars.framework import run_mars_job
+from repro.obs import Tracer
+from repro.workloads import WordCount
+
+CFG = DeviceConfig.small(1)
+
+
+def wc_input():
+    wc = WordCount()
+    return wc.spec(), wc.generate("small", seed=0)
+
+
+class TestMarsTracing:
+    def test_two_pass_kernels_become_spans(self):
+        spec, inp = wc_input()
+        tr = Tracer(kernel_detail=False)
+        run_mars_job(spec, inp, strategy=ReduceStrategy.TR,
+                     config=CFG, tracer=tr)
+        root = tr.roots[0]
+        assert root.name == "job:wordcount"
+        assert root.attrs["mode"] == "Mars"
+        phases = [c.name for c in root.children]
+        assert phases == ["io_in", "map", "shuffle", "reduce", "io_out"]
+        map_children = [c.name for c in root.children[1].children]
+        assert map_children == [
+            "map_count_kernel", "prefix_scan", "map_real_kernel"]
+        red_children = [c.name for c in root.children[3].children]
+        assert red_children == [
+            "reduce_count_kernel", "prefix_scan", "reduce_real_kernel"]
+
+    def test_clock_matches_job_total(self):
+        spec, inp = wc_input()
+        tr = Tracer(kernel_detail=False)
+        res = run_mars_job(spec, inp, strategy=ReduceStrategy.TR,
+                           config=CFG, tracer=tr)
+        root = tr.roots[0]
+        assert root.duration == pytest.approx(res.total_cycles)
+
+
+class TestStreamedTracing:
+    def test_batch_spans(self):
+        spec, inp = wc_input()
+        tr = Tracer(kernel_detail=False)
+        res = run_streamed_job(spec, inp, n_batches=3, overlap=True,
+                               mode=MemoryMode.SIO,
+                               strategy=ReduceStrategy.TR,
+                               config=CFG, tracer=tr)
+        root = tr.roots[0]
+        stream = root.children[0]
+        assert stream.name == "map_stream"
+        batch_names = [c.name for c in stream.children]
+        assert batch_names == [f"batch[{i}]" for i in range(3)]
+        for b in stream.children:
+            assert [c.name for c in b.children] == ["upload", "map_kernel"]
+        assert stream.attrs["serial_map_io"] == res.serial_map_io
+        assert stream.attrs["pipelined_map_io"] == res.pipelined_map_io
+        tail = [c.name for c in root.children[1:]]
+        assert tail == ["shuffle", "reduce", "io_out"]
