@@ -67,6 +67,9 @@ def main() -> None:
     for name, r in rows.items():
         if name.startswith("Mars"):
             continue
+        if not r.timings.map:  # zero under the fast (functional) backend
+            print(f"  {name}: n/a (no kernel timings on this backend)")
+            continue
         line = f"  {name}: Map {mars.timings.map / r.timings.map:.2f}x"
         if strategy is not None:
             line += f", Reduce {mars.timings.reduce / r.timings.reduce:.2f}x"

@@ -1,0 +1,96 @@
+"""Benchmark the fast backend against the simulator: wall-clock only.
+
+Runs wordcount and kmeans at two sizes under both execution backends
+and writes ``BENCH_backend.json`` at the repo root (committed as the
+PR's perf artifact).  The quantity compared is *host wall-clock
+seconds to execute the job* — the simulator's virtual cycle counts
+are its product, not its cost; the fast backend's cycles are zero by
+design.  The acceptance bar: >= 20x on medium wordcount.
+
+Usage::
+
+    PYTHONPATH=src python scripts/bench_backends.py [--out PATH]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import time
+from pathlib import Path
+
+from repro.framework.job import run_job
+from repro.framework.modes import MemoryMode, ReduceStrategy
+from repro.workloads import KMeans, WordCount
+
+CASES = [
+    ("wordcount", WordCount, "small"),
+    ("wordcount", WordCount, "medium"),
+    ("kmeans", KMeans, "small"),
+    ("kmeans", KMeans, "medium"),
+]
+
+
+def _time_run(spec, inp, backend: str, repeats: int) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        run_job(spec, inp, mode=MemoryMode.SIO, strategy=ReduceStrategy.TR,
+                backend=backend)
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def main(argv=None) -> int:
+    p = argparse.ArgumentParser(description=__doc__)
+    p.add_argument("--out", default=str(
+        Path(__file__).resolve().parent.parent / "BENCH_backend.json"))
+    p.add_argument("--repeats", type=int, default=3,
+                   help="take the best of N runs per backend")
+    args = p.parse_args(argv)
+
+    results = []
+    for name, cls, size in CASES:
+        w = cls()
+        inp = w.generate(size, seed=0)
+        spec = w.spec_for_size(size, seed=0)
+        sim_s = _time_run(spec, inp, "sim", args.repeats)
+        fast_s = _time_run(spec, inp, "fast", args.repeats)
+        row = {
+            "workload": name,
+            "size": size,
+            "records": len(inp),
+            "sim_wall_s": round(sim_s, 4),
+            "fast_wall_s": round(fast_s, 4),
+            "speedup": round(sim_s / fast_s, 1),
+        }
+        results.append(row)
+        print(f"{name:10s} {size:6s} {len(inp):7d} records  "
+              f"sim {sim_s:8.3f}s  fast {fast_s:8.4f}s  "
+              f"{row['speedup']:7.1f}x")
+
+    doc = {
+        "description": "Wall-clock: FastBackend vs SimBackend, "
+                       "mode=SIO strategy=TR, full GTX 280 config, "
+                       "best of N runs",
+        "repeats": args.repeats,
+        "python": platform.python_version(),
+        "results": results,
+    }
+    with open(args.out, "w", encoding="utf-8") as fh:
+        json.dump(doc, fh, indent=2)
+        fh.write("\n")
+    print(f"wrote {args.out}")
+
+    medium_wc = next(r for r in results
+                     if r["workload"] == "wordcount" and r["size"] == "medium")
+    if medium_wc["speedup"] < 20:
+        print(f"WARNING: medium wordcount speedup {medium_wc['speedup']}x "
+              "is below the 20x acceptance bar")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

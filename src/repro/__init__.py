@@ -10,6 +10,10 @@ Layout
     thread-role partitioning, wait-signal synchronisation, hierarchical
     result collection, memory-usage modes G/GT/SI/SO/SIO, and TR/BR
     reduction.
+``repro.backend``
+    Pluggable execution backends behind one phase-sequencing core:
+    ``sim`` (the cycle-accurate simulator) and ``fast`` (functional
+    executor for correctness runs and development loops).
 ``repro.mars``
     The Mars baseline: two-pass (count + prefix-scan + real) execution.
 ``repro.workloads``

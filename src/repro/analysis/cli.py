@@ -27,6 +27,7 @@ from ..workloads import (
     Histogram,
     InvertedIndex,
     KMeans,
+    LinearRegression,
     MatrixMultiplication,
     SimilarityScore,
     StringMatch,
@@ -45,13 +46,23 @@ _BY_CODE = {
     # Extras beyond Table I (Mars/Phoenix suites).
     "SS": SimilarityScore,
     "HG": Histogram,
+    "LR": LinearRegression,
 }
 
 
 def _workloads(arg: str | None):
     if arg is None:
         return [cls() for cls in ALL_WORKLOADS]
-    return [_BY_CODE[code.strip().upper()]() for code in arg.split(",")]
+    out = []
+    for code in arg.split(","):
+        cls = _BY_CODE.get(code.strip().upper())
+        if cls is None:
+            known = ", ".join(_BY_CODE)
+            print(f"repro-bench: unknown workload code {code.strip()!r}; "
+                  f"known codes: {known}", file=sys.stderr)
+            raise SystemExit(2)
+        out.append(cls())
+    return out
 
 
 def _config(args) -> DeviceConfig:
@@ -124,6 +135,7 @@ def cmd_validate(args) -> None:
     rep = validate_all(
         _workloads(args.workload), size=args.size, scale=args.scale,
         config=_config(args) if args.mps else None,
+        backend=args.backend,
     )
     print(rep.render())
     if not rep.passed:
@@ -169,13 +181,22 @@ def main(argv: list[str] | None = None) -> int:
         "table1", "table2", "fig5-map", "fig5-reduce", "fig6", "fig7",
         "fig8", "validate", "profile", "all",
     ])
-    p.add_argument("--workload", help="comma-separated codes (WC,MM,SM,II,KM,SS,HG)")
+    p.add_argument("--workload",
+                   help="comma-separated codes (WC,MM,SM,II,KM,SS,HG,LR)")
     p.add_argument("--size", default="small", choices=["small", "medium", "large"])
     p.add_argument("--scale", type=float, default=1.0,
                    help="multiply problem sizes (1.0 = scaled defaults)")
     p.add_argument("--mps", type=int, default=0,
                    help="simulate this many MPs instead of the full 30")
+    p.add_argument("--backend", default=None, choices=["sim", "fast"],
+                   help="execution backend for 'validate' (timing "
+                        "commands always simulate)")
     args = p.parse_args(argv)
+    if args.backend and args.command != "validate":
+        print("repro-bench: --backend only applies to 'validate' — every "
+              "timing command needs the cycle-accurate simulator",
+              file=sys.stderr)
+        return 2
     {
         "table1": cmd_table1,
         "table2": cmd_table2,

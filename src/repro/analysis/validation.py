@@ -80,12 +80,13 @@ def validate_workload(
     seed: int = 0,
     config: DeviceConfig | None = None,
     threads_per_block: int = 128,
+    backend=None,
 ) -> ValidationReport:
     """Run every legal (mode, strategy) combination for one workload."""
     cfg = config or DeviceConfig.small(2)
     inp = workload.generate(size, seed=seed, scale=scale)
     spec = workload.spec_for_size(size, seed=seed, scale=scale)
-    float_vals = workload.code in ("KM", "SS")
+    float_vals = workload.code in ("KM", "SS", "LR")
 
     strategies: list[ReduceStrategy | None] = [None]
     if workload.has_reduce:
@@ -101,7 +102,7 @@ def validate_workload(
             try:
                 res = run_job(
                     spec, inp, mode=mode, strategy=strategy, config=cfg,
-                    threads_per_block=threads_per_block,
+                    threads_per_block=threads_per_block, backend=backend,
                 )
             except ReproError as exc:
                 report.cases.append(ValidationCase(
@@ -124,10 +125,13 @@ def validate_all(
     size: str = "small",
     scale: float = 1.0,
     config: DeviceConfig | None = None,
+    backend=None,
 ) -> ValidationReport:
     report = ValidationReport()
     for wl in workloads:
         report.cases.extend(
-            validate_workload(wl, size=size, scale=scale, config=config).cases
+            validate_workload(
+                wl, size=size, scale=scale, config=config, backend=backend
+            ).cases
         )
     return report

@@ -1,0 +1,74 @@
+"""``repro.backend`` — pluggable execution backends behind one core.
+
+The framework's phases (upload -> Map -> Shuffle -> Reduce ->
+download; Section IV-C's five memory modes x two reduce strategies)
+are orthogonal to *how* they execute.  A
+:class:`~repro.backend.plan.JobPlan` describes a job; an
+:class:`~repro.backend.base.ExecutionBackend` executes its phases:
+
+* ``"sim"``  — :class:`SimBackend`: the cycle-accurate discrete-event
+  simulator.  Use it for every timing figure; it is the paper.
+* ``"fast"`` — :class:`FastBackend`: a dict-based functional executor
+  that skips warp-level simulation.  Orders of magnitude faster; use
+  it for correctness runs, large inputs and development loops.
+
+Select per call (``run_job(..., backend="fast")``), or process-wide
+with the ``REPRO_BACKEND`` environment variable (read when a driver is
+called with ``backend=None``).
+"""
+
+from __future__ import annotations
+
+import os
+
+from ..errors import FrameworkError
+from .base import ExecutionBackend
+from .core import execute_plan, execute_streamed
+from .fast import FastBackend
+from .plan import ENGINE_MARS, ENGINE_SHARED, BatchPolicy, JobPlan
+from .sim import SimBackend
+
+#: Registry of the shipped backends, by name.
+BACKENDS: dict[str, type[ExecutionBackend]] = {
+    SimBackend.name: SimBackend,
+    FastBackend.name: FastBackend,
+}
+
+#: Environment variable consulted when ``backend=None``.
+BACKEND_ENV = "REPRO_BACKEND"
+
+
+def get_backend(backend: str | ExecutionBackend | None = None
+                ) -> ExecutionBackend:
+    """Resolve a backend argument to a live instance.
+
+    ``None`` consults ``$REPRO_BACKEND`` (default ``"sim"``); strings
+    are looked up in :data:`BACKENDS`; instances pass through.
+    """
+    if isinstance(backend, ExecutionBackend):
+        return backend
+    if backend is None:
+        backend = os.environ.get(BACKEND_ENV) or "sim"
+    try:
+        return BACKENDS[backend]()
+    except KeyError:
+        known = ", ".join(sorted(BACKENDS))
+        raise FrameworkError(
+            f"unknown backend {backend!r}; known backends: {known}"
+        ) from None
+
+
+__all__ = [
+    "BACKENDS",
+    "BACKEND_ENV",
+    "BatchPolicy",
+    "ENGINE_MARS",
+    "ENGINE_SHARED",
+    "ExecutionBackend",
+    "FastBackend",
+    "JobPlan",
+    "SimBackend",
+    "execute_plan",
+    "execute_streamed",
+    "get_backend",
+]

@@ -1,0 +1,100 @@
+"""The :class:`ExecutionBackend` protocol.
+
+A backend supplies the five phase primitives the execution core
+(:mod:`repro.backend.core`) sequences into a job: charged input
+upload, Map, Shuffle, Reduce, and charged output download — plus the
+uncharged host/device conversions the streamed driver needs between
+its batched Map and the Shuffle.
+
+Two implementations ship:
+
+* :class:`repro.backend.sim.SimBackend` — the cycle-accurate
+  discrete-event simulator (the paper's numbers).  Intermediate
+  handles are :class:`~repro.framework.records.DeviceRecordSet`
+  images in simulated global memory.
+* :class:`repro.backend.fast.FastBackend` — a dict-based functional
+  executor that skips warp-level simulation entirely.  Handles are
+  plain host :class:`~repro.framework.records.KeyValueSet` objects;
+  only the host<->device transfer model is costed.
+
+Handles are deliberately opaque to the core: it only ever passes them
+back into the same backend.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Any
+
+from ..framework.records import KeyValueSet
+from ..gpu.stats import KernelStats
+from .plan import JobPlan
+
+
+class ExecutionBackend(abc.ABC):
+    """Phase primitives one execution substrate must provide."""
+
+    #: Registry name ("sim", "fast").
+    name: str = "?"
+
+    # -- lifecycle -----------------------------------------------------
+
+    @abc.abstractmethod
+    def open(self, plan: JobPlan) -> Any:
+        """Create the per-job execution context (device, config, ...)."""
+
+    def resolve_auto(self, ctx: Any, plan: JobPlan, inp: KeyValueSet
+                     ) -> JobPlan:
+        """Resolve ``mode='auto'`` into a concrete plan."""
+        raise NotImplementedError(
+            f"backend {self.name!r} does not support mode='auto'"
+        )
+
+    # -- charged transfers ---------------------------------------------
+
+    @abc.abstractmethod
+    def upload_input(self, ctx: Any, kvs: KeyValueSet, label: str
+                     ) -> tuple[Any, float]:
+        """Stage the input; returns ``(handle, upload_cycles)``."""
+
+    @abc.abstractmethod
+    def download_output(self, ctx: Any, handle: Any
+                        ) -> tuple[KeyValueSet, float]:
+        """Retire a phase output to the host; returns
+        ``(record_set, download_cycles)``."""
+
+    # -- uncharged conversions (streamed driver) ------------------------
+
+    @abc.abstractmethod
+    def to_host(self, ctx: Any, handle: Any) -> KeyValueSet:
+        """Read a phase output back without charging a transfer."""
+
+    @abc.abstractmethod
+    def stage_intermediate(self, ctx: Any, kvs: KeyValueSet, label: str
+                           ) -> Any:
+        """Re-stage a host-resident intermediate without charging a
+        transfer (the streamed driver's pre-Shuffle hop)."""
+
+    @abc.abstractmethod
+    def record_count(self, ctx: Any, handle: Any) -> int:
+        """Number of records behind a handle."""
+
+    # -- phases ---------------------------------------------------------
+
+    @abc.abstractmethod
+    def map_phase(self, ctx: Any, d_in: Any, tr, *, batch: int | None = None
+                  ) -> tuple[Any, KernelStats]:
+        """Run Map over ``d_in``; returns ``(intermediate, stats)``.
+        ``batch`` tags the kernel span when streaming."""
+
+    @abc.abstractmethod
+    def shuffle_phase(self, ctx: Any, inter: Any, tr, label: str
+                      ) -> tuple[Any, float, int]:
+        """Group the intermediate by key; returns
+        ``(grouped_handle, cycles, n_groups)``."""
+
+    @abc.abstractmethod
+    def reduce_phase(self, ctx: Any, grouped: Any, tr, *,
+                     include_grid: bool = True
+                     ) -> tuple[Any, KernelStats]:
+        """Run Reduce over the grouped sets; returns ``(out, stats)``."""

@@ -1,0 +1,212 @@
+"""The execution core: one phase sequencer for every driver.
+
+Before this module, the upload -> Map -> Shuffle -> Reduce -> download
+workflow was re-implemented four times (``run_job``,
+``run_streamed_job``, ``IterativeJob.run``, ``run_mars_job``); PR 1
+had to thread the tracer through each copy by hand.  Now each driver
+lowers its arguments to a :class:`~repro.backend.plan.JobPlan` and
+calls one of the two executors here:
+
+* :func:`execute_plan` — single-shot jobs (shared-memory framework
+  *and* the Mars baseline, which differs only in its Map/Reduce phase
+  implementations and labels);
+* :func:`execute_streamed` — batched Map with optional
+  transfer/compute overlap (Section III-A), then the shared tail.
+
+Observability (spans, phase timings, kernel events) lives here once:
+a future hook lands in one place, not four.
+"""
+
+from __future__ import annotations
+
+from ..framework.host import host_download_cost
+from ..framework.job import JobResult, PhaseTimings
+from ..framework.records import KeyValueSet
+from ..gpu.stats import KernelStats
+from ..obs.tracer import NULL_TRACER, Tracer
+from .base import ExecutionBackend
+from .plan import JobPlan
+
+
+def execute_plan(
+    plan: JobPlan,
+    inp: KeyValueSet,
+    backend: ExecutionBackend,
+    tracer: Tracer | None = None,
+) -> JobResult:
+    """Run one single-shot job on ``backend``.
+
+    The phase sequence, span structure and timing attribution are
+    exactly those of the pre-refactor drivers; the backend supplies
+    the phase primitives.
+    """
+    if plan.batching is not None:
+        raise ValueError("execute_plan does not take a batched plan; "
+                         "use execute_streamed")
+    tr = tracer if tracer is not None else NULL_TRACER
+    ctx = backend.open(plan)
+    if plan.mode == "auto":
+        plan = backend.resolve_auto(ctx, plan, inp)
+        ctx.plan = plan
+    timings = PhaseTimings()
+
+    with tr.span(f"job:{plan.spec.name}", **plan.job_attrs(len(inp))):
+        # ---- input upload -------------------------------------------------
+        with tr.span("io_in"):
+            d_in, timings.io_in = backend.upload_input(
+                ctx, inp, plan.input_label()
+            )
+            tr.advance(timings.io_in)
+
+        # ---- Map ----------------------------------------------------------
+        with tr.span("map", **plan.map_attrs()):
+            intermediate, map_stats = backend.map_phase(ctx, d_in, tr)
+            timings.map = map_stats.cycles
+            inter_count = backend.record_count(ctx, intermediate)
+
+        if plan.strategy is None:
+            with tr.span("io_out"):
+                output, timings.io_out = backend.download_output(
+                    ctx, intermediate
+                )
+                tr.advance(timings.io_out)
+            return JobResult(
+                spec_name=plan.spec.name,
+                mode=plan.result_mode,
+                strategy=None,
+                output=output,
+                intermediate_count=inter_count,
+                timings=timings,
+                map_stats=map_stats,
+            )
+
+        # ---- Shuffle ------------------------------------------------------
+        with tr.span("shuffle", **plan.shuffle_attrs()) as shuffle_span:
+            grouped, timings.shuffle, n_groups = backend.shuffle_phase(
+                ctx, intermediate, tr, plan.shuffle_label()
+            )
+            if shuffle_span is not None:
+                shuffle_span.attrs["groups"] = n_groups
+            tr.advance(timings.shuffle)
+
+        # ---- Reduce -------------------------------------------------------
+        with tr.span("reduce", **plan.reduce_attrs()):
+            final, red_stats = backend.reduce_phase(ctx, grouped, tr)
+            timings.reduce = red_stats.cycles
+
+        # ---- output download ---------------------------------------------
+        with tr.span("io_out"):
+            output, timings.io_out = backend.download_output(ctx, final)
+            tr.advance(timings.io_out)
+
+    return JobResult(
+        spec_name=plan.spec.name,
+        mode=plan.result_mode,
+        strategy=plan.strategy,
+        output=output,
+        intermediate_count=inter_count,
+        timings=timings,
+        map_stats=map_stats,
+        reduce_stats=red_stats,
+    )
+
+
+def execute_streamed(
+    plan: JobPlan,
+    inp: KeyValueSet,
+    backend: ExecutionBackend,
+    tracer: Tracer | None = None,
+):
+    """Run a job with the input streamed through the device in batches.
+
+    Returns a :class:`~repro.framework.streaming.StreamedResult`.  The
+    batch pipeline is accounted exactly as before: batch spans are
+    serial on the job clock even under overlap, and the pipelined
+    upload/Map total is attributed ``io_in`` = sum of uploads, ``map``
+    = the rest.
+    """
+    # Local import: streaming.py's front-end imports this module.
+    from ..framework.streaming import (
+        BatchTrace,
+        StreamedResult,
+        split_batches,
+    )
+
+    if plan.batching is None:
+        raise ValueError("execute_streamed needs a plan with batching")
+    tr = tracer if tracer is not None else NULL_TRACER
+    ctx = backend.open(plan)
+    name = plan.spec.name
+
+    with tr.span(f"job:{name}", **plan.job_attrs(len(inp))):
+        batches = split_batches(inp, plan.batching.n_batches)
+        traces: list[BatchTrace] = []
+        intermediate = KeyValueSet()
+        merged_stats = KernelStats()
+        with tr.span("map_stream") as stream_span:
+            for bi, batch in enumerate(batches):
+                with tr.span(f"batch[{bi}]", records=len(batch)):
+                    d_in, up_cycles = backend.upload_input(
+                        ctx, batch, plan.input_label(bi)
+                    )
+                    with tr.span("upload"):
+                        tr.advance(up_cycles)
+                    out_h, st = backend.map_phase(ctx, d_in, tr, batch=bi)
+                    merged_stats = merged_stats.merge(st)
+                    for k, v in backend.to_host(ctx, out_h):
+                        intermediate.append(k, v)
+                    traces.append(BatchTrace(
+                        records=len(batch), upload_cycles=up_cycles,
+                        map_cycles=st.cycles, map_stats=st))
+
+        timings = PhaseTimings()
+        result = StreamedResult(
+            job=JobResult(
+                spec_name=name, mode=plan.mode, strategy=plan.strategy,
+                output=intermediate, intermediate_count=len(intermediate),
+                timings=timings, map_stats=merged_stats,
+            ),
+            batches=traces,
+            overlapped=plan.batching.overlap,
+        )
+        pipeline = (
+            result.pipelined_map_io if plan.batching.overlap
+            else result.serial_map_io
+        )
+        if stream_span is not None:
+            stream_span.attrs["serial_map_io"] = result.serial_map_io
+            stream_span.attrs["pipelined_map_io"] = result.pipelined_map_io
+            stream_span.attrs["overlap_saving"] = result.overlap_saving
+        # Attribute the pipeline's transfer share to io_in and the rest to map.
+        timings.io_in = sum(b.upload_cycles for b in traces)
+        timings.map = max(0.0, pipeline - timings.io_in)
+
+        if plan.strategy is None:
+            with tr.span("io_out"):
+                timings.io_out = host_download_cost(
+                    intermediate, ctx.config
+                ).cycles
+                tr.advance(timings.io_out)
+            return result
+
+        with tr.span("shuffle", **plan.shuffle_attrs()) as shuffle_span:
+            d_inter = backend.stage_intermediate(
+                ctx, intermediate, plan.intermediate_label()
+            )
+            grouped, timings.shuffle, n_groups = backend.shuffle_phase(
+                ctx, d_inter, tr, plan.shuffle_label()
+            )
+            if shuffle_span is not None:
+                shuffle_span.attrs["groups"] = n_groups
+            tr.advance(timings.shuffle)
+        with tr.span("reduce", **plan.reduce_attrs()):
+            final, red_stats = backend.reduce_phase(
+                ctx, grouped, tr, include_grid=False
+            )
+            timings.reduce = red_stats.cycles
+        with tr.span("io_out"):
+            output, timings.io_out = backend.download_output(ctx, final)
+            tr.advance(timings.io_out)
+        result.job.output = output
+        result.job.reduce_stats = red_stats
+        return result

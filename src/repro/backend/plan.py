@@ -1,0 +1,162 @@
+"""The :class:`JobPlan`: one lowered description of a MapReduce job.
+
+Every driver front-end (``run_job``, ``run_streamed_job``,
+``IterativeJob.run``, ``run_mars_job``) reduces its arguments to a
+``JobPlan`` — spec + memory modes + reduce strategy + device
+configuration + batching policy — and hands it to
+:func:`repro.backend.core.execute_plan`, which walks the paper's phase
+sequence (upload -> Map -> Shuffle -> Reduce -> download) against a
+pluggable :class:`~repro.backend.base.ExecutionBackend`.
+
+The plan also centralises the presentation details that used to be
+copy-pasted per driver: staging labels, tracer span attributes, and
+the ``JobResult.mode`` label ("Mars" for the two-pass baseline).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from ..errors import FrameworkError
+from ..framework.api import MapReduceSpec
+from ..framework.modes import MemoryMode, ReduceStrategy
+from ..gpu.config import DeviceConfig
+
+#: Engine selectors: the paper's single-pass shared-memory framework
+#: vs. the Mars two-pass (count / scan / write) baseline.
+ENGINE_SHARED = "shared"
+ENGINE_MARS = "mars"
+
+
+@dataclass(frozen=True)
+class BatchPolicy:
+    """Streamed execution: split the input into batches, optionally
+    overlapping batch ``i+1``'s upload with batch ``i``'s Map kernel
+    (paper Section III-A)."""
+
+    n_batches: int = 4
+    overlap: bool = True
+
+    def validate(self) -> None:
+        if self.n_batches <= 0:
+            raise FrameworkError("n_batches must be positive")
+
+
+@dataclass
+class JobPlan:
+    """Everything needed to execute one MapReduce job, minus the input."""
+
+    spec: MapReduceSpec
+    mode: MemoryMode | str = MemoryMode.SIO
+    reduce_mode: MemoryMode | str | None = None
+    strategy: ReduceStrategy | None = None
+    engine: str = ENGINE_SHARED
+    config: DeviceConfig | None = None
+    device: object | None = None  # repro.gpu.kernel.Device
+    threads_per_block: int = 128
+    yield_sync: bool = True
+    io_ratio: float | None = None
+    #: ``None`` means "engine default" — the Shuffle call is made with
+    #: no explicit method, exactly as the Mars and streamed drivers
+    #: always did.  ``run_job`` passes its ``shuffle_method`` through.
+    shuffle_method: str | None = None
+    batching: BatchPolicy | None = None
+
+    # ------------------------------------------------------------------
+    # Normalisation
+    # ------------------------------------------------------------------
+
+    def normalised(self) -> "JobPlan":
+        """Coerce string modes to enums and default the Reduce mode.
+
+        ``mode="auto"`` is left untouched — it is resolved against a
+        live backend context by :func:`repro.backend.core.execute_plan`
+        (the sim backend autotunes; the fast backend picks SIO).
+        """
+        if self.engine not in (ENGINE_SHARED, ENGINE_MARS):
+            raise FrameworkError(f"unknown engine {self.engine!r}")
+        mode = self.mode
+        if isinstance(mode, str) and mode != "auto" and not isinstance(
+            mode, MemoryMode
+        ):
+            mode = MemoryMode(mode)
+        reduce_mode = self.reduce_mode
+        if reduce_mode is None:
+            # With mode="auto" the Reduce mode stays undecided until the
+            # backend resolves the plan against a live context.
+            reduce_mode = mode if mode != "auto" else None
+        elif isinstance(reduce_mode, str) and not isinstance(
+            reduce_mode, MemoryMode
+        ):
+            reduce_mode = MemoryMode(reduce_mode)
+        return replace(self, mode=mode, reduce_mode=reduce_mode)
+
+    # ------------------------------------------------------------------
+    # Presentation (labels + tracer span attributes)
+    # ------------------------------------------------------------------
+
+    @property
+    def is_mars(self) -> bool:
+        return self.engine == ENGINE_MARS
+
+    @property
+    def mode_label(self) -> str:
+        """The mode as shown in traces and ``JobResult.mode``."""
+        if self.is_mars:
+            return "Mars"
+        return getattr(self.mode, "value", self.mode)
+
+    @property
+    def result_mode(self):
+        """The value stored in ``JobResult.mode``."""
+        return "Mars" if self.is_mars else self.mode
+
+    def input_label(self, batch: int | None = None) -> str:
+        name = self.spec.name
+        if self.batching is not None:
+            return f"stream.{name}.{batch}"
+        if self.is_mars:
+            return f"mars_in.{name}"
+        return f"in.{name}"
+
+    def intermediate_label(self) -> str:
+        return f"stream.inter.{self.spec.name}"
+
+    def shuffle_label(self) -> str:
+        name = self.spec.name
+        if self.batching is not None:
+            return f"stream.shuf.{name}"
+        if self.is_mars:
+            return f"mars_shuf.{name}"
+        return f"shuf.{name}"
+
+    def job_attrs(self, n_records: int) -> dict:
+        attrs = dict(
+            workload=self.spec.name,
+            mode=self.mode_label,
+            strategy=getattr(self.strategy, "value", self.strategy),
+        )
+        if self.batching is not None:
+            attrs["n_batches"] = self.batching.n_batches
+            attrs["overlap"] = self.batching.overlap
+        elif not self.is_mars and self.shuffle_method is not None:
+            attrs["shuffle"] = self.shuffle_method
+        attrs["records"] = n_records
+        return attrs
+
+    def map_attrs(self) -> dict:
+        return {"mode": self.mode_label}
+
+    def shuffle_attrs(self) -> dict:
+        if self.is_mars or self.batching is not None:
+            return {}
+        return {"method": self.shuffle_method}
+
+    def reduce_attrs(self) -> dict:
+        if self.is_mars:
+            return {"mode": "Mars"}
+        attrs = {}
+        if self.batching is None:
+            attrs["mode"] = getattr(self.reduce_mode, "value", self.reduce_mode)
+        attrs["strategy"] = getattr(self.strategy, "value", self.strategy)
+        return attrs

@@ -40,3 +40,53 @@ def download_cost(payload_bytes: int, dir_bytes: int, config: DeviceConfig
                   ) -> TransferCost:
     """Final output download."""
     return transfer_cycles(payload_bytes + dir_bytes, config)
+
+
+# ----------------------------------------------------------------------
+# Staging helpers — the one place input upload and output download are
+# performed *and* costed.  Every execution backend (cycle-accurate sim,
+# fast functional) and every driver front-end goes through these, so
+# the transfer model can never drift between code paths.
+# ----------------------------------------------------------------------
+
+
+def stage_input(gmem, kvs, config: DeviceConfig, *, label: str = "in"):
+    """Upload a host record set and charge the PCIe cost.
+
+    Returns ``(DeviceRecordSet, TransferCost)``.  Import is local to
+    avoid a records<->host module cycle.
+    """
+    from .records import DIR_PER_RECORD, DeviceRecordSet
+
+    d = DeviceRecordSet.upload(gmem, kvs, label=label)
+    return d, upload_cost(d.payload_bytes, DIR_PER_RECORD * d.count, config)
+
+
+def retire_output(d_set, config: DeviceConfig):
+    """Download a device record set and charge the PCIe cost.
+
+    Returns ``(KeyValueSet, TransferCost)``.
+    """
+    from .records import DIR_PER_RECORD
+
+    return d_set.download(), download_cost(
+        d_set.payload_bytes, DIR_PER_RECORD * d_set.count, config
+    )
+
+
+def host_upload_cost(kvs, config: DeviceConfig) -> TransferCost:
+    """Upload cost of a *host-resident* record set (no device touched)."""
+    from .records import DIR_PER_RECORD
+
+    return upload_cost(
+        kvs.key_bytes + kvs.val_bytes, DIR_PER_RECORD * len(kvs), config
+    )
+
+
+def host_download_cost(kvs, config: DeviceConfig) -> TransferCost:
+    """Download cost of a host-resident record set (no device touched)."""
+    from .records import DIR_PER_RECORD
+
+    return download_cost(
+        kvs.key_bytes + kvs.val_bytes, DIR_PER_RECORD * len(kvs), config
+    )

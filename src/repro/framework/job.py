@@ -1,10 +1,16 @@
 """End-to-end MapReduce job orchestration (the paper's workflow).
 
 ``run_job`` executes Input-upload -> Map -> Shuffle -> Reduce ->
-Output-download on the simulated device under a chosen memory-usage
-mode and reduce strategy, returning both the *functional* output
-(checkable against the CPU oracle) and the per-phase timing breakdown
-that Figure 6 stacks.
+Output-download under a chosen memory-usage mode and reduce strategy,
+returning both the *functional* output (checkable against the CPU
+oracle) and the per-phase timing breakdown that Figure 6 stacks.
+
+Since the backend refactor this module is a thin front-end: it lowers
+its arguments to a :class:`~repro.backend.plan.JobPlan` and hands it
+to the execution core (:mod:`repro.backend.core`), which sequences
+the phases against a pluggable backend — the cycle-accurate simulator
+(``backend="sim"``, the default) or the fast functional executor
+(``backend="fast"``).
 """
 
 from __future__ import annotations
@@ -15,14 +21,10 @@ from ..errors import FrameworkError
 from ..gpu.config import DeviceConfig
 from ..gpu.kernel import Device
 from ..gpu.stats import KernelStats
-from ..obs.tracer import NULL_TRACER, Tracer
+from ..obs.tracer import Tracer
 from .api import MapReduceSpec
-from .host import download_cost, upload_cost
-from .map_engine import build_map_runtime, launch_map
 from .modes import MemoryMode, ReduceStrategy
-from .records import DIR_PER_RECORD, DeviceRecordSet, KeyValueSet
-from .reduce_engine import build_reduce_runtime, launch_reduce
-from .shuffle import shuffle
+from .records import KeyValueSet
 
 
 @dataclass
@@ -86,8 +88,9 @@ def run_job(
     io_ratio: float | None = None,
     shuffle_method: str = "sort",
     tracer: Tracer | None = None,
+    backend=None,
 ) -> JobResult:
-    """Run a complete MapReduce job on the simulated GPU.
+    """Run a complete MapReduce job.
 
     ``strategy=None`` runs a Map-only job (MM, SM and II have no
     Reduce phase; their Map output is the final output, per Table II).
@@ -102,128 +105,29 @@ def run_job(
     ``tracer`` attaches a :class:`repro.obs.Tracer`: every phase and
     kernel launch becomes a span on the job clock, with per-warp
     device events for the tracer's traced blocks.
+    ``backend`` selects the execution substrate: ``"sim"`` (default,
+    cycle-accurate), ``"fast"`` (functional, no kernel timings), an
+    :class:`~repro.backend.base.ExecutionBackend` instance, or
+    ``None`` to consult ``$REPRO_BACKEND``.
     """
     spec.validate()
     if len(inp) == 0:
         raise FrameworkError("empty input")
     if strategy is not None and not spec.has_reduce:
         raise FrameworkError(f"workload {spec.name} has no Reduce phase")
-    dev = device or Device(config or DeviceConfig.gtx280())
-    if mode == "auto":
-        # Runtime automatic configuration (the paper's Section VI
-        # future work, implemented in repro.framework.autotune).
-        from .autotune import autotune
+    # Local import: repro.backend imports this module for JobResult.
+    from ..backend import JobPlan, execute_plan, get_backend
 
-        report = autotune(spec, inp, config=dev.config, measure=True)
-        best = report.best
-        mode = best.mode
-        threads_per_block = best.threads_per_block
-        if io_ratio is None and mode.stages_input:
-            io_ratio = best.io_ratio
-    if isinstance(mode, str):
-        mode = MemoryMode(mode)
-    if reduce_mode is None:
-        reduce_mode = mode
-    elif isinstance(reduce_mode, str):
-        reduce_mode = MemoryMode(reduce_mode)
-    cfg = dev.config
-    timings = PhaseTimings()
-    tr = tracer if tracer is not None else NULL_TRACER
-
-    with tr.span(
-        f"job:{spec.name}",
-        workload=spec.name,
-        mode=getattr(mode, "value", mode),
-        strategy=getattr(strategy, "value", strategy),
-        shuffle=shuffle_method,
-        records=len(inp),
-    ):
-        # ---- input upload -------------------------------------------------
-        with tr.span("io_in"):
-            d_in = DeviceRecordSet.upload(dev.gmem, inp, label=f"in.{spec.name}")
-            timings.io_in = upload_cost(
-                d_in.payload_bytes, DIR_PER_RECORD * d_in.count, cfg
-            ).cycles
-            tr.advance(timings.io_in)
-
-        # ---- Map ----------------------------------------------------------
-        with tr.span("map", mode=getattr(mode, "value", mode)):
-            map_rt = build_map_runtime(
-                dev,
-                spec,
-                mode,
-                d_in,
-                threads_per_block=threads_per_block,
-                yield_sync=yield_sync,
-                io_ratio=io_ratio,
-            )
-            tl = tr.make_timeline()
-            map_stats = launch_map(dev, map_rt, timeline=tl)
-            tr.kernel("map_kernel", map_stats, timeline=tl,
-                      grid=map_rt.grid)
-            timings.map = map_stats.cycles
-            intermediate = map_rt.out.as_record_set()
-
-        if strategy is None:
-            with tr.span("io_out"):
-                output = intermediate.download()
-                timings.io_out = download_cost(
-                    intermediate.payload_bytes,
-                    DIR_PER_RECORD * intermediate.count, cfg
-                ).cycles
-                tr.advance(timings.io_out)
-            return JobResult(
-                spec_name=spec.name,
-                mode=mode,
-                strategy=None,
-                output=output,
-                intermediate_count=intermediate.count,
-                timings=timings,
-                map_stats=map_stats,
-            )
-
-        # ---- Shuffle ------------------------------------------------------
-        with tr.span("shuffle", method=shuffle_method) as shuffle_span:
-            shuf = shuffle(dev.gmem, intermediate, cfg, label=f"shuf.{spec.name}",
-                           method=shuffle_method, device=dev)
-            timings.shuffle = shuf.cycles
-            if shuffle_span is not None:
-                shuffle_span.attrs["groups"] = shuf.grouped.n_groups
-            tr.advance(timings.shuffle)
-
-        # ---- Reduce -------------------------------------------------------
-        with tr.span("reduce", mode=getattr(reduce_mode, "value", reduce_mode),
-                     strategy=getattr(strategy, "value", strategy)):
-            red_rt = build_reduce_runtime(
-                dev,
-                spec,
-                reduce_mode,
-                strategy,
-                shuf.grouped,
-                threads_per_block=threads_per_block,
-                yield_sync=yield_sync,
-            )
-            tl = tr.make_timeline()
-            red_stats = launch_reduce(dev, red_rt, timeline=tl)
-            tr.kernel("reduce_kernel", red_stats, timeline=tl,
-                      grid=red_rt.grid)
-            timings.reduce = red_stats.cycles
-            final = red_rt.out.as_record_set()
-
-        with tr.span("io_out"):
-            output = final.download()
-            timings.io_out = download_cost(
-                final.payload_bytes, DIR_PER_RECORD * final.count, cfg
-            ).cycles
-            tr.advance(timings.io_out)
-
-    return JobResult(
-        spec_name=spec.name,
+    plan = JobPlan(
+        spec=spec,
         mode=mode,
+        reduce_mode=reduce_mode,
         strategy=strategy,
-        output=output,
-        intermediate_count=intermediate.count,
-        timings=timings,
-        map_stats=map_stats,
-        reduce_stats=red_stats,
-    )
+        config=config,
+        device=device,
+        threads_per_block=threads_per_block,
+        yield_sync=yield_sync,
+        io_ratio=io_ratio,
+        shuffle_method=shuffle_method,
+    ).normalised()
+    return execute_plan(plan, inp, get_backend(backend), tracer)

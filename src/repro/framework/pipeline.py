@@ -85,6 +85,10 @@ class IterativeJob:
     strategy: ReduceStrategy | None = ReduceStrategy.TR
     config: DeviceConfig | None = None
     threads_per_block: int = 128
+    #: Execution backend for every iteration's job: ``"sim"``,
+    #: ``"fast"``, an ExecutionBackend instance, or ``None`` to
+    #: consult ``$REPRO_BACKEND`` (see :mod:`repro.backend`).
+    backend: object | None = None
 
     def run(self, inp: KeyValueSet, initial_state: object,
             *, max_iterations: int = 32,
@@ -103,7 +107,7 @@ class IterativeJob:
                         spec, inp, mode=self.mode, strategy=self.strategy,
                         config=self.config,
                         threads_per_block=self.threads_per_block,
-                        tracer=tracer,
+                        tracer=tracer, backend=self.backend,
                     )
                 new_state = self.update(i, job, state)
                 result.iterations.append(IterationTrace(

@@ -50,6 +50,12 @@ class KeyValueSet:
         self._keys.append(bytes(key))
         self._vals.append(bytes(value))
 
+    def append_unchecked(self, key: bytes, value: bytes) -> None:
+        """Hot-path append: both arguments must already be ``bytes``
+        (not bytearray/memoryview) — no validation, no copy."""
+        self._keys.append(key)
+        self._vals.append(value)
+
     def __len__(self) -> int:
         return len(self._keys)
 

@@ -16,6 +16,11 @@ Timing composition for the overlapped Map pipeline::
 
 Functional behaviour is identical to the single-shot job (asserted by
 the test suite): batching only changes *when* data moves.
+
+``run_streamed_job`` is a thin front-end since the backend refactor:
+it lowers to a :class:`~repro.backend.plan.JobPlan` with a
+:class:`~repro.backend.plan.BatchPolicy` and hands it to
+:func:`repro.backend.core.execute_streamed`.
 """
 
 from __future__ import annotations
@@ -24,17 +29,12 @@ from dataclasses import dataclass, field
 
 from ..errors import FrameworkError
 from ..gpu.config import DeviceConfig
-from ..gpu.kernel import Device
 from ..gpu.stats import KernelStats
-from ..obs.tracer import NULL_TRACER, Tracer
+from ..obs.tracer import Tracer
 from .api import MapReduceSpec
-from .host import download_cost, upload_cost
-from .job import JobResult, PhaseTimings
-from .map_engine import build_map_runtime, launch_map
+from .job import JobResult
 from .modes import MemoryMode, ReduceStrategy
-from .records import DIR_PER_RECORD, DeviceRecordSet, KeyValueSet
-from .reduce_engine import build_reduce_runtime, launch_reduce
-from .shuffle import shuffle
+from .records import KeyValueSet
 
 
 @dataclass
@@ -108,6 +108,7 @@ def run_streamed_job(
     threads_per_block: int = 128,
     yield_sync: bool = True,
     tracer: Tracer | None = None,
+    backend=None,
 ) -> StreamedResult:
     """Run a job with the input streamed through the device in batches.
 
@@ -116,101 +117,22 @@ def run_streamed_job(
     job clock even under ``overlap=True`` (the trace shows per-batch
     costs; the pipelined total is recorded on the stream span's
     ``pipelined_map_io`` attribute).
+    ``backend`` selects the execution substrate (see
+    :func:`repro.framework.job.run_job`).
     """
     spec.validate()
     if len(inp) == 0:
         raise FrameworkError("empty input")
-    dev = Device(config or DeviceConfig.gtx280())
-    cfg = dev.config
-    tr = tracer if tracer is not None else NULL_TRACER
+    # Local import: repro.backend imports this module for StreamedResult.
+    from ..backend import BatchPolicy, JobPlan, execute_streamed, get_backend
 
-    with tr.span(
-        f"job:{spec.name}", workload=spec.name,
-        mode=getattr(mode, "value", mode),
-        strategy=getattr(strategy, "value", strategy),
-        n_batches=n_batches, overlap=overlap, records=len(inp),
-    ):
-        batches = split_batches(inp, n_batches)
-        traces: list[BatchTrace] = []
-        intermediate = KeyValueSet()
-        merged_stats = KernelStats()
-        with tr.span("map_stream") as stream_span:
-            for bi, batch in enumerate(batches):
-                with tr.span(f"batch[{bi}]", records=len(batch)):
-                    d_in = DeviceRecordSet.upload(
-                        dev.gmem, batch, label=f"stream.{spec.name}.{bi}")
-                    up = upload_cost(
-                        d_in.payload_bytes, DIR_PER_RECORD * d_in.count, cfg)
-                    with tr.span("upload"):
-                        tr.advance(up.cycles)
-                    rt = build_map_runtime(
-                        dev, spec, mode, d_in,
-                        threads_per_block=threads_per_block,
-                        yield_sync=yield_sync,
-                    )
-                    tl = tr.make_timeline()
-                    st = launch_map(dev, rt, timeline=tl)
-                    tr.kernel("map_kernel", st, timeline=tl, batch=bi)
-                    merged_stats = merged_stats.merge(st)
-                    for k, v in rt.out.as_record_set().download():
-                        intermediate.append(k, v)
-                    traces.append(BatchTrace(
-                        records=len(batch), upload_cycles=up.cycles,
-                        map_cycles=st.cycles, map_stats=st))
-
-        timings = PhaseTimings()
-        result = StreamedResult(
-            job=JobResult(
-                spec_name=spec.name, mode=mode, strategy=strategy,
-                output=intermediate, intermediate_count=len(intermediate),
-                timings=timings, map_stats=merged_stats,
-            ),
-            batches=traces,
-            overlapped=overlap,
-        )
-        pipeline = result.pipelined_map_io if overlap else result.serial_map_io
-        if stream_span is not None:
-            stream_span.attrs["serial_map_io"] = result.serial_map_io
-            stream_span.attrs["pipelined_map_io"] = result.pipelined_map_io
-            stream_span.attrs["overlap_saving"] = result.overlap_saving
-        # Attribute the pipeline's transfer share to io_in and the rest to map.
-        timings.io_in = sum(b.upload_cycles for b in traces)
-        timings.map = max(0.0, pipeline - timings.io_in)
-
-        if strategy is None:
-            with tr.span("io_out"):
-                timings.io_out = download_cost(
-                    intermediate.key_bytes + intermediate.val_bytes,
-                    DIR_PER_RECORD * len(intermediate), cfg,
-                ).cycles
-                tr.advance(timings.io_out)
-            return result
-
-        with tr.span("shuffle") as shuffle_span:
-            d_inter = DeviceRecordSet.upload(
-                dev.gmem, intermediate, label=f"stream.inter.{spec.name}")
-            shuf = shuffle(dev.gmem, d_inter, cfg,
-                           label=f"stream.shuf.{spec.name}")
-            timings.shuffle = shuf.cycles
-            if shuffle_span is not None:
-                shuffle_span.attrs["groups"] = shuf.grouped.n_groups
-            tr.advance(timings.shuffle)
-        with tr.span("reduce", strategy=getattr(strategy, "value", strategy)):
-            red_rt = build_reduce_runtime(
-                dev, spec, mode, strategy, shuf.grouped,
-                threads_per_block=threads_per_block, yield_sync=yield_sync,
-            )
-            tl = tr.make_timeline()
-            red_stats = launch_reduce(dev, red_rt, timeline=tl)
-            tr.kernel("reduce_kernel", red_stats, timeline=tl)
-            timings.reduce = red_stats.cycles
-            final = red_rt.out.as_record_set()
-        with tr.span("io_out"):
-            output = final.download()
-            timings.io_out = download_cost(
-                final.payload_bytes, DIR_PER_RECORD * final.count, cfg
-            ).cycles
-            tr.advance(timings.io_out)
-        result.job.output = output
-        result.job.reduce_stats = red_stats
-        return result
+    plan = JobPlan(
+        spec=spec,
+        mode=mode,
+        strategy=strategy,
+        config=config,
+        threads_per_block=threads_per_block,
+        yield_sync=yield_sync,
+        batching=BatchPolicy(n_batches=n_batches, overlap=overlap),
+    ).normalised()
+    return execute_streamed(plan, inp, get_backend(backend), tracer)

@@ -24,8 +24,7 @@ import numpy as np
 
 from ..errors import FrameworkError
 from ..framework.api import MapReduceSpec
-from ..framework.host import download_cost, upload_cost
-from ..framework.job import JobResult, PhaseTimings
+from ..framework.job import JobResult
 from ..framework.map_engine import (
     MapRuntime,
     _charge_dir_reads,
@@ -36,12 +35,11 @@ from ..framework.map_engine import (
 from ..framework.modes import MemoryMode, ReduceStrategy
 from ..framework.records import (
     DIR_ENTRY,
-    DIR_PER_RECORD,
     DeviceRecordSet,
     KeyValueSet,
     OutputBuffers,
 )
-from ..framework.shuffle import GroupedDeviceSet, shuffle
+from ..framework.shuffle import GroupedDeviceSet
 from ..framework.staging import Tile, plan_tiles_unstaged
 from ..obs.tracer import NULL_TRACER, Tracer
 from ..gpu.accessor import Accessor, AccessTrace
@@ -459,6 +457,7 @@ def run_mars_job(
     device: Device | None = None,
     threads_per_block: int = 128,
     tracer: Tracer | None = None,
+    backend=None,
 ) -> JobResult:
     """Run a complete Mars-style job (two-pass Map, two-pass Reduce).
 
@@ -466,80 +465,25 @@ def run_mars_job(
     thread-level reduction" (Section IV-F).  ``tracer`` records the
     two-pass structure: each phase span holds its count-pass kernel,
     prefix-scan and real-pass kernel as children.
+    ``backend`` selects the execution substrate (see
+    :func:`repro.framework.job.run_job`); under ``"fast"`` the job
+    runs functionally (single-pass on the host — the two-pass
+    structure is a timing artefact the fast backend does not model).
     """
     if strategy is ReduceStrategy.BR:
         raise FrameworkError("Mars supports only thread-level reduction (TR)")
     spec.validate()
-    dev = device or Device(config or DeviceConfig.gtx280())
-    cfg = dev.config
-    timings = PhaseTimings()
-    tr = tracer if tracer is not None else NULL_TRACER
+    # Local import: repro.backend imports framework modules that in
+    # turn are imported by this one.
+    from ..backend import ENGINE_MARS, JobPlan, execute_plan, get_backend
 
-    with tr.span(
-        f"job:{spec.name}", workload=spec.name, mode="Mars",
-        strategy=getattr(strategy, "value", strategy), records=len(inp),
-    ):
-        with tr.span("io_in"):
-            d_in = DeviceRecordSet.upload(
-                dev.gmem, inp, label=f"mars_in.{spec.name}")
-            timings.io_in = upload_cost(
-                d_in.payload_bytes, DIR_PER_RECORD * d_in.count, cfg
-            ).cycles
-            tr.advance(timings.io_in)
-
-        with tr.span("map", mode="Mars"):
-            intermediate, map_stats = mars_map_phase(
-                dev, spec, d_in, threads_per_block=threads_per_block,
-                tracer=tracer,
-            )
-            timings.map = map_stats.cycles
-
-        if strategy is None:
-            with tr.span("io_out"):
-                output = intermediate.download()
-                timings.io_out = download_cost(
-                    intermediate.payload_bytes,
-                    DIR_PER_RECORD * intermediate.count, cfg
-                ).cycles
-                tr.advance(timings.io_out)
-            return JobResult(
-                spec_name=spec.name,
-                mode="Mars",
-                strategy=None,
-                output=output,
-                intermediate_count=intermediate.count,
-                timings=timings,
-                map_stats=map_stats,
-            )
-
-        with tr.span("shuffle") as shuffle_span:
-            shuf = shuffle(dev.gmem, intermediate, cfg,
-                           label=f"mars_shuf.{spec.name}")
-            timings.shuffle = shuf.cycles
-            if shuffle_span is not None:
-                shuffle_span.attrs["groups"] = shuf.grouped.n_groups
-            tr.advance(timings.shuffle)
-
-        with tr.span("reduce", mode="Mars"):
-            final, red_stats = mars_reduce_phase(
-                dev, spec, shuf.grouped, threads_per_block=threads_per_block,
-                tracer=tracer,
-            )
-            timings.reduce = red_stats.cycles
-
-        with tr.span("io_out"):
-            output = final.download()
-            timings.io_out = download_cost(
-                final.payload_bytes, DIR_PER_RECORD * final.count, cfg
-            ).cycles
-            tr.advance(timings.io_out)
-    return JobResult(
-        spec_name=spec.name,
-        mode="Mars",
+    plan = JobPlan(
+        spec=spec,
+        mode=MemoryMode.G,
         strategy=strategy,
-        output=output,
-        intermediate_count=intermediate.count,
-        timings=timings,
-        map_stats=map_stats,
-        reduce_stats=red_stats,
-    )
+        engine=ENGINE_MARS,
+        config=config,
+        device=device,
+        threads_per_block=threads_per_block,
+    ).normalised()
+    return execute_plan(plan, inp, get_backend(backend), tracer)

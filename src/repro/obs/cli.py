@@ -46,14 +46,21 @@ def _workload_index() -> dict[str, type[Workload]]:
 
 
 def resolve_workload(name: str) -> Workload:
-    """Accepts a code (``WC``), class name or title (``wordcount``)."""
+    """Accepts a code (``WC``), class name or title (``wordcount``).
+
+    Unknown names print the known codes to stderr and exit 2 (the
+    argparse convention for bad usage) instead of a traceback.
+    """
     index = _workload_index()
     key = name.lower().replace(" ", "").replace("-", "").replace("_", "")
     if key not in index:
         known = sorted({cls.code for cls in index.values()})
-        raise SystemExit(
-            f"unknown workload {name!r}; known codes: {', '.join(known)}"
+        print(
+            f"repro-trace: unknown workload {name!r}; "
+            f"known codes: {', '.join(known)}",
+            file=sys.stderr,
         )
+        raise SystemExit(2)
     return index[key]()
 
 
@@ -65,10 +72,12 @@ def _parse_blocks(arg: str) -> set[int] | None:
     try:
         return {int(b) for b in arg.split(",")}
     except ValueError:
-        raise SystemExit(
-            f"--blocks expects a comma-separated list of block ids, "
-            f"'all' or 'none'; got {arg!r}"
-        ) from None
+        print(
+            f"repro-trace: --blocks expects a comma-separated list of "
+            f"block ids, 'all' or 'none'; got {arg!r}",
+            file=sys.stderr,
+        )
+        raise SystemExit(2) from None
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -96,6 +105,11 @@ def main(argv: list[str] | None = None) -> int:
                    choices=["sort", "hash", "bitonic"])
     p.add_argument("--mars", action="store_true",
                    help="run the Mars two-pass baseline instead")
+    p.add_argument("--backend", default=None, choices=["sim", "fast"],
+                   help="execution backend: 'sim' (cycle-accurate, "
+                        "default) or 'fast' (functional only — kernel "
+                        "cycles read as zero); default honours "
+                        "$REPRO_BACKEND")
     p.add_argument("--blocks", default="0",
                    help="blocks to trace at warp level: comma list, "
                         "'all', or 'none' (default: block 0)")
@@ -129,6 +143,7 @@ def main(argv: list[str] | None = None) -> int:
         result = run_mars_job(
             spec, inp, strategy=strategy, config=config,
             threads_per_block=args.threads_per_block, tracer=tracer,
+            backend=args.backend,
         )
     else:
         result = run_job(
@@ -136,6 +151,7 @@ def main(argv: list[str] | None = None) -> int:
             strategy=strategy, config=config,
             threads_per_block=args.threads_per_block,
             shuffle_method=args.shuffle, tracer=tracer,
+            backend=args.backend,
         )
 
     os.makedirs(args.out, exist_ok=True)
@@ -147,6 +163,7 @@ def main(argv: list[str] | None = None) -> int:
     registry = job_metrics_registry(result, config)
     header = {
         "workload": workload.code,
+        "backend": args.backend or os.environ.get("REPRO_BACKEND") or "sim",
         "mode": "Mars" if args.mars else args.mode,
         "strategy": strategy.value if strategy else None,
         "size": args.size,

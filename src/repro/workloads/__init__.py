@@ -1,11 +1,13 @@
 """``repro.workloads`` — the five evaluation workloads of Table I,
-plus two extras from the wider Mars/Phoenix suites (Similarity Score,
-Histogram) demonstrating framework generality."""
+plus three extras from the wider Mars/Phoenix suites (Similarity
+Score, Histogram, Linear Regression) demonstrating framework
+generality."""
 
 from .base import SIZES, ProblemSize, Workload
 from .histogram import Histogram
 from .invertedindex import InvertedIndex
 from .kmeans import KMeans
+from .linearreg import LinearRegression
 from .matrixmul import MatrixMultiplication
 from .similarity import SimilarityScore
 from .stringmatch import StringMatch
@@ -21,12 +23,13 @@ ALL_WORKLOADS = (
 )
 
 #: Extra workloads beyond the paper's Table I.
-EXTRA_WORKLOADS = (SimilarityScore, Histogram)
+EXTRA_WORKLOADS = (SimilarityScore, Histogram, LinearRegression)
 
 __all__ = [
     "ALL_WORKLOADS",
     "EXTRA_WORKLOADS",
     "Histogram",
+    "LinearRegression",
     "SimilarityScore",
     "InvertedIndex",
     "KMeans",

@@ -1,0 +1,118 @@
+"""Linear Regression (LR) — from the Phoenix benchmark suite.
+
+Beyond the paper's Table I; included (like SS and HG) to demonstrate
+framework generality.  Fits ``y = slope * x + intercept`` by least
+squares over a cloud of ``(x, y)`` points: each Map task takes one
+point and emits the partial sums ``(x, y, x^2, x*y, 1)`` under a
+single key; Reduce folds the partials and solves the two normal
+equations.
+
+The workload exercises the degenerate Shuffle case — every
+intermediate record shares one key, so the Reduce phase is a single
+giant group — the mirror image of Inverted Index's many tiny groups.
+Both reduce strategies apply: TR walks the full value list in one
+task; BR's commutative ``combine`` is just elementwise vector
+addition, with ``finalize`` solving the normal equations once.
+"""
+
+from __future__ import annotations
+
+import struct
+
+import numpy as np
+
+from ..framework.api import MapReduceSpec
+from ..framework.records import KeyValueSet
+from .base import ProblemSize, Workload
+
+#: All partials fold under this single intermediate key.
+LR_KEY = struct.pack("<I", 0)
+
+
+def lr_map(key, value, emit, const) -> None:
+    """Emit the point's contribution to the five running sums."""
+    x = float(value.f32(0))
+    y = float(value.f32(4))
+    emit(LR_KEY, np.array([x, y, x * x, x * y, 1.0], dtype="<f4").tobytes())
+
+
+def _solve(sums: np.ndarray) -> bytes:
+    sx, sy, sxx, sxy, n = (float(s) for s in sums)
+    denom = n * sxx - sx * sx
+    slope = (n * sxy - sx * sy) / denom if denom else 0.0
+    intercept = (sy - slope * sx) / n if n else 0.0
+    return struct.pack("<ff", slope, intercept)
+
+
+def lr_reduce(key, values, emit, const) -> None:
+    """TR reduce: fold the partials, solve the normal equations."""
+    acc = np.zeros(5, dtype=np.float64)
+    for v in values:
+        acc += v.f32_array(0, 5)
+    emit(key.to_bytes(), _solve(acc))
+
+
+def lr_combine(a: bytes, b: bytes) -> bytes:
+    """BR combine: elementwise sum of the five partials."""
+    va = np.frombuffer(a, dtype="<f4").astype(np.float64)
+    vb = np.frombuffer(b, dtype="<f4").astype(np.float64)
+    return (va + vb).astype("<f4").tobytes()
+
+
+def lr_finalize(key: bytes, acc: bytes, count: int) -> tuple[bytes, bytes]:
+    return key, _solve(np.frombuffer(acc, dtype="<f4").astype(np.float64))
+
+
+class LinearRegression(Workload):
+    code = "LR"
+    title = "Linear Regression"
+    has_reduce = True
+
+    def spec(self) -> MapReduceSpec:
+        return MapReduceSpec(
+            name="linearreg",
+            map_record=lr_map,
+            reduce_record=lr_reduce,
+            combine=lr_combine,
+            finalize=lr_finalize,
+            io_ratio=0.5,
+            cycles_per_record=16.0,
+            cycles_per_access=4.0,
+            out_bytes_factor=3.0,
+            out_records_factor=1.0,
+        )
+
+    def sizes(self) -> dict[str, ProblemSize]:
+        # Phoenix used 50-500 MB point files; scaled down like the
+        # rest (the value is the point count, 8 B each).
+        return {
+            "small": ProblemSize("small", 512, "4MB"),
+            "medium": ProblemSize("medium", 2048, "16MB"),
+            "large": ProblemSize("large", 8192, "64MB"),
+        }
+
+    def generate(self, size: str = "small", *, seed: int = 0, scale: float = 1.0
+                 ) -> KeyValueSet:
+        """Points scattered around a seeded ground-truth line."""
+        n = self.size_value(size, scale)
+        rng = np.random.default_rng(seed)
+        slope = rng.uniform(-2.0, 2.0)
+        intercept = rng.uniform(-5.0, 5.0)
+        x = rng.uniform(0.0, 10.0, size=n)
+        y = slope * x + intercept + rng.normal(0.0, 0.5, size=n)
+        pts = np.column_stack([x, y]).astype("<f4")
+        out = KeyValueSet()
+        for row in pts:
+            out.append(b"", row.tobytes())
+        return out
+
+    def expected_fit(self, inp: KeyValueSet) -> tuple[float, float]:
+        """Host-side least-squares fit for checking outputs."""
+        pts = np.array([
+            struct.unpack("<ff", v) for _, v in inp
+        ], dtype=np.float64)
+        sums = np.array([
+            pts[:, 0].sum(), pts[:, 1].sum(), (pts[:, 0] ** 2).sum(),
+            (pts[:, 0] * pts[:, 1]).sum(), float(len(pts)),
+        ])
+        return struct.unpack("<ff", _solve(sums))

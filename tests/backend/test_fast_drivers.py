@@ -1,0 +1,131 @@
+"""Every driver front-end runs under the fast backend and agrees with
+the simulator functionally: streamed, iterative, Mars, auto mode."""
+
+import struct
+
+import numpy as np
+import pytest
+
+from repro.cpu_ref import normalised
+from repro.framework import (
+    IterativeJob,
+    MemoryMode,
+    ReduceStrategy,
+    run_job,
+    run_streamed_job,
+)
+from repro.framework.pipeline import IterativeResult
+from repro.gpu import DeviceConfig
+from repro.mars.framework import run_mars_job
+from repro.errors import FrameworkError
+from repro.workloads import KMeans, WordCount
+
+CFG = DeviceConfig.small(2)
+
+
+class TestStreamedFast:
+    def test_output_matches_sim(self):
+        wc = WordCount()
+        inp = wc.generate("small", scale=0.3, seed=3)
+        spec = wc.spec()
+        sim = run_streamed_job(spec, inp, n_batches=3,
+                               strategy=ReduceStrategy.TR, config=CFG)
+        fast = run_streamed_job(spec, inp, n_batches=3,
+                                strategy=ReduceStrategy.TR, config=CFG,
+                                backend="fast")
+        assert normalised(fast.job.output) == normalised(sim.job.output)
+        assert len(fast.batches) == len(sim.batches)
+        assert [b.records for b in fast.batches] == \
+            [b.records for b in sim.batches]
+        # Fast transfers use the same PCIe model, so upload costs agree.
+        assert [b.upload_cycles for b in fast.batches] == \
+            pytest.approx([b.upload_cycles for b in sim.batches])
+
+    def test_map_only_stream(self):
+        wc = WordCount()
+        inp = wc.generate("small", scale=0.2, seed=4)
+        fast = run_streamed_job(wc.spec(), inp, n_batches=2, strategy=None,
+                                config=CFG, backend="fast")
+        sim = run_streamed_job(wc.spec(), inp, n_batches=2, strategy=None,
+                               config=CFG)
+        assert normalised(fast.job.output) == normalised(sim.job.output)
+        assert fast.job.timings.io_out == pytest.approx(
+            sim.job.timings.io_out)
+
+
+class TestIterativeFast:
+    def _job(self, backend):
+        km = KMeans()
+        inp = km.generate("small", seed=5, scale=0.25)
+        spec0 = km.spec_for_seed(5)
+
+        def make_spec(i, centroids):
+            s = km.spec()
+            s.const_bytes = centroids
+            return s
+
+        def update(i, result, centroids):
+            cen = np.frombuffer(centroids, dtype="<f4").reshape(-1, 8).copy()
+            for k, v in result.output:
+                cen[struct.unpack("<I", k)[0]] = np.frombuffer(v, dtype="<f4")
+            return cen.astype("<f4").tobytes()
+
+        job = IterativeJob(
+            make_spec=make_spec, update=update,
+            converged=lambda i, old, new: old == new,
+            mode=MemoryMode.SIO, strategy=ReduceStrategy.TR, config=CFG,
+            backend=backend,
+        )
+        return job.run(inp, spec0.const_bytes, max_iterations=4)
+
+    def test_matches_sim_iteration_for_iteration(self):
+        fast = self._job("fast")
+        sim = self._job("sim")
+        assert isinstance(fast, IterativeResult)
+        assert fast.n_iterations == sim.n_iterations
+        assert fast.state == sim.state
+        assert normalised(fast.last.output) == normalised(sim.last.output)
+        # The fast backend never models kernel time.
+        assert all(
+            t.timings.map == 0.0 and t.timings.reduce == 0.0
+            for t in fast.iterations
+        )
+
+
+class TestMarsFast:
+    def test_output_matches_sim(self):
+        wc = WordCount()
+        inp = wc.generate("small", scale=0.25, seed=6)
+        sim = run_mars_job(wc.spec(), inp, strategy=ReduceStrategy.TR,
+                           config=CFG)
+        fast = run_mars_job(wc.spec(), inp, strategy=ReduceStrategy.TR,
+                            config=CFG, backend="fast")
+        assert normalised(fast.output) == normalised(sim.output)
+        assert fast.mode == sim.mode == "Mars"
+
+    def test_br_still_rejected(self):
+        wc = WordCount()
+        inp = wc.generate("small", scale=0.1)
+        with pytest.raises(FrameworkError, match="thread-level"):
+            run_mars_job(wc.spec(), inp, strategy=ReduceStrategy.BR,
+                         backend="fast")
+
+
+class TestAutoMode:
+    def test_fast_auto_resolves_to_sio(self):
+        wc = WordCount()
+        inp = wc.generate("small", scale=0.2, seed=7)
+        res = run_job(wc.spec(), inp, mode="auto",
+                      strategy=ReduceStrategy.TR, config=CFG,
+                      backend="fast")
+        assert res.mode is MemoryMode.SIO
+
+    def test_env_var_selects_backend(self, monkeypatch):
+        wc = WordCount()
+        inp = wc.generate("small", scale=0.2, seed=8)
+        monkeypatch.setenv("REPRO_BACKEND", "fast")
+        res = run_job(wc.spec(), inp, mode=MemoryMode.G,
+                      strategy=ReduceStrategy.TR, config=CFG)
+        # Fast-backend signature: no kernel cycles were simulated.
+        assert res.timings.map == 0.0
+        assert res.map_stats.extra.get("fast_records_in") == len(inp)

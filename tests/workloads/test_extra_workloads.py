@@ -1,4 +1,4 @@
-"""Tests for the extra (beyond-Table-I) workloads: SS and HG."""
+"""Tests for the extra (beyond-Table-I) workloads: SS, HG and LR."""
 
 import struct
 
@@ -8,7 +8,12 @@ import pytest
 from repro.cpu_ref import normalised, reference_job
 from repro.framework import MemoryMode, ReduceStrategy, run_job
 from repro.gpu import DeviceConfig
-from repro.workloads import EXTRA_WORKLOADS, Histogram, SimilarityScore
+from repro.workloads import (
+    EXTRA_WORKLOADS,
+    Histogram,
+    LinearRegression,
+    SimilarityScore,
+)
 
 CFG = DeviceConfig.small(2)
 MODES = list(MemoryMode)
@@ -17,7 +22,7 @@ MODES = list(MemoryMode)
 class TestRegistry:
     def test_extras_registered(self):
         codes = [cls().code for cls in EXTRA_WORKLOADS]
-        assert codes == ["SS", "HG"]
+        assert codes == ["SS", "HG", "LR"]
 
     def test_sizes_defined(self):
         for cls in EXTRA_WORKLOADS:
@@ -107,3 +112,49 @@ class TestHistogram:
                       strategy=None)
         assert len(res.output) <= len(inp) * 64
         assert len(res.output) >= len(inp)  # every row hits >=1 bucket
+
+
+class TestLinearRegression:
+    @pytest.mark.parametrize("mode", MODES, ids=[m.value for m in MODES])
+    def test_tr_matches_oracle(self, mode):
+        lr = LinearRegression()
+        inp = lr.generate("small", seed=6, scale=0.25)
+        spec = lr.spec()
+        ref = normalised(reference_job(spec, inp, ReduceStrategy.TR))
+        res = run_job(spec, inp, mode=mode, strategy=ReduceStrategy.TR,
+                      config=CFG, threads_per_block=64)
+        assert normalised(res.output) == ref
+
+    def test_fit_recovers_ground_truth_line(self):
+        lr = LinearRegression()
+        inp = lr.generate("small", seed=7)
+        res = run_job(lr.spec(), inp, mode=MemoryMode.SIO,
+                      strategy=ReduceStrategy.TR, config=CFG)
+        assert len(res.output) == 1
+        slope, intercept = struct.unpack("<ff", res.output[0][1])
+        want_slope, want_intercept = lr.expected_fit(inp)
+        assert slope == pytest.approx(want_slope, abs=1e-3)
+        assert intercept == pytest.approx(want_intercept, abs=1e-3)
+
+    def test_br_matches_tr_within_float_tolerance(self):
+        """The single giant group: BR folds pairwise, TR walks the
+        whole list — both must land on the same fitted line."""
+        lr = LinearRegression()
+        inp = lr.generate("small", seed=8, scale=0.5)
+        tr = run_job(lr.spec(), inp, mode=MemoryMode.G,
+                     strategy=ReduceStrategy.TR, config=CFG)
+        br = run_job(lr.spec(), inp, mode=MemoryMode.SI,
+                     strategy=ReduceStrategy.BR, config=CFG)
+        got_tr = np.array(struct.unpack("<ff", tr.output[0][1]))
+        got_br = np.array(struct.unpack("<ff", br.output[0][1]))
+        assert np.allclose(got_tr, got_br, rtol=1e-3, atol=1e-4)
+
+    def test_single_intermediate_key(self):
+        """Every Map emission shares one key — the degenerate Shuffle
+        case (mirror image of II's many tiny groups)."""
+        lr = LinearRegression()
+        inp = lr.generate("small", seed=9, scale=0.1)
+        res = run_job(lr.spec(), inp, mode=MemoryMode.G, strategy=None,
+                      config=CFG)
+        assert len({k for k, _ in res.output}) == 1
+        assert res.intermediate_count == len(inp)
