@@ -18,6 +18,7 @@ shrinks the device for speed.
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 
 from ..framework.modes import ReduceStrategy
@@ -191,7 +192,13 @@ def main(argv: list[str] | None = None) -> int:
     p.add_argument("--backend", default=None, choices=["sim", "fast"],
                    help="execution backend for 'validate' (timing "
                         "commands always simulate)")
+    p.add_argument("--check", action="store_true",
+                   help="run every simulated job under the repro.check "
+                        "sanitizer (strict: the first finding aborts "
+                        "the command with a CheckError)")
     args = p.parse_args(argv)
+    if args.check:
+        os.environ["REPRO_CHECK"] = "1"
     if args.backend and args.command != "validate":
         print("repro-bench: --backend only applies to 'validate' — every "
               "timing command needs the cycle-accurate simulator",

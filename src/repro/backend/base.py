@@ -98,3 +98,12 @@ class ExecutionBackend(abc.ABC):
                      include_grid: bool = True
                      ) -> tuple[Any, KernelStats]:
         """Run Reduce over the grouped sets; returns ``(out, stats)``."""
+
+    # -- checking -------------------------------------------------------
+
+    def finish_check(self, ctx: Any):
+        """Detach the sanitizer and return its
+        :class:`~repro.check.CheckReport`, or None when this backend
+        did not run one (the default: only the sim backend simulates
+        the machine state the detectors watch)."""
+        return None

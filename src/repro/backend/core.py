@@ -28,6 +28,23 @@ from .base import ExecutionBackend
 from .plan import JobPlan
 
 
+def _apply_check(backend: ExecutionBackend, ctx, tr, result: JobResult) -> None:
+    """Harvest the sanitizer's report (if any) into the job result.
+
+    Findings become tracer instants so exported traces show them; in
+    strict mode a non-empty report raises
+    :class:`~repro.errors.CheckError`.
+    """
+    report = backend.finish_check(ctx)
+    if report is None:
+        return
+    result.check_report = report
+    for f in report.findings:
+        tr.instant("check_finding", detector=f.detector, kind=f.kind,
+                   block=f.block, warp=f.warp, message=f.message)
+    report.raise_if_findings()
+
+
 def execute_plan(
     plan: JobPlan,
     inp: KeyValueSet,
@@ -70,7 +87,7 @@ def execute_plan(
                     ctx, intermediate
                 )
                 tr.advance(timings.io_out)
-            return JobResult(
+            result = JobResult(
                 spec_name=plan.spec.name,
                 mode=plan.result_mode,
                 strategy=None,
@@ -79,6 +96,8 @@ def execute_plan(
                 timings=timings,
                 map_stats=map_stats,
             )
+            _apply_check(backend, ctx, tr, result)
+            return result
 
         # ---- Shuffle ------------------------------------------------------
         with tr.span("shuffle", **plan.shuffle_attrs()) as shuffle_span:
@@ -99,16 +118,18 @@ def execute_plan(
             output, timings.io_out = backend.download_output(ctx, final)
             tr.advance(timings.io_out)
 
-    return JobResult(
-        spec_name=plan.spec.name,
-        mode=plan.result_mode,
-        strategy=plan.strategy,
-        output=output,
-        intermediate_count=inter_count,
-        timings=timings,
-        map_stats=map_stats,
-        reduce_stats=red_stats,
-    )
+        result = JobResult(
+            spec_name=plan.spec.name,
+            mode=plan.result_mode,
+            strategy=plan.strategy,
+            output=output,
+            intermediate_count=inter_count,
+            timings=timings,
+            map_stats=map_stats,
+            reduce_stats=red_stats,
+        )
+        _apply_check(backend, ctx, tr, result)
+    return result
 
 
 def execute_streamed(
@@ -187,6 +208,7 @@ def execute_streamed(
                     intermediate, ctx.config
                 ).cycles
                 tr.advance(timings.io_out)
+            _apply_check(backend, ctx, tr, result.job)
             return result
 
         with tr.span("shuffle", **plan.shuffle_attrs()) as shuffle_span:
@@ -209,4 +231,5 @@ def execute_streamed(
             tr.advance(timings.io_out)
         result.job.output = output
         result.job.reduce_stats = red_stats
+        _apply_check(backend, ctx, tr, result.job)
         return result

@@ -61,6 +61,11 @@ class JobPlan:
     #: always did.  ``run_job`` passes its ``shuffle_method`` through.
     shuffle_method: str | None = None
     batching: BatchPolicy | None = None
+    #: Sanitizer request: None (consult ``$REPRO_CHECK``), bool, a
+    #: string like the env var, or a :class:`repro.check.CheckConfig`.
+    #: Resolved by the backend at ``open``; the fast backend has no
+    #: simulated device to check and ignores it.
+    check: object = None
 
     # ------------------------------------------------------------------
     # Normalisation

@@ -36,6 +36,9 @@ class SimContext:
 
     plan: JobPlan
     dev: Device
+    #: The job's sanitizer (:class:`repro.check.Sanitizer`) when
+    #: checking is enabled, else None.
+    sanitizer: object = None
 
     @property
     def config(self) -> DeviceConfig:
@@ -48,8 +51,21 @@ class SimBackend(ExecutionBackend):
     name = "sim"
 
     def open(self, plan: JobPlan) -> SimContext:
+        from ..check import Sanitizer, resolve_check
+
         dev = plan.device or Device(plan.config or DeviceConfig.gtx280())
-        return SimContext(plan=plan, dev=dev)
+        sanitizer = None
+        cfg = resolve_check(plan.check)
+        if cfg is not None:
+            sanitizer = Sanitizer(cfg)
+            dev.checker = sanitizer
+        return SimContext(plan=plan, dev=dev, sanitizer=sanitizer)
+
+    def finish_check(self, ctx: SimContext):
+        if ctx.sanitizer is None:
+            return None
+        ctx.dev.checker = None
+        return ctx.sanitizer.finish()
 
     def resolve_auto(self, ctx: SimContext, plan: JobPlan, inp: KeyValueSet
                      ) -> JobPlan:

@@ -1,0 +1,185 @@
+"""Collector invariants: the double-ended stack and the flush protocol.
+
+The checker keeps its own shadow of every :class:`CollectorState`'s
+cursors, recomputed from the warp results as they are reserved, and
+cross-checks the authoritative shared-memory words after each
+reservation:
+
+* ``LEFT_USED + RIGHT_USED`` never exceeds the output area (the stack
+  ends must not cross — Figure 4(b));
+* each reservation's directory and data intervals are disjoint from
+  every other interval of the same epoch;
+* a flush's global reservation totals equal the sum of the collected
+  warp results, and every :func:`_flush_one` lands in-bounds in the
+  output buffers;
+* the epoch reset really zeroes all control words;
+* at launch end, every record a warp emitted was flushed to global
+  memory (nothing lost in the collector).
+"""
+
+from __future__ import annotations
+
+from ..framework.collector import (
+    ARRIVE,
+    DONE,
+    LEFT_USED,
+    OVF,
+    RESERVE_READY,
+    RIGHT_USED,
+    WR_COUNT,
+    WR_TAKEN,
+)
+from .report import Finding
+
+#: Control words that must read zero after an epoch reset.
+_RESET_WORDS = (OVF, ARRIVE, RESERVE_READY, WR_TAKEN, DONE,
+                LEFT_USED, RIGHT_USED, WR_COUNT)
+
+
+class _Shadow:
+    """Shadow bookkeeping for one CollectorState."""
+
+    __slots__ = ("state", "block_id", "left", "right", "intervals",
+                 "emitted", "flushed")
+
+    def __init__(self, state, block_id: int):
+        self.state = state
+        self.block_id = block_id
+        self.left = 0
+        self.right = 0
+        #: (lo, hi, label) occupied byte ranges of the current epoch.
+        self.intervals: list[tuple[int, int, str]] = []
+        self.emitted = 0
+        self.flushed = 0
+
+
+class CollectorChecker:
+    """Invariant checks over every collector the launch runs."""
+
+    def __init__(self, report, config):
+        self.report = report
+        self.max_findings = config.max_findings
+        self._shadows: dict[int, _Shadow] = {}
+
+    def _shadow(self, ctx, state) -> _Shadow:
+        sh = self._shadows.get(id(state))
+        if sh is None:
+            sh = _Shadow(state, ctx.block_id)
+            self._shadows[id(state)] = sh
+        return sh
+
+    # -- reservation ---------------------------------------------------
+
+    def reserved(self, ctx, state, wr, old_left: int, old_right: int) -> None:
+        """Called in the same eager step as the shared-atomic reserve."""
+        sh = self._shadow(ctx, state)
+        layout = state.layout
+        cap = layout.output_bytes
+        sh.left += wr.left_bytes
+        sh.right += wr.right_bytes
+        sh.emitted += wr.count
+        self.report.count("collector_reservations")
+
+        smem = ctx.smem
+        base = layout.flags_off
+        got_left = smem.peek_u32(base + LEFT_USED)
+        got_right = smem.peek_u32(base + RIGHT_USED)
+        if got_left != sh.left or got_right != sh.right:
+            self._add(ctx, "cursor-mismatch",
+                      f"stack cursors diverged from the reserved sizes: "
+                      f"LEFT_USED={got_left} (expected {sh.left}), "
+                      f"RIGHT_USED={got_right} (expected {sh.right})",
+                      expected_left=sh.left, got_left=got_left,
+                      expected_right=sh.right, got_right=got_right)
+        if sh.left + sh.right > cap:
+            self._add(ctx, "stack-overlap",
+                      f"double-ended stack ends crossed: left={sh.left} + "
+                      f"right={sh.right} > capacity={cap}",
+                      left=sh.left, right=sh.right, capacity=cap)
+
+        out_base = layout.output_off
+        dir_iv = (out_base + old_left,
+                  out_base + old_left + wr.left_bytes, "dir")
+        data_lo = out_base + cap - old_right - wr.right_bytes
+        data_iv = (data_lo, data_lo + wr.right_bytes, "data")
+        for iv in (dir_iv, data_iv):
+            lo, hi, label = iv
+            if lo >= hi:
+                continue
+            for plo, phi, plabel in sh.intervals:
+                if lo < phi and plo < hi:
+                    self._add(ctx, "interval-overlap",
+                              f"warp {ctx.warp_id}'s {label} range "
+                              f"[{lo},{hi}) overlaps an earlier {plabel} "
+                              f"range [{plo},{phi}) in the output area",
+                              range=[lo, hi], overlaps=[plo, phi])
+                    break
+            sh.intervals.append(iv)
+
+    # -- flush ---------------------------------------------------------
+
+    def flush_reserved(self, ctx, state, wrs, ktot: int, vtot: int,
+                       rtot: int) -> None:
+        ek = sum(w.key_bytes for w in wrs)
+        ev = sum(w.val_bytes for w in wrs)
+        er = sum(w.count for w in wrs)
+        if (ktot, vtot, rtot) != (ek, ev, er):
+            self._add(ctx, "flush-total-mismatch",
+                      f"leader reserved (keys={ktot}, vals={vtot}, "
+                      f"recs={rtot}) but the collected warp results total "
+                      f"(keys={ek}, vals={ev}, recs={er})",
+                      reserved=[ktot, vtot, rtot], collected=[ek, ev, er])
+        self.report.count("collector_flushes")
+
+    def flush_one(self, ctx, state, wr, kbase: int, vbase: int,
+                  rbase: int) -> None:
+        sh = self._shadow(ctx, state)
+        out = state.out
+        if (kbase + wr.key_bytes > out.keys_cap
+                or vbase + wr.val_bytes > out.vals_cap
+                or rbase + wr.count > out.dir_cap_records):
+            self._add(ctx, "flush-out-of-bounds",
+                      f"warp result (count={wr.count}) flushes past the "
+                      f"output buffers: keys {kbase}+{wr.key_bytes}/"
+                      f"{out.keys_cap}, vals {vbase}+{wr.val_bytes}/"
+                      f"{out.vals_cap}, recs {rbase}+{wr.count}/"
+                      f"{out.dir_cap_records}")
+        sh.flushed += wr.count
+
+    def flush_reset(self, ctx, state) -> None:
+        """Called right after the last finisher zeroes the control words."""
+        sh = self._shadow(ctx, state)
+        sh.left = 0
+        sh.right = 0
+        sh.intervals.clear()
+        smem = ctx.smem
+        base = state.layout.flags_off
+        dirty = [off for off in _RESET_WORDS
+                 if smem.peek_u32(base + off) != 0]
+        if dirty:
+            self._add(ctx, "reset-incomplete",
+                      f"epoch reset left control word(s) at offsets "
+                      f"{dirty} non-zero; the next epoch inherits stale "
+                      f"state", dirty_offsets=dirty)
+
+    # -- launch end ----------------------------------------------------
+
+    def launch_finished(self) -> None:
+        for sh in self._shadows.values():
+            if sh.emitted != sh.flushed:
+                self.report.add(Finding(
+                    detector="collector",
+                    kind="records-lost",
+                    message=(f"collector emitted {sh.emitted} record(s) "
+                             f"but flushed {sh.flushed} to global memory"),
+                    block=sh.block_id,
+                    details={"emitted": sh.emitted, "flushed": sh.flushed},
+                ), self.max_findings)
+
+    # ------------------------------------------------------------------
+
+    def _add(self, ctx, kind: str, message: str, **details) -> None:
+        self.report.add(Finding(
+            detector="collector", kind=kind, message=message,
+            block=ctx.block_id, warp=ctx.warp_id, details=details,
+        ), self.max_findings)

@@ -1,0 +1,258 @@
+"""Differential fuzzer: random small workloads, sim vs fast vs oracle.
+
+Property-based cross-checking for the whole stack: each case draws a
+tiny random workload (map kernel shape, key distribution, record
+count), a memory mode, a reduce strategy and tuning knobs, then runs
+it on the simulator *with the sanitizer in strict mode*, on the fast
+functional backend, and through the sequential CPU oracle
+(:func:`repro.cpu_ref.reference.reference_job`).  All three outputs
+must agree after order normalisation, and the sanitizer must report
+nothing.
+
+The generator deliberately over-samples degenerate shapes — empty
+inputs, single records, one hot key, zero-output maps, and burst
+emitters sized to force mid-kernel collector flushes — because those
+are where boundary bugs live.
+
+Run standalone::
+
+    python -m repro.check.fuzz --cases 200 --seed 7
+
+Every case is derived from ``(seed, index)`` alone, so a failure
+report like ``case 137`` reproduces with ``--only 137``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import random
+import sys
+from dataclasses import dataclass
+
+from ..cpu_ref.reference import normalised, reference_job
+from ..framework.api import MapReduceSpec
+from ..framework.job import run_job
+from ..framework.modes import MemoryMode, ReduceStrategy
+from ..framework.records import KeyValueSet
+from ..gpu.config import DeviceConfig
+
+#: Input sizes, weighted toward the degenerate end.
+_SIZES = (0, 0, 1, 1, 2, 3, 7, 16, 33, 64)
+
+#: Key pools: small hot sets plus "unique" (every record its own key).
+_KEY_POOLS = (1, 1, 2, 5, "unique")
+
+_MODES = tuple(MemoryMode)
+_STRATS = (None, ReduceStrategy.TR, ReduceStrategy.BR)
+
+_KINDS = ("identity", "null", "filter", "burst", "count", "sum")
+
+
+def _u32(n: int) -> bytes:
+    return (n & 0xFFFFFFFF).to_bytes(4, "little")
+
+
+def _from_u32(b: bytes) -> int:
+    return int.from_bytes(b[:4], "little")
+
+
+# ---- map/reduce kernels ----------------------------------------------------
+# All values are 4-byte little-endian u32s so reductions are byte-exact
+# integer sums (no float ordering concerns).
+
+def _map_identity(key, value, emit, const):
+    emit(key.to_bytes(), value.to_bytes())
+
+
+def _map_null(key, value, emit, const):
+    pass
+
+
+def _map_filter(key, value, emit, const):
+    if _from_u32(value.to_bytes()) % 2 == 0:
+        emit(key.to_bytes(), value.to_bytes())
+
+
+def _map_burst(key, value, emit, const):
+    k = key.to_bytes()
+    v = value.to_bytes()
+    for i in range(6):
+        emit(k, _u32(_from_u32(v) + i))
+
+
+def _reduce_count(key, values, emit, const):
+    emit(key.to_bytes(), _u32(len(values)))
+
+
+def _reduce_sum(key, values, emit, const):
+    emit(key.to_bytes(), _u32(sum(_from_u32(v.to_bytes()) for v in values)))
+
+
+def _combine_count(a: bytes, b: bytes) -> bytes:
+    return _u32(_from_u32(a) + _from_u32(b))
+
+
+def _finalize_count(key: bytes, acc: bytes, count: int) -> tuple[bytes, bytes]:
+    return key, _u32(count)
+
+
+def _combine_sum(a: bytes, b: bytes) -> bytes:
+    return _u32(_from_u32(a) + _from_u32(b))
+
+
+def _finalize_sum(key: bytes, acc: bytes, count: int) -> tuple[bytes, bytes]:
+    return key, acc
+
+
+def _make_spec(kind: str, io_ratio: float | None) -> MapReduceSpec:
+    maps = {
+        "identity": _map_identity,
+        "null": _map_null,
+        "filter": _map_filter,
+        "burst": _map_burst,
+        "count": _map_identity,
+        "sum": _map_identity,
+    }
+    kwargs: dict = {}
+    if kind == "count":
+        kwargs.update(reduce_record=_reduce_count,
+                      combine=_combine_count, finalize=_finalize_count)
+    elif kind == "sum":
+        kwargs.update(reduce_record=_reduce_sum,
+                      combine=_combine_sum, finalize=_finalize_sum)
+    if io_ratio is not None:
+        kwargs["io_ratio"] = io_ratio
+    return MapReduceSpec(name=f"fuzz-{kind}", map_record=maps[kind], **kwargs)
+
+
+# ---- case generation -------------------------------------------------------
+
+@dataclass(frozen=True)
+class FuzzCase:
+    index: int
+    kind: str
+    n_records: int
+    key_pool: object
+    mode: MemoryMode
+    strategy: ReduceStrategy | None
+    threads_per_block: int
+    io_ratio: float | None
+
+    def describe(self) -> str:
+        strat = self.strategy.value if self.strategy else "map-only"
+        return (f"case {self.index}: {self.kind} n={self.n_records} "
+                f"keys={self.key_pool} {self.mode.value}/{strat} "
+                f"tpb={self.threads_per_block} io_ratio={self.io_ratio}")
+
+
+def draw_case(seed: int, index: int) -> FuzzCase:
+    """Derive case ``index`` of run ``seed`` (stateless: any case can
+    be regenerated alone)."""
+    rng = random.Random((seed << 20) ^ index)
+    kind = rng.choice(_KINDS)
+    if kind in ("count", "sum"):
+        strategy = rng.choice((ReduceStrategy.TR, ReduceStrategy.BR))
+    else:
+        strategy = None
+    mode = rng.choice(_MODES)
+    if strategy is ReduceStrategy.BR and mode is MemoryMode.GT:
+        mode = MemoryMode.SIO  # BR x GT is illegal by design
+    return FuzzCase(
+        index=index,
+        kind=kind,
+        n_records=rng.choice(_SIZES),
+        key_pool=rng.choice(_KEY_POOLS),
+        mode=mode,
+        strategy=strategy,
+        threads_per_block=rng.choice((64, 128)),
+        io_ratio=rng.choice((None, 0.3, 0.7)),
+    )
+
+
+def build_input(case: FuzzCase) -> KeyValueSet:
+    rng = random.Random((case.index << 8) ^ 0xF00D)
+    inp = KeyValueSet()
+    for i in range(case.n_records):
+        if case.key_pool == "unique":
+            key = _u32(i)
+        else:
+            key = _u32(rng.randrange(case.key_pool))
+        inp.append(key, _u32(rng.randrange(1 << 16)))
+    return inp
+
+
+# ---- execution -------------------------------------------------------------
+
+@dataclass
+class FuzzFailure:
+    case: FuzzCase
+    reason: str
+
+
+def run_case(case: FuzzCase, config: DeviceConfig) -> str | None:
+    """Run one case across all three executors; None means it passed."""
+    spec = _make_spec(case.kind, case.io_ratio)
+    inp = build_input(case)
+    want = normalised(reference_job(spec, inp, case.strategy))
+
+    common = dict(mode=case.mode, strategy=case.strategy, config=config,
+                  threads_per_block=case.threads_per_block)
+    sim = run_job(spec, inp, check="strict", **common)
+    if normalised(sim.output) != want:
+        return (f"sim output diverges from oracle "
+                f"({len(sim.output)} vs {len(want)} records)")
+    fast = run_job(spec, inp, backend="fast", **common)
+    if normalised(fast.output) != want:
+        return (f"fast output diverges from oracle "
+                f"({len(fast.output)} vs {len(want)} records)")
+    return None
+
+
+def run_fuzz(seed: int, cases: int, *, verbose: bool = False,
+             only: int | None = None) -> list[FuzzFailure]:
+    """Run ``cases`` cases (or just ``only``); return the failures."""
+    config = DeviceConfig.small(2)
+    indices = [only] if only is not None else range(cases)
+    failures: list[FuzzFailure] = []
+    for i in indices:
+        case = draw_case(seed, i)
+        try:
+            reason = run_case(case, config)
+        except Exception as exc:  # noqa: BLE001 — report, keep fuzzing
+            reason = f"{type(exc).__name__}: {exc}"
+        if reason is not None:
+            failures.append(FuzzFailure(case, reason))
+            print(f"FAIL {case.describe()}\n     {reason}", file=sys.stderr)
+        elif verbose:
+            print(f"ok   {case.describe()}")
+    return failures
+
+
+def main(argv: list[str] | None = None) -> int:
+    ap = argparse.ArgumentParser(
+        prog="python -m repro.check.fuzz",
+        description="Differential fuzzer: sim (sanitized) vs fast vs "
+                    "CPU oracle on random small workloads.")
+    ap.add_argument("--cases", type=int, default=200,
+                    help="number of cases to run (default 200)")
+    ap.add_argument("--seed", type=int, default=7,
+                    help="run seed; case i depends only on (seed, i)")
+    ap.add_argument("--only", type=int, default=None,
+                    help="re-run a single case index from this seed")
+    ap.add_argument("--verbose", action="store_true",
+                    help="print every passing case too")
+    args = ap.parse_args(argv)
+
+    failures = run_fuzz(args.seed, args.cases,
+                        verbose=args.verbose, only=args.only)
+    ran = 1 if args.only is not None else args.cases
+    if failures:
+        print(f"fuzz: {len(failures)}/{ran} cases FAILED "
+              f"(seed={args.seed})", file=sys.stderr)
+        return 1
+    print(f"fuzz: {ran} cases passed (seed={args.seed})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

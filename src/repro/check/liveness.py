@@ -1,0 +1,186 @@
+"""Wait-signal liveness monitoring: deadlock and lost-signal reuse.
+
+Deadlock detection uses the simulator's strongest property: kernel
+state only changes when a warp executes an instruction.  The monitor
+counts *progress events* on a global tick; a polling warp records the
+tick of its last failed probe.  When every registered warp is parked
+(polling or at a barrier), at least one is polling, and every poller
+has re-probed since the last progress event, no probe can ever
+succeed again — that is a conclusive deadlock, caught within one poll
+interval instead of after ``MAX_POLL_RETRIES`` probes.
+
+Lost-signal detection watches the flag words that ``WaitSignal``
+instances register: raising a signal flag while any *seen* flag of
+the same condition is still set means the previous round's handshake
+has not finished unwinding — the re-armed signal can be consumed by a
+stale waiter and lost (the single-condition reuse hazard described in
+:mod:`repro.framework.sync`).
+"""
+
+from __future__ import annotations
+
+from .report import Finding
+
+_RUN = 0
+_POLL = 1
+_BARRIER = 2
+_DONE = 3
+
+
+class _WarpState:
+    __slots__ = ("state", "fail_tick")
+
+    def __init__(self):
+        self.state = _RUN
+        self.fail_tick = -1
+
+
+class LivenessMonitor:
+    """Deadlock + wait-signal protocol monitor for one launch."""
+
+    def __init__(self, report, config):
+        self.report = report
+        self.max_findings = config.max_findings
+        self.tick = 0
+        self.warps: dict[tuple[int, int], _WarpState] = {}
+        self._parked = 0  # warps in POLL/BARRIER/DONE
+        #: Registered WaitSignal conditions, by (block_id, base_off).
+        self._conditions: set[tuple[int, int]] = set()
+        #: (block_id, signal_flag_off) -> (smem, seen_offs) for O(1)
+        #: lookup on the shared-write path.
+        self._sig_index: dict[tuple[int, int], tuple] = {}
+        self._deadlocked = False
+
+    # -- warp lifecycle ------------------------------------------------
+
+    def register(self, block_id: int, n_warps: int) -> None:
+        for w in range(n_warps):
+            self.warps[(block_id, w)] = _WarpState()
+
+    def _wake(self, st: _WarpState) -> None:
+        if st.state != _RUN:
+            self._parked -= 1
+            st.state = _RUN
+
+    def progress(self, block_id: int, warp: int) -> None:
+        st = self.warps.get((block_id, warp))
+        if st is None:
+            return
+        self.tick += 1
+        self._wake(st)
+
+    def barrier_wait(self, block_id: int, warp: int) -> None:
+        st = self.warps.get((block_id, warp))
+        if st is None or st.state == _BARRIER:
+            return
+        if st.state == _RUN:
+            self._parked += 1
+        st.state = _BARRIER
+
+    def barrier_release(self, block_id: int, warp_ids) -> None:
+        self.tick += 1
+        for w in warp_ids:
+            st = self.warps.get((block_id, w))
+            if st is not None:
+                self._wake(st)
+
+    def retired(self, block_id: int, warp: int) -> None:
+        st = self.warps.get((block_id, warp))
+        if st is None:
+            return
+        self.tick += 1
+        if st.state == _RUN:
+            self._parked += 1
+        st.state = _DONE
+
+    # -- deadlock ------------------------------------------------------
+
+    def poll_blocked(self, block_id: int, warp: int) -> bool:
+        """A poll probe failed; returns True on conclusive deadlock."""
+        st = self.warps.get((block_id, warp))
+        if st is None:
+            return False
+        if st.state == _RUN:
+            self._parked += 1
+        st.state = _POLL
+        st.fail_tick = self.tick
+        if self._parked < len(self.warps) or self._deadlocked:
+            return False
+        # Everyone is parked: deadlock iff every poller has re-probed
+        # (and failed) since the last progress event.
+        pollers = []
+        for key, ws in self.warps.items():
+            if ws.state == _POLL:
+                if ws.fail_tick != self.tick:
+                    return False
+                pollers.append(key)
+        if not pollers:
+            return False  # pure barrier hang; the engine reports it
+        self._deadlocked = True
+        self.report.add(Finding(
+            detector="liveness",
+            kind="deadlock",
+            message=(f"all {len(self.warps)} warps are parked and "
+                     f"{len(pollers)} poll condition(s) can never be "
+                     f"satisfied (no runnable warp remains)"),
+            block=block_id,
+            warp=warp,
+            details={"pollers": [list(k) for k in sorted(pollers)],
+                     "tick": self.tick},
+        ), self.max_findings)
+        return True
+
+    def deadlock_reason(self) -> str:
+        return ("sanitizer: every warp is polling or at a barrier and no "
+                "warp can make progress (wait with no pending signal)")
+
+    def note_deadlock(self, message: str) -> None:
+        """The engine's own empty-heap deadlock check fired."""
+        if self._deadlocked:
+            return
+        self._deadlocked = True
+        self.report.add(Finding(
+            detector="liveness", kind="deadlock", message=message,
+        ), self.max_findings)
+
+    # -- wait-signal protocol ------------------------------------------
+
+    def register_waitsignal(self, block_id: int, smem, ws) -> None:
+        """Remember a condition's flag geometry (idempotent)."""
+        key = (block_id, ws.base_off)
+        if key in self._conditions:
+            return
+        self._conditions.add(key)
+        seen_offs = [ws.base_off + 4 * (ws.n_warps + w)
+                     for w in ws.wait_group]
+        for w in ws.signal_group:
+            self._sig_index[(block_id, ws.base_off + 4 * w)] = (
+                smem, seen_offs
+            )
+
+    def on_smem_write(self, block_id: int, warp: int, off: int,
+                      nbytes: int) -> None:
+        """Observe flag writes: fires on a raise over stale seen flags.
+
+        Called for every shared write, so the miss path is one dict
+        lookup (flag writes are exact 4-byte stores).
+        """
+        cond = self._sig_index.get((block_id, off))
+        if cond is not None:
+            smem, seen_offs = cond
+            if smem.peek_u32(off) != 1:
+                return  # a clear, not a raise
+            stale = [s for s in seen_offs if smem.peek_u32(s) != 0]
+            if stale:
+                self.report.add(Finding(
+                    detector="liveness",
+                    kind="lost-signal",
+                    message=(f"signal flag at offset {off} re-armed while "
+                             f"{len(stale)} seen flag(s) from the previous "
+                             f"round are still set — the signal can be "
+                             f"consumed by a stale waiter and lost"),
+                    block=block_id,
+                    warp=warp,
+                    details={"signal_off": off,
+                             "stale_seen_offs": stale},
+                ), self.max_findings)

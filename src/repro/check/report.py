@@ -1,0 +1,107 @@
+"""Findings and the :class:`CheckReport` the sanitizer produces.
+
+A *finding* is one detected violation — a shared-memory race, a
+collector-invariant breach, a liveness failure or an atomics
+linearizability violation.  Findings are plain data: deterministic,
+JSON-serialisable (see :func:`repro.obs.exporters.write_check_json`)
+and cheap to assert on in tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..errors import CheckError
+
+
+@dataclass
+class Finding:
+    """One violation reported by a detector."""
+
+    #: Which detector fired: "race" | "collector" | "liveness" | "atomics".
+    detector: str
+    #: Machine-readable violation tag, e.g. ``"write-write-race"``.
+    kind: str
+    #: Human-readable one-line description.
+    message: str
+    block: int | None = None
+    warp: int | None = None
+    #: Detector-specific context (offsets, clocks, counters ...).
+    details: dict = field(default_factory=dict)
+
+    def to_dict(self) -> dict:
+        return {
+            "detector": self.detector,
+            "kind": self.kind,
+            "message": self.message,
+            "block": self.block,
+            "warp": self.warp,
+            "details": dict(self.details),
+        }
+
+    def render(self) -> str:
+        where = []
+        if self.block is not None:
+            where.append(f"block {self.block}")
+        if self.warp is not None:
+            where.append(f"warp {self.warp}")
+        loc = f" [{', '.join(where)}]" if where else ""
+        return f"{self.detector}/{self.kind}{loc}: {self.message}"
+
+
+@dataclass
+class CheckReport:
+    """Everything one checked job produced.
+
+    ``strict`` mirrors the :class:`~repro.check.config.CheckConfig`
+    that ran the job; :meth:`raise_if_findings` turns a non-empty
+    strict report into a :class:`~repro.errors.CheckError`.
+    """
+
+    findings: list[Finding] = field(default_factory=list)
+    counters: dict[str, int] = field(default_factory=dict)
+    strict: bool = True
+    truncated: bool = False
+
+    @property
+    def ok(self) -> bool:
+        return not self.findings
+
+    def count(self, name: str, inc: int = 1) -> None:
+        self.counters[name] = self.counters.get(name, 0) + inc
+
+    def add(self, finding: Finding, max_findings: int) -> bool:
+        """Record a finding; returns False once the cap is reached."""
+        if len(self.findings) >= max_findings:
+            self.truncated = True
+            return False
+        self.findings.append(finding)
+        return True
+
+    def summary(self) -> str:
+        if self.ok:
+            return "check: no findings"
+        by_det: dict[str, int] = {}
+        for f in self.findings:
+            by_det[f.detector] = by_det.get(f.detector, 0) + 1
+        parts = ", ".join(f"{n} {d}" for d, n in sorted(by_det.items()))
+        more = " (truncated)" if self.truncated else ""
+        return f"check: {len(self.findings)} finding(s) ({parts}){more}"
+
+    def render(self) -> str:
+        lines = [self.summary()]
+        lines.extend("  " + f.render() for f in self.findings)
+        return "\n".join(lines)
+
+    def to_dict(self) -> dict:
+        return {
+            "ok": self.ok,
+            "strict": self.strict,
+            "truncated": self.truncated,
+            "findings": [f.to_dict() for f in self.findings],
+            "counters": dict(sorted(self.counters.items())),
+        }
+
+    def raise_if_findings(self) -> None:
+        if self.strict and self.findings:
+            raise CheckError(self.summary(), self)

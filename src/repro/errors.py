@@ -61,3 +61,13 @@ class KernelFault(ReproError):
 
 class FrameworkError(ReproError):
     """Invalid use of the MapReduce framework API."""
+
+
+class CheckError(ReproError):
+    """The sanitizer (:mod:`repro.check`) confirmed findings in strict
+    mode.  Carries the full :class:`repro.check.CheckReport` as
+    ``report`` so callers can inspect or export the findings."""
+
+    def __init__(self, message: str, report=None):
+        super().__init__(message)
+        self.report = report

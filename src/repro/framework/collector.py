@@ -112,6 +112,14 @@ def init_collector(ctx: WarpCtx, state: CollectorState) -> None:
     for off in (OVF, ARRIVE, RESERVE_READY, WR_TAKEN, DONE, COMPUTE_DONE,
                 LEFT_USED, RIGHT_USED, WR_COUNT):
         smem.write_u32(base + off, 0)
+    ck = ctx.checker
+    if ck is not None:
+        # The whole flags area (per-warp flag words + control words)
+        # is synchronisation state, not data, for the race detector.
+        ck.declare_sync_range(
+            ctx.block_id, base, state.layout.working_off - base
+        )
+        ck.collector_opened(ctx, state)
 
 
 # ----------------------------------------------------------------------
@@ -161,6 +169,11 @@ def collect_warp_result(
             old_left = smem.atomic_add_u32(base + LEFT_USED, wr.left_bytes)
             old_right = smem.atomic_add_u32(base + RIGHT_USED, wr.right_bytes)
             smem.atomic_add_u32(base + WR_COUNT, 1)
+            ck = ctx.checker
+            if ck is not None:
+                # Same eager step as the reserve: the cursors still
+                # reflect exactly this reservation.
+                ck.collector_reserved(ctx, state, wr, old_left, old_right)
             yield AtomicShared(addr=base + LEFT_USED, old=old_left)
             yield AtomicShared(addr=base + RIGHT_USED, old=old_right)
             break
@@ -264,6 +277,9 @@ def participate_in_flush(ctx: WarpCtx, state: CollectorState):
             [(out.key_tail, ktot), (out.val_tail, vtot), (out.rec_count, rtot)]
         )
         out.check_reservation(kbase + ktot, vbase + vtot, rbase + rtot)
+        ck = ctx.checker
+        if ck is not None:
+            ck.collector_flush_reserved(ctx, state, wrs, ktot, vtot, rtot)
         offs = []
         ko, vo, ro = kbase, vbase, rbase
         for w in wrs:
@@ -302,6 +318,9 @@ def participate_in_flush(ctx: WarpCtx, state: CollectorState):
                     LEFT_USED, RIGHT_USED, WR_COUNT):
             smem.write_u32(base + off, 0)
         smem.write_u32(base + EPOCH, epoch0 + 1)
+        ck = ctx.checker
+        if ck is not None:
+            ck.collector_flush_reset(ctx, state)
         yield from ctx.stouch(36, write=True)
         yield from ctx.fence_block()
     else:
@@ -316,6 +335,9 @@ def _flush_one(ctx: WarpCtx, state: CollectorState, idx: int):
     wr = state.warp_results[idx]
     kbase, vbase, rbase = state.flush_offsets[idx]
     out = state.out
+    ck = ctx.checker
+    if ck is not None:
+        ck.collector_flush_one(ctx, state, wr, kbase, vbase, rbase)
     # Read the warp result out of shared memory (data + directory)...
     yield from ctx.stouch(wr.right_bytes + OUT_DIR_PER_RECORD * wr.count)
     payload = ctx.smem.read(wr.data_off, wr.right_bytes)

@@ -68,6 +68,9 @@ class JobResult:
     timings: PhaseTimings
     map_stats: KernelStats = field(default_factory=KernelStats)
     reduce_stats: KernelStats = field(default_factory=KernelStats)
+    #: The sanitizer's :class:`~repro.check.CheckReport` when the job
+    #: ran with checking enabled (sim backend only), else None.
+    check_report: object | None = None
 
     @property
     def total_cycles(self) -> float:
@@ -89,6 +92,7 @@ def run_job(
     shuffle_method: str = "sort",
     tracer: Tracer | None = None,
     backend=None,
+    check=None,
 ) -> JobResult:
     """Run a complete MapReduce job.
 
@@ -109,10 +113,13 @@ def run_job(
     cycle-accurate), ``"fast"`` (functional, no kernel timings), an
     :class:`~repro.backend.base.ExecutionBackend` instance, or
     ``None`` to consult ``$REPRO_BACKEND``.
+    ``check`` enables the sanitizer (:mod:`repro.check`): ``True``,
+    ``"strict"``, ``"report"`` or a ``CheckConfig``; ``None`` consults
+    ``$REPRO_CHECK``.  Empty inputs are legal and produce an empty
+    output (degenerate cases are exactly what the differential fuzzer
+    exercises).
     """
     spec.validate()
-    if len(inp) == 0:
-        raise FrameworkError("empty input")
     if strategy is not None and not spec.has_reduce:
         raise FrameworkError(f"workload {spec.name} has no Reduce phase")
     # Local import: repro.backend imports this module for JobResult.
@@ -129,5 +136,6 @@ def run_job(
         yield_sync=yield_sync,
         io_ratio=io_ratio,
         shuffle_method=shuffle_method,
+        check=check,
     ).normalised()
     return execute_plan(plan, inp, get_backend(backend), tracer)

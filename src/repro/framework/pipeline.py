@@ -89,6 +89,9 @@ class IterativeJob:
     #: ``"fast"``, an ExecutionBackend instance, or ``None`` to
     #: consult ``$REPRO_BACKEND`` (see :mod:`repro.backend`).
     backend: object | None = None
+    #: Sanitizer request for every iteration's job (see
+    #: :func:`repro.framework.job.run_job`'s ``check``).
+    check: object | None = None
 
     def run(self, inp: KeyValueSet, initial_state: object,
             *, max_iterations: int = 32,
@@ -108,6 +111,7 @@ class IterativeJob:
                         config=self.config,
                         threads_per_block=self.threads_per_block,
                         tracer=tracer, backend=self.backend,
+                        check=self.check,
                     )
                 new_state = self.update(i, job, state)
                 result.iterations.append(IterationTrace(

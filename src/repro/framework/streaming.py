@@ -109,6 +109,7 @@ def run_streamed_job(
     yield_sync: bool = True,
     tracer: Tracer | None = None,
     backend=None,
+    check=None,
 ) -> StreamedResult:
     """Run a job with the input streamed through the device in batches.
 
@@ -117,12 +118,11 @@ def run_streamed_job(
     job clock even under ``overlap=True`` (the trace shows per-batch
     costs; the pipelined total is recorded on the stream span's
     ``pipelined_map_io`` attribute).
-    ``backend`` selects the execution substrate (see
-    :func:`repro.framework.job.run_job`).
+    ``backend`` selects the execution substrate and ``check`` the
+    sanitizer (see :func:`repro.framework.job.run_job`).  An empty
+    input yields zero batches and an empty output.
     """
     spec.validate()
-    if len(inp) == 0:
-        raise FrameworkError("empty input")
     # Local import: repro.backend imports this module for StreamedResult.
     from ..backend import BatchPolicy, JobPlan, execute_streamed, get_backend
 
@@ -134,5 +134,6 @@ def run_streamed_job(
         threads_per_block=threads_per_block,
         yield_sync=yield_sync,
         batching=BatchPolicy(n_batches=n_batches, overlap=overlap),
+        check=check,
     ).normalised()
     return execute_streamed(plan, inp, get_backend(backend), tracer)

@@ -17,12 +17,18 @@ flag words in shared memory:
   flags to clear and then resets the seen flags, restoring the
   primitive to its initial state for reuse.
 
-A single condition must not be re-signalled back-to-back: the
-signaller could raise the next round's flag before the last waiter
-observed the previous clear, deadlocking both.  The framework
-therefore always *alternates two conditions* (:func:`make_pair`:
-overflow -> handled -> overflow -> ...), exactly the structure of the
-paper's Figure 3 workflow.
+Re-signalling a single condition back-to-back has a hazard: the
+signaller can raise the next round's flag before the last waiter
+observed the previous clear, so the stale *seen* flags satisfy the
+new signal immediately — the signal is lost and the waiters deadlock.
+:meth:`WaitSignal.signal` therefore re-arms safely: before raising
+its flag, a signaller waits for all seen flags of the previous round
+to clear (free on first use and whenever the previous round fully
+unwound — the common case — so clean-path timing is unchanged).  The
+flush workflow additionally *alternates two conditions*
+(:func:`make_pair`: overflow -> handled -> overflow -> ...), exactly
+the structure of the paper's Figure 3, which keeps the two directions
+on disjoint flag storage.
 
 Busy-waiting warps would otherwise compete for the MP's issue slots
 with compute warps, so the paper adds a *yield* operation: a dummy
@@ -90,15 +96,35 @@ class WaitSignal:
         smem = ctx.smem
         return all(smem.read_u32(self._seen_off(w)) == 1 for w in self.wait_group)
 
+    def _all_seen_clear(self, ctx: WarpCtx) -> bool:
+        smem = ctx.smem
+        return all(smem.read_u32(self._seen_off(w)) == 0 for w in self.wait_group)
+
+    def _register(self, ctx: WarpCtx) -> None:
+        ck = ctx.checker
+        if ck is not None:
+            ck.register_waitsignal(ctx, self)
+
     # -- protocol ------------------------------------------------------------
 
     def signal(self, ctx: WarpCtx):
         """Called by every signal-group warp."""
         if ctx.warp_id not in self.signal_group:
             raise FrameworkError(f"warp {ctx.warp_id} is not in the signal group")
+        self._register(ctx)
         # Make prior shared-memory updates visible before raising the
         # flag (processor consistency; <1% overhead per the paper).
         yield from ctx.fence_block()
+        # Re-arm guard: raising the flag while a previous round's seen
+        # flags are still set would satisfy this signal with stale
+        # acknowledgements (lost signal) and deadlock the real waiters.
+        # The eager probe is free when the flags are already clear, so
+        # first use and fully-unwound reuse cost nothing extra.
+        if not self._all_seen_clear(ctx):
+            yield from ctx.poll(
+                lambda: self._all_seen_clear(ctx),
+                poll_interval(ctx, self.yield_sync),
+            )
         ctx.smem.write_u32(self._sig_off(ctx.warp_id), 1)
         yield from ctx.stouch(4, write=True)
         # Wait until every wait-group warp acknowledged.
@@ -112,6 +138,7 @@ class WaitSignal:
         """Called by every wait-group warp."""
         if ctx.warp_id not in self.wait_group:
             raise FrameworkError(f"warp {ctx.warp_id} is not in the wait group")
+        self._register(ctx)
         yield from ctx.poll(
             lambda: self._all_signals_set(ctx), poll_interval(ctx, self.yield_sync)
         )

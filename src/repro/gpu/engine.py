@@ -116,12 +116,16 @@ class Engine:
         uses_texture: bool = False,
         max_cycles: float = float("inf"),
         timeline=None,
+        checker=None,
     ):
         self.config = config
         self.timing = config.timing
         self.uses_texture = uses_texture
         self.max_cycles = max_cycles
         self.timeline = timeline
+        #: Optional per-launch sanitizer hooks
+        #: (:class:`repro.check.LaunchChecker`).
+        self.checker = checker
         t = self.timing
         self.memsys = MemorySystem(latency=t.global_latency, service=t.txn_service_cycles)
         self.l2: L2Cache | None = None
@@ -207,6 +211,8 @@ class Engine:
                     break
 
         self._event_loop()
+        if self.checker is not None:
+            self.checker.launch_finished(self)
         self.stats.cycles = self._now
         self._harvest_counters()
         return self.stats
@@ -227,6 +233,8 @@ class Engine:
         )
         mp.active_blocks += 1
         self._blocks_live += 1
+        if self.checker is not None:
+            self.checker.block_started(blk)
         for w in range(self._n_warps):
             warp = _Warp(gen=self._make_warp(blk, w), block=blk, warp_id=w)
             self._push(at, warp)
@@ -242,10 +250,15 @@ class Engine:
 
     def _event_loop(self) -> None:
         heap = self._heap
+        checker = self.checker
         while heap:
             t, _, warp = heapq.heappop(heap)
             if warp.done:
                 continue
+            if checker is not None:
+                # Attribute upcoming functional memory traffic (both a
+                # coroutine step and a Poll re-probe read smem).
+                checker.set_current(warp)
             self._now = max(self._now, t)
             if self._now > self.max_cycles:
                 raise DeadlockError(
@@ -283,16 +296,21 @@ class Engine:
                 for mp in self.mps
                 for _ in range(mp.active_blocks)
             )
-            raise DeadlockError(
+            msg = (
                 f"{self._blocks_live} block(s) still resident with no runnable "
                 f"warp (barrier divergence or unsatisfiable wait); "
                 f"{waiting} block slots affected"
             )
+            if checker is not None:
+                checker.note_deadlock(msg)
+            raise DeadlockError(msg)
 
     def _retire_warp(self, warp: _Warp, t: float) -> None:
         warp.done = True
         blk = warp.block
         blk.warps_done += 1
+        if self.checker is not None:
+            self.checker.warp_retired(warp)
         # A finished warp no longer participates in barriers; if the
         # remaining warps are all parked at the barrier, release them.
         self._maybe_release_barrier(blk, t)
@@ -309,6 +327,11 @@ class Engine:
         st = self.stats
         st.instructions += 1
         tm = self.timing
+        checker = self.checker
+        if checker is not None and type(op) is not Poll:
+            # Any non-Poll instruction is progress for the liveness
+            # monitor (Polls report success/failure themselves below).
+            checker.op_progress(warp)
 
         if type(op) is Compute:
             st.compute_ops += 1
@@ -362,6 +385,8 @@ class Engine:
             done = self.atomics.request(op.addr, t_issue)
             # Atomics also occupy crossbar/DRAM bandwidth.
             self.memsys.request_write(t_issue, 1, 4)
+            if checker is not None:
+                checker.atomic_global(op.addr, op.old, op.delta)
             warp.inbox = op.old
             self._note(warp, "atomic", t_issue, done)
             self._push(done, warp)
@@ -372,6 +397,10 @@ class Engine:
             for addr in op.addrs:
                 done = max(done, self.atomics.request(addr, t_issue))
             self.memsys.request_write(t_issue, len(op.addrs), 4 * len(op.addrs))
+            if checker is not None:
+                deltas = op.deltas or (0,) * len(op.addrs)
+                for addr, old, delta in zip(op.addrs, op.olds, deltas):
+                    checker.atomic_global(addr, old, delta)
             warp.inbox = tuple(op.olds)
             self._note(warp, "atomic", t_issue, done)
             self._push(done, warp)
@@ -411,6 +440,8 @@ class Engine:
             blk = warp.block
             blk.barrier_waiting.append(warp)
             warp.barrier_arrived_at = t_issue
+            if checker is not None:
+                checker.barrier_wait(warp)
             self._maybe_release_barrier(blk, t_issue)
 
         elif type(op) is Fence:
@@ -420,11 +451,15 @@ class Engine:
         elif type(op) is Poll:
             st.polls += 1
             if op.check():
+                if checker is not None:
+                    checker.op_progress(warp)
                 warp.inbox = True
                 warp.poll_retries = 0
                 self._note(warp, "poll", t_issue, t_issue + tm.issue_cycles)
                 self._push(t_issue + tm.issue_cycles, warp)
             else:
+                if checker is not None and checker.poll_blocked(warp):
+                    raise DeadlockError(checker.deadlock_reason())
                 warp.poll_retries += 1
                 if warp.poll_retries > MAX_POLL_RETRIES:
                     raise DeadlockError(
@@ -453,6 +488,8 @@ class Engine:
         live = blk.n_warps - blk.warps_done
         if live and len(blk.barrier_waiting) == live:
             release = t + self.timing.barrier_cycles
+            if self.checker is not None:
+                self.checker.barrier_release(blk, blk.barrier_waiting)
             for w in blk.barrier_waiting:
                 self._note(w, "barrier", w.barrier_arrived_at, release)
                 self._push(release, w)

@@ -97,6 +97,9 @@ class AtomicGlobal(Op):
 
     addr: int = 0
     old: int = 0
+    #: Amount added (0 for descriptors that only model timing); the
+    #: sanitizer's linearizability check replays ``old``/``delta``.
+    delta: int = 0
     lanes: int = 1
 
 
@@ -112,6 +115,7 @@ class AtomicGlobalMulti(Op):
 
     addrs: Sequence[int] = field(default_factory=tuple)
     olds: Sequence[int] = field(default_factory=tuple)
+    deltas: Sequence[int] = field(default_factory=tuple)
     lanes: int = 1
 
 

@@ -110,6 +110,17 @@ class WarpCtx:
         return self.block_id * self.warps_per_block + self.warp_id
 
     @property
+    def checker(self):
+        """The launch's sanitizer hooks, or None when unchecked.
+
+        Framework protocols (collector, WaitSignal) report semantic
+        events — reservations, flushes, flag geometry — through this;
+        plain kernels never need it.
+        """
+        eng = self._engine
+        return eng.checker if eng is not None else None
+
+    @property
     def lane_ids(self) -> range:
         return range(WARP_SIZE)
 
@@ -185,7 +196,7 @@ class WarpCtx:
     def atomic_add_global(self, addr: int, delta: int):
         """``atomicAdd`` on a 32-bit global word; returns the old value."""
         old = self.gmem.atomic_add_u32(addr, delta)
-        result = yield AtomicGlobal(addr=addr, old=old)
+        result = yield AtomicGlobal(addr=addr, old=old, delta=delta)
         return result
 
     def atomic_add_global_multi(self, ops: Sequence[tuple[int, int]]):
@@ -194,7 +205,9 @@ class WarpCtx:
         the slowest counter rather than chaining round trips."""
         olds = [self.gmem.atomic_add_u32(addr, delta) for addr, delta in ops]
         result = yield AtomicGlobalMulti(
-            addrs=tuple(addr for addr, _ in ops), olds=tuple(olds)
+            addrs=tuple(addr for addr, _ in ops),
+            olds=tuple(olds),
+            deltas=tuple(delta for _, delta in ops),
         )
         return result
 
@@ -239,6 +252,9 @@ class Device:
     def __init__(self, config: DeviceConfig | None = None):
         self.config = config or DeviceConfig.gtx280()
         self.gmem = GlobalMemory(self.config.global_mem_bytes)
+        #: Optional sanitizer (:class:`repro.check.Sanitizer`); when
+        #: set, every launch runs under a fresh per-launch checker.
+        self.checker = None
 
     def launch(
         self,
@@ -260,8 +276,11 @@ class Device:
         ``self.gmem``.  Pass a :class:`repro.gpu.timeline.Timeline` as
         ``timeline`` to trace per-warp execution.
         """
+        launch_ck = (self.checker.launch_checker()
+                     if self.checker is not None else None)
         engine = Engine(self.config, uses_texture=uses_texture,
-                        max_cycles=max_cycles, timeline=timeline)
+                        max_cycles=max_cycles, timeline=timeline,
+                        checker=launch_ck)
         stats = engine.stats
 
         def make_warp(blk: _BlockRt, warp_id: int):

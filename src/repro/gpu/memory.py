@@ -178,6 +178,9 @@ class SharedMemory:
             raise ValueError("shared memory size must be positive")
         self.size = int(size)
         self._buf = bytearray(self.size)
+        #: Optional access observer (the sanitizer's race detector);
+        #: when set, every functional read/write/atomic is reported.
+        self.observer = None
 
     def _check(self, off: int, nbytes: int) -> None:
         if off < 0 or nbytes < 0 or off + nbytes > self.size:
@@ -187,41 +190,68 @@ class SharedMemory:
 
     def read(self, off: int, nbytes: int) -> bytes:
         self._check(off, nbytes)
+        if self.observer is not None:
+            self.observer.on_read(off, nbytes)
         return bytes(self._buf[off : off + nbytes])
 
     def write(self, off: int, data: bytes | bytearray | memoryview) -> None:
         self._check(off, len(data))
         self._buf[off : off + len(data)] = data
+        if self.observer is not None:
+            self.observer.on_write(off, len(data))
 
     def fill(self, off: int, nbytes: int, byte: int = 0) -> None:
         self._check(off, nbytes)
         self._buf[off : off + nbytes] = bytes([byte]) * nbytes
+        if self.observer is not None:
+            self.observer.on_write(off, nbytes)
 
     def read_u32(self, off: int) -> int:
+        self._check(off, 4)
+        if self.observer is not None:
+            self.observer.on_read(off, 4)
+        return _U32.unpack_from(self._buf, off)[0]
+
+    def peek_u32(self, off: int) -> int:
+        """Read a word *without* notifying the observer (checker
+        introspection must not count as a kernel access)."""
         self._check(off, 4)
         return _U32.unpack_from(self._buf, off)[0]
 
     def write_u32(self, off: int, value: int) -> None:
         self._check(off, 4)
         _U32.pack_into(self._buf, off, value & 0xFFFFFFFF)
+        if self.observer is not None:
+            self.observer.on_write(off, 4)
 
     def read_i32(self, off: int) -> int:
         self._check(off, 4)
+        if self.observer is not None:
+            self.observer.on_read(off, 4)
         return _I32.unpack_from(self._buf, off)[0]
 
     def write_i32(self, off: int, value: int) -> None:
         self._check(off, 4)
         _I32.pack_into(self._buf, off, value)
+        if self.observer is not None:
+            self.observer.on_write(off, 4)
 
     def read_f32(self, off: int) -> float:
         self._check(off, 4)
+        if self.observer is not None:
+            self.observer.on_read(off, 4)
         return _F32.unpack_from(self._buf, off)[0]
 
     def write_f32(self, off: int, value: float) -> None:
         self._check(off, 4)
         _F32.pack_into(self._buf, off, value)
+        if self.observer is not None:
+            self.observer.on_write(off, 4)
 
     def atomic_add_u32(self, off: int, delta: int) -> int:
-        old = self.read_u32(off)
-        self.write_u32(off, old + delta)
+        self._check(off, 4)
+        old = _U32.unpack_from(self._buf, off)[0]
+        _U32.pack_into(self._buf, off, (old + delta) & 0xFFFFFFFF)
+        if self.observer is not None:
+            self.observer.on_atomic(off)
         return old

@@ -458,6 +458,7 @@ def run_mars_job(
     threads_per_block: int = 128,
     tracer: Tracer | None = None,
     backend=None,
+    check=None,
 ) -> JobResult:
     """Run a complete Mars-style job (two-pass Map, two-pass Reduce).
 
@@ -485,5 +486,6 @@ def run_mars_job(
         config=config,
         device=device,
         threads_per_block=threads_per_block,
+        check=check,
     ).normalised()
     return execute_plan(plan, inp, get_backend(backend), tracer)

@@ -30,7 +30,7 @@ from ..framework.job import run_job
 from ..framework.modes import MemoryMode, ReduceStrategy
 from ..gpu.config import DeviceConfig
 from ..workloads import ALL_WORKLOADS, EXTRA_WORKLOADS, Workload
-from .exporters import write_chrome_trace, write_jsonl
+from .exporters import write_check_json, write_chrome_trace, write_jsonl
 from .metrics import diff_metrics, job_metrics_registry
 from .report import render_job_profile, render_span_tree
 from .tracer import Tracer
@@ -110,6 +110,10 @@ def main(argv: list[str] | None = None) -> int:
                         "default) or 'fast' (functional only — kernel "
                         "cycles read as zero); default honours "
                         "$REPRO_BACKEND")
+    p.add_argument("--check", action="store_true",
+                   help="run under the repro.check sanitizer (report "
+                        "mode) and write check.json; exits 1 on any "
+                        "finding (sim backend only)")
     p.add_argument("--blocks", default="0",
                    help="blocks to trace at warp level: comma list, "
                         "'all', or 'none' (default: block 0)")
@@ -137,13 +141,16 @@ def main(argv: list[str] | None = None) -> int:
     blocks = _parse_blocks(args.blocks)
     tracer = Tracer(kernel_detail=blocks is None or bool(blocks),
                     trace_blocks=blocks)
+    # Report mode: collect every finding rather than raising on the
+    # first one — the CLI's exit status carries the verdict.
+    check = "report" if args.check else None
     if args.mars:
         from ..mars.framework import run_mars_job
 
         result = run_mars_job(
             spec, inp, strategy=strategy, config=config,
             threads_per_block=args.threads_per_block, tracer=tracer,
-            backend=args.backend,
+            backend=args.backend, check=check,
         )
     else:
         result = run_job(
@@ -151,7 +158,7 @@ def main(argv: list[str] | None = None) -> int:
             strategy=strategy, config=config,
             threads_per_block=args.threads_per_block,
             shuffle_method=args.shuffle, tracer=tracer,
-            backend=args.backend,
+            backend=args.backend, check=check,
         )
 
     os.makedirs(args.out, exist_ok=True)
@@ -173,6 +180,20 @@ def main(argv: list[str] | None = None) -> int:
     }
     with open(metrics_path, "w", encoding="utf-8") as fh:
         fh.write(registry.to_json(extra=header))
+
+    check_failed = False
+    if args.check:
+        report = result.check_report
+        if report is None:
+            print("repro-trace: --check needs the sim backend; no "
+                  "report produced", file=sys.stderr)
+        else:
+            check_path = os.path.join(args.out, "check.json")
+            write_check_json(report, check_path)
+            if not args.quiet:
+                print(report.render())
+                print(f"check   : {check_path}")
+            check_failed = not report.ok
 
     if not args.quiet:
         print(render_job_profile(result, config))
@@ -198,7 +219,7 @@ def main(argv: list[str] | None = None) -> int:
             return 1
         print("\nno metric changes beyond tolerance "
               f"{args.tolerance:g} vs {args.baseline}")
-    return 0
+    return 1 if check_failed else 0
 
 
 if __name__ == "__main__":  # pragma: no cover

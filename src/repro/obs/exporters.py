@@ -92,6 +92,18 @@ def write_chrome_trace(tracer: "Tracer", path: str) -> None:
         fh.write("\n")
 
 
+def write_check_json(report, path: str) -> None:
+    """Write a sanitizer :class:`~repro.check.CheckReport` as JSON.
+
+    Duck-typed on ``report.to_dict()`` so :mod:`repro.obs` need not
+    import :mod:`repro.check`; deterministic like every exporter here
+    (sorted keys, no wall-clock).
+    """
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(report.to_dict(), fh, sort_keys=True, indent=1)
+        fh.write("\n")
+
+
 def write_jsonl(tracer: "Tracer", path: str) -> None:
     """Write a compact JSONL event log: one JSON object per line.
 

@@ -66,3 +66,67 @@ def test_fast_matches_sim_and_oracle(workload, mode, strategy):
     assert fast.strategy == sim.strategy
     assert fast.intermediate_count == sim.intermediate_count
     assert len(fast.output) == len(sim.output)
+
+
+class TestDegenerateInputs:
+    """Fast-backend parity on the inputs the fuzzer flagged as the
+    risky corners: empty input, one hot key, zero-output map."""
+
+    def _spec(self, map_fn, reduce_fn=None):
+        from repro.framework.api import MapReduceSpec
+
+        return MapReduceSpec(name="degen", map_record=map_fn,
+                             reduce_record=reduce_fn)
+
+    def _run_both(self, spec, inp, strategy=None):
+        kwargs = dict(mode=MemoryMode.SIO, strategy=strategy, config=CFG,
+                      threads_per_block=64)
+        sim = run_job(spec, inp, backend="sim", check=True, **kwargs)
+        fast = run_job(spec, inp, backend="fast", **kwargs)
+        return sim, fast
+
+    def test_empty_input(self):
+        from repro.framework.records import KeyValueSet
+
+        def ident(key, value, emit, const):
+            emit(key.to_bytes(), value.to_bytes())
+
+        sim, fast = self._run_both(self._spec(ident), KeyValueSet())
+        assert len(sim.output) == len(fast.output) == 0
+        assert outputs_match(fast.output, sim.output)
+        assert sim.check_report is not None and sim.check_report.ok
+
+    def test_all_records_one_key(self):
+        """LR-style: every record reduces into a single key set."""
+        from repro.framework.records import KeyValueSet
+
+        def ident(key, value, emit, const):
+            emit(key.to_bytes(), value.to_bytes())
+
+        def total(key, values, emit, const):
+            s = sum(int.from_bytes(v.to_bytes(), "little") for v in values)
+            emit(key.to_bytes(), (s & 0xFFFFFFFF).to_bytes(4, "little"))
+
+        inp = KeyValueSet()
+        for i in range(50):
+            inp.append(b"only", i.to_bytes(4, "little"))
+        sim, fast = self._run_both(self._spec(ident, total), inp,
+                                   strategy=ReduceStrategy.TR)
+        ref = reference_job(self._spec(ident, total), inp, ReduceStrategy.TR)
+        assert outputs_match(fast.output, sim.output)
+        assert outputs_match(sim.output, ref)
+        assert len(sim.output) == 1
+        assert sim.check_report.ok
+
+    def test_zero_output_map(self):
+        from repro.framework.records import KeyValueSet
+
+        def swallow(key, value, emit, const):
+            pass
+
+        inp = KeyValueSet()
+        for i in range(20):
+            inp.append(i.to_bytes(4, "little"), b"x")
+        sim, fast = self._run_both(self._spec(swallow), inp)
+        assert len(sim.output) == len(fast.output) == 0
+        assert sim.check_report.ok

@@ -1,0 +1,66 @@
+"""The differential fuzzer as a test: sim (sanitized) vs fast vs oracle."""
+
+import pytest
+
+from repro.check.fuzz import (
+    FuzzCase,
+    build_input,
+    draw_case,
+    run_case,
+    run_fuzz,
+)
+from repro.framework.modes import MemoryMode, ReduceStrategy
+from repro.gpu.config import DeviceConfig
+
+CFG = DeviceConfig.small(2)
+
+
+class TestGenerator:
+    def test_cases_are_reproducible(self):
+        assert draw_case(7, 42) == draw_case(7, 42)
+        assert build_input(draw_case(7, 42)).keys == \
+            build_input(draw_case(7, 42)).keys
+
+    def test_br_never_pairs_with_gt(self):
+        for i in range(400):
+            c = draw_case(3, i)
+            assert not (c.strategy is ReduceStrategy.BR
+                        and c.mode is MemoryMode.GT)
+
+    def test_degenerate_shapes_are_generated(self):
+        sizes = {draw_case(7, i).n_records for i in range(200)}
+        assert 0 in sizes and 1 in sizes  # empty and singleton inputs
+
+
+class TestTargetedCases:
+    """Hand-picked corners run through the full three-way check."""
+
+    def _case(self, **kw):
+        base = dict(index=0, kind="identity", n_records=8, key_pool=2,
+                    mode=MemoryMode.SIO, strategy=None,
+                    threads_per_block=64, io_ratio=None)
+        base.update(kw)
+        return FuzzCase(**base)
+
+    def test_empty_input_every_mode(self):
+        for mode in MemoryMode:
+            assert run_case(self._case(n_records=0, mode=mode), CFG) is None
+
+    def test_single_hot_key_reduction(self):
+        for strat in (ReduceStrategy.TR, ReduceStrategy.BR):
+            case = self._case(kind="sum", n_records=33, key_pool=1,
+                              strategy=strat)
+            assert run_case(case, CFG) is None
+
+    def test_zero_output_map(self):
+        assert run_case(self._case(kind="null", n_records=16), CFG) is None
+
+    def test_overflow_forcing_burst(self):
+        case = self._case(kind="burst", n_records=64, key_pool=1,
+                          io_ratio=0.3)
+        assert run_case(case, CFG) is None
+
+
+class TestFuzzSweep:
+    def test_pinned_seed_sweep_is_clean(self):
+        assert run_fuzz(7, 120) == []

@@ -1,0 +1,100 @@
+"""Boundary tests for the double-ended output stack (paper Fig. 4b).
+
+The overflow decision is ``left + right + need <= output_bytes``: an
+emission that *exactly* fills the remaining capacity must be accepted
+without a flush, and one byte more must flush first — with the two
+ends never overlapping in either case.  These are the off-by-one
+corners the sanitizer's interval checker watches; here they are pinned
+as plain functional tests.
+"""
+
+from repro.framework import MemoryMode, OutputBuffers, plan_layout
+from repro.framework.collector import (
+    COMPUTE_DONE,
+    CollectorState,
+    collect_warp_result,
+    init_collector,
+    request_final_flush,
+)
+from repro.framework.layout import OUT_DIR_PER_RECORD, WARP_RESULT_HEADER
+from repro.gpu import Device, DeviceConfig
+from repro.gpu.instructions import AtomicShared
+
+
+def setup(n_warps=1):
+    dev = Device(DeviceConfig.small(1))
+    layout = plan_layout(smem_budget=16 * 1024,
+                         threads_per_block=32 * n_warps,
+                         mode=MemoryMode.SO)
+    out = OutputBuffers.allocate(dev.gmem, key_capacity=1 << 16,
+                                 val_capacity=1 << 16, record_capacity=4096)
+    return dev, layout, out
+
+
+def one_warp_kernel(emissions):
+    """A single compute warp collects ``emissions`` then final-flushes."""
+
+    def k(ctx, layout, out):
+        cs = CollectorState(layout=layout, out=out,
+                            n_warps=ctx.warps_per_block, n_compute=1)
+        init_collector(ctx, cs)
+        yield from ctx.barrier()
+        for keys, vals in emissions:
+            yield from collect_warp_result(ctx, cs, keys, vals)
+        done = ctx.smem.atomic_add_u32(layout.flags_off + COMPUTE_DONE, 1)
+        yield AtomicShared(addr=layout.flags_off + COMPUTE_DONE, old=done)
+        yield from request_final_flush(ctx, cs)
+
+    return k
+
+
+def record_cost(key, val):
+    """Stack bytes one single-record warp result consumes."""
+    return WARP_RESULT_HEADER + OUT_DIR_PER_RECORD + len(key) + len(val)
+
+
+class TestExactFill:
+    def test_exact_fill_does_not_flush(self):
+        """An emission that lands the stack at exactly full capacity
+        must be accepted in place — a spurious flush here would be
+        the off-by-one (`<` for `<=`) bug."""
+        dev, layout, out = setup()
+        first_k, first_v = b"a" * 16, b"b" * 8
+        used = record_cost(first_k, first_v)
+        pad = layout.output_bytes - used - (WARP_RESULT_HEADER
+                                            + OUT_DIR_PER_RECORD + 4)
+        emissions = [([first_k], [first_v]), ([b"c" * pad], [b"d" * 4])]
+        st = dev.launch(one_warp_kernel(emissions), grid=1, block=32,
+                        smem_bytes=layout.smem_bytes, args=(layout, out))
+        assert st.extra.get("overflow_flushes", 0) == 0
+        assert st.extra.get("flushes", 0) == 1  # the final flush only
+        got = sorted(out.as_record_set().download())
+        assert got == sorted([(first_k, first_v), (b"c" * pad, b"d" * 4)])
+
+    def test_one_byte_over_flushes_without_overlap(self):
+        """capacity + 1 must trigger exactly one overflow flush, and
+        both records must survive it intact (no stack overlap)."""
+        dev, layout, out = setup()
+        first_k, first_v = b"a" * 16, b"b" * 8
+        used = record_cost(first_k, first_v)
+        pad = layout.output_bytes - used - (WARP_RESULT_HEADER
+                                            + OUT_DIR_PER_RECORD + 4) + 1
+        emissions = [([first_k], [first_v]), ([b"c" * pad], [b"d" * 4])]
+        st = dev.launch(one_warp_kernel(emissions), grid=1, block=32,
+                        smem_bytes=layout.smem_bytes, args=(layout, out))
+        assert st.extra.get("overflow_flushes", 0) == 1
+        assert st.extra.get("flushes", 0) == 2  # overflow + final
+        got = sorted(out.as_record_set().download())
+        assert got == sorted([(first_k, first_v), (b"c" * pad, b"d" * 4)])
+
+    def test_single_emission_fills_whole_area(self):
+        """One warp result equal to the entire output area is legal
+        (need == output_bytes is not an overflow)."""
+        dev, layout, out = setup()
+        klen = (layout.output_bytes - WARP_RESULT_HEADER
+                - OUT_DIR_PER_RECORD - 4)
+        emissions = [([b"k" * klen], [b"v" * 4])]
+        st = dev.launch(one_warp_kernel(emissions), grid=1, block=32,
+                        smem_bytes=layout.smem_bytes, args=(layout, out))
+        assert st.extra.get("overflow_flushes", 0) == 0
+        assert out.as_record_set().count == 1

@@ -79,9 +79,13 @@ class TestRunJob:
         got = dict(list(res.output))
         assert got[b"cat"] == struct.pack("<I", 2)
 
-    def test_empty_input_rejected(self):
-        with pytest.raises(FrameworkError):
-            run_job(make_spec(), KeyValueSet(), config=CFG)
+    def test_empty_input_yields_empty_output(self):
+        # Degenerate inputs are legal (the differential fuzzer's bread
+        # and butter): an empty job must return an empty output, not
+        # raise.
+        res = run_job(make_spec(), KeyValueSet(), config=CFG)
+        assert len(res.output) == 0
+        assert res.intermediate_count == 0
 
     def test_strategy_without_reduce_fn_rejected(self):
         spec = make_spec(reduce_record=None, combine=None, finalize=None)

@@ -105,10 +105,11 @@ class TestStreamedJob:
         t = s.job.timings
         assert t.io_in + t.map == pytest.approx(s.serial_map_io)
 
-    def test_empty_input_rejected(self):
+    def test_empty_input_streams_empty_output(self):
         spec = MapReduceSpec(name="dup", map_record=dup_map)
-        with pytest.raises(FrameworkError):
-            run_streamed_job(spec, KeyValueSet(), config=CFG)
+        s = run_streamed_job(spec, KeyValueSet(), config=CFG)
+        assert len(s.job.output) == 0
+        assert s.batches == []
 
     def test_single_batch_equals_job_shape(self):
         spec = MapReduceSpec(name="dup", map_record=dup_map)

@@ -1,0 +1,92 @@
+"""Chunk-boundary tests for the streamed driver (paper Section III-A).
+
+A batch count that does not divide the input must neither drop nor
+duplicate records: the batches must partition the input exactly, and
+the streamed job's output must equal the single-shot job's for every
+batching.  (The ragged last chunk is the classic off-by-one site.)
+"""
+
+import pytest
+
+from repro.cpu_ref import reference_job
+from repro.cpu_ref.reference import normalised
+from repro.framework import MemoryMode, ReduceStrategy
+from repro.framework.api import MapReduceSpec
+from repro.framework.records import KeyValueSet
+from repro.framework.streaming import run_streamed_job, split_batches
+from repro.gpu import DeviceConfig
+
+CFG = DeviceConfig.small(2)
+
+
+def _u32(n):
+    return (n & 0xFFFFFFFF).to_bytes(4, "little")
+
+
+def _spec():
+    def ident(key, value, emit, const):
+        emit(key.to_bytes(), value.to_bytes())
+
+    def count(key, values, emit, const):
+        emit(key.to_bytes(), _u32(len(values)))
+
+    return MapReduceSpec(name="chunks", map_record=ident,
+                         reduce_record=count)
+
+
+def _input(n):
+    inp = KeyValueSet()
+    for i in range(n):
+        inp.append(_u32(i % 4), _u32(i))
+    return inp
+
+
+class TestSplitBatches:
+    @pytest.mark.parametrize("n,n_batches", [
+        (10, 3), (10, 4), (10, 7), (11, 2), (1, 3), (13, 13), (5, 20),
+    ])
+    def test_partition_is_exact(self, n, n_batches):
+        inp = _input(n)
+        batches = split_batches(inp, n_batches)
+        flat = [rec for b in batches for rec in b]
+        assert flat == list(inp)  # order kept, nothing dropped/duplicated
+        assert all(len(b) > 0 for b in batches)
+
+    def test_empty_input_yields_no_batches(self):
+        assert split_batches(KeyValueSet(), 4) == []
+
+
+class TestStreamedEquivalence:
+    @pytest.mark.parametrize("n,n_batches", [
+        (10, 3),   # ragged tail: 4+4+2
+        (11, 4),   # ragged tail: 3+3+3+2
+        (7, 20),   # more batches than records
+        (16, 1),   # degenerate single batch
+    ])
+    def test_non_dividing_chunks_conserve_records(self, n, n_batches):
+        spec, inp = _spec(), _input(n)
+        want = normalised(reference_job(spec, inp, ReduceStrategy.TR))
+        res = run_streamed_job(spec, inp, n_batches=n_batches,
+                               mode=MemoryMode.SIO,
+                               strategy=ReduceStrategy.TR, config=CFG,
+                               check=True)
+        assert normalised(res.job.output) == want
+        assert sum(b.records for b in res.batches) == n
+        assert res.job.check_report is not None and res.job.check_report.ok
+
+    def test_map_only_streaming_conserves_records(self):
+        spec, inp = _spec(), _input(10)
+        res = run_streamed_job(spec, inp, n_batches=3, mode=MemoryMode.SIO,
+                               strategy=None, config=CFG, check=True)
+        assert normalised(res.job.output) == normalised(
+            reference_job(spec, inp, None))
+        assert res.job.check_report.ok
+
+    def test_empty_input_streams_cleanly(self):
+        spec = _spec()
+        res = run_streamed_job(spec, KeyValueSet(), n_batches=4,
+                               mode=MemoryMode.SIO,
+                               strategy=ReduceStrategy.TR, config=CFG,
+                               check=True)
+        assert len(res.job.output) == 0
+        assert res.batches == []

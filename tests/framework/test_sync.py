@@ -104,6 +104,30 @@ class TestProtocol:
         dev.launch(k, grid=1, block=64, smem_bytes=256)
         assert rounds == [0, 1, 2, 3, 4]
 
+    def test_single_condition_back_to_back_reuse(self):
+        """Back-to-back reuse of ONE condition across loop rounds.
+        The signaller's re-arm guard (wait for the previous round's
+        seen flags to clear before raising) makes this safe; a legacy
+        guard-less signal() loses a round — the re-raised flag is
+        acknowledged by the stale seen flag while the waiter is still
+        unwinding, and the waiter then deadlocks."""
+        dev = make_device()
+        ws = WaitSignal(base_off=0, n_warps=2, signal_group=(0,),
+                        wait_group=(1,))
+        rounds = []
+
+        def k(ctx):
+            for i in range(4):
+                if ctx.warp_id == 0:
+                    yield from ctx.compute(300)
+                    yield from ws.signal(ctx)
+                else:
+                    yield from ws.wait(ctx)
+                    rounds.append(i)
+
+        dev.launch(k, grid=1, block=64, smem_bytes=256)
+        assert rounds == [0, 1, 2, 3]
+
     def test_signal_blocks_until_seen(self):
         """The signaller cannot leave before the (late) waiter raises
         its seen flag — it must poll across the waiter's delay."""
