@@ -1,25 +1,36 @@
-"""Benchmark the fast backend against the simulator: wall-clock only.
+"""Benchmark the fast and parallel backends: wall-clock only.
 
-Runs wordcount and kmeans at two sizes under both execution backends
-and writes ``BENCH_backend.json`` at the repo root (committed as the
-PR's perf artifact).  The quantity compared is *host wall-clock
-seconds to execute the job* — the simulator's virtual cycle counts
-are its product, not its cost; the fast backend's cycles are zero by
-design.  The acceptance bar: >= 20x on medium wordcount.
+Two artifacts, committed at the repo root as the PRs' perf evidence:
+
+* ``BENCH_backend.json`` — FastBackend vs SimBackend on wordcount and
+  kmeans at two sizes.  The quantity compared is *host wall-clock
+  seconds to execute the job* — the simulator's virtual cycle counts
+  are its product, not its cost; the fast backend's cycles are zero
+  by design.  Acceptance bar: >= 20x on medium wordcount.
+* ``BENCH_parallel.json`` (``--parallel``) — ParallelBackend vs
+  FastBackend on medium/large wordcount and kmeans, sweeping worker
+  counts.  Acceptance bar: >= 2x on medium wordcount with 4 workers
+  **on a multi-core host** — the artifact records ``cpu_count`` so a
+  single-core container's numbers (where a process pool can only add
+  overhead) are legible as such.
 
 Usage::
 
     PYTHONPATH=src python scripts/bench_backends.py [--out PATH]
+    PYTHONPATH=src python scripts/bench_backends.py --parallel \\
+        [--parallel-out PATH] [--workers 1,2,4,8]
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import os
 import platform
 import time
 from pathlib import Path
 
+from repro.backend import ParallelBackend
 from repro.framework.job import run_job
 from repro.framework.modes import MemoryMode, ReduceStrategy
 from repro.workloads import KMeans, WordCount
@@ -31,15 +42,79 @@ CASES = [
     ("kmeans", KMeans, "medium"),
 ]
 
+PARALLEL_CASES = [
+    ("wordcount", WordCount, "medium", ReduceStrategy.TR),
+    ("wordcount", WordCount, "medium", ReduceStrategy.BR),
+    ("wordcount", WordCount, "large", ReduceStrategy.BR),
+    ("kmeans", KMeans, "medium", ReduceStrategy.BR),
+]
 
-def _time_run(spec, inp, backend: str, repeats: int) -> float:
+
+def _time_run(spec, inp, backend, repeats: int,
+              strategy=ReduceStrategy.TR) -> float:
     best = float("inf")
     for _ in range(repeats):
         t0 = time.perf_counter()
-        run_job(spec, inp, mode=MemoryMode.SIO, strategy=ReduceStrategy.TR,
+        run_job(spec, inp, mode=MemoryMode.SIO, strategy=strategy,
                 backend=backend)
         best = min(best, time.perf_counter() - t0)
     return best
+
+
+def bench_parallel(out_path: str, repeats: int, workers: list[int]) -> int:
+    """Sweep ParallelBackend worker counts against FastBackend."""
+    results = []
+    for name, cls, size, strategy in PARALLEL_CASES:
+        w = cls()
+        inp = w.generate(size, seed=0)
+        spec = w.spec_for_size(size, seed=0)
+        fast_s = _time_run(spec, inp, "fast", repeats, strategy)
+        row = {
+            "workload": name,
+            "size": size,
+            "strategy": strategy.value,
+            "records": len(inp),
+            "fast_wall_s": round(fast_s, 4),
+            "parallel": {},
+        }
+        for n in workers:
+            backend = ParallelBackend(workers=n, min_records=0)
+            par_s = _time_run(spec, inp, backend, repeats, strategy)
+            row["parallel"][str(n)] = {
+                "wall_s": round(par_s, 4),
+                "speedup_vs_fast": round(fast_s / par_s, 2),
+            }
+            print(f"{name:10s} {size:6s} {strategy.value} "
+                  f"workers={n}  fast {fast_s:8.4f}s  "
+                  f"parallel {par_s:8.4f}s  {fast_s / par_s:6.2f}x")
+        results.append(row)
+
+    doc = {
+        "description": "Wall-clock: ParallelBackend (sharded "
+                       "multiprocessing, per-shard combine under BR) vs "
+                       "FastBackend, mode=SIO, best of N runs.  Speedup "
+                       "requires real cores: on a single-core host the "
+                       "pool can only add dispatch overhead.",
+        "repeats": repeats,
+        "python": platform.python_version(),
+        "cpu_count": os.cpu_count(),
+        "workers_swept": workers,
+        "results": results,
+    }
+    with open(out_path, "w", encoding="utf-8") as fh:
+        json.dump(doc, fh, indent=2)
+        fh.write("\n")
+    print(f"wrote {out_path}")
+
+    medium_wc = next(r for r in results
+                     if r["workload"] == "wordcount" and r["size"] == "medium")
+    four = medium_wc["parallel"].get("4")
+    if four is not None and four["speedup_vs_fast"] < 2:
+        print(f"WARNING: medium wordcount speedup {four['speedup_vs_fast']}x "
+              f"with 4 workers is below the 2x acceptance bar "
+              f"(cpu_count={os.cpu_count()})")
+        return 0 if (os.cpu_count() or 1) < 4 else 1
+    return 0
 
 
 def main(argv=None) -> int:
@@ -48,7 +123,18 @@ def main(argv=None) -> int:
         Path(__file__).resolve().parent.parent / "BENCH_backend.json"))
     p.add_argument("--repeats", type=int, default=3,
                    help="take the best of N runs per backend")
+    p.add_argument("--parallel", action="store_true",
+                   help="benchmark ParallelBackend vs FastBackend "
+                        "instead of fast vs sim")
+    p.add_argument("--parallel-out", default=str(
+        Path(__file__).resolve().parent.parent / "BENCH_parallel.json"))
+    p.add_argument("--workers", default="1,2,4,8",
+                   help="comma-separated worker counts for --parallel")
     args = p.parse_args(argv)
+
+    if args.parallel:
+        workers = [int(n) for n in args.workers.split(",") if n.strip()]
+        return bench_parallel(args.parallel_out, args.repeats, workers)
 
     results = []
     for name, cls, size in CASES:

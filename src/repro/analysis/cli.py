@@ -133,10 +133,15 @@ def cmd_fig8(args) -> None:
 
 
 def cmd_validate(args) -> None:
+    backend = args.backend
+    if args.workers is not None:
+        from ..backend import ParallelBackend
+
+        backend = ParallelBackend(workers=args.workers)
     rep = validate_all(
         _workloads(args.workload), size=args.size, scale=args.scale,
         config=_config(args) if args.mps else None,
-        backend=args.backend,
+        backend=backend,
     )
     print(rep.render())
     if not rep.passed:
@@ -189,9 +194,12 @@ def main(argv: list[str] | None = None) -> int:
                    help="multiply problem sizes (1.0 = scaled defaults)")
     p.add_argument("--mps", type=int, default=0,
                    help="simulate this many MPs instead of the full 30")
-    p.add_argument("--backend", default=None, choices=["sim", "fast"],
+    p.add_argument("--backend", default=None,
+                   choices=["sim", "fast", "parallel"],
                    help="execution backend for 'validate' (timing "
                         "commands always simulate)")
+    p.add_argument("--workers", type=int, default=None,
+                   help="worker processes for --backend parallel")
     p.add_argument("--check", action="store_true",
                    help="run every simulated job under the repro.check "
                         "sanitizer (strict: the first finding aborts "
@@ -202,6 +210,10 @@ def main(argv: list[str] | None = None) -> int:
     if args.backend and args.command != "validate":
         print("repro-bench: --backend only applies to 'validate' — every "
               "timing command needs the cycle-accurate simulator",
+              file=sys.stderr)
+        return 2
+    if args.workers is not None and args.backend != "parallel":
+        print("repro-bench: --workers needs --backend parallel",
               file=sys.stderr)
         return 2
     {

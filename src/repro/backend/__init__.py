@@ -11,6 +11,11 @@ are orthogonal to *how* they execute.  A
 * ``"fast"`` — :class:`FastBackend`: a dict-based functional executor
   that skips warp-level simulation.  Orders of magnitude faster; use
   it for correctness runs, large inputs and development loops.
+* ``"parallel"`` — :class:`ParallelBackend`: the fast executor
+  sharded across a ``multiprocessing`` pool with per-shard partial
+  combining and a key-range-partitioned Reduce.  ``"parallel:N"``
+  pins the worker count; plain ``"parallel"`` honours
+  ``$REPRO_WORKERS`` and defaults to the CPU count.
 
 Select per call (``run_job(..., backend="fast")``), or process-wide
 with the ``REPRO_BACKEND`` environment variable (read when a driver is
@@ -25,6 +30,7 @@ from ..errors import FrameworkError
 from .base import ExecutionBackend
 from .core import execute_plan, execute_streamed
 from .fast import FastBackend
+from .parallel import ParallelBackend
 from .plan import ENGINE_MARS, ENGINE_SHARED, BatchPolicy, JobPlan
 from .sim import SimBackend
 
@@ -32,6 +38,7 @@ from .sim import SimBackend
 BACKENDS: dict[str, type[ExecutionBackend]] = {
     SimBackend.name: SimBackend,
     FastBackend.name: FastBackend,
+    ParallelBackend.name: ParallelBackend,
 }
 
 #: Environment variable consulted when ``backend=None``.
@@ -44,11 +51,21 @@ def get_backend(backend: str | ExecutionBackend | None = None
 
     ``None`` consults ``$REPRO_BACKEND`` (default ``"sim"``); strings
     are looked up in :data:`BACKENDS`; instances pass through.
+    ``"parallel:N"`` selects the parallel backend with ``N`` workers.
     """
     if isinstance(backend, ExecutionBackend):
         return backend
     if backend is None:
         backend = os.environ.get(BACKEND_ENV) or "sim"
+    if isinstance(backend, str) and backend.startswith("parallel:"):
+        n = backend.partition(":")[2]
+        try:
+            return ParallelBackend(workers=max(1, int(n)))
+        except ValueError:
+            raise FrameworkError(
+                f"bad worker count in backend {backend!r}; expected "
+                "'parallel:<int>'"
+            ) from None
     try:
         return BACKENDS[backend]()
     except KeyError:
@@ -67,6 +84,7 @@ __all__ = [
     "ExecutionBackend",
     "FastBackend",
     "JobPlan",
+    "ParallelBackend",
     "SimBackend",
     "execute_plan",
     "execute_streamed",

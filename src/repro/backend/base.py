@@ -6,7 +6,7 @@ upload, Map, Shuffle, Reduce, and charged output download — plus the
 uncharged host/device conversions the streamed driver needs between
 its batched Map and the Shuffle.
 
-Two implementations ship:
+Three implementations ship:
 
 * :class:`repro.backend.sim.SimBackend` — the cycle-accurate
   discrete-event simulator (the paper's numbers).  Intermediate
@@ -16,6 +16,11 @@ Two implementations ship:
   executor that skips warp-level simulation entirely.  Handles are
   plain host :class:`~repro.framework.records.KeyValueSet` objects;
   only the host<->device transfer model is costed.
+* :class:`repro.backend.parallel.ParallelBackend` — the fast
+  executor sharded across a ``multiprocessing`` worker pool, with a
+  per-shard partial combine and a key-range-partitioned Reduce.
+  Handles are host record sets or the backend's private shard
+  summaries.
 
 Handles are deliberately opaque to the core: it only ever passes them
 back into the same backend.
@@ -49,6 +54,15 @@ class ExecutionBackend(abc.ABC):
         raise NotImplementedError(
             f"backend {self.name!r} does not support mode='auto'"
         )
+
+    def close(self, ctx: Any) -> None:
+        """Release per-job execution resources.
+
+        Called exactly once by the execution core when the job finishes
+        (normally or with an error).  The default is a no-op; backends
+        owning OS resources (the parallel backend's worker pool)
+        override it.
+        """
 
     # -- charged transfers ---------------------------------------------
 

@@ -62,6 +62,13 @@ def execute_plan(
                          "use execute_streamed")
     tr = tracer if tracer is not None else NULL_TRACER
     ctx = backend.open(plan)
+    try:
+        return _execute_plan(plan, inp, backend, ctx, tr)
+    finally:
+        backend.close(ctx)
+
+
+def _execute_plan(plan, inp, backend, ctx, tr) -> JobResult:
     if plan.mode == "auto":
         plan = backend.resolve_auto(ctx, plan, inp)
         ctx.plan = plan
@@ -146,6 +153,17 @@ def execute_streamed(
     upload/Map total is attributed ``io_in`` = sum of uploads, ``map``
     = the rest.
     """
+    if plan.batching is None:
+        raise ValueError("execute_streamed needs a plan with batching")
+    tr = tracer if tracer is not None else NULL_TRACER
+    ctx = backend.open(plan)
+    try:
+        return _execute_streamed(plan, inp, backend, ctx, tr)
+    finally:
+        backend.close(ctx)
+
+
+def _execute_streamed(plan, inp, backend, ctx, tr):
     # Local import: streaming.py's front-end imports this module.
     from ..framework.streaming import (
         BatchTrace,
@@ -153,10 +171,6 @@ def execute_streamed(
         split_batches,
     )
 
-    if plan.batching is None:
-        raise ValueError("execute_streamed needs a plan with batching")
-    tr = tracer if tracer is not None else NULL_TRACER
-    ctx = backend.open(plan)
     name = plan.spec.name
 
     with tr.span(f"job:{name}", **plan.job_attrs(len(inp))):

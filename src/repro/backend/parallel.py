@@ -1,0 +1,456 @@
+"""Sharded multi-process execution backend.
+
+Runs the :class:`~repro.backend.fast.FastBackend` phase logic across a
+``multiprocessing`` worker pool, mirroring the sharded many-core
+MapReduce designs in the related work (Lu et al.'s Xeon Phi runtime):
+
+* **Map** — the input is split into contiguous, balanced shards
+  (:func:`repro.framework.host.shard_slices`); each worker maps its
+  shard independently.  For block-level (BR) reductions the worker
+  also runs a **per-shard partial combine**: because ``spec.combine``
+  is associative by contract, each shard collapses its emissions to
+  one ``(accumulator, count)`` per distinct key before anything
+  crosses the process boundary — the same traffic-shrinking trick the
+  paper applies to its slow memory tier.
+* **Shuffle** — the coordinator merges the per-shard results (plain
+  pairs, or partial accumulators in shard order) and groups by key,
+  sorted by key bytes exactly like the fast backend and the device's
+  sort-based shuffle.
+* **Reduce** — the sorted group list is partitioned into contiguous
+  key ranges, one per worker; each worker reduces its range and the
+  coordinator concatenates the outputs in range order.
+
+Because shards are contiguous, per-key value lists preserve emission
+order and the merged output preserves group order, so the output is
+**record-identical to the fast backend** (and therefore to the
+simulator up to the usual order normalisation).  Floating-point BR
+combines are the one caveat: partial combining regroups the fold, so
+float accumulators can differ in the last bit — exactly the tolerance
+the cross-backend differential suite already applies.
+
+Workers are forked (``multiprocessing`` ``fork`` context), so user
+Map/Reduce functions — including test closures — reach the pool
+without pickling; only shard data and results cross the process
+boundary.  Tiny inputs skip the pool entirely and execute in-process
+(pool dispatch overhead would dominate); platforms without ``fork``
+degrade the same way.  Timing semantics match the fast backend:
+transfers are model-costed, kernel cycles read as zero.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+from functools import reduce as _fold
+from typing import Any
+
+from ..errors import FrameworkError
+from ..framework.host import host_download_cost, shard_slices
+from ..framework.modes import ReduceStrategy, effective_reduce_mode
+from ..framework.records import KeyValueSet
+from ..gpu.accessor import Accessor
+from ..gpu.stats import KernelStats
+from .base import ExecutionBackend
+from .fast import NULL_TRACE, FastBackend, FastContext
+from .plan import JobPlan
+
+#: Environment variable giving the default worker count.
+WORKERS_ENV = "REPRO_WORKERS"
+
+#: Below this many records a phase runs in-process: forking and
+#: round-tripping shards through the pool costs more than the work.
+DEFAULT_MIN_RECORDS = 2048
+
+
+def default_workers() -> int:
+    """``$REPRO_WORKERS`` if set, else the machine's CPU count."""
+    env = os.environ.get(WORKERS_ENV)
+    if env:
+        try:
+            return max(1, int(env))
+        except ValueError:
+            raise FrameworkError(
+                f"${WORKERS_ENV} must be an integer, got {env!r}"
+            ) from None
+    return os.cpu_count() or 1
+
+
+def _accessor(data: bytes) -> Accessor:
+    return Accessor(data, NULL_TRACE)
+
+
+# ----------------------------------------------------------------------
+# Worker-side state and entry points
+# ----------------------------------------------------------------------
+# The pool is created with the "fork" start method and an initializer,
+# so the spec (with arbitrary user callables) reaches workers by memory
+# inheritance, never by pickling.  Only shard payloads (bytes tuples)
+# and results travel through the task queues.
+
+_WORKER_SPEC = None
+_WORKER_STRATEGY = None
+_WORKER_IS_MARS = False
+
+
+def _init_worker(spec, strategy, is_mars) -> None:
+    global _WORKER_SPEC, _WORKER_STRATEGY, _WORKER_IS_MARS
+    _WORKER_SPEC = spec
+    _WORKER_STRATEGY = strategy
+    _WORKER_IS_MARS = is_mars
+
+
+def _collecting_emit(out: list[tuple[bytes, bytes]]):
+    append = out.append
+
+    def emit(k, v) -> None:
+        if type(k) is not bytes or type(v) is not bytes:
+            # Validate and copy bytearray/memoryview emits, like the
+            # simulator's collector and the fast backend do.
+            if not isinstance(k, (bytes, bytearray)) or not isinstance(
+                v, (bytes, bytearray)
+            ):
+                raise FrameworkError("keys and values must be bytes")
+            k, v = bytes(k), bytes(v)
+        append((k, v))
+
+    return emit
+
+
+def _map_shard(task) -> tuple:
+    """Map one shard; optionally partial-combine its emissions.
+
+    Returns ``("pairs", emitted)`` or, under a BR partial combine,
+    ``("combined", n_emitted, [(key, (acc, count)), ...])`` with keys
+    in first-emission order.
+    """
+    pairs, do_combine = task
+    spec = _WORKER_SPEC
+    out: list[tuple[bytes, bytes]] = []
+    emit = _collecting_emit(out)
+    const = _accessor(spec.const_bytes) if spec.const_bytes else None
+    map_record = spec.map_record
+    for k, v in pairs:
+        map_record(_accessor(k), _accessor(v), emit, const)
+    if not do_combine:
+        return ("pairs", out)
+    combine = spec.combine
+    acc: dict[bytes, tuple[bytes, int]] = {}
+    for k, v in out:
+        cur = acc.get(k)
+        acc[k] = (v, 1) if cur is None else (combine(cur[0], v), cur[1] + 1)
+    return ("combined", len(out), list(acc.items()))
+
+
+def _reduce_range(task) -> list[tuple[bytes, bytes]]:
+    """Reduce one contiguous range of key groups.
+
+    ``("plain", groups)`` carries ``(key, [value, ...])`` groups and
+    runs the strategy exactly like the fast backend; ``("combined",
+    groups)`` carries ``(key, [(acc, count), ...])`` partial combines
+    (in shard order) and finishes the BR fold.
+    """
+    kind, groups = task
+    spec = _WORKER_SPEC
+    out: list[tuple[bytes, bytes]] = []
+    emit = _collecting_emit(out)
+    const = _accessor(spec.const_bytes) if spec.const_bytes else None
+    if kind == "combined":
+        combine, finalize = spec.combine, spec.finalize
+        for key, parts in groups:
+            acc = _fold(combine, (a for a, _ in parts))
+            k_out, v_out = finalize(key, acc, sum(c for _, c in parts))
+            out.append((bytes(k_out), bytes(v_out)))
+        return out
+    if _WORKER_STRATEGY is ReduceStrategy.BR and not _WORKER_IS_MARS:
+        combine, finalize = spec.combine, spec.finalize
+        for key, values in groups:
+            acc = _fold(combine, values)
+            k_out, v_out = finalize(key, acc, len(values))
+            out.append((bytes(k_out), bytes(v_out)))
+        return out
+    reduce_record = spec.reduce_record
+    cache: dict[bytes, Accessor] = {}
+
+    def acc_of(data: bytes) -> Accessor:
+        a = cache.get(data)
+        if a is None:
+            a = _accessor(data)
+            cache[data] = a
+        return a
+
+    for key, values in groups:
+        reduce_record(acc_of(key), [acc_of(v) for v in values], emit, const)
+    return out
+
+
+# ----------------------------------------------------------------------
+# Coordinator-side handles
+# ----------------------------------------------------------------------
+
+
+class _MapOutput:
+    """Map-phase handle: shard results still in per-shard form."""
+
+    __slots__ = ("pairs", "combined", "emit_count")
+
+    def __init__(self, pairs: KeyValueSet | None,
+                 combined: list[list] | None, emit_count: int):
+        #: Flat emissions in input order (None under partial combine).
+        self.pairs = pairs
+        #: Per-shard ``[(key, (acc, count)), ...]`` lists, shard order.
+        self.combined = combined
+        #: Records the user Map emitted (before any combining).
+        self.emit_count = emit_count
+
+
+class _CombinedGroups:
+    """Shuffle-phase handle for partially combined intermediates."""
+
+    __slots__ = ("groups",)
+
+    def __init__(self, groups: list[tuple[bytes, list[tuple[bytes, int]]]]):
+        self.groups = groups
+
+    def __len__(self) -> int:
+        return len(self.groups)
+
+
+class ParallelContext:
+    """Per-job state: the inner fast context plus the worker pool."""
+
+    __slots__ = ("fast", "workers", "min_records", "pool")
+
+    def __init__(self, fast: FastContext, workers: int, min_records: int):
+        self.fast = fast
+        self.workers = workers
+        self.min_records = min_records
+        self.pool = None
+
+    # The execution core reads/writes ``ctx.plan`` and reads
+    # ``ctx.config``; keep the inner fast context authoritative.
+    @property
+    def plan(self) -> JobPlan:
+        return self.fast.plan
+
+    @plan.setter
+    def plan(self, plan: JobPlan) -> None:
+        self.fast.plan = plan
+
+    @property
+    def config(self):
+        return self.fast.config
+
+
+class ParallelBackend(ExecutionBackend):
+    """Shard fast-backend execution across a process pool."""
+
+    name = "parallel"
+
+    def __init__(self, workers: int | None = None,
+                 min_records: int | None = None):
+        if workers is not None and workers < 1:
+            raise FrameworkError("workers must be >= 1")
+        self.workers = workers if workers is not None else default_workers()
+        self.min_records = (DEFAULT_MIN_RECORDS if min_records is None
+                            else max(0, min_records))
+        self._fast = FastBackend()
+
+    # -- lifecycle -----------------------------------------------------
+
+    def open(self, plan: JobPlan) -> ParallelContext:
+        return ParallelContext(
+            fast=self._fast.open(plan),
+            workers=self.workers,
+            min_records=self.min_records,
+        )
+
+    def close(self, ctx: ParallelContext) -> None:
+        if ctx.pool is not None:
+            ctx.pool.close()
+            ctx.pool.join()
+            ctx.pool = None
+
+    def resolve_auto(self, ctx, plan, inp):
+        return self._fast.resolve_auto(ctx.fast, plan, inp)
+
+    # -- pool management -----------------------------------------------
+
+    def _pool_for(self, ctx: ParallelContext, n_records: int):
+        """The job's pool, created on first use — or None when the
+        input is too small, only one worker is configured, or the
+        platform cannot fork."""
+        if (ctx.workers < 2 or n_records < ctx.min_records
+                or n_records < ctx.workers):
+            return ctx.pool  # may exist from an earlier, larger batch
+        if ctx.pool is None:
+            if "fork" not in multiprocessing.get_all_start_methods():
+                return None
+            plan = ctx.plan
+            ctx.pool = multiprocessing.get_context("fork").Pool(
+                ctx.workers,
+                initializer=_init_worker,
+                initargs=(plan.spec, plan.strategy, plan.is_mars),
+            )
+        return ctx.pool
+
+    # -- transfers and conversions (delegate to fast) -------------------
+
+    def upload_input(self, ctx, kvs, label):
+        return self._fast.upload_input(ctx.fast, kvs, label)
+
+    def download_output(self, ctx, handle):
+        return self._fast.download_output(ctx.fast, self._as_kvs(handle))
+
+    def to_host(self, ctx, handle):
+        return self._as_kvs(handle)
+
+    def stage_intermediate(self, ctx, kvs, label):
+        return kvs
+
+    def record_count(self, ctx, handle) -> int:
+        if isinstance(handle, _MapOutput):
+            return handle.emit_count
+        return len(handle)
+
+    @staticmethod
+    def _as_kvs(handle) -> KeyValueSet:
+        if isinstance(handle, KeyValueSet):
+            return handle
+        if isinstance(handle, _MapOutput):
+            if handle.pairs is None:
+                raise FrameworkError(
+                    "partially combined intermediate cannot be read back "
+                    "as records"
+                )
+            return handle.pairs
+        raise FrameworkError(f"not a host-readable handle: {type(handle)!r}")
+
+    # -- phases ---------------------------------------------------------
+
+    def _want_combine(self, plan: JobPlan, *, streamed: bool) -> bool:
+        """Partial combine applies to single-shot BR jobs with a
+        combiner.  The streamed driver flattens batch outputs into one
+        host record set between Map and Shuffle, so partial
+        accumulators cannot survive that hop."""
+        return (not streamed and not plan.is_mars
+                and plan.strategy is ReduceStrategy.BR
+                and plan.spec.combine is not None)
+
+    def map_phase(self, ctx, d_in, tr, *, batch=None):
+        plan = ctx.plan
+        pool = self._pool_for(ctx, len(d_in))
+        if pool is None:
+            return self._fast.map_phase(ctx.fast, d_in, tr, batch=batch)
+
+        do_combine = self._want_combine(plan, streamed=batch is not None)
+        slices = shard_slices(len(d_in), ctx.workers)
+        keys, vals = d_in.keys, d_in.values
+        tasks = [(list(zip(keys[lo:hi], vals[lo:hi])), do_combine)
+                 for lo, hi in slices]
+        results = pool.map(_map_shard, tasks, chunksize=1)
+
+        if do_combine:
+            emit_count = sum(r[1] for r in results)
+            handle = _MapOutput(pairs=None,
+                                combined=[r[2] for r in results],
+                                emit_count=emit_count)
+        else:
+            out = KeyValueSet()
+            append = out.append_unchecked
+            for _, pairs in results:
+                for k, v in pairs:
+                    append(k, v)
+            emit_count = len(out)
+            handle = _MapOutput(pairs=out, combined=None,
+                                emit_count=emit_count)
+        stats = self._phase_stats(ctx, records_in=len(d_in),
+                                  records_out=emit_count,
+                                  shards=len(slices))
+        if do_combine:
+            stats.count("parallel_combined_out",
+                        sum(len(r[2]) for r in results))
+        attrs = {"batch": batch} if batch is not None else {}
+        tr.kernel("map_kernel", stats, **attrs)
+        return handle, stats
+
+    def shuffle_phase(self, ctx, inter, tr, label):
+        if isinstance(inter, _MapOutput) and inter.combined is not None:
+            merged: dict[bytes, list[tuple[bytes, int]]] = {}
+            for shard in inter.combined:  # shard order = emission order
+                for key, part in shard:
+                    bucket = merged.get(key)
+                    if bucket is None:
+                        merged[key] = [part]
+                    else:
+                        bucket.append(part)
+            grouped = _CombinedGroups(sorted(merged.items()))
+            return grouped, 0.0, len(grouped)
+        return self._fast.shuffle_phase(ctx.fast, self._as_kvs(inter), tr,
+                                        label)
+
+    def reduce_phase(self, ctx, grouped, tr, *, include_grid=True):
+        plan = ctx.plan
+        spec = plan.spec
+        # Same legality checks as the fast backend and the sim's
+        # reduce engine.
+        if plan.is_mars and spec.reduce_record is None:
+            raise FrameworkError(f"{spec.name}: Mars reduce needs a TR "
+                                 "reduce fn")
+        if not plan.is_mars:
+            effective_reduce_mode(plan.reduce_mode, plan.strategy)
+            if (plan.strategy is ReduceStrategy.TR
+                    and spec.reduce_record is None):
+                raise FrameworkError(
+                    f"workload {spec.name} has no TR reduce function"
+                )
+
+        combined = isinstance(grouped, _CombinedGroups)
+        groups = grouped.groups if combined else grouped
+        n_values = (sum(c for _, parts in groups for _, c in parts)
+                    if combined
+                    else sum(len(values) for _, values in groups))
+        pool = ctx.pool if len(groups) >= ctx.workers else None
+        kind = "combined" if combined else "plain"
+
+        if pool is None:
+            chunks = [_reduce_range_inproc(ctx, kind, groups)]
+            n_ranges = 1
+        else:
+            slices = shard_slices(len(groups), ctx.workers)
+            tasks = [(kind, groups[lo:hi]) for lo, hi in slices]
+            chunks = pool.map(_reduce_range, tasks, chunksize=1)
+            n_ranges = len(slices)
+
+        out = KeyValueSet()
+        append = out.append_unchecked
+        for chunk in chunks:  # range order = sorted key order
+            for k, v in chunk:
+                append(k, v)
+        stats = self._phase_stats(ctx, records_in=n_values,
+                                  records_out=len(out), shards=n_ranges)
+        if combined:
+            stats.count("parallel_combined_in", len(groups))
+        tr.kernel("reduce_kernel", stats)
+        return out, stats
+
+    @staticmethod
+    def _phase_stats(ctx, *, records_in: int, records_out: int,
+                     shards: int) -> KernelStats:
+        """Like the fast backend's: zero cycles, throughput counters
+        only, plus the sharding shape."""
+        stats = KernelStats(threads_per_block=ctx.plan.threads_per_block)
+        stats.count("fast_records_in", records_in)
+        stats.count("fast_records_out", records_out)
+        stats.count("parallel_shards", shards)
+        stats.count("parallel_workers", ctx.workers)
+        return stats
+
+
+def _reduce_range_inproc(ctx: ParallelContext, kind: str, groups):
+    """Run a reduce range in-process using the worker entry point."""
+    plan = ctx.plan
+    _init_worker(plan.spec, plan.strategy, plan.is_mars)
+    try:
+        return _reduce_range((kind, groups))
+    finally:
+        _init_worker(None, None, False)

@@ -190,7 +190,14 @@ class FuzzFailure:
 
 
 def run_case(case: FuzzCase, config: DeviceConfig) -> str | None:
-    """Run one case across all three executors; None means it passed."""
+    """Run one case across all four executors; None means it passed.
+
+    The fuzz kernels emit only u32 integer values, so every backend —
+    including the parallel backend's per-shard partial combine — must
+    be byte-exact against the oracle after order normalisation.
+    """
+    from ..backend.parallel import ParallelBackend
+
     spec = _make_spec(case.kind, case.io_ratio)
     inp = build_input(case)
     want = normalised(reference_job(spec, inp, case.strategy))
@@ -205,6 +212,12 @@ def run_case(case: FuzzCase, config: DeviceConfig) -> str | None:
     if normalised(fast.output) != want:
         return (f"fast output diverges from oracle "
                 f"({len(fast.output)} vs {len(want)} records)")
+    par = run_job(spec, inp,
+                  backend=ParallelBackend(workers=2, min_records=0),
+                  **common)
+    if par.output != fast.output:
+        return (f"parallel output diverges from fast "
+                f"({len(par.output)} vs {len(fast.output)} records)")
     return None
 
 
@@ -222,7 +235,11 @@ def run_fuzz(seed: int, cases: int, *, verbose: bool = False,
             reason = f"{type(exc).__name__}: {exc}"
         if reason is not None:
             failures.append(FuzzFailure(case, reason))
-            print(f"FAIL {case.describe()}\n     {reason}", file=sys.stderr)
+            # Cases derive from (seed, index) alone: the printed
+            # command reproduces this exact failure in isolation.
+            print(f"FAIL {case.describe()}\n     {reason}\n     "
+                  f"repro: python -m repro.check.fuzz "
+                  f"--seed {seed} --only {i}", file=sys.stderr)
         elif verbose:
             print(f"ok   {case.describe()}")
     return failures

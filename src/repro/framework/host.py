@@ -90,3 +90,26 @@ def host_download_cost(kvs, config: DeviceConfig) -> TransferCost:
     return download_cost(
         kvs.key_bytes + kvs.val_bytes, DIR_PER_RECORD * len(kvs), config
     )
+
+
+def shard_slices(n_records: int, n_shards: int) -> list[tuple[int, int]]:
+    """Contiguous, balanced ``[lo, hi)`` index ranges covering ``n_records``.
+
+    The partitioning rule every sharded executor shares: ranges are
+    contiguous (so concatenating per-shard results in shard order
+    reproduces the sequential record order exactly), non-overlapping,
+    cover ``[0, n_records)``, and differ in size by at most one record.
+    Empty ranges are never returned — fewer than ``n_shards`` slices
+    come back when there are fewer records than shards.
+    """
+    if n_shards <= 0:
+        raise ValueError("n_shards must be positive")
+    n = max(0, n_records)
+    k = min(n_shards, n)
+    out: list[tuple[int, int]] = []
+    lo = 0
+    for i in range(k):
+        hi = lo + n // k + (1 if i < n % k else 0)
+        out.append((lo, hi))
+        lo = hi
+    return out

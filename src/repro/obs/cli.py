@@ -105,11 +105,16 @@ def main(argv: list[str] | None = None) -> int:
                    choices=["sort", "hash", "bitonic"])
     p.add_argument("--mars", action="store_true",
                    help="run the Mars two-pass baseline instead")
-    p.add_argument("--backend", default=None, choices=["sim", "fast"],
+    p.add_argument("--backend", default=None,
+                   choices=["sim", "fast", "parallel"],
                    help="execution backend: 'sim' (cycle-accurate, "
-                        "default) or 'fast' (functional only — kernel "
-                        "cycles read as zero); default honours "
+                        "default), 'fast' (functional only — kernel "
+                        "cycles read as zero) or 'parallel' (fast, "
+                        "sharded over a process pool); default honours "
                         "$REPRO_BACKEND")
+    p.add_argument("--workers", type=int, default=None,
+                   help="worker processes for --backend parallel "
+                        "(default: $REPRO_WORKERS or the CPU count)")
     p.add_argument("--check", action="store_true",
                    help="run under the repro.check sanitizer (report "
                         "mode) and write check.json; exits 1 on any "
@@ -138,6 +143,16 @@ def main(argv: list[str] | None = None) -> int:
     inp = workload.generate(args.size, seed=args.seed, scale=args.scale)
     spec = workload.spec_for_size(args.size, seed=args.seed, scale=args.scale)
 
+    backend = args.backend
+    if args.workers is not None:
+        if backend != "parallel":
+            print("repro-trace: --workers needs --backend parallel",
+                  file=sys.stderr)
+            raise SystemExit(2)
+        from ..backend import ParallelBackend
+
+        backend = ParallelBackend(workers=args.workers)
+
     blocks = _parse_blocks(args.blocks)
     tracer = Tracer(kernel_detail=blocks is None or bool(blocks),
                     trace_blocks=blocks)
@@ -150,7 +165,7 @@ def main(argv: list[str] | None = None) -> int:
         result = run_mars_job(
             spec, inp, strategy=strategy, config=config,
             threads_per_block=args.threads_per_block, tracer=tracer,
-            backend=args.backend, check=check,
+            backend=backend, check=check,
         )
     else:
         result = run_job(
@@ -158,7 +173,7 @@ def main(argv: list[str] | None = None) -> int:
             strategy=strategy, config=config,
             threads_per_block=args.threads_per_block,
             shuffle_method=args.shuffle, tracer=tracer,
-            backend=args.backend, check=check,
+            backend=backend, check=check,
         )
 
     os.makedirs(args.out, exist_ok=True)

@@ -1,16 +1,20 @@
-"""Cross-backend differential suite: FastBackend vs SimBackend vs oracle.
+"""Cross-backend differential suite: fast vs sim vs parallel vs oracle.
 
 For every workload x memory mode x reduce strategy, the fast
 functional backend must produce output record-identical to the
 cycle-accurate simulator and to the CPU reference oracle (normalised
 ordering — atomic appends legitimately permute records; float32
 tolerance where summation order differs, exactly as the conformance
-matrix does).
+matrix does).  The sharded parallel backend must match the fast
+backend *exactly* — same records, same order — except for float BR
+combines, where per-shard partial combining regroups the fold and the
+usual float32 tolerance applies.
 """
 
 import pytest
 
 from repro.analysis.validation import outputs_match
+from repro.backend import ParallelBackend
 from repro.cpu_ref import reference_job
 from repro.framework import MemoryMode, ReduceStrategy, run_job
 from repro.gpu import DeviceConfig
@@ -55,6 +59,9 @@ def test_fast_matches_sim_and_oracle(workload, mode, strategy):
                   threads_per_block=64)
     sim = run_job(spec, inp, backend="sim", **kwargs)
     fast = run_job(spec, inp, backend="fast", **kwargs)
+    par = run_job(spec, inp, backend=ParallelBackend(workers=2,
+                                                    min_records=0),
+                  **kwargs)
     ref = reference_job(spec, inp, strategy)
     fv = _float_vals(workload.code)
 
@@ -67,10 +74,21 @@ def test_fast_matches_sim_and_oracle(workload, mode, strategy):
     assert fast.intermediate_count == sim.intermediate_count
     assert len(fast.output) == len(sim.output)
 
+    # Parallel: byte-identical to fast, except float BR partial
+    # combines (fold regrouping) which match under float32 tolerance.
+    if fv and strategy is ReduceStrategy.BR:
+        assert outputs_match(par.output, fast.output, float32_values=True)
+    else:
+        assert par.output == fast.output
+    assert par.intermediate_count == fast.intermediate_count
+    assert par.mode == fast.mode and par.strategy == fast.strategy
+
 
 class TestDegenerateInputs:
-    """Fast-backend parity on the inputs the fuzzer flagged as the
-    risky corners: empty input, one hot key, zero-output map."""
+    """Backend parity on the inputs the fuzzer flagged as the risky
+    corners: empty input, one hot key, zero-output map.  The parallel
+    backend runs with the tiny-input fallback disabled so the pool
+    path itself faces the degenerate shapes."""
 
     def _spec(self, map_fn, reduce_fn=None):
         from repro.framework.api import MapReduceSpec
@@ -83,6 +101,10 @@ class TestDegenerateInputs:
                       threads_per_block=64)
         sim = run_job(spec, inp, backend="sim", check=True, **kwargs)
         fast = run_job(spec, inp, backend="fast", **kwargs)
+        par = run_job(spec, inp,
+                      backend=ParallelBackend(workers=4, min_records=0),
+                      **kwargs)
+        assert par.output == fast.output
         return sim, fast
 
     def test_empty_input(self):

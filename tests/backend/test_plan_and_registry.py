@@ -67,9 +67,12 @@ class TestJobPlanNormalise:
 
 class TestRegistry:
     def test_known_backends(self):
-        assert set(BACKENDS) == {"sim", "fast"}
+        from repro.backend import ParallelBackend
+
+        assert set(BACKENDS) == {"sim", "fast", "parallel"}
         assert isinstance(get_backend("sim"), SimBackend)
         assert isinstance(get_backend("fast"), FastBackend)
+        assert isinstance(get_backend("parallel"), ParallelBackend)
 
     def test_instance_passthrough(self):
         b = FastBackend()

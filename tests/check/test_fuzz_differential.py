@@ -1,7 +1,9 @@
-"""The differential fuzzer as a test: sim (sanitized) vs fast vs oracle."""
+"""The differential fuzzer as a test: sim (sanitized) vs fast vs
+parallel vs oracle."""
 
 import pytest
 
+import repro.check.fuzz as fuzz_mod
 from repro.check.fuzz import (
     FuzzCase,
     build_input,
@@ -64,3 +66,29 @@ class TestTargetedCases:
 class TestFuzzSweep:
     def test_pinned_seed_sweep_is_clean(self):
         assert run_fuzz(7, 120) == []
+
+    @pytest.mark.fuzz
+    def test_ci_seed_full_sweep_is_clean(self):
+        """The exact sweep CI's fuzz tier pins: seed 7, 200 cases."""
+        assert run_fuzz(7, 200) == []
+
+    @pytest.mark.fuzz
+    def test_alternate_seed_sweep_is_clean(self):
+        """A second seed so the pinned one can't rot into the only
+        shape the stack survives."""
+        assert run_fuzz(20260806, 120) == []
+
+
+class TestFailureReporting:
+    def test_failure_prints_seeded_repro_command(self, monkeypatch, capsys):
+        """Each FAIL line carries a copy-pasteable command that pins
+        the seed and case index — a fuzz failure in CI must be
+        reproducible from the log alone."""
+        monkeypatch.setattr(fuzz_mod, "run_case",
+                            lambda case, config: "injected failure")
+        failures = run_fuzz(5, 2)
+        assert len(failures) == 2
+        err = capsys.readouterr().err
+        assert "repro: python -m repro.check.fuzz --seed 5 --only 0" in err
+        assert "repro: python -m repro.check.fuzz --seed 5 --only 1" in err
+        assert "injected failure" in err

@@ -1,0 +1,67 @@
+"""Golden-trace regression: the simulator's timing is part of the API.
+
+The committed fixture ``wordcount_small.json`` pins cycle counts,
+phase timings and kernel counters for one small wordcount run per
+memory mode (plus Mars).  The test re-runs the simulator and compares
+**exactly** — any drift is either a bug or an intended timing-model
+change, and an intended change must regenerate the fixture
+(``scripts/gen_golden_traces.py``) so the diff is reviewed, not
+absorbed.
+
+The collection logic lives in the generator script; importing it here
+keeps the fixture writer and the checker from drifting apart.
+"""
+
+import importlib.util
+import json
+from pathlib import Path
+
+import pytest
+
+ROOT = Path(__file__).resolve().parent.parent.parent
+FIXTURE = Path(__file__).resolve().parent / "wordcount_small.json"
+
+_spec = importlib.util.spec_from_file_location(
+    "gen_golden_traces", ROOT / "scripts" / "gen_golden_traces.py")
+gen = importlib.util.module_from_spec(_spec)
+_spec.loader.exec_module(gen)
+
+
+@pytest.fixture(scope="module")
+def golden() -> dict:
+    with open(FIXTURE, encoding="utf-8") as fh:
+        return json.load(fh)
+
+
+@pytest.fixture(scope="module")
+def current() -> dict:
+    return gen.collect_golden()
+
+
+def test_fixture_matches_pinned_workload(golden):
+    assert golden["workload"] == gen.WORKLOAD
+
+
+def test_all_modes_pinned(golden):
+    assert sorted(golden["runs"]) == sorted(
+        ["G", "GT", "SI", "SO", "SIO", "Mars"])
+
+
+def test_input_identical(golden, current):
+    assert current["input_records"] == golden["input_records"]
+
+
+@pytest.mark.parametrize("mode", ["G", "GT", "SI", "SO", "SIO", "Mars"])
+def test_trace_unchanged(golden, current, mode):
+    want, got = golden["runs"][mode], current["runs"][mode]
+    assert got["timings"] == want["timings"], (
+        f"{mode}: phase cycle counts drifted — if intended, regenerate "
+        f"the fixture with scripts/gen_golden_traces.py and review the "
+        f"diff")
+    assert got["intermediate_count"] == want["intermediate_count"]
+    assert got["output_records"] == want["output_records"]
+    for phase in ("map_stats", "reduce_stats"):
+        for field, pinned in want[phase].items():
+            assert got[phase][field] == pinned, (
+                f"{mode}: {phase}.{field} drifted from pinned value")
+        assert sorted(got[phase]) == sorted(want[phase])
