@@ -1,0 +1,78 @@
+"""CI perf-regression gate for the cycle-accurate simulator.
+
+Re-runs the *small* benchmark cases and compares the measured
+sim/fast CPU-time ratio against the committed baseline in
+``BENCH_sim_opt.json``.  The ratio is the machine-neutral signal: both
+backends run the same Python on the same runner, so a shared-runner
+slowdown cancels out, while a hot-path regression in the simulator
+(whose cost the fast backend does not share) shows up directly.
+
+Fails (exit 1) when any case's ratio exceeds its baseline by more than
+``--tolerance`` (default 25%).  Improvements never fail the gate;
+regenerate the baseline with::
+
+    PYTHONPATH=src python scripts/profile_sim.py --bench \\
+        --out BENCH_sim_opt.json
+
+Usage::
+
+    PYTHONPATH=src python scripts/perf_gate.py [--repeats 3]
+        [--tolerance 0.25] [--baseline BENCH_sim_opt.json]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+
+_HERE = os.path.dirname(os.path.abspath(__file__))
+_ROOT = os.path.dirname(_HERE)
+sys.path.insert(0, _HERE)
+
+from profile_sim import _measure_tree  # noqa: E402
+
+
+def main(argv=None) -> int:
+    p = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    p.add_argument("--baseline", default=os.path.join(_ROOT, "BENCH_sim_opt.json"))
+    p.add_argument("--repeats", type=int, default=3)
+    p.add_argument("--tolerance", type=float, default=0.25,
+                   help="allowed relative ratio increase (0.25 = 25%%)")
+    args = p.parse_args(argv)
+
+    with open(args.baseline) as f:
+        doc = json.load(f)
+    cases = [r for r in doc["results"] if r["size"] == "small"]
+    if not cases:
+        print("perf-gate: no small cases in baseline", file=sys.stderr)
+        return 2
+
+    failed = False
+    for row in cases:
+        workload, size = row["workload"], row["size"]
+        _, sim_cpu = _measure_tree(_ROOT, workload, size, args.repeats, "sim")
+        _, fast_cpu = _measure_tree(_ROOT, workload, size, args.repeats, "fast")
+        ratio = sim_cpu / fast_cpu
+        base = row["sim_over_fast"]
+        limit = base * (1.0 + args.tolerance)
+        verdict = "FAIL" if ratio > limit else "ok"
+        print(f"{workload}-{size}: sim {sim_cpu:.3f}s-cpu fast "
+              f"{fast_cpu:.3f}s-cpu ratio {ratio:.1f} "
+              f"(baseline {base:.1f}, limit {limit:.1f}) {verdict}")
+        if ratio > limit:
+            failed = True
+
+    if failed:
+        print("perf-gate: simulator hot path regressed; profile with\n"
+              "  PYTHONPATH=src python scripts/profile_sim.py --profile\n"
+              "or, if the slowdown is intended, regenerate "
+              "BENCH_sim_opt.json.", file=sys.stderr)
+        return 1
+    print("perf-gate: all ratios within tolerance")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

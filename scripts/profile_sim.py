@@ -1,0 +1,215 @@
+"""Profile and benchmark the cycle-accurate simulator's host cost.
+
+Two jobs, one script:
+
+* ``--profile`` — run one simulated job under cProfile and print the
+  hottest functions (tottime and cumulative), optionally dumping the
+  raw pstats for ``snakeviz``/``pstats`` digging.  This is the loop
+  that drove the hot-path optimization work: profile, fix the top
+  entry, re-run the golden traces, repeat.
+* ``--bench`` — measure best-of-N wall-clock seconds for the sim and
+  fast backends over the standard wordcount/kmeans cases and emit the
+  JSON consumed by ``BENCH_sim_opt.json`` / the CI perf gate.  The
+  sim/fast *ratio* is recorded alongside the absolute times: absolute
+  wall-clock is machine-dependent, but both backends run the same
+  Python on the same machine, so the ratio is the machine-neutral
+  regression signal.
+
+Usage::
+
+    PYTHONPATH=src python scripts/profile_sim.py --profile \\
+        [--workload wordcount] [--size medium] [--top 25] [--pstats F]
+    PYTHONPATH=src python scripts/profile_sim.py --bench [--repeats 5]
+"""
+
+from __future__ import annotations
+
+import argparse
+import cProfile
+import json
+import platform
+import pstats
+import sys
+import time
+
+from repro.framework.job import run_job
+from repro.framework.modes import MemoryMode, ReduceStrategy
+from repro.workloads import KMeans, WordCount
+
+WORKLOADS = {"wordcount": WordCount, "kmeans": KMeans}
+
+#: The benchmark matrix: small cases are what the CI gate re-runs
+#: (fast enough for a shared runner), medium cases are the acceptance
+#: evidence for the optimization PR.
+CASES = [
+    ("wordcount", "small"),
+    ("wordcount", "medium"),
+    ("kmeans", "small"),
+    ("kmeans", "medium"),
+]
+
+
+def _job(workload: str, size: str):
+    w = WORKLOADS[workload]()
+    inp = w.generate(size, seed=0)
+    spec = w.spec_for_size(size, seed=0)
+    return spec, inp
+
+
+def _run(spec, inp, backend: str) -> None:
+    run_job(spec, inp, mode=MemoryMode.SIO, strategy=ReduceStrategy.TR,
+            backend=backend)
+
+
+def _best_of(spec, inp, backend: str, repeats: int) -> tuple[float, float]:
+    """Best-of-N (wall seconds, CPU seconds).
+
+    CPU time (``time.process_time``) is the load-immune number: the
+    simulator is single-threaded and CPU-bound, so wall clock on a
+    shared machine mostly measures *other* tenants.  Both are recorded;
+    comparisons should prefer CPU time.
+    """
+    wall = cpu = float("inf")
+    for _ in range(repeats):
+        w0 = time.perf_counter()
+        c0 = time.process_time()
+        _run(spec, inp, backend)
+        cpu = min(cpu, time.process_time() - c0)
+        wall = min(wall, time.perf_counter() - w0)
+    return wall, cpu
+
+
+#: Run one case in one source tree in a *fresh subprocess*: every
+#: measurement (this tree, a --compare-tree baseline, sim or fast
+#: backend) goes through the identical harness, so numbers are
+#: comparable and cases cannot interfere through shared heap state.
+_MEASURE_CODE = """
+import sys, time
+sys.path.insert(0, sys.argv[1] + "/src")
+from repro.framework.job import run_job
+from repro.framework.modes import MemoryMode, ReduceStrategy
+from repro.workloads import KMeans, WordCount
+w = {"wordcount": WordCount, "kmeans": KMeans}[sys.argv[2]]()
+inp = w.generate(sys.argv[3], seed=0)
+spec = w.spec_for_size(sys.argv[3], seed=0)
+
+def run():
+    run_job(spec, inp, mode=MemoryMode.SIO, strategy=ReduceStrategy.TR,
+            backend=sys.argv[5])
+
+run()  # warm caches / imports / allocator
+wall = cpu = float("inf")
+for _ in range(int(sys.argv[4])):
+    w0 = time.perf_counter(); c0 = time.process_time()
+    run()
+    cpu = min(cpu, time.process_time() - c0)
+    wall = min(wall, time.perf_counter() - w0)
+print(wall, cpu)
+"""
+
+
+def _measure_tree(tree: str, workload: str, size: str, repeats: int,
+                  backend: str = "sim") -> tuple[float, float]:
+    import subprocess
+
+    out = subprocess.run(
+        [sys.executable, "-c", _MEASURE_CODE, tree, workload, size,
+         str(repeats), backend],
+        capture_output=True, text=True, check=True,
+    )
+    wall, cpu = out.stdout.split()
+    return float(wall), float(cpu)
+
+
+def cmd_profile(args) -> int:
+    spec, inp = _job(args.workload, args.size)
+    _run(spec, inp, "sim")  # warm the analysis caches & allocator
+    prof = cProfile.Profile()
+    prof.enable()
+    _run(spec, inp, "sim")
+    prof.disable()
+    if args.pstats:
+        prof.dump_stats(args.pstats)
+        print(f"raw profile written to {args.pstats}")
+    st = pstats.Stats(prof, stream=sys.stdout)
+    for order in ("tottime", "cumulative"):
+        print(f"\n--- top {args.top} by {order} "
+              f"({args.workload}-{args.size}, sim backend) ---")
+        st.sort_stats(order).print_stats(args.top)
+    return 0
+
+
+def cmd_bench(args) -> int:
+    import os
+
+    here = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+    results = []
+    for workload, size in CASES:
+        spec, inp = _job(workload, size)
+        sim_wall, sim_cpu = _measure_tree(here, workload, size,
+                                          args.repeats, "sim")
+        fast_wall, fast_cpu = _measure_tree(here, workload, size,
+                                            args.repeats, "fast")
+        row = {
+            "workload": workload,
+            "size": size,
+            "records": len(inp),
+            "sim_wall_s": round(sim_wall, 4),
+            "sim_cpu_s": round(sim_cpu, 4),
+            "fast_wall_s": round(fast_wall, 4),
+            "fast_cpu_s": round(fast_cpu, 4),
+            "sim_over_fast": round(sim_cpu / fast_cpu, 2),
+        }
+        if args.compare_tree:
+            base_wall, base_cpu = _measure_tree(
+                args.compare_tree, workload, size, args.repeats, "sim"
+            )
+            row["baseline_sim_wall_s"] = round(base_wall, 4)
+            row["baseline_sim_cpu_s"] = round(base_cpu, 4)
+            row["speedup_cpu"] = round(base_cpu / sim_cpu, 2)
+        results.append(row)
+        print(f"{workload}-{size}: sim {sim_cpu:.3f}s-cpu "
+              f"fast {fast_cpu:.3f}s-cpu ratio {sim_cpu / fast_cpu:.1f}"
+              + (f" speedup {row['speedup_cpu']:.2f}x"
+                 if "speedup_cpu" in row else ""),
+              file=sys.stderr)
+    doc = {
+        "description": "SimBackend host cost (best of N), mode=SIO "
+                       "strategy=TR, full GTX 280 config.  *_cpu_s is "
+                       "time.process_time (load-immune; prefer it for "
+                       "comparisons); sim_over_fast = sim_cpu/fast_cpu "
+                       "is the machine-neutral signal the CI perf gate "
+                       "compares; baseline_* / speedup_cpu are vs the "
+                       "pre-optimization tree measured back-to-back on "
+                       "the same machine (--compare-tree).",
+        "repeats": args.repeats,
+        "python": platform.python_version(),
+        "results": results,
+    }
+    json.dump(doc, args.out, indent=2)
+    args.out.write("\n")
+    return 0
+
+
+def main(argv=None) -> int:
+    p = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    g = p.add_mutually_exclusive_group(required=True)
+    g.add_argument("--profile", action="store_true")
+    g.add_argument("--bench", action="store_true")
+    p.add_argument("--workload", default="wordcount", choices=sorted(WORKLOADS))
+    p.add_argument("--size", default="medium",
+                   choices=["small", "medium", "large"])
+    p.add_argument("--top", type=int, default=25)
+    p.add_argument("--pstats", default=None, metavar="FILE")
+    p.add_argument("--repeats", type=int, default=5)
+    p.add_argument("--compare-tree", default=None, metavar="DIR",
+                   help="also measure the sim backend in another source "
+                        "tree (e.g. a worktree of the pre-optimization "
+                        "commit) and record baseline_*/speedup_cpu")
+    p.add_argument("--out", type=argparse.FileType("w"), default=sys.stdout)
+    args = p.parse_args(argv)
+    return cmd_profile(args) if args.profile else cmd_bench(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -10,9 +10,15 @@ Examples::
     repro-bench validate                # oracle conformance matrix
     repro-bench profile --workload WC   # per-mode derived metrics
     repro-bench all --size small
+    repro-bench table2 --profile        # host-side cProfile of the run
+    repro-bench fig7 --profile fig7.pstats --profile-top 30
 
 All experiments run on the full simulated GTX 280 unless ``--mps``
 shrinks the device for speed.
+
+``--profile`` wraps any command in :mod:`cProfile` and prints the
+hottest host functions (the ``profile`` *command*, by contrast,
+reports simulated per-mode metrics).  See ``docs/PERFORMANCE.md``.
 """
 
 from __future__ import annotations
@@ -204,6 +210,13 @@ def main(argv: list[str] | None = None) -> int:
                    help="run every simulated job under the repro.check "
                         "sanitizer (strict: the first finding aborts "
                         "the command with a CheckError)")
+    p.add_argument("--profile", nargs="?", const="repro-bench.pstats",
+                   default=None, metavar="FILE",
+                   help="run the command under cProfile: write pstats "
+                        "to FILE (default repro-bench.pstats) and "
+                        "print the hottest functions")
+    p.add_argument("--profile-top", type=int, default=20, metavar="N",
+                   help="number of hot functions to list with --profile")
     args = p.parse_args(argv)
     if args.check:
         os.environ["REPRO_CHECK"] = "1"
@@ -216,7 +229,7 @@ def main(argv: list[str] | None = None) -> int:
         print("repro-bench: --workers needs --backend parallel",
               file=sys.stderr)
         return 2
-    {
+    cmd = {
         "table1": cmd_table1,
         "table2": cmd_table2,
         "fig5-map": cmd_fig5_map,
@@ -227,7 +240,27 @@ def main(argv: list[str] | None = None) -> int:
         "validate": cmd_validate,
         "profile": cmd_profile,
         "all": cmd_all,
-    }[args.command](args)
+    }[args.command]
+    if args.profile is None:
+        cmd(args)
+        return 0
+    # Wall-clock profiling of the command itself (where does the
+    # *simulator* spend host time — not simulated cycles; those are
+    # what the 'profile' command reports).
+    import cProfile
+    import pstats
+
+    prof = cProfile.Profile()
+    prof.enable()
+    try:
+        cmd(args)
+    finally:
+        prof.disable()
+        prof.dump_stats(args.profile)
+        st = pstats.Stats(prof, stream=sys.stdout)
+        print(f"\n--- hottest {args.profile_top} functions "
+              f"(cumulative; full dump: {args.profile}) ---")
+        st.sort_stats("cumulative").print_stats(args.profile_top)
     return 0
 
 

@@ -36,17 +36,43 @@ points, which is where the protocol below is (and must be) re-entrant.
 
 from __future__ import annotations
 
+import struct
 from dataclasses import dataclass, field
+from itertools import accumulate, chain
 
 import numpy as np
 
 from ..errors import FrameworkError
-from ..gpu.instructions import AtomicShared, GlobalWrite
+from ..gpu.instructions import AtomicShared, GlobalWrite, SharedRead, SharedWrite
 from ..gpu.kernel import WarpCtx
 from .layout import OUT_DIR_PER_RECORD, WARP_RESULT_HEADER, SmemLayout
-from .prefix_sum import warp_exclusive_scan2
+from .prefix_sum import _scan_ops, exclusive_scan
+
+# Frozen op singletons for the fixed-size flag/broadcast charges on the
+# collection hot path (yielding a shared instance skips a dataclass
+# construction per flag write).
+_SW_FLAG = SharedWrite(nbytes=4)
+_SW_EPOCH = SharedWrite(nbytes=36)
+_SW_BCAST = SharedWrite(nbytes=12)
+_SR_BCAST = SharedRead(nbytes=12)
 from .records import OutputBuffers
 from .sync import poll_interval
+
+#: One output-directory entry: ``(key_off, key_len, val_off, val_len)``.
+_DIR4 = struct.Struct("<4I")
+_DIR2 = struct.Struct("<2I")
+
+#: Whole-directory packers, one per record count: packing a warp
+#: result's directory in a single C call beats per-record pack+join.
+_DIR_STRUCTS: dict[int, struct.Struct] = {}
+
+
+def _dir_struct(nwords: int) -> struct.Struct:
+    st = _DIR_STRUCTS.get(nwords)
+    if st is None:
+        st = struct.Struct(f"<{nwords}I")
+        _DIR_STRUCTS[nwords] = st
+    return st
 
 # Control-word offsets inside the layout's flags area.
 OVF = 0  # 0 = none, 1 = overflow flush, 2 = final flush
@@ -61,7 +87,7 @@ RIGHT_USED = 32
 WR_COUNT = 36
 
 
-@dataclass
+@dataclass(slots=True)
 class WarpResult:
     """One warp's simultaneously-generated records, resident in smem."""
 
@@ -74,18 +100,16 @@ class WarpResult:
     #: directory entries (left end).
     data_off: int = 0
     dir_off: int = 0
+    #: Derived layout sizes, precomputed once at construction (these
+    #: are read several times per result on the collection hot path).
+    count: int = field(init=False, default=0)
+    left_bytes: int = field(init=False, default=0)
+    right_bytes: int = field(init=False, default=0)
 
-    @property
-    def count(self) -> int:
-        return len(self.keys)
-
-    @property
-    def left_bytes(self) -> int:
-        return WARP_RESULT_HEADER + OUT_DIR_PER_RECORD * self.count
-
-    @property
-    def right_bytes(self) -> int:
-        return self.key_bytes + self.val_bytes
+    def __post_init__(self) -> None:
+        self.count = len(self.keys)
+        self.left_bytes = WARP_RESULT_HEADER + OUT_DIR_PER_RECORD * self.count
+        self.right_bytes = self.key_bytes + self.val_bytes
 
 
 @dataclass
@@ -142,9 +166,12 @@ def collect_warp_result(
 
     key_sizes = [len(k) for k in keys]
     val_sizes = [len(v) for v in vals]
-    kpre, ktot, vpre, vtot = yield from warp_exclusive_scan2(
-        ctx, key_sizes, val_sizes
-    )
+    # Inlined warp_exclusive_scan2: identical op stream, one fewer
+    # generator frame for every scan step on this hot path.
+    for op in _scan_ops(ctx.timing.issue_cycles):
+        yield op
+    kpre, ktot = exclusive_scan(key_sizes)
+    vpre, vtot = exclusive_scan(val_sizes)
     wr = WarpResult(
         warp_id=ctx.warp_id, keys=keys, vals=vals, key_bytes=ktot, val_bytes=vtot
     )
@@ -184,7 +211,7 @@ def collect_warp_result(
         ctx.mark("overflow_flush", epoch=state.flushes)
         smem.write_u32(base + OVF, 1)
         yield from ctx.fence_block()
-        yield from ctx.stouch(4, write=True)
+        yield _SW_FLAG
         yield from participate_in_flush(ctx, state)
 
     # Write the warp result into the double-ended stack.
@@ -192,26 +219,19 @@ def collect_warp_result(
     wr.data_off = (
         layout.output_off + layout.output_bytes - old_right - wr.right_bytes
     )
-    cursor = wr.data_off
-    for k, v in zip(keys, vals):
-        smem.write(cursor, k)
-        cursor += len(k)
-        smem.write(cursor, v)
-        cursor += len(v)
-    dcur = wr.dir_off + WARP_RESULT_HEADER
+    # Batched functional writes: one contiguous data blob and one
+    # directory blob (byte coverage identical to per-record writes).
+    smem.write(wr.data_off, b"".join(chain.from_iterable(zip(keys, vals))))
     smem.write_u32(wr.dir_off, wr.count)
     smem.write_u32(wr.dir_off + 4, wr.right_bytes)
-    for i, (ks, vs) in enumerate(zip(key_sizes, val_sizes)):
-        smem.write_u32(dcur, kpre[i])
-        smem.write_u32(dcur + 4, ks)
-        smem.write_u32(dcur + 8, vpre[i])
-        smem.write_u32(dcur + 12, vs)
-        dcur += OUT_DIR_PER_RECORD
+    dir_blob = _dir_struct(4 * len(keys)).pack(
+        *chain.from_iterable(zip(kpre, key_sizes, vpre, val_sizes))
+    )
+    smem.write(wr.dir_off + WARP_RESULT_HEADER, dir_blob)
     # Parallel copy by the warp's lanes: one shared write step for the
     # data, one for the directory entries.
-    yield from ctx.stouch(wr.right_bytes, write=True)
-    yield from ctx.stouch(WARP_RESULT_HEADER + OUT_DIR_PER_RECORD * wr.count,
-                          write=True)
+    yield SharedWrite(nbytes=wr.right_bytes)
+    yield SharedWrite(nbytes=WARP_RESULT_HEADER + OUT_DIR_PER_RECORD * wr.count)
     state.warp_results.append(wr)
 
 
@@ -224,7 +244,7 @@ def request_final_flush(ctx: WarpCtx, state: CollectorState):
     ctx.mark("final_flush", epoch=state.flushes)
     smem.write_u32(base + OVF, 2)  # eager: same step as the ==0 check
     yield from ctx.fence_block()
-    yield from ctx.stouch(4, write=True)
+    yield _SW_FLAG
     yield from participate_in_flush(ctx, state)
 
 
@@ -238,7 +258,7 @@ def wait_loop(ctx: WarpCtx, state: CollectorState):
     smem = ctx.smem
     interval = poll_interval(ctx, state.yield_sync)
     while True:
-        yield from ctx.poll(lambda: smem.read_u32(base + OVF) != 0, interval)
+        yield from ctx.poll(smem.flag_checker(base + OVF, 0, negate=True), interval)
         final = smem.read_u32(base + OVF) == 2
         yield from participate_in_flush(ctx, state)
         if final:
@@ -290,10 +310,10 @@ def participate_in_flush(ctx: WarpCtx, state: CollectorState):
         state.flush_offsets = offs
         yield from ctx.fence_block()
         smem.write_u32(base + RESERVE_READY, 1)
-        yield from ctx.stouch(4, write=True)
+        yield _SW_FLAG
     else:
         yield from ctx.poll(
-            lambda: smem.read_u32(base + RESERVE_READY) == 1,
+            smem.flag_checker(base + RESERVE_READY, 1),
             ctx.timing.poll_interval_spin,
         )
 
@@ -321,11 +341,11 @@ def participate_in_flush(ctx: WarpCtx, state: CollectorState):
         ck = ctx.checker
         if ck is not None:
             ck.collector_flush_reset(ctx, state)
-        yield from ctx.stouch(36, write=True)
+        yield _SW_EPOCH
         yield from ctx.fence_block()
     else:
         yield from ctx.poll(
-            lambda: smem.read_u32(base + EPOCH) != epoch0,
+            smem.flag_checker(base + EPOCH, epoch0, negate=True),
             ctx.timing.poll_interval_spin,
         )
 
@@ -339,7 +359,7 @@ def _flush_one(ctx: WarpCtx, state: CollectorState, idx: int):
     if ck is not None:
         ck.collector_flush_one(ctx, state, wr, kbase, vbase, rbase)
     # Read the warp result out of shared memory (data + directory)...
-    yield from ctx.stouch(wr.right_bytes + OUT_DIR_PER_RECORD * wr.count)
+    yield SharedRead(nbytes=wr.right_bytes + OUT_DIR_PER_RECORD * wr.count)
     payload = ctx.smem.read(wr.data_off, wr.right_bytes)
     kblob = b"".join(wr.keys)
     vblob = b"".join(wr.vals)
@@ -347,22 +367,24 @@ def _flush_one(ctx: WarpCtx, state: CollectorState, idx: int):
         raise FrameworkError("output area corruption: warp result size mismatch")
     # ...and write its blobs contiguously (coalesced within one warp
     # result, as Section III-B notes).
+    gmem = ctx.gmem
     if kblob:
-        yield from ctx.gwrite(out.keys_addr + kbase, kblob)
+        gmem.write(out.keys_addr + kbase, kblob)
+        yield GlobalWrite(addr=out.keys_addr + kbase, nbytes=len(kblob))
     if vblob:
-        yield from ctx.gwrite(out.vals_addr + vbase, vblob)
-    kdir = np.zeros(2 * wr.count, dtype="<u4")
-    vdir = np.zeros(2 * wr.count, dtype="<u4")
-    ko, vo = kbase, vbase
-    for i, (k, v) in enumerate(zip(wr.keys, wr.vals)):
-        kdir[2 * i], kdir[2 * i + 1] = ko, len(k)
-        vdir[2 * i], vdir[2 * i + 1] = vo, len(v)
-        ko += len(k)
-        vo += len(v)
-    ctx.gmem.write_u32_array(out.key_dir_addr + 8 * rbase, kdir)
-    ctx.gmem.write_u32_array(out.val_dir_addr + 8 * rbase, vdir)
-    yield GlobalWrite(addr=out.key_dir_addr + 8 * rbase, nbytes=kdir.nbytes)
-    yield GlobalWrite(addr=out.val_dir_addr + 8 * rbase, nbytes=vdir.nbytes)
+        gmem.write(out.vals_addr + vbase, vblob)
+        yield GlobalWrite(addr=out.vals_addr + vbase, nbytes=len(vblob))
+    klens = list(map(len, wr.keys))
+    vlens = list(map(len, wr.vals))
+    koffs = list(accumulate(klens[:-1], initial=kbase))
+    voffs = list(accumulate(vlens[:-1], initial=vbase))
+    st2n = _dir_struct(2 * len(klens))
+    kdir = st2n.pack(*chain.from_iterable(zip(koffs, klens)))
+    vdir = st2n.pack(*chain.from_iterable(zip(voffs, vlens)))
+    gmem.write(out.key_dir_addr + 8 * rbase, kdir)
+    gmem.write(out.val_dir_addr + 8 * rbase, vdir)
+    yield GlobalWrite(addr=out.key_dir_addr + 8 * rbase, nbytes=len(kdir))
+    yield GlobalWrite(addr=out.val_dir_addr + 8 * rbase, nbytes=len(vdir))
 
 
 # ----------------------------------------------------------------------
@@ -381,9 +403,12 @@ def direct_emit_warp(
         return
     key_sizes = [len(k) for k in keys]
     val_sizes = [len(v) for v in vals]
-    kpre, ktot, vpre, vtot = yield from warp_exclusive_scan2(
-        ctx, key_sizes, val_sizes
-    )
+    # Inlined warp_exclusive_scan2: identical op stream, one fewer
+    # generator frame for every scan step on this hot path.
+    for op in _scan_ops(ctx.timing.issue_cycles):
+        yield op
+    kpre, ktot = exclusive_scan(key_sizes)
+    vpre, vtot = exclusive_scan(val_sizes)
     n = len(keys)
 
     # First lane: the three tail reservations, issued together.
@@ -392,8 +417,8 @@ def direct_emit_warp(
     )
     out.check_reservation(kbase + ktot, vbase + vtot, rbase + n)
     # Broadcast the bases through shared memory.
-    yield from ctx.stouch(12, write=True)
-    yield from ctx.stouch(12)
+    yield _SW_BCAST
+    yield _SR_BCAST
 
     # Lanes store their records; the reserved ranges are contiguous so
     # the stores coalesce within the warp.

@@ -25,9 +25,11 @@ import numpy as np
 
 from ..errors import FrameworkError
 from ..gpu.accessor import Accessor, AccessTrace, lockstep_accesses
-from ..gpu.banks import conflict_degree
+from ..gpu.analysis_cache import AnalysisCache, register
+from ..gpu.banks import BANK_WIDTH, NUM_BANKS, conflict_degree_cached
+from ..gpu.coalescing import scattered_transactions_cached
 from ..gpu.config import WARP_SIZE
-from ..gpu.instructions import AtomicShared, SharedRead
+from ..gpu.instructions import AtomicShared, Compute, GlobalRead, SharedRead
 from ..gpu.kernel import Device, WarpCtx
 from ..gpu.stats import KernelStats
 from .api import MapReduceSpec
@@ -65,6 +67,133 @@ def chunk_steps(
             merged.extend(s)
         out.append(merged)
     return out
+
+
+#: Shared-memory bank period in bytes: shifting every address of a
+#: pattern by a multiple of this preserves each lane's bank.
+_BANK_PERIOD = NUM_BANKS * BANK_WIDTH
+
+#: Replay plans: the fully analyzed instruction sequence for replaying
+#: one warp's lockstep access pattern, memoized on the normalized
+#: pattern (per-lane word traces + rebased lane base addresses).  A
+#: MapReduce launch replays a handful of distinct record shapes
+#: thousands of times, so the lockstep zip + coalescing/bank analysis
+#: runs once per shape instead of once per round.
+_SMEM_REPLAY_PLANS = register(AnalysisCache("map.replay_smem"))
+_GMEM_REPLAY_PLANS = register(AnalysisCache("map.replay_gmem"))
+_DIR_READ_PLANS = register(AnalysisCache("framework.dir_reads"))
+
+
+def dir_read_op(ctx: WarpCtx, dir_addr: int, first: int, count: int):
+    """One lane-per-record directory read, transaction count memoized.
+
+    Every compute round starts with each lane reading its record's
+    8-byte directory entry — a fixed stride pattern whose transaction
+    count depends only on the start address modulo the segment size
+    and the lane count.  Callers must hold
+    :attr:`WarpCtx.can_elide_gmem_addrs`.
+    """
+    start = dir_addr + DIR_ENTRY * first
+    seg = ctx.timing.txn_bytes
+    key = (seg, start % seg, count)
+    cache = _DIR_READ_PLANS
+    op = cache.data.get(key)
+    if op is not None:
+        cache.hits += 1
+        return op
+    cache.misses += 1
+    ntxn = scattered_transactions_cached(
+        [(start + DIR_ENTRY * i, DIR_ENTRY) for i in range(count)], seg
+    )
+    op = GlobalRead(nbytes=DIR_ENTRY * count, ntxn=ntxn, lanes=max(1, count))
+    cache.room()
+    cache.data[key] = op
+    return op
+
+
+def _pattern_key(
+    traces: Sequence[AccessTrace], bases: Sequence[int], period: int
+) -> tuple:
+    """Normalized identity of a replay pattern.
+
+    Both analyses are invariant under shifting *all* lane bases by a
+    common multiple of their period (transaction segment / bank
+    stride), so bases are rebased against the lowest covered period
+    boundary.
+    """
+    base0 = (min(bases) // period) * period
+    return (tuple(b - base0 for b in bases),) + tuple(
+        tuple(t.words) for t in traces
+    )
+
+
+def _smem_replay_plan(
+    traces: Sequence[AccessTrace], bases: Sequence[int]
+) -> list[SharedRead]:
+    """One :class:`SharedRead` per lockstep step of a shared replay.
+
+    The plan stores the frozen op descriptors themselves, so a cache
+    hit replays a pattern without constructing any objects at all.
+    """
+    key = _pattern_key(traces, bases, _BANK_PERIOD)
+    cache = _SMEM_REPLAY_PLANS
+    plan = cache.data.get(key)
+    if plan is not None:
+        cache.hits += 1
+        return plan
+    cache.misses += 1
+    plan = [
+        SharedRead(
+            nbytes=4 * len(step),
+            conflict=conflict_degree_cached([a for a, _ in step]),
+        )
+        for step in lockstep_accesses(traces, bases)
+    ]
+    cache.room()
+    cache.data[key] = plan
+    return plan
+
+
+def _gmem_replay_plan(
+    traces: Sequence[AccessTrace],
+    bases: Sequence[int],
+    seg: int,
+    mlp: int,
+) -> list[GlobalRead]:
+    """One address-elided :class:`GlobalRead` per MLP chunk of a
+    global replay (transaction count precomputed)."""
+    key = (seg, mlp) + _pattern_key(traces, bases, seg)
+    cache = _GMEM_REPLAY_PLANS
+    plan = cache.data.get(key)
+    if plan is not None:
+        cache.hits += 1
+        return plan
+    cache.misses += 1
+    plan = [
+        GlobalRead(
+            nbytes=4 * len(step),
+            ntxn=scattered_transactions_cached(step, seg),
+            lanes=max(1, len(step)),
+        )
+        for step in chunk_steps(lockstep_accesses(traces, bases), mlp)
+    ]
+    cache.room()
+    cache.data[key] = plan
+    return plan
+
+
+def _replay_gmem_steps(ctx: WarpCtx, traces, bases):
+    """Replay a global-memory access pattern, planned when possible."""
+    if ctx.can_elide_gmem_addrs:
+        yield from _gmem_replay_plan(
+            traces, bases, ctx.timing.txn_bytes, ctx.timing.memory_parallelism
+        )
+    else:
+        steps = chunk_steps(
+            lockstep_accesses(traces, bases), ctx.timing.memory_parallelism
+        )
+        for step in steps:
+            yield from ctx.gtouch_read(step)
 
 
 @dataclass
@@ -326,15 +455,16 @@ def _compute_rounds(
             (len(k) + len(v) + len(c))
             for k, v, c in zip(key_traces, val_traces, const_traces)
         )
-        yield from ctx.compute(
-            spec.cycles_per_record + spec.cycles_per_access * max_steps
+        yield Compute(
+            cycles=spec.cycles_per_record + spec.cycles_per_access * max_steps
         )
 
         # --- 5. result collection, one warp result per emission layer -----
         layers = max((len(e) for e in emissions), default=0)
         for j in range(layers):
-            keys = [e[j][0] for e in emissions if len(e) > j]
-            vals = [e[j][1] for e in emissions if len(e) > j]
+            pairs = [e[j] for e in emissions if len(e) > j]
+            keys = [p[0] for p in pairs]
+            vals = [p[1] for p in pairs]
             if cs is not None:
                 yield from collect_warp_result(ctx, cs, keys, vals)
             else:
@@ -353,6 +483,10 @@ def _charge_dir_reads(
     """Each lane reads its record's two directory entries."""
     if staged is not None:
         yield SharedRead(nbytes=2 * DIR_ENTRY * len(recs))
+        return
+    if not rt.mode.uses_texture and ctx.can_elide_gmem_addrs:
+        yield dir_read_op(ctx, rt.inp.key_dir_addr, recs[0], len(recs))
+        yield dir_read_op(ctx, rt.inp.val_dir_addr, recs[0], len(recs))
         return
     key_dir = [(rt.inp.key_dir_addr + DIR_ENTRY * r, DIR_ENTRY) for r in recs]
     val_dir = [(rt.inp.val_dir_addr + DIR_ENTRY * r, DIR_ENTRY) for r in recs]
@@ -376,47 +510,38 @@ def _replay(
     """Replay per-lane record access traces in SIMT lockstep."""
     if which == "key":
         offs, g_base = rt.key_offs, rt.inp.keys_addr
-        s_base = staged.keys_off if staged else 0
-        g_seg_base = staged.g_key_base if staged else 0
+        delta = staged.key_delta if staged else 0
         in_smem = staged is not None and rt.spec.stage_keys
     else:
         offs, g_base = rt.val_offs, rt.inp.vals_addr
-        s_base = staged.vals_off if staged else 0
-        g_seg_base = staged.g_val_base if staged else 0
+        delta = staged.val_delta if staged else 0
         in_smem = staged is not None and rt.spec.stage_values
 
     if in_smem:
-        bases = [
-            s_base + (g_base + int(offs[r]) - g_seg_base) for r in recs
-        ]
-        steps = lockstep_accesses(traces, bases)
-        for step in steps:
-            words = [a for a, _ in step]
-            yield SharedRead(
-                nbytes=4 * len(step), conflict=conflict_degree(words)
-            )
+        base = delta + g_base
+        bases = [base + int(offs[r]) for r in recs]
+        yield from _smem_replay_plan(traces, bases)
     else:
         bases = [g_base + int(offs[r]) for r in recs]
-        steps = chunk_steps(
-            lockstep_accesses(traces, bases), ctx.timing.memory_parallelism
-        )
         if rt.mode.uses_texture:
+            steps = chunk_steps(
+                lockstep_accesses(traces, bases),
+                ctx.timing.memory_parallelism,
+            )
             for step in steps:
                 yield from ctx.tex_touch(step)
         else:
-            for step in steps:
-                yield from ctx.gtouch_read(step)
+            yield from _replay_gmem_steps(ctx, traces, bases)
 
 
 def _replay_const(ctx: WarpCtx, rt: MapRuntime, traces: Sequence[AccessTrace]):
     """Constant-region accesses always come from global (or texture)."""
     bases = [rt.const_addr] * len(traces)
-    steps = chunk_steps(
-        lockstep_accesses(traces, bases), ctx.timing.memory_parallelism
-    )
     if rt.mode.uses_texture:
+        steps = chunk_steps(
+            lockstep_accesses(traces, bases), ctx.timing.memory_parallelism
+        )
         for step in steps:
             yield from ctx.tex_touch(step)
     else:
-        for step in steps:
-            yield from ctx.gtouch_read(step)
+        yield from _replay_gmem_steps(ctx, traces, bases)

@@ -23,10 +23,30 @@ from typing import Sequence
 import numpy as np
 
 from ..gpu.config import WARP_SIZE
+from ..gpu.instructions import Compute, SharedRead, SharedWrite
 from ..gpu.kernel import WarpCtx
 
 #: Hillis-Steele steps for a 32-wide scan.
 WARP_SCAN_STEPS = 5
+
+#: Cached read/compute/write op sequence of a full warp scan, keyed on
+#: the issue-cycle cost.  Op descriptors are frozen, so the same
+#: instances can be yielded by every scan — identical to what
+#: ``stouch``/``compute`` would build, minus the per-call allocation.
+_SCAN_OPS: dict[float, tuple] = {}
+
+
+def _scan_ops(issue_cycles: float) -> tuple:
+    ops = _SCAN_OPS.get(issue_cycles)
+    if ops is None:
+        step = (
+            SharedRead(nbytes=4 * WARP_SIZE),
+            Compute(cycles=issue_cycles),
+            SharedWrite(nbytes=4 * WARP_SIZE),
+        )
+        ops = step * WARP_SCAN_STEPS
+        _SCAN_OPS[issue_cycles] = ops
+    return ops
 
 
 def exclusive_scan(values: Sequence[int]) -> tuple[list[int], int]:
@@ -47,10 +67,8 @@ def warp_exclusive_scan(ctx: WarpCtx, values: Sequence[int]):
     word layout), no ``__syncthreads`` thanks to warp lockstep.
     """
     assert len(values) <= WARP_SIZE
-    for _ in range(WARP_SCAN_STEPS):
-        yield from ctx.stouch(4 * WARP_SIZE)
-        yield from ctx.compute(ctx.timing.issue_cycles)
-        yield from ctx.stouch(4 * WARP_SIZE, write=True)
+    for op in _scan_ops(ctx.timing.issue_cycles):
+        yield op
     return exclusive_scan(values)
 
 
@@ -63,10 +81,8 @@ def warp_exclusive_scan2(ctx: WarpCtx, a: Sequence[int], b: Sequence[int]):
     two).  Returns ``(prefix_a, total_a, prefix_b, total_b)``.
     """
     assert len(a) == len(b) <= WARP_SIZE
-    for _ in range(WARP_SCAN_STEPS):
-        yield from ctx.stouch(4 * WARP_SIZE)
-        yield from ctx.compute(ctx.timing.issue_cycles)
-        yield from ctx.stouch(4 * WARP_SIZE, write=True)
+    for op in _scan_ops(ctx.timing.issue_cycles):
+        yield op
     pa, ta = exclusive_scan(a)
     pb, tb = exclusive_scan(b)
     return pa, ta, pb, tb

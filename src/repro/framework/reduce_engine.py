@@ -26,15 +26,23 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from functools import reduce as _functools_reduce
+from itertools import zip_longest
 from math import ceil
 
 import numpy as np
 
 from ..errors import FrameworkError
 from ..gpu.accessor import Accessor, AccessTrace
-from ..gpu.banks import conflict_degree
+from ..gpu.banks import conflict_degree_cached
+from ..gpu.coalescing import scattered_transactions
 from ..gpu.config import WARP_SIZE
-from ..gpu.instructions import AtomicShared, SharedRead, SharedWrite
+from ..gpu.instructions import (
+    AtomicShared,
+    Compute,
+    GlobalRead,
+    SharedRead,
+    SharedWrite,
+)
 from ..gpu.kernel import Device, WarpCtx
 from ..gpu.stats import KernelStats
 from .api import MapReduceSpec
@@ -49,6 +57,7 @@ from .collector import (
     wait_loop,
 )
 from .layout import SmemLayout, plan_layout
+from .map_engine import chunk_steps, dir_read_op
 from .modes import MemoryMode, ReduceStrategy, effective_reduce_mode
 from .partition import partition_warps
 from .records import DIR_ENTRY, OutputBuffers
@@ -215,22 +224,39 @@ def _tr_rounds(ctx: WarpCtx, rt: ReduceRuntime, tile: Tile, part,
         gs = list(range(base_g, min(base_g + WARP_SIZE, tile.end)))
 
         # Directory reads: key dir + group dir per lane.
-        dir_acc = [(grp.key_dir_addr + DIR_ENTRY * g, DIR_ENTRY) for g in gs]
-        grp_acc = [(grp.group_dir_addr + DIR_ENTRY * g, DIR_ENTRY) for g in gs]
-        if rt.mode.uses_texture:
-            yield from ctx.tex_touch(dir_acc)
-            yield from ctx.tex_touch(grp_acc)
+        if not rt.mode.uses_texture and ctx.can_elide_gmem_addrs:
+            yield dir_read_op(ctx, grp.key_dir_addr, gs[0], len(gs))
+            yield dir_read_op(ctx, grp.group_dir_addr, gs[0], len(gs))
         else:
-            yield from ctx.gtouch_read(dir_acc)
-            yield from ctx.gtouch_read(grp_acc)
+            dir_acc = [(grp.key_dir_addr + DIR_ENTRY * g, DIR_ENTRY) for g in gs]
+            grp_acc = [(grp.group_dir_addr + DIR_ENTRY * g, DIR_ENTRY) for g in gs]
+            if rt.mode.uses_texture:
+                yield from ctx.tex_touch(dir_acc)
+                yield from ctx.tex_touch(grp_acc)
+            else:
+                yield from ctx.gtouch_read(dir_acc)
+                yield from ctx.gtouch_read(grp_acc)
 
         # Run the user Reduce eagerly, collecting per-lane access streams.
+        key_offs, _ = grp.key_columns()
+        group_starts, _ = grp.group_columns()
         streams: list[list[tuple[int, int]]] = []
         emissions: list[list[tuple[bytes, bytes]]] = []
         for g in gs:
             key_acc = Accessor(grp.group_key(g))
             geom = grp.group_value_geometry(g)
-            val_accs = [Accessor(rt.grouped.gmem.read(a, ln)) for a, ln in geom]
+            if geom:
+                # One bounds-checked read covering the group's value
+                # span, sliced per value (values are laid out in group
+                # order by the shuffle).
+                a0 = geom[0][0]
+                span = geom[-1][0] + geom[-1][1] - a0
+                blob = grp.gmem.read(a0, span)
+                val_accs = [
+                    Accessor(blob[a - a0:a - a0 + ln]) for a, ln in geom
+                ]
+            else:
+                val_accs = []
             const_acc = Accessor(rt.const_data) if rt.const_data else None
             lane_out: list[tuple[bytes, bytes]] = []
 
@@ -240,10 +266,10 @@ def _tr_rounds(ctx: WarpCtx, rt: ReduceRuntime, tile: Tile, part,
             spec.reduce_record(key_acc, val_accs, emit, const_acc)
 
             stream: list[tuple[int, int]] = []
-            kbase = grp.keys_addr + int(grp.key_offs[g])
+            kbase = grp.keys_addr + key_offs[g]
             stream += [(kbase + 4 * w, 4) for w in key_acc.trace.words]
             # Per-value directory entries are read while iterating.
-            vstart = int(grp.group_starts[g])
+            vstart = group_starts[g]
             for j, (acc, (a, _ln)) in enumerate(zip(val_accs, geom)):
                 stream.append((grp.val_dir_addr + DIR_ENTRY * (vstart + j), DIR_ENTRY))
                 stream += [(a + 4 * w, 4) for w in acc.trace.words]
@@ -255,20 +281,48 @@ def _tr_rounds(ctx: WarpCtx, rt: ReduceRuntime, tile: Tile, part,
             emissions.append(lane_out)
 
         # Lockstep replay of the lane streams, MLP-chunked.
-        from .map_engine import chunk_steps
 
-        n_steps = max((len(s) for s in streams), default=0)
-        raw = [
-            [s[k] for s in streams if k < len(s)] for k in range(n_steps)
+        n_steps = max(map(len, streams), default=0)
+        # Fused lockstep transpose + MLP chunking: chunk ``c`` merges
+        # steps [c*mlp, (c+1)*mlp), lane order within a step following
+        # stream order — element-for-element what
+        # ``chunk_steps(transpose(streams), mlp)`` produced, without
+        # materialising the intermediate per-step lists.
+        mlp = max(1, ctx.timing.memory_parallelism)
+        chunks = [
+            [
+                s[j]
+                for j in range(j0, min(j0 + mlp, n_steps))
+                for s in streams
+                if len(s) > j
+            ]
+            for j0 in range(0, n_steps, mlp)
         ]
-        for step in chunk_steps(raw, ctx.timing.memory_parallelism):
-            if rt.mode.uses_texture:
-                yield from ctx.tex_touch(step)
-            else:
-                yield from ctx.gtouch_read(step)
+        if not rt.mode.uses_texture and ctx.can_elide_gmem_addrs:
+            # Address-elided replay: transaction counts come from the
+            # coalescing analysis; the engine charges the op without
+            # re-walking the address list.  Deliberately uncached:
+            # group-value addresses are unique per round (1 hit /
+            # ~5400 lookups on wordcount-medium), so the memo key costs
+            # more than it saves here.  The repeating patterns of this
+            # phase — the directory reads — stay memoized via
+            # dir_read_op above.
+            seg = ctx.timing.txn_bytes
+            for step in chunks:
+                yield GlobalRead(
+                    nbytes=sum(sz for _, sz in step),
+                    ntxn=scattered_transactions(step, seg),
+                    lanes=max(1, len(step)),
+                )
+        else:
+            for step in chunks:
+                if rt.mode.uses_texture:
+                    yield from ctx.tex_touch(step)
+                else:
+                    yield from ctx.gtouch_read(step)
 
-        yield from ctx.compute(
-            spec.cycles_per_record + spec.cycles_per_access * n_steps
+        yield Compute(
+            cycles=spec.cycles_per_record + spec.cycles_per_access * n_steps
         )
 
         layers = max((len(e) for e in emissions), default=0)
@@ -338,7 +392,7 @@ def reduce_br_kernel(ctx: WarpCtx, rt: ReduceRuntime):
             lanes = max(1, active // 2)
             words = [i * (acc_bytes // 4 or 1) * 4 for i in range(min(32, lanes))]
             yield SharedRead(nbytes=acc_bytes * min(32, lanes),
-                             conflict=conflict_degree(words))
+                             conflict=conflict_degree_cached(words))
             yield from ctx.compute(spec.cycles_per_access * ceil(acc_bytes / 4))
             yield SharedWrite(nbytes=acc_bytes * min(32, lanes))
             active = lanes
@@ -385,7 +439,6 @@ def _br_phase_a_global(ctx: WarpCtx, rt: ReduceRuntime,
         mine = [geom[i] for i in range(base_idx, min(base_idx + WARP_SIZE, m))]
         if not mine:
             continue
-        from .map_engine import chunk_steps
 
         max_words = max(ceil(ln / 4) for _, ln in mine)
         raw = [

@@ -48,11 +48,40 @@ class GroupedDeviceSet:
     val_lens: np.ndarray = field(default_factory=lambda: np.zeros(0, np.int64))
     group_starts: np.ndarray = field(default_factory=lambda: np.zeros(0, np.int64))
     group_counts: np.ndarray = field(default_factory=lambda: np.zeros(0, np.int64))
+    #: Lazy ``(addr_list, len_list)`` mirror of the value directory.
+    _flat_geometry: tuple[list[int], list[int]] | None = field(
+        default=None, repr=False
+    )
+    #: Lazy list mirrors of the key/group directories (indexing a numpy
+    #: scalar per group is ~10x the cost of a list element).
+    _key_cols: tuple[list[int], list[int]] | None = field(
+        default=None, repr=False
+    )
+    _group_cols: tuple[list[int], list[int]] | None = field(
+        default=None, repr=False
+    )
+
+    def key_columns(self) -> tuple[list[int], list[int]]:
+        """``(offset_list, length_list)`` mirror of the key directory."""
+        cols = self._key_cols
+        if cols is None:
+            cols = self._key_cols = (
+                self.key_offs.tolist(), self.key_lens.tolist()
+            )
+        return cols
+
+    def group_columns(self) -> tuple[list[int], list[int]]:
+        """``(start_list, count_list)`` mirror of the group directory."""
+        cols = self._group_cols
+        if cols is None:
+            cols = self._group_cols = (
+                self.group_starts.tolist(), self.group_counts.tolist()
+            )
+        return cols
 
     def group_key(self, g: int) -> bytes:
-        return self.gmem.read(
-            self.keys_addr + int(self.key_offs[g]), int(self.key_lens[g])
-        )
+        offs, lens = self.key_columns()
+        return self.gmem.read(self.keys_addr + offs[g], lens[g])
 
     def group_value(self, g: int, j: int) -> bytes:
         v = int(self.group_starts[g]) + j
@@ -62,12 +91,18 @@ class GroupedDeviceSet:
 
     def group_value_geometry(self, g: int) -> list[tuple[int, int]]:
         """Absolute ``(addr, len)`` of each value in group ``g``."""
-        s = int(self.group_starts[g])
-        e = s + int(self.group_counts[g])
-        return [
-            (self.vals_addr + int(self.val_offs[v]), int(self.val_lens[v]))
-            for v in range(s, e)
-        ]
+        geom = self._flat_geometry
+        if geom is None:
+            # One numpy->list conversion for the whole set; per-group
+            # geometry is then a C-speed zip of two list slices.
+            addrs = (self.vals_addr + self.val_offs).tolist()
+            lens = self.val_lens.tolist()
+            geom = self._flat_geometry = (addrs, lens)
+        addrs, lens = geom
+        starts, counts = self.group_columns()
+        s = starts[g]
+        e = s + counts[g]
+        return list(zip(addrs[s:e], lens[s:e]))
 
 
 @dataclass(frozen=True)

@@ -15,7 +15,7 @@ moves no data and charges no fewer transactions).
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from ..gpu.config import WARP_SIZE
 from ..gpu.kernel import WarpCtx
@@ -24,7 +24,7 @@ from .layout import SmemLayout
 from .records import DIR_ENTRY, DeviceRecordSet
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Tile:
     """A contiguous range of input records processed in one iteration."""
 
@@ -36,7 +36,7 @@ class Tile:
         return self.start + self.count
 
 
-@dataclass
+@dataclass(slots=True)
 class StagedTile:
     """Where a tile's pieces landed in shared memory."""
 
@@ -49,6 +49,14 @@ class StagedTile:
     #: ``smem_off = smem_base + (global_off - g_base)``).
     g_key_base: int
     g_val_base: int
+    #: Precomputed shared-minus-global deltas, so per-record address
+    #: mapping on the replay hot path is a single addition.
+    key_delta: int = field(init=False, repr=False)
+    val_delta: int = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        self.key_delta = self.keys_off - self.g_key_base
+        self.val_delta = self.vals_off - self.g_val_base
 
 
 def plan_tiles_staged(

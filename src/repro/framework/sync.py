@@ -41,7 +41,7 @@ this knob.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Sequence
 
 from ..errors import FrameworkError
@@ -54,7 +54,7 @@ def poll_interval(ctx: WarpCtx, yield_sync: bool) -> float:
     return t.poll_interval_yield if yield_sync else t.poll_interval_spin
 
 
-@dataclass
+@dataclass(slots=True)
 class WaitSignal:
     """One reusable wait-signal condition over shared-memory flags.
 
@@ -69,12 +69,18 @@ class WaitSignal:
     signal_group: tuple[int, ...]
     wait_group: tuple[int, ...]
     yield_sync: bool = True
+    #: Absolute flag offsets, precomputed once — the poll predicates
+    #: run on every probe of every busy-wait loop.
+    _sig_offs: tuple[int, ...] = field(init=False, repr=False)
+    _seen_offs: tuple[int, ...] = field(init=False, repr=False)
 
     def __post_init__(self) -> None:
         if set(self.signal_group) & set(self.wait_group):
             raise FrameworkError("a warp cannot be in both groups")
         if not self.signal_group or not self.wait_group:
             raise FrameworkError("both groups must be non-empty")
+        self._sig_offs = tuple(self._sig_off(w) for w in self.signal_group)
+        self._seen_offs = tuple(self._seen_off(w) for w in self.wait_group)
 
     # -- flag addressing ----------------------------------------------------
 
@@ -85,20 +91,20 @@ class WaitSignal:
         return self.base_off + 4 * (self.n_warps + w)
 
     def _all_signals_set(self, ctx: WarpCtx) -> bool:
-        smem = ctx.smem
-        return all(smem.read_u32(self._sig_off(w)) == 1 for w in self.signal_group)
+        read = ctx.smem.read_u32
+        return all(read(off) == 1 for off in self._sig_offs)
 
     def _all_signals_clear(self, ctx: WarpCtx) -> bool:
-        smem = ctx.smem
-        return all(smem.read_u32(self._sig_off(w)) == 0 for w in self.signal_group)
+        read = ctx.smem.read_u32
+        return all(read(off) == 0 for off in self._sig_offs)
 
     def _all_seen_set(self, ctx: WarpCtx) -> bool:
-        smem = ctx.smem
-        return all(smem.read_u32(self._seen_off(w)) == 1 for w in self.wait_group)
+        read = ctx.smem.read_u32
+        return all(read(off) == 1 for off in self._seen_offs)
 
     def _all_seen_clear(self, ctx: WarpCtx) -> bool:
-        smem = ctx.smem
-        return all(smem.read_u32(self._seen_off(w)) == 0 for w in self.wait_group)
+        read = ctx.smem.read_u32
+        return all(read(off) == 0 for off in self._seen_offs)
 
     def _register(self, ctx: WarpCtx) -> None:
         ck = ctx.checker
@@ -127,10 +133,14 @@ class WaitSignal:
             )
         ctx.smem.write_u32(self._sig_off(ctx.warp_id), 1)
         yield from ctx.stouch(4, write=True)
-        # Wait until every wait-group warp acknowledged.
-        yield from ctx.poll(
-            lambda: self._all_seen_set(ctx), poll_interval(ctx, self.yield_sync)
-        )
+        # Wait until every wait-group warp acknowledged.  Uncontended
+        # fast path: when the acknowledgements are already all up, the
+        # signaller proceeds without burning a poll slot.
+        if not self._all_seen_set(ctx):
+            yield from ctx.poll(
+                lambda: self._all_seen_set(ctx),
+                poll_interval(ctx, self.yield_sync),
+            )
         ctx.smem.write_u32(self._sig_off(ctx.warp_id), 0)
         yield from ctx.stouch(4, write=True)
 
@@ -139,18 +149,26 @@ class WaitSignal:
         if ctx.warp_id not in self.wait_group:
             raise FrameworkError(f"warp {ctx.warp_id} is not in the wait group")
         self._register(ctx)
-        yield from ctx.poll(
-            lambda: self._all_signals_set(ctx), poll_interval(ctx, self.yield_sync)
-        )
+        # Uncontended fast path (the common case when the signal group
+        # raced ahead): the flags are already up, so the waiter skips
+        # the dummy-access poll and acknowledges immediately — no
+        # extra simulated event.
+        if not self._all_signals_set(ctx):
+            yield from ctx.poll(
+                lambda: self._all_signals_set(ctx),
+                poll_interval(ctx, self.yield_sync),
+            )
         ctx.smem.write_u32(self._seen_off(ctx.warp_id), 1)
         yield from ctx.stouch(4, write=True)
         if self._all_seen_set(ctx):
             # Last wait warp: restore initial state once the signal
-            # group has observed the acknowledgement and left.
-            yield from ctx.poll(
-                lambda: self._all_signals_clear(ctx),
-                poll_interval(ctx, self.yield_sync),
-            )
+            # group has observed the acknowledgement and left (skip
+            # the poll when it already has).
+            if not self._all_signals_clear(ctx):
+                yield from ctx.poll(
+                    lambda: self._all_signals_clear(ctx),
+                    poll_interval(ctx, self.yield_sync),
+                )
             for w in self.wait_group:
                 ctx.smem.write_u32(self._seen_off(w), 0)
             yield from ctx.stouch(4 * len(self.wait_group), write=True)

@@ -42,9 +42,12 @@ class AccessTrace:
         first = start // _WORD
         last = (start + nbytes - 1) // _WORD
         words = self.words
-        for w in range(first, last + 1):
-            if not words or words[-1] != w:
-                words.append(w)
+        # Words within one access ascend, so only the seam with the
+        # previous access can duplicate; the rest extends at C speed.
+        if not words or words[-1] != first:
+            words.append(first)
+        if first != last:
+            words.extend(range(first + 1, last + 1))
 
     def __len__(self) -> int:
         return len(self.words)

@@ -1,0 +1,133 @@
+"""Shared infrastructure for memoized access-pattern analyses.
+
+MapReduce access patterns are massively repetitive: every warp of a
+Map launch walks records of (nearly) the same shape, shifted by a
+whole number of coalescing segments / bank periods.  The coalescing
+and bank-conflict models are pure functions of the *relative* address
+pattern, so the simulator analyzes each normalized pattern once and
+reuses the result everywhere — the same analyze-once-per-pattern trick
+real GPU frameworks apply, here applied to the simulator itself.
+
+Each analysis keeps its memo table in an :class:`AnalysisCache`
+registered here.  Keys are *normalized* (addresses rebased against the
+relevant period: transaction segment for coalescing, bank stride
+period for conflicts) so that patterns identical up to a uniform
+segment-aligned shift share one entry; Python's dict interns the key
+tuples, making the per-warp address-delta tuple the canonical pattern
+identity.
+
+Correctness invariants:
+
+* Memoization is exact — cached analyses return bit-identical results
+  to the uncached model functions (pinned by ``tests/gpu`` cache tests
+  and the golden traces).
+* Caches are invalidated whenever an :class:`Engine` is built with
+  different :class:`~repro.gpu.config.TimingParams` than the previous
+  one (:func:`note_timing`), so timing-parameter sweeps can never read
+  a stale entry.  Keys additionally embed the parameters they depend
+  on (belt and suspenders).
+* Tables are bounded: a cache that reaches ``max_entries`` is flushed
+  wholesale (counted in ``evictions``) rather than growing without
+  limit under adversarial non-repetitive workloads.
+
+Per-launch hit/miss deltas are surfaced in
+:class:`~repro.gpu.stats.KernelStats` (``analysis_cache_hits`` /
+``analysis_cache_misses``); global per-cache counters are available
+via :func:`cache_counters`.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+#: Default bound on entries per cache; generous (patterns are few).
+DEFAULT_MAX_ENTRIES = 1 << 16
+
+
+class AnalysisCache:
+    """One bounded memo table with hit/miss accounting."""
+
+    __slots__ = ("name", "data", "hits", "misses", "evictions", "max_entries")
+
+    def __init__(self, name: str, max_entries: int = DEFAULT_MAX_ENTRIES):
+        self.name = name
+        self.data: dict[Any, Any] = {}
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.max_entries = max_entries
+
+    def clear(self) -> None:
+        """Drop all entries (counters are preserved)."""
+        self.data.clear()
+
+    def reset_counters(self) -> None:
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def room(self) -> None:
+        """Make room for one insertion, flushing when full."""
+        if len(self.data) >= self.max_entries:
+            self.data.clear()
+            self.evictions += 1
+
+    def counters(self) -> dict[str, int]:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "entries": len(self.data),
+            "evictions": self.evictions,
+        }
+
+
+_REGISTRY: dict[str, AnalysisCache] = {}
+
+#: TimingParams of the most recent Engine; caches are flushed when a
+#: new engine is built with different timing (see :func:`note_timing`).
+_active_timing = None
+
+
+def register(cache: AnalysisCache) -> AnalysisCache:
+    """Add a cache to the global registry (idempotent per name)."""
+    _REGISTRY[cache.name] = cache
+    return cache
+
+
+def caches() -> tuple[AnalysisCache, ...]:
+    return tuple(_REGISTRY.values())
+
+
+def clear_all_caches() -> None:
+    """Explicitly invalidate every registered analysis cache."""
+    for cache in _REGISTRY.values():
+        cache.clear()
+
+
+def cache_counters() -> dict[str, dict[str, int]]:
+    """Global per-cache counters, keyed by cache name."""
+    return {name: c.counters() for name, c in sorted(_REGISTRY.items())}
+
+
+def totals() -> tuple[int, int]:
+    """Aggregate ``(hits, misses)`` over every registered cache."""
+    hits = misses = 0
+    for c in _REGISTRY.values():
+        hits += c.hits
+        misses += c.misses
+    return hits, misses
+
+
+def note_timing(timing) -> None:
+    """Record the timing parameters about to drive an engine.
+
+    When they differ from the previous engine's, all analysis caches
+    are invalidated — a config change (e.g. a ``txn_bytes`` or bank
+    sweep in the sensitivity analysis) must never be served stale
+    pattern analyses.  Same-config launches (the overwhelmingly common
+    case) keep their warm caches.
+    """
+    global _active_timing
+    if timing != _active_timing:
+        clear_all_caches()
+        _active_timing = timing

@@ -13,11 +13,17 @@ from __future__ import annotations
 from collections import defaultdict
 from typing import Sequence
 
+from .analysis_cache import AnalysisCache, register
+
 #: Number of shared-memory banks on GT200.
 NUM_BANKS = 16
 
 #: Bank word width in bytes.
 BANK_WIDTH = 4
+
+#: Memo table for :func:`conflict_degree`, keyed by the normalized
+#: per-lane word-address pattern (see :func:`conflict_degree_cached`).
+BANK_CACHE = register(AnalysisCache("banks.conflict"))
 
 
 def conflict_degree(
@@ -38,6 +44,34 @@ def conflict_degree(
         degree = max((len(words) for words in per_bank.values()), default=1)
         worst = max(worst, degree)
     return worst
+
+
+def conflict_degree_cached(
+    word_addrs: Sequence[int], half_warp: int = 16, banks: int = NUM_BANKS
+) -> int:
+    """Memoized :func:`conflict_degree` (exact, cycle-identical).
+
+    Bank assignment is periodic in ``banks * BANK_WIDTH`` bytes, so the
+    memo key rebases all addresses against the lowest covered period:
+    a uniform shift by a whole number of periods preserves both the
+    bank of every access and the distinctness of the words within each
+    bank, hence the conflict degree.
+    """
+    if not word_addrs:
+        return 1
+    period = banks * BANK_WIDTH
+    base = (min(word_addrs) // period) * period
+    key = (half_warp, banks) + tuple(a - base for a in word_addrs)
+    data = BANK_CACHE.data
+    d = data.get(key, -1)
+    if d >= 0:
+        BANK_CACHE.hits += 1
+        return d
+    BANK_CACHE.misses += 1
+    d = conflict_degree(word_addrs, half_warp, banks)
+    BANK_CACHE.room()
+    data[key] = d
+    return d
 
 
 def strided_conflict_degree(stride_words: int, lanes: int = 16) -> int:

@@ -19,6 +19,13 @@ from __future__ import annotations
 from math import ceil
 from typing import Iterable, Sequence
 
+from .analysis_cache import AnalysisCache, register
+
+#: Memo table for :func:`scattered_transactions`, keyed by the
+#: normalized per-warp address-delta pattern (see
+#: :func:`scattered_transactions_cached`).
+TXN_CACHE = register(AnalysisCache("coalescing.scattered"))
+
 
 def segments_for_range(addr: int, nbytes: int, seg: int) -> int:
     """Number of ``seg``-byte aligned segments overlapped by a range."""
@@ -61,6 +68,40 @@ def scattered_transactions(
             segs.update(range(first, last + 1))
         total += len(segs)
     return total
+
+
+def scattered_transactions_cached(
+    accesses: Sequence[tuple[int, int]], seg: int, half_warp: int = 16
+) -> int:
+    """Memoized :func:`scattered_transactions` (exact, cycle-identical).
+
+    The transaction count is invariant under shifting *every* access by
+    a common multiple of ``seg``, so the memo key rebases the pattern
+    against its lowest covered segment: ``(seg, half_warp,
+    (addr - base, size)...)`` with ``base = min_addr // seg * seg``.
+    Each warp of a launch touching the same record shape — merely
+    shifted by whole segments — therefore hits one shared entry.
+    """
+    if not accesses:
+        return 0
+    base = (min(a for a, _ in accesses) // seg) * seg
+    # One packed int per access: sizes are < 2**32 by construction
+    # (device buffers are bounds-checked against a <=1 GB allocation),
+    # so ``(delta << 32) | size`` is injective and hashes as a single
+    # machine word.
+    key = (seg, half_warp) + tuple(
+        ((a - base) << 32) | s for a, s in accesses
+    )
+    data = TXN_CACHE.data
+    n = data.get(key, -1)
+    if n >= 0:
+        TXN_CACHE.hits += 1
+        return n
+    TXN_CACHE.misses += 1
+    n = scattered_transactions(accesses, seg, half_warp)
+    TXN_CACHE.room()
+    data[key] = n
+    return n
 
 
 def transactions_for(

@@ -26,6 +26,7 @@ randomness or wall-clock time is consulted anywhere.
 
 from __future__ import annotations
 
+import gc
 import heapq
 from dataclasses import dataclass, field
 from typing import Any, Callable, Generator, Iterable
@@ -36,8 +37,14 @@ from ..errors import (
     KernelFault,
     LaunchError,
 )
+from .analysis_cache import note_timing
+from .analysis_cache import totals as _analysis_totals
 from .atomics import AtomicUnit
-from .coalescing import bytes_touched, transactions_for
+from .coalescing import (
+    bytes_touched,
+    contiguous_transactions,
+    scattered_transactions_cached,
+)
 from .config import WARP_SIZE, DeviceConfig
 from .instructions import (
     AtomicGlobal,
@@ -68,7 +75,7 @@ from .texture import TextureCache
 MAX_POLL_RETRIES = 2_000_000
 
 
-@dataclass
+@dataclass(slots=True)
 class _MP:
     """Per-multiprocessor scheduling state."""
 
@@ -78,7 +85,7 @@ class _MP:
     texture: TextureCache | None = None
 
 
-@dataclass
+@dataclass(slots=True)
 class _BlockRt:
     """Runtime state of one resident thread block."""
 
@@ -94,7 +101,7 @@ class _BlockRt:
     state: dict[str, Any] = field(default_factory=dict)
 
 
-@dataclass
+@dataclass(slots=True)
 class _Warp:
     gen: Generator[Op, Any, None]
     block: _BlockRt
@@ -104,6 +111,14 @@ class _Warp:
     retry_op: Poll | None = None
     poll_retries: int = 0
     barrier_arrived_at: float = 0.0
+    #: ``block.mp`` and ``gen.send``, flattened — the event loop reads
+    #: both once per event.
+    mp: "_MP" = None
+    send: Any = None
+
+    def __post_init__(self) -> None:
+        self.mp = self.block.mp
+        self.send = self.gen.send
 
 
 class Engine:
@@ -126,6 +141,10 @@ class Engine:
         #: Optional per-launch sanitizer hooks
         #: (:class:`repro.check.LaunchChecker`).
         self.checker = checker
+        # Flush the access-pattern analysis caches if the timing
+        # parameters changed since the previous engine (config sweeps
+        # must never be served stale analyses).
+        note_timing(config.timing)
         t = self.timing
         self.memsys = MemorySystem(latency=t.global_latency, service=t.txn_service_cycles)
         self.l2: L2Cache | None = None
@@ -155,6 +174,7 @@ class Engine:
         self._seq = 0
         self._now = 0.0
         self._blocks_live = 0
+        self._cache_base = _analysis_totals()
 
     @property
     def now(self) -> float:
@@ -210,6 +230,7 @@ class Engine:
                 if not self._start_block(mp, at=0.0):
                     break
 
+        self._cache_base = _analysis_totals()
         self._event_loop()
         if self.checker is not None:
             self.checker.launch_finished(self)
@@ -249,6 +270,45 @@ class Engine:
     # ------------------------------------------------------------------
 
     def _event_loop(self) -> None:
+        # The event loop allocates huge numbers of short-lived objects
+        # (heap tuples, op lists, accessors); CPython's generational GC
+        # pays a gen-0 pass every ~700 allocations for nothing — kernel
+        # state is acyclic and dies with the launch.  Host-only change:
+        # simulated timing is unaffected.
+        gc_was_enabled = gc.isenabled()
+        if gc_was_enabled:
+            gc.disable()
+        try:
+            if self.checker is not None or self.timeline is not None:
+                self._event_loop_observed()
+            else:
+                self._event_loop_fast()
+        finally:
+            if gc_was_enabled:
+                gc.enable()
+
+        if self._blocks_live:
+            waiting = sum(
+                1
+                for mp in self.mps
+                for _ in range(mp.active_blocks)
+            )
+            msg = (
+                f"{self._blocks_live} block(s) still resident with no runnable "
+                f"warp (barrier divergence or unsatisfiable wait); "
+                f"{waiting} block slots affected"
+            )
+            if self.checker is not None:
+                self.checker.note_deadlock(msg)
+            raise DeadlockError(msg)
+
+    def _event_loop_observed(self) -> None:
+        """Event loop with tracer/sanitizer hooks enabled.
+
+        Timing math here must stay expression-for-expression identical
+        to :meth:`_event_loop_fast` — observers may never change cycle
+        counts (pinned by the observer-parity tests).
+        """
         heap = self._heap
         checker = self.checker
         while heap:
@@ -290,20 +350,335 @@ class Engine:
 
             self._execute(warp, op, t_issue)
 
-        if self._blocks_live:
-            waiting = sum(
-                1
-                for mp in self.mps
-                for _ in range(mp.active_blocks)
+    def _event_loop_fast(self) -> None:
+        """Null-observer event loop (no checker, no timeline).
+
+        The hot path of the whole simulator: everything the per-event
+        work touches is hoisted into locals, instruction dispatch is
+        ordered by measured frequency, and per-category counters and
+        stall totals accumulate in locals that are flushed once at the
+        end (kernel coroutines never read them mid-launch).  The
+        timing expressions mirror :meth:`_event_loop_observed` /
+        :meth:`_execute` exactly; only observer calls are elided.
+        """
+        heap = self._heap
+        heappop = heapq.heappop
+        pushpop = heapq.heappushpop
+        st = self.stats
+        stall = st.stall_cycles
+        tm = self.timing
+        issue_cycles = tm.issue_cycles
+        shared_latency = tm.shared_latency
+        conflict_penalty = tm.bank_conflict_penalty
+        txn_bytes = tm.txn_bytes
+        memsys = self.memsys
+        mem_read = memsys.request_read
+        mem_write = memsys.request_write
+        l2 = self.l2
+        uses_texture = self.uses_texture
+        max_cycles = self.max_cycles
+        now = self._now
+        seq = self._seq
+        n_cold = n_shared = n_polls = n_compute = 0
+        n_gwrites = n_greads = n_ashared = 0
+        s_shared = s_poll = s_compute = 0.0
+        s_gwrite = s_gread = s_ashared = 0.0
+        try:
+            # ``item`` is the next event to process when already in
+            # hand: every dispatch branch reschedules its warp with a
+            # single heappushpop (one sift) instead of heappush +
+            # heappop (two), and frequently gets its own event back
+            # without touching the heap at all.
+            item = None
+            while True:
+                if item is None:
+                    if not heap:
+                        break
+                    item = heappop(heap)
+                t, _, warp = item
+                item = None
+                if warp.done:
+                    continue
+                if t > now:
+                    now = t
+                if now > max_cycles:
+                    raise DeadlockError(
+                        f"simulation exceeded max_cycles={max_cycles}"
+                    )
+                mp = warp.mp
+                t_issue = mp.issue_free
+                if t_issue < t:
+                    t_issue = t
+                mp.issue_free = t_issue + issue_cycles
+                if t_issue > now:
+                    now = t_issue
+
+                op = warp.retry_op
+                if op is not None:
+                    warp.retry_op = None
+                else:
+                    try:
+                        op = warp.send(warp.inbox)
+                    except StopIteration:
+                        self._seq = seq
+                        self._now = now
+                        self._retire_warp(warp, t_issue)
+                        seq = self._seq
+                        continue
+                    except Exception as exc:  # pragma: no cover - defensive
+                        if isinstance(
+                            exc, (DeadlockError, BarrierDivergenceError)
+                        ):
+                            raise
+                        raise KernelFault(
+                            f"kernel raised in block {warp.block.block_id} "
+                            f"warp {warp.warp_id}: {exc!r}"
+                        ) from exc
+                    warp.inbox = None
+
+                ty = type(op)
+
+                if ty is SharedRead or ty is SharedWrite:
+                    n_shared += 1
+                    lat = shared_latency + (op.conflict - 1) * conflict_penalty
+                    s_shared += lat
+                    seq += 1
+                    item = pushpop(heap, (t_issue + lat, seq, warp))
+
+                elif ty is Poll:
+                    n_polls += 1
+                    if op.check():
+                        warp.inbox = True
+                        warp.poll_retries = 0
+                        s_poll += issue_cycles
+                        seq += 1
+                        item = pushpop(heap, (t_issue + issue_cycles, seq, warp))
+                    else:
+                        warp.poll_retries += 1
+                        if warp.poll_retries > MAX_POLL_RETRIES:
+                            raise DeadlockError(
+                                f"warp {warp.warp_id} of block "
+                                f"{warp.block.block_id} exceeded "
+                                f"{MAX_POLL_RETRIES} poll probes"
+                            )
+                        warp.retry_op = op
+                        interval = op.interval
+                        s_poll += interval
+                        seq += 1
+                        item = pushpop(heap, (t_issue + interval, seq, warp))
+
+                elif ty is Compute:
+                    n_compute += 1
+                    cycles = op.cycles
+                    s_compute += cycles
+                    seq += 1
+                    item = pushpop(heap, (t_issue + cycles, seq, warp))
+
+                elif ty is GlobalWrite:
+                    n_gwrites += 1
+                    if l2 is None:
+                        ntxn = op.ntxn
+                        if ntxn is not None:
+                            done = mem_write(t_issue, ntxn, op.nbytes)
+                        else:
+                            addrs = op.addrs
+                            if addrs is None:
+                                nb = op.nbytes
+                                done = mem_write(
+                                    t_issue,
+                                    contiguous_transactions(
+                                        op.addr, nb, txn_bytes
+                                    ),
+                                    nb,
+                                )
+                            else:
+                                done = mem_write(
+                                    t_issue,
+                                    scattered_transactions_cached(
+                                        addrs, txn_bytes
+                                    ),
+                                    sum(s for _, s in addrs),
+                                )
+                    else:
+                        ntxn = self._op_transactions(op)
+                        nbytes = bytes_touched(
+                            nbytes=op.nbytes, addrs=op.addrs
+                        )
+                        ranges = (
+                            list(op.addrs)
+                            if op.addrs is not None
+                            else [(op.addr, op.nbytes)]
+                        )
+                        done = l2.access_write(
+                            memsys, t_issue, ranges, ntxn, nbytes
+                        )
+                    if uses_texture:
+                        self._mark_texture_dirty(op)
+                    s_gwrite += done - t_issue
+                    seq += 1
+                    item = pushpop(heap, (done, seq, warp))
+
+                elif ty is AtomicShared:
+                    n_ashared += 1
+                    done = warp.block.shared_atomics.request(op.addr, t_issue)
+                    warp.inbox = op.old
+                    s_ashared += done - t_issue
+                    seq += 1
+                    item = pushpop(heap, (done, seq, warp))
+
+                elif ty is GlobalRead:
+                    n_greads += 1
+                    if l2 is None:
+                        ntxn = op.ntxn
+                        if ntxn is not None:
+                            done = mem_read(t_issue, ntxn, op.nbytes)
+                        else:
+                            addrs = op.addrs
+                            if addrs is None:
+                                nb = op.nbytes
+                                done = mem_read(
+                                    t_issue,
+                                    contiguous_transactions(
+                                        op.addr, nb, txn_bytes
+                                    ),
+                                    nb,
+                                )
+                            else:
+                                done = mem_read(
+                                    t_issue,
+                                    scattered_transactions_cached(
+                                        addrs, txn_bytes
+                                    ),
+                                    sum(s for _, s in addrs),
+                                )
+                    else:
+                        ranges = (
+                            list(op.addrs)
+                            if op.addrs is not None
+                            else [(op.addr, op.nbytes)]
+                        )
+                        done = l2.access_read(memsys, t_issue, ranges)
+                    s_gread += done - t_issue
+                    seq += 1
+                    item = pushpop(heap, (done, seq, warp))
+
+                else:
+                    n_cold += 1
+                    self._seq = seq
+                    self._now = now
+                    self._execute_cold(warp, op, t_issue)
+                    seq = self._seq
+        finally:
+            self._seq = seq
+            self._now = now
+            st.instructions += (
+                n_cold + n_shared + n_polls + n_compute
+                + n_gwrites + n_greads + n_ashared
             )
-            msg = (
-                f"{self._blocks_live} block(s) still resident with no runnable "
-                f"warp (barrier divergence or unsatisfiable wait); "
-                f"{waiting} block slots affected"
+            st.shared_ops += n_shared
+            st.polls += n_polls
+            st.compute_ops += n_compute
+            st.global_writes += n_gwrites
+            st.global_reads += n_greads
+            st.atomics_shared += n_ashared
+            if n_shared:
+                stall["shared"] = stall.get("shared", 0.0) + s_shared
+            if n_polls:
+                stall["poll"] = stall.get("poll", 0.0) + s_poll
+            if n_compute:
+                stall["compute"] = stall.get("compute", 0.0) + s_compute
+            if n_gwrites:
+                stall["global_write"] = (
+                    stall.get("global_write", 0.0) + s_gwrite
+                )
+            if n_greads:
+                stall["global_read"] = stall.get("global_read", 0.0) + s_gread
+            if n_ashared:
+                stall["shared_atomic"] = (
+                    stall.get("shared_atomic", 0.0) + s_ashared
+                )
+
+    def _execute_cold(self, warp: _Warp, op: Op, t_issue: float) -> None:
+        """Rare instructions of the null-observer loop.
+
+        Mirrors the corresponding :meth:`_execute` branches with the
+        checker hooks elided (this path only runs when no checker is
+        attached).  ``instructions`` has already been counted by the
+        caller.
+        """
+        st = self.stats
+        tm = self.timing
+        ty = type(op)
+
+        if ty is Barrier:
+            st.barriers += 1
+            blk = warp.block
+            blk.barrier_waiting.append(warp)
+            warp.barrier_arrived_at = t_issue
+            self._maybe_release_barrier(blk, t_issue)
+
+        elif ty is Fence:
+            st.fences += 1
+            self._push(t_issue + tm.fence_cycles, warp)
+
+        elif ty is AtomicGlobal:
+            st.atomics_global += 1
+            done = self.atomics.request(op.addr, t_issue)
+            # Atomics also occupy crossbar/DRAM bandwidth.
+            self.memsys.request_write(t_issue, 1, 4)
+            warp.inbox = op.old
+            self._note(warp, "atomic", t_issue, done)
+            self._push(done, warp)
+
+        elif ty is AtomicGlobalMulti:
+            st.atomics_global += len(op.addrs)
+            done = t_issue
+            for addr in op.addrs:
+                done = max(done, self.atomics.request(addr, t_issue))
+            self.memsys.request_write(t_issue, len(op.addrs), 4 * len(op.addrs))
+            warp.inbox = tuple(op.olds)
+            self._note(warp, "atomic", t_issue, done)
+            self._push(done, warp)
+
+        elif ty is TextureRead:
+            st.texture_reads += 1
+            tex = warp.block.mp.texture
+            if tex is None:
+                raise LaunchError(
+                    "TextureRead in a launch without uses_texture=True"
+                )
+            hit_lines = miss_lines = 0
+            for addr, size in op.addrs:
+                h, m = tex.access(addr, size)
+                hit_lines += h
+                miss_lines += m
+            if miss_lines:
+                fill_bytes = miss_lines * self.config.texture_line_bytes
+                ntxn = max(1, fill_bytes // tm.txn_bytes)
+                done = self.memsys.request_read(t_issue, ntxn, fill_bytes)
+                done = max(done, t_issue + tm.texture_miss_latency)
+            else:
+                done = t_issue + tm.texture_hit_latency
+            self._note(warp, "texture", t_issue, done)
+            self._push(done, warp)
+
+        elif ty is Nop:
+            self._push(t_issue, warp)
+
+        else:  # pragma: no cover - defensive
+            raise KernelFault(f"unknown instruction {op!r}")
+
+    def _op_transactions(self, op: GlobalRead | GlobalWrite) -> int:
+        """Transaction count for a global access (memoized analysis)."""
+        if op.ntxn is not None:
+            return op.ntxn
+        if op.addrs is not None:
+            return scattered_transactions_cached(
+                op.addrs, self.timing.txn_bytes
             )
-            if checker is not None:
-                checker.note_deadlock(msg)
-            raise DeadlockError(msg)
+        return contiguous_transactions(
+            op.addr, op.nbytes, self.timing.txn_bytes
+        )
 
     def _retire_warp(self, warp: _Warp, t: float) -> None:
         warp.done = True
@@ -346,9 +721,7 @@ class Engine:
 
         elif type(op) is GlobalRead:
             st.global_reads += 1
-            ntxn = transactions_for(
-                addr=op.addr, nbytes=op.nbytes, addrs=op.addrs, seg=tm.txn_bytes
-            )
+            ntxn = self._op_transactions(op)
             nbytes = bytes_touched(nbytes=op.nbytes, addrs=op.addrs)
             if self.l2 is not None:
                 ranges = list(op.addrs) if op.addrs is not None else [
@@ -362,9 +735,7 @@ class Engine:
 
         elif type(op) is GlobalWrite:
             st.global_writes += 1
-            ntxn = transactions_for(
-                addr=op.addr, nbytes=op.nbytes, addrs=op.addrs, seg=tm.txn_bytes
-            )
+            ntxn = self._op_transactions(op)
             nbytes = bytes_touched(nbytes=op.nbytes, addrs=op.addrs)
             if self.l2 is not None:
                 ranges = list(op.addrs) if op.addrs is not None else [
@@ -522,3 +893,6 @@ class Engine:
         if self.l2 is not None:
             st.extra["l2_hits"] = self.l2.hits
             st.extra["l2_misses"] = self.l2.misses
+        hits, misses = _analysis_totals()
+        st.analysis_cache_hits = hits - self._cache_base[0]
+        st.analysis_cache_misses = misses - self._cache_base[1]

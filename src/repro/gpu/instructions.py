@@ -22,7 +22,7 @@ from typing import Callable, Sequence
 from .config import WARP_SIZE
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Op:
     """Base class for warp instructions."""
 
@@ -30,14 +30,14 @@ class Op:
     lanes: int = WARP_SIZE
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Compute(Op):
     """`cycles` of ALU work by the warp (already warp-normalised)."""
 
     cycles: float = 4.0
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class GlobalRead(Op):
     """A warp-wide read from global memory.
 
@@ -51,9 +51,14 @@ class GlobalRead(Op):
     addr: int = 0
     nbytes: int = 0
     addrs: Sequence[tuple[int, int]] | None = None
+    #: Precomputed transaction count (replay-plan fast path).  When
+    #: set, the engine charges exactly this many transactions instead
+    #: of re-running the coalescing analysis; producers must derive it
+    #: from the same analysis for identical timing.
+    ntxn: int | None = None
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class GlobalWrite(Op):
     """A warp-wide write to global memory (same addressing as reads).
 
@@ -65,9 +70,11 @@ class GlobalWrite(Op):
     addr: int = 0
     nbytes: int = 0
     addrs: Sequence[tuple[int, int]] | None = None
+    #: Precomputed transaction count (see :class:`GlobalRead`).
+    ntxn: int | None = None
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class SharedRead(Op):
     """A warp-wide shared-memory read.
 
@@ -79,13 +86,13 @@ class SharedRead(Op):
     conflict: int = 1
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class SharedWrite(Op):
     nbytes: int = 4 * WARP_SIZE
     conflict: int = 1
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class AtomicGlobal(Op):
     """A read-modify-write on a global address by one lane.
 
@@ -103,7 +110,7 @@ class AtomicGlobal(Op):
     lanes: int = 1
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class AtomicGlobalMulti(Op):
     """Several *independent* global atomics issued back-to-back.
 
@@ -119,7 +126,7 @@ class AtomicGlobalMulti(Op):
     lanes: int = 1
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class AtomicShared(Op):
     """A read-modify-write on a shared-memory cell by one lane."""
 
@@ -128,7 +135,7 @@ class AtomicShared(Op):
     lanes: int = 1
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class TextureRead(Op):
     """A warp-wide read through the read-only texture path.
 
@@ -141,17 +148,17 @@ class TextureRead(Op):
     addrs: Sequence[tuple[int, int]] = field(default_factory=tuple)
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Barrier(Op):
     """``__syncthreads()`` — all warps of the block must arrive."""
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Fence(Op):
     """``__threadfence_block()`` — ordering only, small fixed cost."""
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Poll(Op):
     """One busy-wait probe of a condition.
 
@@ -171,6 +178,6 @@ class Poll(Op):
     interval: float = 28.0
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Nop(Op):
     """Zero-cost marker (used by instrumentation hooks in tests)."""

@@ -19,7 +19,7 @@ from __future__ import annotations
 
 from typing import Any, Callable, Generator, Sequence
 
-from .banks import conflict_degree
+from .banks import conflict_degree_cached
 from .config import WARP_SIZE, DeviceConfig
 from .engine import Engine, _BlockRt
 from .instructions import (
@@ -121,6 +121,17 @@ class WarpCtx:
         return eng.checker if eng is not None else None
 
     @property
+    def can_elide_gmem_addrs(self) -> bool:
+        """Whether replay plans may charge global reads by transaction
+        count alone (no per-lane addresses on the descriptor).
+
+        False when an L2 cache or sanitizer is attached — both need
+        the real address ranges.
+        """
+        eng = self._engine
+        return eng is not None and eng.l2 is None and eng.checker is None
+
+    @property
     def lane_ids(self) -> range:
         return range(WARP_SIZE)
 
@@ -187,7 +198,7 @@ class WarpCtx:
 
     def stouch(self, nbytes: int, *, write: bool = False, word_addrs: Sequence[int] | None = None):
         """Charge a shared access without moving functional bytes."""
-        conflict = conflict_degree(word_addrs) if word_addrs else 1
+        conflict = conflict_degree_cached(word_addrs) if word_addrs else 1
         if write:
             yield SharedWrite(nbytes=nbytes, conflict=conflict)
         else:

@@ -13,6 +13,7 @@ host, which is exactly how the framework uses this class).
 from __future__ import annotations
 
 import struct
+import sys
 
 import numpy as np
 
@@ -83,13 +84,20 @@ class GlobalMemory:
                 f"allocated [0, {self._brk})"
             )
 
+    # The hot accessors below test bounds inline and only call
+    # :meth:`_check` on failure (for its message) — a per-access
+    # method call the simulator's hot path can't afford.
+
     def read(self, addr: int, nbytes: int) -> bytes:
-        self._check(addr, nbytes)
+        if addr < 0 or nbytes < 0 or addr + nbytes > self._brk:
+            self._check(addr, nbytes)
         return bytes(self._buf[addr : addr + nbytes])
 
     def write(self, addr: int, data: bytes | bytearray | memoryview) -> None:
-        self._check(addr, len(data))
-        self._buf[addr : addr + len(data)] = data
+        nbytes = len(data)
+        if addr < 0 or addr + nbytes > self._brk:
+            self._check(addr, nbytes)
+        self._buf[addr : addr + nbytes] = data
 
     def view(self, addr: int, nbytes: int) -> memoryview:
         """Zero-copy view; use for large result extraction."""
@@ -101,14 +109,13 @@ class GlobalMemory:
     # ------------------------------------------------------------------
 
     def read_u32(self, addr: int) -> int:
-        return _U32.unpack_from(self._buf, addr)[0] if self._ok4(addr) else 0
-
-    def _ok4(self, addr: int) -> bool:
-        self._check(addr, 4)
-        return True
+        if addr < 0 or addr + 4 > self._brk:
+            self._check(addr, 4)
+        return _U32.unpack_from(self._buf, addr)[0]
 
     def write_u32(self, addr: int, value: int) -> None:
-        self._check(addr, 4)
+        if addr < 0 or addr + 4 > self._brk:
+            self._check(addr, 4)
         _U32.pack_into(self._buf, addr, value & 0xFFFFFFFF)
 
     def read_i32(self, addr: int) -> int:
@@ -178,6 +185,7 @@ class SharedMemory:
             raise ValueError("shared memory size must be positive")
         self.size = int(size)
         self._buf = bytearray(self.size)
+        self._u32view = None
         #: Optional access observer (the sanitizer's race detector);
         #: when set, every functional read/write/atomic is reported.
         self.observer = None
@@ -188,17 +196,23 @@ class SharedMemory:
                 f"shared access [{off}, {off + nbytes}) outside [0, {self.size})"
             )
 
+    # Hot accessors test bounds inline; :meth:`_check` is only called
+    # on failure, for its error message (see GlobalMemory).
+
     def read(self, off: int, nbytes: int) -> bytes:
-        self._check(off, nbytes)
+        if off < 0 or nbytes < 0 or off + nbytes > self.size:
+            self._check(off, nbytes)
         if self.observer is not None:
             self.observer.on_read(off, nbytes)
         return bytes(self._buf[off : off + nbytes])
 
     def write(self, off: int, data: bytes | bytearray | memoryview) -> None:
-        self._check(off, len(data))
-        self._buf[off : off + len(data)] = data
+        nbytes = len(data)
+        if off < 0 or off + nbytes > self.size:
+            self._check(off, nbytes)
+        self._buf[off : off + nbytes] = data
         if self.observer is not None:
-            self.observer.on_write(off, len(data))
+            self.observer.on_write(off, nbytes)
 
     def fill(self, off: int, nbytes: int, byte: int = 0) -> None:
         self._check(off, nbytes)
@@ -207,10 +221,41 @@ class SharedMemory:
             self.observer.on_write(off, nbytes)
 
     def read_u32(self, off: int) -> int:
-        self._check(off, 4)
+        if off < 0 or off + 4 > self.size:
+            self._check(off, 4)
         if self.observer is not None:
             self.observer.on_read(off, 4)
         return _U32.unpack_from(self._buf, off)[0]
+
+    def flag_checker(self, off: int, value: int, *, negate: bool = False):
+        """Build the cheapest closure testing one aligned word.
+
+        Poll probes evaluate their condition once per simulated probe,
+        which makes the closure itself hot.  Without an observer the
+        word can be read straight out of a cached ``memoryview`` (no
+        bounds re-check, no struct unpack); with one attached, probes
+        must remain visible to the race checker, so the closure goes
+        through :meth:`read_u32`.  Timing is unaffected either way.
+        """
+        if (
+            self.observer is None
+            and off % 4 == 0
+            and self.size % 4 == 0
+            and sys.byteorder == "little"
+        ):
+            mv = self._u32view
+            if mv is None:
+                mv = self._u32view = memoryview(self._buf).cast("I")
+            idx = off >> 2
+            if not 0 <= idx < len(mv):
+                self._check(off, 4)
+            if negate:
+                return lambda: mv[idx] != value
+            return lambda: mv[idx] == value
+        read = self.read_u32
+        if negate:
+            return lambda: read(off) != value
+        return lambda: read(off) == value
 
     def peek_u32(self, off: int) -> int:
         """Read a word *without* notifying the observer (checker
@@ -219,7 +264,8 @@ class SharedMemory:
         return _U32.unpack_from(self._buf, off)[0]
 
     def write_u32(self, off: int, value: int) -> None:
-        self._check(off, 4)
+        if off < 0 or off + 4 > self.size:
+            self._check(off, 4)
         _U32.pack_into(self._buf, off, value & 0xFFFFFFFF)
         if self.observer is not None:
             self.observer.on_write(off, 4)
@@ -249,7 +295,8 @@ class SharedMemory:
             self.observer.on_write(off, 4)
 
     def atomic_add_u32(self, off: int, delta: int) -> int:
-        self._check(off, 4)
+        if off < 0 or off + 4 > self.size:
+            self._check(off, 4)
         old = _U32.unpack_from(self._buf, off)[0]
         _U32.pack_into(self._buf, off, (old + delta) & 0xFFFFFFFF)
         if self.observer is not None:

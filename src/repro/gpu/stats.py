@@ -48,6 +48,13 @@ class KernelStats:
     texture_hits: int = 0
     texture_misses: int = 0
 
+    #: Access-pattern analysis cache activity during this launch
+    #: (coalescing + bank-conflict memo tables, see
+    #: :mod:`repro.gpu.analysis_cache`).  Purely diagnostic: cache hits
+    #: never change timing, only how fast the simulator computes it.
+    analysis_cache_hits: int = 0
+    analysis_cache_misses: int = 0
+
     #: Launch geometry.
     grid_blocks: int = 0
     threads_per_block: int = 0

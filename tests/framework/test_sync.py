@@ -151,6 +151,46 @@ class TestProtocol:
         # The signaller had to poll across the ~50000-cycle delay.
         assert st.polls >= 5
 
+    def test_uncontended_wait_yields_no_poll(self):
+        """Uncontended fast path: a waiter that arrives after the
+        signal flags are already up acknowledges immediately — its
+        wait() yields exactly one shared write (the seen-flag stouch)
+        and NO Poll op, i.e. zero extra simulated events.  A non-last
+        waiter is used so the cleanup branch (which legitimately polls
+        for the signaller's flag clear) stays out of the picture."""
+        from repro.gpu.instructions import Poll, SharedWrite
+
+        dev = make_device()
+        ws = WaitSignal(base_off=0, n_warps=4, signal_group=(0,),
+                        wait_group=(1, 2))
+        ops = []
+
+        def k(ctx):
+            if ctx.warp_id == 0:
+                yield from ws.signal(ctx)
+            elif ctx.warp_id == 1:
+                # Arrive long after the signal flag went up, but
+                # before waiter 2 (so this is not the last waiter).
+                yield from ctx.compute(30000)
+                gen = ws.wait(ctx)
+                res = None
+                while True:
+                    try:
+                        op = gen.send(res)
+                    except StopIteration:
+                        break
+                    ops.append(op)
+                    res = yield op
+            elif ctx.warp_id == 2:
+                yield from ctx.compute(60000)
+                yield from ws.wait(ctx)
+            else:
+                yield from ctx.compute(1)
+
+        dev.launch(k, grid=1, block=128, smem_bytes=256)
+        assert not any(isinstance(op, Poll) for op in ops)
+        assert [type(op) for op in ops] == [SharedWrite]
+
     def test_fence_charged(self):
         dev = make_device()
         ws = WaitSignal(base_off=0, n_warps=2, signal_group=(0,), wait_group=(1,))
