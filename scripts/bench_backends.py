@@ -13,12 +13,17 @@ Two artifacts, committed at the repo root as the PRs' perf evidence:
   **on a multi-core host** — the artifact records ``cpu_count`` so a
   single-core container's numbers (where a process pool can only add
   overhead) are legible as such.
+* ``BENCH_obs.json`` (``--obs``) — observability overhead on the fast
+  backend: the same job with everything off (no tracer, ledger
+  disabled) vs everything on (dual-clock tracer + run ledger).
+  Acceptance bar: < 5% overhead.
 
 Usage::
 
     PYTHONPATH=src python scripts/bench_backends.py [--out PATH]
     PYTHONPATH=src python scripts/bench_backends.py --parallel \\
         [--parallel-out PATH] [--workers 1,2,4,8]
+    PYTHONPATH=src python scripts/bench_backends.py --obs [--obs-out PATH]
 """
 
 from __future__ import annotations
@@ -47,6 +52,11 @@ PARALLEL_CASES = [
     ("wordcount", WordCount, "medium", ReduceStrategy.BR),
     ("wordcount", WordCount, "large", ReduceStrategy.BR),
     ("kmeans", KMeans, "medium", ReduceStrategy.BR),
+]
+
+OBS_CASES = [
+    ("wordcount", WordCount, "medium"),
+    ("kmeans", KMeans, "medium"),
 ]
 
 
@@ -117,6 +127,87 @@ def bench_parallel(out_path: str, repeats: int, workers: list[int]) -> int:
     return 0
 
 
+def bench_obs(out_path: str, repeats: int) -> int:
+    """Observability overhead: fast backend with obs off vs fully on.
+
+    *Off* is the zero-instrumentation floor (no tracer attached,
+    ``REPRO_LEDGER=0``); *on* is what ``repro-trace`` does — a
+    dual-clock :class:`Tracer` plus a ledger append per run (pointed
+    at a temp dir so the benchmark doesn't pollute ``.repro/``).
+    """
+    import tempfile
+
+    from repro.obs.tracer import Tracer
+
+    def timed(spec, inp, tracer_factory) -> float:
+        best = float("inf")
+        for _ in range(repeats):
+            tracer = tracer_factory() if tracer_factory else None
+            t0 = time.perf_counter()
+            run_job(spec, inp, mode=MemoryMode.SIO,
+                    strategy=ReduceStrategy.TR, backend="fast",
+                    tracer=tracer)
+            best = min(best, time.perf_counter() - t0)
+        return best
+
+    saved = {k: os.environ.get(k) for k in ("REPRO_LEDGER",
+                                            "REPRO_LEDGER_DIR")}
+    results = []
+    try:
+        for name, cls, size in OBS_CASES:
+            w = cls()
+            inp = w.generate(size, seed=0)
+            spec = w.spec_for_size(size, seed=0)
+            os.environ["REPRO_LEDGER"] = "0"
+            off_s = timed(spec, inp, None)
+            with tempfile.TemporaryDirectory() as tmp:
+                os.environ["REPRO_LEDGER"] = "1"
+                os.environ["REPRO_LEDGER_DIR"] = tmp
+                on_s = timed(
+                    spec, inp,
+                    lambda: Tracer(kernel_detail=False, wall_clock=True),
+                )
+            overhead = (on_s - off_s) / off_s
+            results.append({
+                "workload": name,
+                "size": size,
+                "records": len(inp),
+                "obs_off_wall_s": round(off_s, 4),
+                "obs_on_wall_s": round(on_s, 4),
+                "overhead_pct": round(overhead * 100, 2),
+            })
+            print(f"{name:10s} {size:6s} obs-off {off_s:8.4f}s  "
+                  f"obs-on {on_s:8.4f}s  overhead {overhead:+7.2%}")
+    finally:
+        for k, v in saved.items():
+            if v is None:
+                os.environ.pop(k, None)
+            else:
+                os.environ[k] = v
+
+    doc = {
+        "description": "Observability overhead on the fast backend: "
+                       "obs-off = no tracer + REPRO_LEDGER=0; obs-on = "
+                       "dual-clock Tracer (kernel_detail off, as "
+                       "repro-trace uses for fast) + one ledger append. "
+                       "Best of N runs; bar: < 5% overhead.",
+        "repeats": repeats,
+        "python": platform.python_version(),
+        "results": results,
+    }
+    with open(out_path, "w", encoding="utf-8") as fh:
+        json.dump(doc, fh, indent=2)
+        fh.write("\n")
+    print(f"wrote {out_path}")
+
+    worst = max(r["overhead_pct"] for r in results)
+    if worst >= 5.0:
+        print(f"WARNING: observability overhead {worst:.2f}% is above "
+              "the 5% acceptance bar")
+        return 1
+    return 0
+
+
 def main(argv=None) -> int:
     p = argparse.ArgumentParser(description=__doc__)
     p.add_argument("--out", default=str(
@@ -130,8 +221,15 @@ def main(argv=None) -> int:
         Path(__file__).resolve().parent.parent / "BENCH_parallel.json"))
     p.add_argument("--workers", default="1,2,4,8",
                    help="comma-separated worker counts for --parallel")
+    p.add_argument("--obs", action="store_true",
+                   help="benchmark observability overhead (tracer + "
+                        "ledger) on the fast backend")
+    p.add_argument("--obs-out", default=str(
+        Path(__file__).resolve().parent.parent / "BENCH_obs.json"))
     args = p.parse_args(argv)
 
+    if args.obs:
+        return bench_obs(args.obs_out, args.repeats)
     if args.parallel:
         workers = [int(n) for n in args.workers.split(",") if n.strip()]
         return bench_parallel(args.parallel_out, args.repeats, workers)

@@ -14,10 +14,17 @@ regenerate the baseline with::
     PYTHONPATH=src python scripts/profile_sim.py --bench \\
         --out BENCH_sim_opt.json
 
+When the run ledger (``.repro/runs.jsonl``, see ``repro.obs.ledger``)
+holds sim *and* fast runs of a case's workload over the same input,
+the rolling median of their wall-time ratio becomes that case's
+baseline instead of the committed JSON — recent runs on *this* runner
+beat a snapshot from whatever machine regenerated the file last.
+
 Usage::
 
     PYTHONPATH=src python scripts/perf_gate.py [--repeats 3]
         [--tolerance 0.25] [--baseline BENCH_sim_opt.json]
+        [--ledger .repro/runs.jsonl | --no-ledger]
 """
 
 from __future__ import annotations
@@ -30,8 +37,46 @@ import sys
 _HERE = os.path.dirname(os.path.abspath(__file__))
 _ROOT = os.path.dirname(_HERE)
 sys.path.insert(0, _HERE)
+sys.path.insert(0, os.path.join(_ROOT, "src"))
 
 from profile_sim import _measure_tree  # noqa: E402
+
+
+def _median(values):
+    ordered = sorted(values)
+    n = len(ordered)
+    mid = n // 2
+    if n % 2:
+        return ordered[mid]
+    return (ordered[mid - 1] + ordered[mid]) / 2.0
+
+
+def _ledger_ratios(path: str) -> dict[str, float]:
+    """Per-workload sim/fast wall ratio from the run ledger.
+
+    Only runs of the *same input* (matching ``input_digest``) are
+    compared; each digest group contributes the ratio of its median
+    sim wall time to its median fast wall time, and a workload's
+    baseline is the median over its groups.
+    """
+    from repro.obs.ledger import read_ledger
+
+    by_input: dict[tuple, dict[str, list[float]]] = {}
+    for rec in read_ledger(path):
+        backend = rec.get("backend")
+        wall = rec.get("wall_s")
+        if backend not in ("sim", "fast") or not wall:
+            continue
+        key = (rec.get("workload"), rec.get("input_digest"),
+               rec.get("mode"), rec.get("strategy"))
+        by_input.setdefault(key, {}).setdefault(backend, []).append(wall)
+    ratios: dict[str, list[float]] = {}
+    for (workload, _digest, _mode, _strategy), sides in by_input.items():
+        if sides.get("sim") and sides.get("fast"):
+            ratios.setdefault(str(workload), []).append(
+                _median(sides["sim"]) / _median(sides["fast"])
+            )
+    return {w: _median(rs) for w, rs in ratios.items()}
 
 
 def main(argv=None) -> int:
@@ -40,6 +85,13 @@ def main(argv=None) -> int:
     p.add_argument("--repeats", type=int, default=3)
     p.add_argument("--tolerance", type=float, default=0.25,
                    help="allowed relative ratio increase (0.25 = 25%%)")
+    p.add_argument("--ledger",
+                   default=os.path.join(_ROOT, ".repro", "runs.jsonl"),
+                   help="run ledger to derive per-workload baselines "
+                        "from (falls back to --baseline per case)")
+    p.add_argument("--no-ledger", action="store_true",
+                   help="ignore the ledger; use the committed baseline "
+                        "only")
     args = p.parse_args(argv)
 
     with open(args.baseline) as f:
@@ -49,18 +101,23 @@ def main(argv=None) -> int:
         print("perf-gate: no small cases in baseline", file=sys.stderr)
         return 2
 
+    ledger_base = {} if args.no_ledger else _ledger_ratios(args.ledger)
     failed = False
     for row in cases:
         workload, size = row["workload"], row["size"]
         _, sim_cpu = _measure_tree(_ROOT, workload, size, args.repeats, "sim")
         _, fast_cpu = _measure_tree(_ROOT, workload, size, args.repeats, "fast")
         ratio = sim_cpu / fast_cpu
-        base = row["sim_over_fast"]
+        if workload in ledger_base:
+            base, source = ledger_base[workload], "ledger"
+        else:
+            base, source = row["sim_over_fast"], "bench"
         limit = base * (1.0 + args.tolerance)
         verdict = "FAIL" if ratio > limit else "ok"
         print(f"{workload}-{size}: sim {sim_cpu:.3f}s-cpu fast "
               f"{fast_cpu:.3f}s-cpu ratio {ratio:.1f} "
-              f"(baseline {base:.1f}, limit {limit:.1f}) {verdict}")
+              f"(baseline {base:.1f} [{source}], limit {limit:.1f}) "
+              f"{verdict}")
         if ratio > limit:
             failed = True
 

@@ -121,3 +121,12 @@ class ExecutionBackend(abc.ABC):
         did not run one (the default: only the sim backend simulates
         the machine state the detectors watch)."""
         return None
+
+    # -- telemetry ------------------------------------------------------
+
+    def finish_telemetry(self, ctx: Any):
+        """Per-shard :class:`~repro.obs.telemetry.ShardProfile` list
+        collected during the job, or None when this backend has no
+        cross-process workers to profile (the default: only the
+        parallel backend ships work to other processes)."""
+        return None

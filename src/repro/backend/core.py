@@ -19,10 +19,14 @@ a future hook lands in one place, not four.
 
 from __future__ import annotations
 
+import time
+
 from ..framework.host import host_download_cost
 from ..framework.job import JobResult, PhaseTimings
 from ..framework.records import KeyValueSet
 from ..gpu.stats import KernelStats
+from ..obs import ledger
+from ..obs.telemetry import summarize_workers
 from ..obs.tracer import NULL_TRACER, Tracer
 from .base import ExecutionBackend
 from .plan import JobPlan
@@ -45,6 +49,20 @@ def _apply_check(backend: ExecutionBackend, ctx, tr, result: JobResult) -> None:
     report.raise_if_findings()
 
 
+def _apply_telemetry(backend: ExecutionBackend, ctx, result: JobResult) -> None:
+    """Harvest cross-process worker profiles (if any) into the result.
+
+    The parallel backend banks one :class:`~repro.obs.telemetry.
+    ShardProfile` per shard per sharded phase; the straggler summary
+    is derived here so every caller sees it on ``JobResult``.
+    """
+    profiles = backend.finish_telemetry(ctx)
+    if not profiles:
+        return
+    result.worker_profiles = profiles
+    result.straggler = summarize_workers(profiles)
+
+
 def execute_plan(
     plan: JobPlan,
     inp: KeyValueSet,
@@ -61,11 +79,15 @@ def execute_plan(
         raise ValueError("execute_plan does not take a batched plan; "
                          "use execute_streamed")
     tr = tracer if tracer is not None else NULL_TRACER
+    wall_t0 = time.perf_counter()
     ctx = backend.open(plan)
     try:
-        return _execute_plan(plan, inp, backend, ctx, tr)
+        result = _execute_plan(plan, inp, backend, ctx, tr)
     finally:
         backend.close(ctx)
+    ledger.record_run(ctx.plan, inp, backend, result,
+                      wall_s=time.perf_counter() - wall_t0)
+    return result
 
 
 def _execute_plan(plan, inp, backend, ctx, tr) -> JobResult:
@@ -103,6 +125,7 @@ def _execute_plan(plan, inp, backend, ctx, tr) -> JobResult:
                 timings=timings,
                 map_stats=map_stats,
             )
+            _apply_telemetry(backend, ctx, result)
             _apply_check(backend, ctx, tr, result)
             return result
 
@@ -135,6 +158,7 @@ def _execute_plan(plan, inp, backend, ctx, tr) -> JobResult:
             map_stats=map_stats,
             reduce_stats=red_stats,
         )
+        _apply_telemetry(backend, ctx, result)
         _apply_check(backend, ctx, tr, result)
     return result
 
@@ -156,11 +180,15 @@ def execute_streamed(
     if plan.batching is None:
         raise ValueError("execute_streamed needs a plan with batching")
     tr = tracer if tracer is not None else NULL_TRACER
+    wall_t0 = time.perf_counter()
     ctx = backend.open(plan)
     try:
-        return _execute_streamed(plan, inp, backend, ctx, tr)
+        result = _execute_streamed(plan, inp, backend, ctx, tr)
     finally:
         backend.close(ctx)
+    ledger.record_run(ctx.plan, inp, backend, result.job,
+                      wall_s=time.perf_counter() - wall_t0, streamed=True)
+    return result
 
 
 def _execute_streamed(plan, inp, backend, ctx, tr):
@@ -222,6 +250,7 @@ def _execute_streamed(plan, inp, backend, ctx, tr):
                     intermediate, ctx.config
                 ).cycles
                 tr.advance(timings.io_out)
+            _apply_telemetry(backend, ctx, result.job)
             _apply_check(backend, ctx, tr, result.job)
             return result
 
@@ -245,5 +274,6 @@ def _execute_streamed(plan, inp, backend, ctx, tr):
             tr.advance(timings.io_out)
         result.job.output = output
         result.job.reduce_stats = red_stats
+        _apply_telemetry(backend, ctx, result.job)
         _apply_check(backend, ctx, tr, result.job)
         return result

@@ -113,22 +113,31 @@ class FastBackend(ExecutionBackend):
         emit = _emit_into(out)
         const = _accessor(spec.const_bytes) if spec.const_bytes else None
         map_record = spec.map_record
-        for k, v in d_in:
-            map_record(_accessor(k), _accessor(v), emit, const)
+        # Host-execution sub-span: zero sim cycles by design, but under
+        # a dual-clock tracer it carries the real wall time of the loop
+        # — this is what makes `repro-trace --backend fast` non-empty.
+        with tr.span("map_exec", records=len(d_in)) as sp:
+            for k, v in d_in:
+                map_record(_accessor(k), _accessor(v), emit, const)
+            if sp is not None:
+                sp.attrs["emitted"] = len(out)
         stats = _phase_stats(ctx, records_in=len(d_in), records_out=len(out))
         attrs = {"batch": batch} if batch is not None else {}
         tr.kernel("map_kernel", stats, **attrs)
         return out, stats
 
     def shuffle_phase(self, ctx, inter, tr, label):
-        groups: dict[bytes, list[bytes]] = {}
-        for k, v in inter:
-            bucket = groups.get(k)
-            if bucket is None:
-                groups[k] = [v]
-            else:
-                bucket.append(v)
-        grouped = sorted(groups.items())
+        with tr.span("shuffle_exec", records=len(inter)) as sp:
+            groups: dict[bytes, list[bytes]] = {}
+            for k, v in inter:
+                bucket = groups.get(k)
+                if bucket is None:
+                    groups[k] = [v]
+                else:
+                    bucket.append(v)
+            grouped = sorted(groups.items())
+            if sp is not None:
+                sp.attrs["groups"] = len(grouped)
         return grouped, 0.0, len(grouped)
 
     def reduce_phase(self, ctx, grouped, tr, *, include_grid=True):
@@ -150,27 +159,30 @@ class FastBackend(ExecutionBackend):
         out = KeyValueSet()
         emit = _emit_into(out)
         const = _accessor(spec.const_bytes) if spec.const_bytes else None
-        if strategy is ReduceStrategy.BR and not plan.is_mars:
-            combine, finalize = spec.combine, spec.finalize
-            for key, values in grouped:
-                acc = _fold(combine, values)
-                k_out, v_out = finalize(key, acc, len(values))
-                out.append(bytes(k_out), bytes(v_out))
-        else:
-            reduce_record = spec.reduce_record
-            cache: dict[bytes, Accessor] = {}
+        with tr.span("reduce_exec", groups=len(grouped)) as sp:
+            if strategy is ReduceStrategy.BR and not plan.is_mars:
+                combine, finalize = spec.combine, spec.finalize
+                for key, values in grouped:
+                    acc = _fold(combine, values)
+                    k_out, v_out = finalize(key, acc, len(values))
+                    out.append(bytes(k_out), bytes(v_out))
+            else:
+                reduce_record = spec.reduce_record
+                cache: dict[bytes, Accessor] = {}
 
-            def acc_of(data: bytes) -> Accessor:
-                a = cache.get(data)
-                if a is None:
-                    a = _accessor(data)
-                    cache[data] = a
-                return a
+                def acc_of(data: bytes) -> Accessor:
+                    a = cache.get(data)
+                    if a is None:
+                        a = _accessor(data)
+                        cache[data] = a
+                    return a
 
-            for key, values in grouped:
-                reduce_record(
-                    acc_of(key), [acc_of(v) for v in values], emit, const
-                )
+                for key, values in grouped:
+                    reduce_record(
+                        acc_of(key), [acc_of(v) for v in values], emit, const
+                    )
+            if sp is not None:
+                sp.attrs["emitted"] = len(out)
         n_in = sum(len(values) for _, values in grouped)
         stats = _phase_stats(ctx, records_in=n_in, records_out=len(out))
         tr.kernel("reduce_kernel", stats)

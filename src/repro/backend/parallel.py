@@ -41,6 +41,7 @@ from __future__ import annotations
 
 import multiprocessing
 import os
+import time
 from functools import reduce as _fold
 from typing import Any
 
@@ -50,6 +51,7 @@ from ..framework.modes import ReduceStrategy, effective_reduce_mode
 from ..framework.records import KeyValueSet
 from ..gpu.accessor import Accessor
 from ..gpu.stats import KernelStats
+from ..obs.telemetry import ShardProfile
 from .base import ExecutionBackend
 from .fast import NULL_TRACE, FastBackend, FastContext
 from .plan import JobPlan
@@ -119,12 +121,16 @@ def _collecting_emit(out: list[tuple[bytes, bytes]]):
 def _map_shard(task) -> tuple:
     """Map one shard; optionally partial-combine its emissions.
 
-    Returns ``("pairs", emitted)`` or, under a BR partial combine,
-    ``("combined", n_emitted, [(key, (acc, count)), ...])`` with keys
-    in first-emission order.
+    Returns ``("pairs", emitted, profile)`` or, under a BR partial
+    combine, ``("combined", n_emitted, [(key, (acc, count)), ...],
+    profile)`` with keys in first-emission order.  The
+    :class:`~repro.obs.telemetry.ShardProfile` records the shard's
+    wall-clock bounds and throughput for the coordinator's per-worker
+    tracks and straggler summary.
     """
-    pairs, do_combine = task
+    shard, pairs, do_combine = task
     spec = _WORKER_SPEC
+    t0 = time.perf_counter_ns()
     out: list[tuple[bytes, bytes]] = []
     emit = _collecting_emit(out)
     const = _accessor(spec.const_bytes) if spec.const_bytes else None
@@ -132,42 +138,60 @@ def _map_shard(task) -> tuple:
     for k, v in pairs:
         map_record(_accessor(k), _accessor(v), emit, const)
     if not do_combine:
-        return ("pairs", out)
+        t1 = time.perf_counter_ns()
+        profile = ShardProfile(
+            phase="map", shard=shard, pid=os.getpid(),
+            start_ns=t0, end_ns=t1, records_in=len(pairs),
+            records_out=len(out), distinct_keys=len({k for k, _ in out}),
+        )
+        return ("pairs", out, profile)
+    t_combine = time.perf_counter_ns()
     combine = spec.combine
     acc: dict[bytes, tuple[bytes, int]] = {}
     for k, v in out:
         cur = acc.get(k)
         acc[k] = (v, 1) if cur is None else (combine(cur[0], v), cur[1] + 1)
-    return ("combined", len(out), list(acc.items()))
+    t1 = time.perf_counter_ns()
+    profile = ShardProfile(
+        phase="map", shard=shard, pid=os.getpid(),
+        start_ns=t0, end_ns=t1, records_in=len(pairs),
+        records_out=len(out), distinct_keys=len(acc),
+        combined=True, combine_ns=t1 - t_combine,
+    )
+    return ("combined", len(out), list(acc.items()), profile)
 
 
-def _reduce_range(task) -> list[tuple[bytes, bytes]]:
+def _reduce_range(task) -> tuple[list[tuple[bytes, bytes]], ShardProfile]:
     """Reduce one contiguous range of key groups.
 
-    ``("plain", groups)`` carries ``(key, [value, ...])`` groups and
-    runs the strategy exactly like the fast backend; ``("combined",
-    groups)`` carries ``(key, [(acc, count), ...])`` partial combines
-    (in shard order) and finishes the BR fold.
+    ``(shard, "plain", groups)`` carries ``(key, [value, ...])``
+    groups and runs the strategy exactly like the fast backend;
+    ``(shard, "combined", groups)`` carries ``(key, [(acc, count),
+    ...])`` partial combines (in shard order) and finishes the BR
+    fold.  Returns ``(records, profile)``.
     """
-    kind, groups = task
+    shard, kind, groups = task
     spec = _WORKER_SPEC
+    t0 = time.perf_counter_ns()
     out: list[tuple[bytes, bytes]] = []
     emit = _collecting_emit(out)
     const = _accessor(spec.const_bytes) if spec.const_bytes else None
     if kind == "combined":
+        n_values = sum(c for _, parts in groups for _, c in parts)
         combine, finalize = spec.combine, spec.finalize
         for key, parts in groups:
             acc = _fold(combine, (a for a, _ in parts))
             k_out, v_out = finalize(key, acc, sum(c for _, c in parts))
             out.append((bytes(k_out), bytes(v_out)))
-        return out
+        return out, _reduce_profile(shard, t0, n_values, len(groups), out)
+    n_values = sum(len(values) for _, values in groups)
     if _WORKER_STRATEGY is ReduceStrategy.BR and not _WORKER_IS_MARS:
         combine, finalize = spec.combine, spec.finalize
         for key, values in groups:
             acc = _fold(combine, values)
             k_out, v_out = finalize(key, acc, len(values))
             out.append((bytes(k_out), bytes(v_out)))
-        return out
+        return out, _reduce_profile(shard, t0, n_values, len(groups), out)
     reduce_record = spec.reduce_record
     cache: dict[bytes, Accessor] = {}
 
@@ -180,7 +204,17 @@ def _reduce_range(task) -> list[tuple[bytes, bytes]]:
 
     for key, values in groups:
         reduce_record(acc_of(key), [acc_of(v) for v in values], emit, const)
-    return out
+    return out, _reduce_profile(shard, t0, n_values, len(groups), out)
+
+
+def _reduce_profile(shard: int, t0: int, n_values: int, n_groups: int,
+                    out: list) -> ShardProfile:
+    return ShardProfile(
+        phase="reduce", shard=shard, pid=os.getpid(),
+        start_ns=t0, end_ns=time.perf_counter_ns(),
+        records_in=n_values, records_out=len(out),
+        distinct_keys=n_groups,
+    )
 
 
 # ----------------------------------------------------------------------
@@ -218,13 +252,16 @@ class _CombinedGroups:
 class ParallelContext:
     """Per-job state: the inner fast context plus the worker pool."""
 
-    __slots__ = ("fast", "workers", "min_records", "pool")
+    __slots__ = ("fast", "workers", "min_records", "pool", "profiles")
 
     def __init__(self, fast: FastContext, workers: int, min_records: int):
         self.fast = fast
         self.workers = workers
         self.min_records = min_records
         self.pool = None
+        #: Shard profiles shipped back from pool workers, in phase
+        #: order; harvested by :meth:`ParallelBackend.finish_telemetry`.
+        self.profiles: list[ShardProfile] = []
 
     # The execution core reads/writes ``ctx.plan`` and reads
     # ``ctx.config``; keep the inner fast context authoritative.
@@ -345,9 +382,10 @@ class ParallelBackend(ExecutionBackend):
         do_combine = self._want_combine(plan, streamed=batch is not None)
         slices = shard_slices(len(d_in), ctx.workers)
         keys, vals = d_in.keys, d_in.values
-        tasks = [(list(zip(keys[lo:hi], vals[lo:hi])), do_combine)
-                 for lo, hi in slices]
+        tasks = [(shard, list(zip(keys[lo:hi], vals[lo:hi])), do_combine)
+                 for shard, (lo, hi) in enumerate(slices)]
         results = pool.map(_map_shard, tasks, chunksize=1)
+        self._record_profiles(ctx, tr, [r[-1] for r in results])
 
         if do_combine:
             emit_count = sum(r[1] for r in results)
@@ -357,7 +395,7 @@ class ParallelBackend(ExecutionBackend):
         else:
             out = KeyValueSet()
             append = out.append_unchecked
-            for _, pairs in results:
+            for _, pairs, _profile in results:
                 for k, v in pairs:
                     append(k, v)
             emit_count = len(out)
@@ -413,17 +451,19 @@ class ParallelBackend(ExecutionBackend):
         kind = "combined" if combined else "plain"
 
         if pool is None:
-            chunks = [_reduce_range_inproc(ctx, kind, groups)]
+            results = [_reduce_range_inproc(ctx, kind, groups)]
             n_ranges = 1
         else:
             slices = shard_slices(len(groups), ctx.workers)
-            tasks = [(kind, groups[lo:hi]) for lo, hi in slices]
-            chunks = pool.map(_reduce_range, tasks, chunksize=1)
+            tasks = [(shard, kind, groups[lo:hi])
+                     for shard, (lo, hi) in enumerate(slices)]
+            results = pool.map(_reduce_range, tasks, chunksize=1)
             n_ranges = len(slices)
+            self._record_profiles(ctx, tr, [p for _, p in results])
 
         out = KeyValueSet()
         append = out.append_unchecked
-        for chunk in chunks:  # range order = sorted key order
+        for chunk, _profile in results:  # range order = sorted key order
             for k, v in chunk:
                 append(k, v)
         stats = self._phase_stats(ctx, records_in=n_values,
@@ -432,6 +472,27 @@ class ParallelBackend(ExecutionBackend):
             stats.count("parallel_combined_in", len(groups))
         tr.kernel("reduce_kernel", stats)
         return out, stats
+
+    # -- telemetry ------------------------------------------------------
+
+    @staticmethod
+    def _record_profiles(ctx: ParallelContext, tr,
+                         profiles: list[ShardProfile]) -> None:
+        """Bank shard profiles on the context and merge them into the
+        tracer as per-worker tracks (shard index = track id)."""
+        ctx.profiles.extend(profiles)
+        for p in profiles:
+            tr.worker_span(
+                p.shard, f"{p.phase}_shard", p.start_ns, p.end_ns,
+                pid=p.pid, records_in=p.records_in,
+                records_out=p.records_out, distinct_keys=p.distinct_keys,
+                combine_ns=p.combine_ns if p.combined else None,
+            )
+
+    def finish_telemetry(self, ctx: ParallelContext):
+        """Shard profiles collected this job (empty -> None: in-process
+        fallback runs have no cross-process telemetry to report)."""
+        return ctx.profiles or None
 
     @staticmethod
     def _phase_stats(ctx, *, records_in: int, records_out: int,
@@ -451,6 +512,6 @@ def _reduce_range_inproc(ctx: ParallelContext, kind: str, groups):
     plan = ctx.plan
     _init_worker(plan.spec, plan.strategy, plan.is_mars)
     try:
-        return _reduce_range((kind, groups))
+        return _reduce_range((0, kind, groups))
     finally:
         _init_worker(None, None, False)

@@ -71,6 +71,13 @@ class JobResult:
     #: The sanitizer's :class:`~repro.check.CheckReport` when the job
     #: ran with checking enabled (sim backend only), else None.
     check_report: object | None = None
+    #: Per-shard :class:`~repro.obs.telemetry.ShardProfile` list when
+    #: the job ran on a backend with cross-process workers (the
+    #: parallel backend's pool path), else None.
+    worker_profiles: list | None = None
+    #: The :class:`~repro.obs.telemetry.WorkerSummary` straggler /
+    #: imbalance summary derived from ``worker_profiles``, else None.
+    straggler: object | None = None
 
     @property
     def total_cycles(self) -> float:

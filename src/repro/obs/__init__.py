@@ -15,13 +15,30 @@ and per-warp kernel events into one inspectable record:
   serialised deterministically for perf-regression diffing
   (:mod:`repro.obs.metrics`);
 * the ``repro-trace`` CLI (:mod:`repro.obs.cli`) — run any workload
-  under any mode/strategy and emit trace + profile + metrics files.
+  under any mode/strategy and emit trace + profile + metrics files;
+* cross-process worker telemetry (:mod:`repro.obs.telemetry`) — the
+  parallel backend ships a per-shard phase profile back from each
+  worker; the merge surfaces per-worker tracks in the Chrome export
+  and a straggler summary on :class:`~repro.framework.job.JobResult`;
+* the persistent run ledger (:mod:`repro.obs.ledger`) — every
+  executed job appends one JSONL record to ``.repro/runs.jsonl``
+  (opt-out with ``REPRO_LEDGER=0``), which the ``repro-report`` CLI
+  (:mod:`repro.obs.report_cli`) renders as trajectory tables,
+  regression flags and backend comparisons.
 """
 
 from .exporters import (
     to_chrome_trace,
     write_chrome_trace,
     write_jsonl,
+)
+from .ledger import (
+    append_record,
+    build_record,
+    ledger_enabled,
+    ledger_path,
+    read_ledger,
+    record_run,
 )
 from .metrics import (
     MetricsRegistry,
@@ -30,20 +47,44 @@ from .metrics import (
     job_metrics_registry,
 )
 from .report import render_job_profile, render_span_tree
-from .tracer import NULL_TRACER, DeviceEvent, NullTracer, Span, Tracer
+from .telemetry import (
+    PhaseImbalance,
+    ShardProfile,
+    WorkerSummary,
+    summarize_workers,
+)
+from .tracer import (
+    NULL_TRACER,
+    DeviceEvent,
+    NullTracer,
+    Span,
+    Tracer,
+    WorkerEvent,
+)
 
 __all__ = [
     "DeviceEvent",
     "MetricsRegistry",
     "NULL_TRACER",
     "NullTracer",
+    "PhaseImbalance",
+    "ShardProfile",
     "Span",
     "Tracer",
+    "WorkerEvent",
+    "WorkerSummary",
+    "append_record",
+    "build_record",
     "diff_metrics",
     "flatten_metrics",
     "job_metrics_registry",
+    "ledger_enabled",
+    "ledger_path",
+    "read_ledger",
+    "record_run",
     "render_job_profile",
     "render_span_tree",
+    "summarize_workers",
     "to_chrome_trace",
     "write_chrome_trace",
     "write_jsonl",

@@ -144,18 +144,27 @@ def main(argv: list[str] | None = None) -> int:
     spec = workload.spec_for_size(args.size, seed=args.seed, scale=args.scale)
 
     backend = args.backend
-    if args.workers is not None:
-        if backend != "parallel":
-            print("repro-trace: --workers needs --backend parallel",
-                  file=sys.stderr)
-            raise SystemExit(2)
+    backend_name = (args.backend or os.environ.get("REPRO_BACKEND")
+                    or "sim").strip().lower()
+    if args.workers is not None and backend != "parallel":
+        print("repro-trace: --workers needs --backend parallel",
+              file=sys.stderr)
+        raise SystemExit(2)
+    if backend == "parallel":
         from ..backend import ParallelBackend
 
-        backend = ParallelBackend(workers=args.workers)
+        # min_records=0: a traced parallel run should actually shard —
+        # the in-process fallback would yield no worker telemetry.
+        backend = ParallelBackend(workers=args.workers, min_records=0)
 
     blocks = _parse_blocks(args.blocks)
+    # The fast and parallel backends report zero kernel cycles, so the
+    # sim clock alone would render a flat timeline — capture wall
+    # stamps alongside (the sim backend stays on its deterministic
+    # single clock, keeping golden traces byte-identical).
     tracer = Tracer(kernel_detail=blocks is None or bool(blocks),
-                    trace_blocks=blocks)
+                    trace_blocks=blocks,
+                    wall_clock=backend_name != "sim")
     # Report mode: collect every finding rather than raising on the
     # first one — the CLI's exit status carries the verdict.
     check = "report" if args.check else None
@@ -185,7 +194,7 @@ def main(argv: list[str] | None = None) -> int:
     registry = job_metrics_registry(result, config)
     header = {
         "workload": workload.code,
-        "backend": args.backend or os.environ.get("REPRO_BACKEND") or "sim",
+        "backend": backend_name,
         "mode": "Mars" if args.mars else args.mode,
         "strategy": strategy.value if strategy else None,
         "size": args.size,
@@ -212,6 +221,9 @@ def main(argv: list[str] | None = None) -> int:
 
     if not args.quiet:
         print(render_job_profile(result, config))
+        if result.straggler is not None:
+            print()
+            print(result.straggler.render())
         print()
         print("span tree:")
         print(render_span_tree(tracer))

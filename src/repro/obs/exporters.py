@@ -1,15 +1,28 @@
 """Trace exporters: Chrome/Perfetto ``trace_event`` JSON and JSONL.
 
 The Chrome format (loadable at https://ui.perfetto.dev) places host
-spans on one track (pid 0) and device activity on per-warp tracks of
-a second process (pid 1): one thread per traced ``(block, warp)``
-lane, named ``block B / warp W``.  Timestamps are simulated cycles
-written into the ``ts``/``dur`` microsecond fields — absolute
-magnitudes are meaningless, relative ones are exact.
+spans on one track (pid 0), device activity on per-warp tracks of a
+second process (pid 1): one thread per traced ``(block, warp)`` lane,
+named ``block B / warp W`` — and, when a backend shipped per-shard
+worker telemetry, pool-worker activity on per-worker tracks of a
+third process (pid 2).
 
-All serialisation is deterministic (sorted keys, insertion-ordered
-events, no wall-clock anywhere), so traces and metrics for a fixed
-seed are byte-stable across runs.
+The timeline axis depends on the tracer's clock:
+
+* **sim clock** (the default; every sim-backend trace): ``ts``/
+  ``dur`` carry simulated cycles in the microsecond fields — absolute
+  magnitudes are meaningless, relative ones are exact.  Serialisation
+  is deterministic (sorted keys, insertion-ordered events, no
+  wall-clock anywhere), so traces for a fixed seed are byte-stable
+  across runs — the golden-trace suite's contract.
+* **dual clock** (``Tracer(wall_clock=True)``; what ``repro-trace``
+  uses for the fast and parallel backends, whose kernel cycles are
+  zero by design): host ``ts``/``dur`` carry wall microseconds
+  rebased to the tracer's origin, and each span's ``args`` keeps the
+  sim-clock interval (``sim_ts``/``sim_dur``) for cross-reference.
+
+Worker tracks are always wall-based (that is the clock workers live
+on); they only exist for parallel runs, so sim traces never change.
 """
 
 from __future__ import annotations
@@ -22,6 +35,7 @@ if TYPE_CHECKING:  # pragma: no cover
 
 HOST_PID = 0
 DEVICE_PID = 1
+WORKER_PID = 2
 
 #: tid layout for device tracks: one slot per warp, block-major.
 _WARP_SLOTS = 64
@@ -29,6 +43,16 @@ _WARP_SLOTS = 64
 
 def _lane_tid(block: int, warp: int) -> int:
     return 1 + block * _WARP_SLOTS + warp
+
+
+def _wall_mode(tracer: "Tracer") -> bool:
+    """Export on the wall clock?  Only when the tracer opted in *and*
+    at least one span carries complete wall stamps (a span-less or
+    wall-less trace falls back to the deterministic sim-clock form)."""
+    return bool(getattr(tracer, "wall_clock", False)) and any(
+        sp.wall_start is not None and sp.wall_end is not None
+        for sp in tracer.spans
+    )
 
 
 def to_chrome_trace(tracer: "Tracer") -> dict:
@@ -49,18 +73,49 @@ def to_chrome_trace(tracer: "Tracer") -> dict:
                 "name": "thread_name",
                 "args": {"name": f"block {block} / warp {warp}"},
             })
+    worker_events = getattr(tracer, "worker_events", ())
+    workers = sorted({w.worker for w in worker_events})
+    if workers:
+        events.append({"ph": "M", "pid": WORKER_PID, "tid": 0,
+                       "name": "process_name", "args": {"name": "workers"}})
+        for w in workers:
+            events.append({
+                "ph": "M", "pid": WORKER_PID, "tid": w + 1,
+                "name": "thread_name", "args": {"name": f"worker {w}"},
+            })
 
+    wall = _wall_mode(tracer)
+    origin = getattr(tracer, "wall_origin_ns", 0)
     for sp in tracer.spans:
-        events.append({
-            "ph": "X", "pid": HOST_PID, "tid": 0, "cat": "host",
-            "name": sp.name, "ts": sp.start, "dur": sp.duration,
-            "args": dict(sp.attrs),
-        })
+        if wall and sp.wall_start is not None and sp.wall_end is not None:
+            events.append({
+                "ph": "X", "pid": HOST_PID, "tid": 0, "cat": "host",
+                "name": sp.name,
+                "ts": (sp.wall_start - origin) / 1e3,
+                "dur": (sp.wall_end - sp.wall_start) / 1e3,
+                "args": {**sp.attrs, "sim_ts": sp.start,
+                         "sim_dur": sp.duration},
+            })
+        else:
+            events.append({
+                "ph": "X", "pid": HOST_PID, "tid": 0, "cat": "host",
+                "name": sp.name, "ts": sp.start, "dur": sp.duration,
+                "args": dict(sp.attrs),
+            })
     for ev in tracer.instants:
-        events.append({
-            "ph": "i", "s": "t", "pid": HOST_PID, "tid": 0, "cat": "host",
-            "name": ev.name, "ts": ev.time, "args": dict(ev.attrs),
-        })
+        if wall and ev.wall_time is not None:
+            events.append({
+                "ph": "i", "s": "t", "pid": HOST_PID, "tid": 0,
+                "cat": "host", "name": ev.name,
+                "ts": (ev.wall_time - origin) / 1e3,
+                "args": {**ev.attrs, "sim_ts": ev.time},
+            })
+        else:
+            events.append({
+                "ph": "i", "s": "t", "pid": HOST_PID, "tid": 0,
+                "cat": "host", "name": ev.name, "ts": ev.time,
+                "args": dict(ev.attrs),
+            })
     for de in tracer.device_events:
         tid = _lane_tid(de.block, de.warp)
         args = {"block": de.block, "warp": de.warp, "kernel": de.kernel,
@@ -77,10 +132,21 @@ def to_chrome_trace(tracer: "Tracer") -> dict:
                 "name": de.category, "ts": de.start, "dur": de.duration,
                 "args": args,
             })
+    for we in worker_events:
+        events.append({
+            "ph": "X", "pid": WORKER_PID, "tid": we.worker + 1,
+            "cat": "worker", "name": we.name,
+            "ts": (we.start_ns - origin) / 1e3,
+            "dur": (we.end_ns - we.start_ns) / 1e3,
+            "args": {"worker": we.worker, **we.attrs},
+        })
     return {
         "traceEvents": events,
         "displayTimeUnit": "ms",
-        "otherData": {"clock": "simulated GPU cycles"},
+        "otherData": {
+            "clock": ("wall microseconds (sim cycles in span args)"
+                      if wall else "simulated GPU cycles"),
+        },
     }
 
 
@@ -108,25 +174,43 @@ def write_jsonl(tracer: "Tracer", path: str) -> None:
     """Write a compact JSONL event log: one JSON object per line.
 
     Span records carry their tree position (``depth`` plus the parent
-    span's name), device records their lane; the file replays in time
-    order within each record class.
+    span's name), device records their lane, worker records their
+    track; the file replays in time order within each record class.
+    Wall-clock fields (``wall_start_ns``/``wall_end_ns``, rebased to
+    the tracer's origin) appear only on dual-clock traces, so
+    sim-clock logs are byte-identical to the single-clock format.
     """
+    origin = getattr(tracer, "wall_origin_ns", 0)
     with open(path, "w", encoding="utf-8") as fh:
         for sp in tracer.spans:
-            fh.write(json.dumps({
+            rec = {
                 "type": "span", "name": sp.name, "start": sp.start,
                 "end": sp.end, "depth": sp.depth,
                 "parent": sp.parent.name if sp.parent else None,
                 "attrs": dict(sp.attrs),
-            }, sort_keys=True) + "\n")
+            }
+            if sp.wall_start is not None and sp.wall_end is not None:
+                rec["wall_start_ns"] = sp.wall_start - origin
+                rec["wall_end_ns"] = sp.wall_end - origin
+            fh.write(json.dumps(rec, sort_keys=True) + "\n")
         for ev in tracer.instants:
-            fh.write(json.dumps({
+            rec = {
                 "type": "instant", "name": ev.name, "time": ev.time,
                 "attrs": dict(ev.attrs),
-            }, sort_keys=True) + "\n")
+            }
+            if ev.wall_time is not None:
+                rec["wall_ns"] = ev.wall_time - origin
+            fh.write(json.dumps(rec, sort_keys=True) + "\n")
         for de in tracer.device_events:
             fh.write(json.dumps({
                 "type": "device", "kernel": de.kernel, "block": de.block,
                 "warp": de.warp, "category": de.category, "name": de.name,
                 "start": de.start, "end": de.end, "attrs": dict(de.attrs),
+            }, sort_keys=True) + "\n")
+        for we in getattr(tracer, "worker_events", ()):
+            fh.write(json.dumps({
+                "type": "worker", "worker": we.worker, "name": we.name,
+                "wall_start_ns": we.start_ns - origin,
+                "wall_end_ns": we.end_ns - origin,
+                "attrs": dict(we.attrs),
             }, sort_keys=True) + "\n")

@@ -46,15 +46,32 @@ class Gauge:
         self.value = float(value)
 
 
+#: Sample-reservoir bound: past this many kept samples the reservoir
+#: decimates itself (every other sample, doubled keep-stride), so
+#: memory stays bounded while the kept set remains a deterministic
+#: function of the observation sequence — no RNG, byte-stable output.
+_RESERVOIR_CAP = 2048
+
+
 @dataclass
 class Histogram:
-    """Streaming summary of an observed distribution."""
+    """Streaming summary of an observed distribution.
+
+    Beyond the running count/total/min/max, a bounded deterministic
+    reservoir of samples supports :meth:`percentile` — the p50/p90/p99
+    summaries the service-layer latency reporting needs.  Percentiles
+    are exact until the reservoir cap, then computed over an
+    evenly-strided subsample.
+    """
 
     name: str
     count: int = 0
     total: float = 0.0
     min: float = field(default=float("inf"))
     max: float = field(default=float("-inf"))
+    _samples: list[float] = field(default_factory=list, repr=False)
+    _stride: int = field(default=1, repr=False)
+    _pending: int = field(default=0, repr=False)
 
     def observe(self, value: float) -> None:
         value = float(value)
@@ -62,17 +79,36 @@ class Histogram:
         self.total += value
         self.min = min(self.min, value)
         self.max = max(self.max, value)
+        self._pending += 1
+        if self._pending >= self._stride:
+            self._pending = 0
+            self._samples.append(value)
+            if len(self._samples) > _RESERVOIR_CAP:
+                del self._samples[::2]
+                self._stride *= 2
 
     @property
     def mean(self) -> float:
         return self.total / self.count if self.count else 0.0
 
+    def percentile(self, q: float) -> float:
+        """Nearest-rank percentile over the kept samples (``q`` in
+        [0, 100]); 0.0 for an empty histogram."""
+        if not self._samples:
+            return 0.0
+        ordered = sorted(self._samples)
+        rank = max(0, min(len(ordered) - 1,
+                          int(round(q / 100.0 * (len(ordered) - 1)))))
+        return ordered[rank]
+
     def summary(self) -> dict[str, float]:
         if not self.count:
             return {"count": 0, "max": 0.0, "mean": 0.0, "min": 0.0,
-                    "total": 0.0}
+                    "p50": 0.0, "p90": 0.0, "p99": 0.0, "total": 0.0}
         return {"count": self.count, "max": self.max, "mean": self.mean,
-                "min": self.min, "total": self.total}
+                "min": self.min, "p50": self.percentile(50),
+                "p90": self.percentile(90), "p99": self.percentile(99),
+                "total": self.total}
 
 
 class MetricsRegistry:
@@ -180,6 +216,19 @@ def job_metrics_registry(
             reg.gauge(f"derived.{phase}.{name}").set(value)
         for cat, frac in breakdown.items():
             reg.gauge(f"derived.{phase}.stall_fraction.{cat}").set(frac)
+    # Cross-process worker telemetry (parallel backend only): shard
+    # wall times as percentile-capable histograms plus the straggler
+    # skew.  Wall-clock values vary run to run, so these keys only
+    # exist where byte-stable metrics.json never did (sharded runs).
+    if result.worker_profiles:
+        for p in result.worker_profiles:
+            reg.histogram(f"worker.{p.phase}.shard_ms").observe(
+                p.wall_ns / 1e6
+            )
+        if result.straggler is not None:
+            for ph in result.straggler.phases:
+                reg.gauge(f"worker.{ph.phase}.skew").set(ph.skew)
+                reg.gauge(f"worker.{ph.phase}.shards").set(ph.shards)
     return reg
 
 

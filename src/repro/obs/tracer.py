@@ -1,4 +1,5 @@
-"""Structured tracing on the simulated clock.
+"""Structured tracing on the simulated clock — and, opt-in, the wall
+clock alongside it.
 
 A :class:`Tracer` owns a monotonic *sim-cycle* clock (``now``) and a
 stack of open :class:`Span` objects.  Host code opens spans around the
@@ -8,8 +9,22 @@ which also ingests the launch's per-warp :class:`~repro.gpu.timeline.
 Timeline` (events and instant marks) into absolute job time, so host
 phases and device activity render on one timeline.
 
-The clock is *simulated* time, never wall-clock: traces are therefore
-deterministic for a fixed seed and byte-stable across runs.
+The sim clock is the primary axis: traces are deterministic for a
+fixed seed and byte-stable across runs.  ``Tracer(wall_clock=True)``
+additionally stamps every span and instant with
+``time.perf_counter_ns()`` — the *dual-clock* mode the fast and
+parallel backends use, whose kernel cycles are zero by design and
+whose real cost is wall time.  Wall stamps are strictly additive:
+with ``wall_clock=False`` (the default, what every sim run uses)
+nothing wall-clock-shaped is recorded and exported traces are
+byte-identical to the single-clock format.
+
+Cross-process worker activity (the parallel backend's per-shard phase
+profiles) lands as :class:`WorkerEvent` records via
+:meth:`Tracer.worker_span`; they are inherently wall-clock (forked
+children share the parent's ``perf_counter`` epoch on Linux, so their
+absolute nanosecond stamps are directly comparable) and render as one
+track per worker in the Chrome export.
 
 Framework entry points take ``tracer=None`` and substitute
 :data:`NULL_TRACER`, whose methods are all no-ops, so the untraced
@@ -18,6 +33,7 @@ hot path stays free of conditionals and allocation.
 
 from __future__ import annotations
 
+import time
 from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Iterator
@@ -29,7 +45,11 @@ if TYPE_CHECKING:  # pragma: no cover
 
 @dataclass
 class Span:
-    """One named interval on the job clock, possibly nested."""
+    """One named interval on the job clock, possibly nested.
+
+    ``wall_start``/``wall_end`` are ``perf_counter_ns`` stamps, filled
+    only under ``Tracer(wall_clock=True)`` — ``None`` otherwise.
+    """
 
     name: str
     start: float
@@ -38,10 +58,18 @@ class Span:
     parent: "Span | None" = None
     attrs: dict = field(default_factory=dict)
     children: list["Span"] = field(default_factory=list)
+    wall_start: int | None = None
+    wall_end: int | None = None
 
     @property
     def duration(self) -> float:
         return self.end - self.start
+
+    @property
+    def wall_duration_ns(self) -> int | None:
+        if self.wall_start is None or self.wall_end is None:
+            return None
+        return self.wall_end - self.wall_start
 
     def __repr__(self) -> str:  # keep parent out to avoid recursion
         return (
@@ -57,6 +85,27 @@ class InstantEvent:
     name: str
     time: float
     attrs: dict = field(default_factory=dict)
+    wall_time: int | None = None
+
+
+@dataclass(frozen=True)
+class WorkerEvent:
+    """One wall-clock interval of work done by a pool worker.
+
+    ``worker`` is the stable track id (the shard index for sharded
+    phases); ``start_ns``/``end_ns`` are absolute ``perf_counter_ns``
+    stamps taken inside the worker process.
+    """
+
+    worker: int
+    name: str
+    start_ns: int
+    end_ns: int
+    attrs: dict = field(default_factory=dict)
+
+    @property
+    def duration_ns(self) -> int:
+        return self.end_ns - self.start_ns
 
 
 @dataclass(frozen=True)
@@ -92,6 +141,7 @@ class Tracer:
         kernel_detail: bool = True,
         trace_blocks: set[int] | frozenset[int] | None = frozenset({0}),
         coalesce_polls: bool = True,
+        wall_clock: bool = False,
     ):
         #: Current job time in simulated cycles.
         self.now: float = 0.0
@@ -102,10 +152,17 @@ class Tracer:
             None if trace_blocks is None else set(trace_blocks)
         )
         self.coalesce_polls = coalesce_polls
+        #: Stamp spans/instants with ``perf_counter_ns`` too?
+        self.wall_clock = wall_clock
+        #: Wall origin for exports: worker events and wall-stamped
+        #: spans are rebased against this so the exported timeline
+        #: starts near zero.  Cheap enough to take unconditionally.
+        self.wall_origin_ns: int = time.perf_counter_ns()
         self.roots: list[Span] = []
         self.spans: list[Span] = []  # every span, in open order
         self.instants: list[InstantEvent] = []
         self.device_events: list[DeviceEvent] = []
+        self.worker_events: list[WorkerEvent] = []
         self._stack: list[Span] = []
 
     # ------------------------------------------------------------------
@@ -131,6 +188,8 @@ class Tracer:
             parent=self._stack[-1] if self._stack else None,
             attrs={k: v for k, v in attrs.items() if v is not None},
         )
+        if self.wall_clock:
+            sp.wall_start = time.perf_counter_ns()
         if sp.parent is not None:
             sp.parent.children.append(sp)
         else:
@@ -142,10 +201,29 @@ class Tracer:
         finally:
             self._stack.pop()
             sp.end = max(self.now, sp.start)
+            if self.wall_clock:
+                sp.wall_end = time.perf_counter_ns()
 
     def instant(self, name: str, **attrs) -> None:
         """Record a zero-duration host event at the current clock."""
-        self.instants.append(InstantEvent(name=name, time=self.now, attrs=attrs))
+        wall = time.perf_counter_ns() if self.wall_clock else None
+        self.instants.append(
+            InstantEvent(name=name, time=self.now, attrs=attrs,
+                         wall_time=wall)
+        )
+
+    def worker_span(self, worker: int, name: str, start_ns: int,
+                    end_ns: int, **attrs) -> None:
+        """Record one wall-clock interval of pool-worker activity.
+
+        Used by the parallel backend to merge per-shard phase profiles
+        shipped back from forked workers; each distinct ``worker`` id
+        becomes its own track in the Chrome export.
+        """
+        self.worker_events.append(WorkerEvent(
+            worker=worker, name=name, start_ns=start_ns, end_ns=end_ns,
+            attrs={k: v for k, v in attrs.items() if v is not None},
+        ))
 
     # ------------------------------------------------------------------
     # Kernel launches
@@ -240,6 +318,7 @@ class NullTracer:
 
     now = 0.0
     kernel_detail = False
+    wall_clock = False
 
     @contextmanager
     def span(self, name: str, **attrs) -> Iterator[None]:
@@ -249,6 +328,9 @@ class NullTracer:
         pass
 
     def instant(self, name: str, **attrs) -> None:
+        pass
+
+    def worker_span(self, worker, name, start_ns, end_ns, **attrs) -> None:
         pass
 
     def make_timeline(self) -> None:

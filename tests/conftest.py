@@ -1,0 +1,15 @@
+"""Suite-wide fixtures.
+
+The run ledger (:mod:`repro.obs.ledger`) is on by default, so every
+job the tests execute would append to the working tree's
+``.repro/runs.jsonl``.  Point it at a per-test temp dir instead: the
+append path stays exercised, the tree stays clean, and ledger tests
+remain free to re-point or disable it with ``monkeypatch``.
+"""
+
+import pytest
+
+
+@pytest.fixture(autouse=True)
+def _ledger_tmpdir(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_LEDGER_DIR", str(tmp_path / "ledger"))

@@ -1,0 +1,134 @@
+"""Dual-clock tracing: wall stamps beside the sim-cycle clock.
+
+The contract under test:
+
+* ``Tracer(wall_clock=True)`` stamps every span/instant with
+  ``perf_counter_ns`` wall times alongside the sim clock;
+* the default tracer captures **no** wall stamps, and its exports are
+  field-for-field what the single-clock exporter emitted — the
+  golden-trace byte-identity guarantee at the unit level;
+* exporters survive an empty (span-less) tracer.
+"""
+
+import json
+
+from repro.framework import MemoryMode, ReduceStrategy
+from repro.framework.job import run_job
+from repro.gpu import DeviceConfig
+from repro.obs import Tracer, to_chrome_trace, write_chrome_trace, write_jsonl
+from repro.workloads import WordCount
+
+
+def _run(tracer, backend="fast"):
+    wc = WordCount()
+    inp = wc.generate("small", seed=0)
+    return run_job(wc.spec(), inp, mode=MemoryMode.SIO,
+                   strategy=ReduceStrategy.TR,
+                   config=DeviceConfig.small(1), tracer=tracer,
+                   backend=backend)
+
+
+class TestWallStamps:
+    def test_default_tracer_has_no_wall_stamps(self):
+        tr = Tracer()
+        _run(tr)
+        assert not tr.wall_clock
+        assert all(sp.wall_start is None and sp.wall_end is None
+                   for sp in tr.spans)
+
+    def test_wall_clock_tracer_stamps_every_span(self):
+        tr = Tracer(wall_clock=True)
+        _run(tr)
+        assert tr.spans
+        for sp in tr.spans:
+            assert sp.wall_start is not None
+            assert sp.wall_end is not None
+            assert sp.wall_end >= sp.wall_start
+            assert sp.wall_duration_ns == sp.wall_end - sp.wall_start
+
+    def test_wall_stamps_follow_the_origin(self):
+        tr = Tracer(wall_clock=True)
+        _run(tr)
+        assert all(sp.wall_start >= tr.wall_origin_ns for sp in tr.spans)
+
+    def test_instants_carry_wall_time(self):
+        tr = Tracer(wall_clock=True)
+        with tr.span("s"):
+            tr.instant("tick")
+        assert tr.instants[0].wall_time is not None
+        assert Tracer().instants == []
+
+    def test_fast_backend_exec_spans_have_nonzero_wall(self):
+        """The satellite: `repro-trace --backend fast` is non-empty —
+        the phase-exec sub-spans carry real wall durations even though
+        their sim durations are zero by design."""
+        tr = Tracer(wall_clock=True)
+        _run(tr, backend="fast")
+        execs = [sp for sp in tr.spans
+                 if sp.name in ("map_exec", "shuffle_exec", "reduce_exec")]
+        assert len(execs) == 3
+        assert all(sp.duration == 0 for sp in execs)  # sim clock
+        assert any(sp.wall_duration_ns > 0 for sp in execs)
+
+
+class TestExportParity:
+    """Dual-clock must be strictly additive: with the default tracer
+    the exported records carry exactly the single-clock fields."""
+
+    def test_chrome_spans_have_no_wall_fields_by_default(self):
+        tr = Tracer()
+        _run(tr, backend="sim")
+        doc = to_chrome_trace(tr)
+        assert doc["otherData"]["clock"] == "simulated GPU cycles"
+        for ev in doc["traceEvents"]:
+            if ev["ph"] == "X" and ev["pid"] == 0:
+                assert "sim_ts" not in ev["args"]
+                assert "sim_dur" not in ev["args"]
+
+    def test_chrome_wall_mode_keeps_sim_clock_in_args(self):
+        tr = Tracer(wall_clock=True)
+        _run(tr)
+        doc = to_chrome_trace(tr)
+        assert "wall" in doc["otherData"]["clock"]
+        host = [e for e in doc["traceEvents"]
+                if e["ph"] == "X" and e["pid"] == 0]
+        assert host
+        for ev in host:
+            assert "sim_ts" in ev["args"]
+            assert "sim_dur" in ev["args"]
+
+    def test_jsonl_wall_fields_only_on_dual_clock(self, tmp_path):
+        for wall, expected in ((False, set()), (True, {"wall_start_ns",
+                                                       "wall_end_ns"})):
+            tr = Tracer(wall_clock=wall)
+            _run(tr)
+            path = tmp_path / f"ev_{wall}.jsonl"
+            write_jsonl(tr, str(path))
+            recs = [json.loads(line) for line in path.read_text().splitlines()]
+            spans = [r for r in recs if r["type"] == "span"]
+            assert spans
+            for r in spans:
+                assert expected <= set(r)
+                if not wall:
+                    assert "wall_start_ns" not in r
+
+
+class TestEmptyTracer:
+    """Regression guard: exporters on a tracer that never saw a span."""
+
+    def test_chrome_trace_of_empty_tracer(self):
+        doc = to_chrome_trace(Tracer())
+        # Only the host metadata records; no crash, valid shape.
+        assert all(e["ph"] == "M" for e in doc["traceEvents"])
+        assert doc["otherData"]["clock"] == "simulated GPU cycles"
+
+    def test_empty_wall_clock_tracer_falls_back_to_sim_form(self):
+        doc = to_chrome_trace(Tracer(wall_clock=True))
+        assert doc["otherData"]["clock"] == "simulated GPU cycles"
+
+    def test_write_exporters_accept_empty_tracer(self, tmp_path):
+        tr = Tracer()
+        write_chrome_trace(tr, str(tmp_path / "t.json"))
+        write_jsonl(tr, str(tmp_path / "e.jsonl"))
+        json.load(open(tmp_path / "t.json"))
+        assert (tmp_path / "e.jsonl").read_text() == ""

@@ -34,12 +34,37 @@ class TestPrimitives:
         for v in (2.0, 4.0, 9.0):
             h.observe(v)
         assert h.summary() == {
-            "count": 3, "max": 9.0, "mean": 5.0, "min": 2.0, "total": 15.0}
+            "count": 3, "max": 9.0, "mean": 5.0, "min": 2.0,
+            "p50": 4.0, "p90": 9.0, "p99": 9.0, "total": 15.0}
 
     def test_empty_histogram_summary_is_zeroed(self):
         h = MetricsRegistry().histogram("h")
         assert h.summary() == {
-            "count": 0, "max": 0.0, "mean": 0.0, "min": 0.0, "total": 0.0}
+            "count": 0, "max": 0.0, "mean": 0.0, "min": 0.0,
+            "p50": 0.0, "p90": 0.0, "p99": 0.0, "total": 0.0}
+
+    def test_histogram_percentiles(self):
+        h = MetricsRegistry().histogram("h")
+        for v in range(1, 101):
+            h.observe(float(v))
+        assert h.percentile(0) == 1.0
+        assert h.percentile(50) == 51.0
+        assert h.percentile(90) == 90.0
+        assert h.percentile(100) == 100.0
+
+    def test_histogram_reservoir_stays_bounded_and_deterministic(self):
+        from repro.obs.metrics import _RESERVOIR_CAP
+
+        h1 = MetricsRegistry().histogram("h")
+        h2 = MetricsRegistry().histogram("h")
+        for v in range(10 * _RESERVOIR_CAP):
+            h1.observe(float(v))
+            h2.observe(float(v))
+        assert len(h1._samples) <= _RESERVOIR_CAP
+        assert h1._samples == h2._samples
+        assert h1.count == 10 * _RESERVOIR_CAP
+        # Percentiles stay close to exact despite decimation.
+        assert abs(h1.percentile(50) - 5 * _RESERVOIR_CAP) < _RESERVOIR_CAP * 0.2
 
 
 class TestAbsorbKernelStats:

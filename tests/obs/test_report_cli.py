@@ -1,0 +1,130 @@
+"""``repro-report``: trajectory tables, regression flags, comparisons."""
+
+import json
+
+from repro.obs import ledger
+from repro.obs.report_cli import analyze, main, render
+
+
+def _rec(workload="wordcount", backend="fast", wall_s=0.01,
+         sim_cycles=1000.0, ts=1000.0, **kw):
+    rec = {
+        "schema": 1, "ts": ts, "workload": workload, "mode": "SIO",
+        "strategy": "TR", "engine": "framework", "backend": backend,
+        "workers": None, "streamed": False, "records_in": 100,
+        "input_digest": "aa" * 8, "output_records": 50,
+        "intermediate_records": 100, "sim_cycles": sim_cycles,
+        "wall_s": wall_s, "kernel_digest": "bb" * 8,
+        "analysis_cache_hit_rate": None, "check_findings": None,
+        "straggler_skew": None,
+    }
+    rec.update(kw)
+    return rec
+
+
+class TestAnalyze:
+    def test_groups_by_workload_and_backend(self):
+        recs = [_rec(backend="fast"), _rec(backend="sim"),
+                _rec(workload="kmeans")]
+        out = analyze(recs)
+        keys = {(g["workload"], g["backend"]) for g in out["groups"]}
+        assert keys == {("wordcount", "fast"), ("wordcount", "sim"),
+                        ("kmeans", "fast")}
+
+    def test_no_regression_on_stable_history(self):
+        recs = [_rec(wall_s=0.01, ts=i) for i in range(6)]
+        out = analyze(recs)
+        assert out["groups"][0]["regression"] is None
+
+    def test_wall_regression_flagged_beyond_threshold(self):
+        recs = [_rec(wall_s=0.01, ts=i) for i in range(5)]
+        recs.append(_rec(wall_s=0.02, ts=9))
+        out = analyze(recs, threshold=0.25)
+        reg = out["groups"][0]["regression"]
+        assert reg is not None
+        assert reg["baseline_wall_s"] == 0.01
+        assert reg["wall_ratio"] == 2.0
+        assert any("wall" in f for f in reg["flags"])
+
+    def test_regression_compares_same_input_only(self):
+        """A slower run over a *different* input is not a regression."""
+        recs = [_rec(wall_s=0.01, ts=i) for i in range(5)]
+        recs.append(_rec(wall_s=10.0, ts=9, input_digest="cc" * 8))
+        assert analyze(recs)["groups"][0]["regression"] is None
+
+    def test_cycle_drift_flagged(self):
+        recs = [_rec(sim_cycles=1000.0, ts=1),
+                _rec(sim_cycles=1001.0, ts=2)]
+        reg = analyze(recs)["groups"][0]["regression"]
+        assert reg is not None
+        assert any("cycles" in f for f in reg["flags"])
+
+    def test_backend_comparison_needs_shared_input(self):
+        recs = [_rec(backend="sim", wall_s=0.2),
+                _rec(backend="fast", wall_s=0.01)]
+        out = analyze(recs)
+        (comp,) = out["comparison"]
+        assert comp["workload"] == "wordcount"
+        assert comp["backends"]["sim"]["speedup_vs_slowest"] == 1.0
+        assert comp["backends"]["fast"]["speedup_vs_slowest"] == 20.0
+        # Different inputs -> no comparison.
+        recs[1]["input_digest"] = "cc" * 8
+        assert analyze(recs)["comparison"] == []
+
+    def test_empty(self):
+        out = analyze([])
+        assert out["records"] == 0
+        assert out["groups"] == []
+        assert "empty" in render(out)
+
+
+class TestRender:
+    def test_trajectory_table_mentions_group_and_runs(self):
+        recs = [_rec(wall_s=0.0123, ts=1000.0)]
+        text = render(analyze(recs))
+        assert "wordcount" in text
+        assert "fast" in text
+        assert "0.0123" in text
+
+    def test_regression_line_rendered(self):
+        recs = [_rec(wall_s=0.01, ts=1), _rec(wall_s=0.05, ts=2)]
+        assert "REGRESSION" in render(analyze(recs))
+
+
+class TestMain:
+    def _write(self, tmp_path, recs):
+        path = tmp_path / "runs.jsonl"
+        path.write_text("".join(json.dumps(r) + "\n" for r in recs))
+        return str(path)
+
+    def test_reads_default_ledger_from_env(self, monkeypatch, tmp_path,
+                                           capsys):
+        monkeypatch.setenv(ledger.LEDGER_DIR_ENV, str(tmp_path))
+        ledger.append_record(_rec())
+        assert main([]) == 0
+        out = capsys.readouterr().out
+        assert "wordcount" in out
+
+    def test_explicit_ledger_and_filters(self, tmp_path, capsys):
+        path = self._write(tmp_path, [_rec(), _rec(workload="kmeans")])
+        assert main(["--ledger", path, "--workload", "kmeans"]) == 0
+        out = capsys.readouterr().out
+        assert "kmeans" in out
+        assert "wordcount" not in out
+
+    def test_json_output(self, tmp_path, capsys):
+        path = self._write(tmp_path, [_rec()])
+        assert main(["--ledger", path, "--json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["records"] == 1
+        assert doc["ledger"] == path
+
+    def test_strict_exit_code_on_regression(self, tmp_path, capsys):
+        stable = [_rec(wall_s=0.01, ts=i) for i in range(5)]
+        path = self._write(tmp_path, stable + [_rec(wall_s=0.05, ts=9)])
+        assert main(["--ledger", path, "--strict"]) == 1
+        assert main(["--ledger", path]) == 0
+
+    def test_empty_ledger_is_fine(self, tmp_path, capsys):
+        assert main(["--ledger", str(tmp_path / "absent.jsonl")]) == 0
+        assert "empty" in capsys.readouterr().out
