@@ -17,6 +17,13 @@ Two artifacts, committed at the repo root as the PRs' perf evidence:
   backend: the same job with everything off (no tracer, ledger
   disabled) vs everything on (dual-clock tracer + run ledger).
   Acceptance bar: < 5% overhead.
+* ``BENCH_spill.json`` (``--spill``) — spill-store cost sweep on the
+  fast and parallel backends: each case first measures its
+  intermediate working set (a spill run under an effectively infinite
+  budget reports its tracked peak), then re-runs with the budget at
+  100%, 50% and 10% of that, recording wall seconds, runs written and
+  bytes spilled.  Informational — out-of-core capacity is the point;
+  the overhead column prices it.
 
 Usage::
 
@@ -24,6 +31,7 @@ Usage::
     PYTHONPATH=src python scripts/bench_backends.py --parallel \\
         [--parallel-out PATH] [--workers 1,2,4,8]
     PYTHONPATH=src python scripts/bench_backends.py --obs [--obs-out PATH]
+    PYTHONPATH=src python scripts/bench_backends.py --spill [--spill-out PATH]
 """
 
 from __future__ import annotations
@@ -55,6 +63,11 @@ PARALLEL_CASES = [
 ]
 
 OBS_CASES = [
+    ("wordcount", WordCount, "medium"),
+    ("kmeans", KMeans, "medium"),
+]
+
+SPILL_CASES = [
     ("wordcount", WordCount, "medium"),
     ("kmeans", KMeans, "medium"),
 ]
@@ -208,6 +221,89 @@ def bench_obs(out_path: str, repeats: int) -> int:
     return 0
 
 
+def bench_spill(out_path: str, repeats: int) -> int:
+    """Spill-store sweep: budgets at 100%/50%/10% of the working set.
+
+    The working set is what the spill store itself reports: under an
+    effectively infinite budget nothing spills, so the store's tracked
+    peak *is* the intermediate footprint.  Each budgeted run records
+    wall seconds (best of N), runs written, bytes spilled and the
+    overhead against the unbounded memory store on the same backend.
+    """
+    backends = [
+        ("fast", lambda: "fast"),
+        ("parallel", lambda: ParallelBackend(workers=4, min_records=0)),
+    ]
+
+    def timed(spec, inp, make, store=None, budget=None):
+        best, result = float("inf"), None
+        for _ in range(repeats):
+            t0 = time.perf_counter()
+            result = run_job(spec, inp, mode=MemoryMode.SIO,
+                             strategy=ReduceStrategy.TR, backend=make(),
+                             store=store, memory_budget=budget)
+            best = min(best, time.perf_counter() - t0)
+        return best, result
+
+    results = []
+    for name, cls, size in SPILL_CASES:
+        w = cls()
+        inp = w.generate(size, seed=0)
+        spec = w.spec_for_size(size, seed=0)
+        for backend_name, make in backends:
+            memory_s, _ = timed(spec, inp, make)
+            probe_s, probe = timed(spec, inp, make,
+                                   store="spill", budget=1 << 40)
+            working_set = probe.reduce_stats.extra["store_peak_bytes"]
+            row = {
+                "workload": name,
+                "size": size,
+                "backend": backend_name,
+                "records": len(inp),
+                "working_set_bytes": working_set,
+                "memory_wall_s": round(memory_s, 4),
+                "spill": {},
+            }
+            sweeps = [("100%", working_set), ("50%", working_set // 2),
+                      ("10%", working_set // 10)]
+            for label, budget in sweeps:
+                wall_s, res = timed(spec, inp, make,
+                                    store="spill", budget=max(64, budget))
+                extra = res.reduce_stats.extra
+                row["spill"][label] = {
+                    "budget_bytes": max(64, budget),
+                    "wall_s": round(wall_s, 4),
+                    "overhead_vs_memory": round(wall_s / memory_s - 1, 3),
+                    "spill_runs": extra["spill_runs"],
+                    "spilled_bytes": extra["spilled_bytes"],
+                    "store_peak_bytes": extra["store_peak_bytes"],
+                }
+                print(f"{name:10s} {size:6s} {backend_name:8s} "
+                      f"budget={label:4s}  memory {memory_s:8.4f}s  "
+                      f"spill {wall_s:8.4f}s  "
+                      f"({wall_s / memory_s - 1:+7.1%})  "
+                      f"runs={extra['spill_runs']}")
+            results.append(row)
+
+    doc = {
+        "description": "Spill-store cost sweep: fast and parallel "
+                       "backends, mode=SIO strategy=TR, budgets at "
+                       "100%/50%/10% of the measured intermediate "
+                       "working set (the spill store's tracked peak "
+                       "under an infinite budget).  Best of N runs; "
+                       "informational — prices out-of-core capacity.",
+        "repeats": repeats,
+        "python": platform.python_version(),
+        "cpu_count": os.cpu_count(),
+        "results": results,
+    }
+    with open(out_path, "w", encoding="utf-8") as fh:
+        json.dump(doc, fh, indent=2)
+        fh.write("\n")
+    print(f"wrote {out_path}")
+    return 0
+
+
 def main(argv=None) -> int:
     p = argparse.ArgumentParser(description=__doc__)
     p.add_argument("--out", default=str(
@@ -226,8 +322,16 @@ def main(argv=None) -> int:
                         "ledger) on the fast backend")
     p.add_argument("--obs-out", default=str(
         Path(__file__).resolve().parent.parent / "BENCH_obs.json"))
+    p.add_argument("--spill", action="store_true",
+                   help="sweep spill-store budgets (100%%/50%%/10%% of "
+                        "the working set) on the fast and parallel "
+                        "backends")
+    p.add_argument("--spill-out", default=str(
+        Path(__file__).resolve().parent.parent / "BENCH_spill.json"))
     args = p.parse_args(argv)
 
+    if args.spill:
+        return bench_spill(args.spill_out, args.repeats)
     if args.obs:
         return bench_obs(args.obs_out, args.repeats)
     if args.parallel:

@@ -19,11 +19,20 @@ holds sim *and* fast runs of a case's workload over the same input,
 the rolling median of their wall-time ratio becomes that case's
 baseline instead of the committed JSON — recent runs on *this* runner
 beat a snapshot from whatever machine regenerated the file last.
+The ledger baseline is the **primary** signal and gets the sharp
+``--tolerance``; when a case has no ledger history the committed
+``BENCH_sim_opt.json`` ratio is only a *cross-machine* fallback, so
+it gets the wider ``--bench-tolerance`` (sim/fast ratios swing tens
+of percent between CPU generations and Python builds even with an
+identical tree — a same-machine drift bound on a foreign snapshot
+produces false failures, observed as ratio 27.5 vs limit 24.3 on an
+unmodified seed tree).
 
 Usage::
 
     PYTHONPATH=src python scripts/perf_gate.py [--repeats 3]
-        [--tolerance 0.25] [--baseline BENCH_sim_opt.json]
+        [--tolerance 0.25] [--bench-tolerance 0.75]
+        [--baseline BENCH_sim_opt.json]
         [--ledger .repro/runs.jsonl | --no-ledger]
 """
 
@@ -84,7 +93,13 @@ def main(argv=None) -> int:
     p.add_argument("--baseline", default=os.path.join(_ROOT, "BENCH_sim_opt.json"))
     p.add_argument("--repeats", type=int, default=3)
     p.add_argument("--tolerance", type=float, default=0.25,
-                   help="allowed relative ratio increase (0.25 = 25%%)")
+                   help="allowed relative ratio increase over a "
+                        "same-machine ledger baseline (0.25 = 25%%)")
+    p.add_argument("--bench-tolerance", type=float, default=0.75,
+                   help="allowed relative ratio increase over the "
+                        "committed cross-machine baseline, used only "
+                        "when a case has no ledger history (wider: the "
+                        "snapshot was measured on a different machine)")
     p.add_argument("--ledger",
                    default=os.path.join(_ROOT, ".repro", "runs.jsonl"),
                    help="run ledger to derive per-workload baselines "
@@ -110,9 +125,11 @@ def main(argv=None) -> int:
         ratio = sim_cpu / fast_cpu
         if workload in ledger_base:
             base, source = ledger_base[workload], "ledger"
+            tolerance = args.tolerance
         else:
             base, source = row["sim_over_fast"], "bench"
-        limit = base * (1.0 + args.tolerance)
+            tolerance = args.bench_tolerance
+        limit = base * (1.0 + tolerance)
         verdict = "FAIL" if ratio > limit else "ok"
         print(f"{workload}-{size}: sim {sim_cpu:.3f}s-cpu fast "
               f"{fast_cpu:.3f}s-cpu ratio {ratio:.1f} "

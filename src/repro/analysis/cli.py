@@ -144,10 +144,14 @@ def cmd_validate(args) -> None:
         from ..backend import ParallelBackend
 
         backend = ParallelBackend(workers=args.workers)
+    from ..store import parse_budget
+
     rep = validate_all(
         _workloads(args.workload), size=args.size, scale=args.scale,
         config=_config(args) if args.mps else None,
         backend=backend,
+        store=args.store,
+        memory_budget=parse_budget(args.memory_budget),
     )
     print(rep.render())
     if not rep.passed:
@@ -206,6 +210,14 @@ def main(argv: list[str] | None = None) -> int:
                         "commands always simulate)")
     p.add_argument("--workers", type=int, default=None,
                    help="worker processes for --backend parallel")
+    p.add_argument("--store", default=None, choices=["memory", "spill"],
+                   help="intermediate-store policy for 'validate' with a "
+                        "functional backend (see repro.store); default "
+                        "honours $REPRO_STORE")
+    p.add_argument("--memory-budget", default=None, metavar="SIZE",
+                   help="spill budget (bytes; k/m/g suffixes) for "
+                        "--store spill; default honours "
+                        "$REPRO_MEMORY_BUDGET")
     p.add_argument("--check", action="store_true",
                    help="run every simulated job under the repro.check "
                         "sanitizer (strict: the first finding aborts "
@@ -227,6 +239,16 @@ def main(argv: list[str] | None = None) -> int:
         return 2
     if args.workers is not None and args.backend != "parallel":
         print("repro-bench: --workers needs --backend parallel",
+              file=sys.stderr)
+        return 2
+    if (args.store or args.memory_budget) and args.command != "validate":
+        print("repro-bench: --store/--memory-budget only apply to "
+              "'validate' (the timing commands always simulate, and the "
+              "sim backend models the device's own intermediate tiers)",
+              file=sys.stderr)
+        return 2
+    if args.memory_budget is not None and args.store != "spill":
+        print("repro-bench: --memory-budget needs --store spill",
               file=sys.stderr)
         return 2
     cmd = {

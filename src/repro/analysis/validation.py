@@ -81,8 +81,16 @@ def validate_workload(
     config: DeviceConfig | None = None,
     threads_per_block: int = 128,
     backend=None,
+    store: str | None = None,
+    memory_budget: int | None = None,
 ) -> ValidationReport:
-    """Run every legal (mode, strategy) combination for one workload."""
+    """Run every legal (mode, strategy) combination for one workload.
+
+    ``store``/``memory_budget`` thread the intermediate-store policy
+    through to every job (see :func:`repro.framework.job.run_job`) —
+    ``repro-bench validate --store spill`` proves the out-of-core
+    shuffle against the oracle across the whole matrix.
+    """
     cfg = config or DeviceConfig.small(2)
     inp = workload.generate(size, seed=seed, scale=scale)
     spec = workload.spec_for_size(size, seed=seed, scale=scale)
@@ -103,6 +111,7 @@ def validate_workload(
                 res = run_job(
                     spec, inp, mode=mode, strategy=strategy, config=cfg,
                     threads_per_block=threads_per_block, backend=backend,
+                    store=store, memory_budget=memory_budget,
                 )
             except ReproError as exc:
                 report.cases.append(ValidationCase(
@@ -126,12 +135,15 @@ def validate_all(
     scale: float = 1.0,
     config: DeviceConfig | None = None,
     backend=None,
+    store: str | None = None,
+    memory_budget: int | None = None,
 ) -> ValidationReport:
     report = ValidationReport()
     for wl in workloads:
         report.cases.extend(
             validate_workload(
-                wl, size=size, scale=scale, config=config, backend=backend
+                wl, size=size, scale=scale, config=config, backend=backend,
+                store=store, memory_budget=memory_budget,
             ).cases
         )
     return report

@@ -113,6 +113,26 @@ class ExecutionBackend(abc.ABC):
                      ) -> tuple[Any, KernelStats]:
         """Run Reduce over the grouped sets; returns ``(out, stats)``."""
 
+    # -- streamed sink ---------------------------------------------------
+    # The streamed driver accumulates batched Map output into a "sink"
+    # between Map and Shuffle.  The defaults reproduce the historical
+    # behaviour exactly (an unbounded host record set); store-aware
+    # backends override them to route batches into a budgeted
+    # :class:`~repro.store.base.IntermediateStore` instead.
+
+    def stream_sink(self, ctx: Any) -> Any:
+        """Create the accumulator batched Map output is absorbed into."""
+        return KeyValueSet()
+
+    def absorb_batch(self, ctx: Any, sink: Any, handle: Any) -> None:
+        """Fold one batch's Map output handle into the sink."""
+        for k, v in self.to_host(ctx, handle):
+            sink.append(k, v)
+
+    def sink_count(self, ctx: Any, sink: Any) -> int:
+        """Records accumulated in the sink so far."""
+        return len(sink)
+
     # -- checking -------------------------------------------------------
 
     def finish_check(self, ctx: Any):

@@ -134,7 +134,9 @@ def _execute_plan(plan, inp, backend, ctx, tr) -> JobResult:
             grouped, timings.shuffle, n_groups = backend.shuffle_phase(
                 ctx, intermediate, tr, plan.shuffle_label()
             )
-            if shuffle_span is not None:
+            if shuffle_span is not None and n_groups is not None:
+                # A spilling shuffle streams its groups and does not
+                # know the count until Reduce drains them.
                 shuffle_span.attrs["groups"] = n_groups
             tr.advance(timings.shuffle)
 
@@ -204,7 +206,9 @@ def _execute_streamed(plan, inp, backend, ctx, tr):
     with tr.span(f"job:{name}", **plan.job_attrs(len(inp))):
         batches = split_batches(inp, plan.batching.n_batches)
         traces: list[BatchTrace] = []
-        intermediate = KeyValueSet()
+        # The sink is a plain host record set by default; store-aware
+        # backends may hand back a budgeted spill store instead.
+        intermediate = backend.stream_sink(ctx)
         merged_stats = KernelStats()
         with tr.span("map_stream") as stream_span:
             for bi, batch in enumerate(batches):
@@ -216,17 +220,17 @@ def _execute_streamed(plan, inp, backend, ctx, tr):
                         tr.advance(up_cycles)
                     out_h, st = backend.map_phase(ctx, d_in, tr, batch=bi)
                     merged_stats = merged_stats.merge(st)
-                    for k, v in backend.to_host(ctx, out_h):
-                        intermediate.append(k, v)
+                    backend.absorb_batch(ctx, intermediate, out_h)
                     traces.append(BatchTrace(
                         records=len(batch), upload_cycles=up_cycles,
                         map_cycles=st.cycles, map_stats=st))
 
         timings = PhaseTimings()
+        inter_count = backend.sink_count(ctx, intermediate)
         result = StreamedResult(
             job=JobResult(
                 spec_name=name, mode=plan.mode, strategy=plan.strategy,
-                output=intermediate, intermediate_count=len(intermediate),
+                output=intermediate, intermediate_count=inter_count,
                 timings=timings, map_stats=merged_stats,
             ),
             batches=traces,
@@ -261,7 +265,7 @@ def _execute_streamed(plan, inp, backend, ctx, tr):
             grouped, timings.shuffle, n_groups = backend.shuffle_phase(
                 ctx, d_inter, tr, plan.shuffle_label()
             )
-            if shuffle_span is not None:
+            if shuffle_span is not None and n_groups is not None:
                 shuffle_span.attrs["groups"] = n_groups
             tr.advance(timings.shuffle)
         with tr.span("reduce", **plan.reduce_attrs()):

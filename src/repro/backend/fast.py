@@ -28,7 +28,7 @@ kernel time.  Use the sim backend for any figure.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from functools import reduce as _fold
 
 from ..errors import FrameworkError
@@ -38,6 +38,13 @@ from ..framework.records import KeyValueSet
 from ..gpu.accessor import Accessor, AccessTrace
 from ..gpu.config import DeviceConfig
 from ..gpu.stats import KernelStats
+from ..store import (
+    IntermediateStore,
+    MemoryStore,
+    SpillStore,
+    open_store,
+    resolve_store_name,
+)
 from .base import ExecutionBackend
 from .plan import JobPlan
 
@@ -61,10 +68,38 @@ def _accessor(data: bytes) -> Accessor:
 
 @dataclass
 class FastContext:
-    """Per-job state of a fast run: just the transfer-model config."""
+    """Per-job state of a fast run: the transfer-model config plus any
+    live intermediate stores (closed by :meth:`FastBackend.close`, so
+    a failed job still releases spill files)."""
 
     plan: JobPlan
     config: DeviceConfig
+    stores: list[IntermediateStore] = field(default_factory=list)
+
+
+class StoreGroups:
+    """Lazy grouped-intermediate handle: streams ``(key, values)``
+    groups out of a spilling store (or any key-sorted group iterator).
+
+    Unlike the eager ``list`` the memory path returns, this is
+    single-consumption and has no length until drained — Reduce counts
+    groups as it streams them.  ``stats`` exposes the producing
+    store's :class:`~repro.store.base.StoreStats` so the reduce phase
+    can fold spill accounting into its :class:`KernelStats`.
+    """
+
+    __slots__ = ("stats", "_it")
+
+    def __init__(self, source, stats=None):
+        if isinstance(source, IntermediateStore):
+            self.stats = source.stats
+            self._it = source.iter_groups()
+        else:
+            self.stats = stats
+            self._it = source
+
+    def __iter__(self):
+        return iter(self._it)
 
 
 class FastBackend(ExecutionBackend):
@@ -77,6 +112,11 @@ class FastBackend(ExecutionBackend):
         if cfg is None and plan.device is not None:
             cfg = plan.device.config
         return FastContext(plan=plan, config=cfg or DeviceConfig.gtx280())
+
+    def close(self, ctx) -> None:
+        stores, ctx.stores = ctx.stores, []
+        for store in stores:
+            store.close()
 
     def resolve_auto(self, ctx, plan, inp):
         """Memory modes are a timing choice the fast backend does not
@@ -127,18 +167,36 @@ class FastBackend(ExecutionBackend):
         return out, stats
 
     def shuffle_phase(self, ctx, inter, tr, label):
+        plan = ctx.plan
+        if isinstance(inter, IntermediateStore):
+            # Streamed sink: the batches already emitted into the store.
+            store = inter
+            with tr.span("shuffle_exec", records=len(store)) as sp:
+                return self._grouped_from(ctx, store, sp)
         with tr.span("shuffle_exec", records=len(inter)) as sp:
-            groups: dict[bytes, list[bytes]] = {}
-            for k, v in inter:
-                bucket = groups.get(k)
-                if bucket is None:
-                    groups[k] = [v]
-                else:
-                    bucket.append(v)
-            grouped = sorted(groups.items())
+            store = open_store(plan.store, plan.memory_budget)
+            ctx.stores.append(store)
+            store.emit_many(inter)
+            return self._grouped_from(ctx, store, sp)
+
+    def _grouped_from(self, ctx, store, sp):
+        """Finalize a filled store into the grouped handle.
+
+        Memory stores drain eagerly into the historical sorted list
+        (exact group count, byte-identical default path); spill stores
+        hand back a lazy :class:`StoreGroups` stream with the group
+        count unknown until Reduce drains it.
+        """
+        store.finalize()
+        if isinstance(store, MemoryStore):
+            grouped = list(store.iter_groups())
             if sp is not None:
                 sp.attrs["groups"] = len(grouped)
-        return grouped, 0.0, len(grouped)
+            return grouped, 0.0, len(grouped)
+        if sp is not None:
+            sp.attrs["spill_runs"] = store.stats.spill_runs
+            sp.attrs["spilled_bytes"] = store.stats.spilled_bytes
+        return StoreGroups(store), 0.0, None
 
     def reduce_phase(self, ctx, grouped, tr, *, include_grid=True):
         plan = ctx.plan
@@ -159,10 +217,15 @@ class FastBackend(ExecutionBackend):
         out = KeyValueSet()
         emit = _emit_into(out)
         const = _accessor(spec.const_bytes) if spec.const_bytes else None
-        with tr.span("reduce_exec", groups=len(grouped)) as sp:
+        lazy = isinstance(grouped, StoreGroups)
+        span_attrs = {} if lazy else {"groups": len(grouped)}
+        n_in = n_groups = 0
+        with tr.span("reduce_exec", **span_attrs) as sp:
             if strategy is ReduceStrategy.BR and not plan.is_mars:
                 combine, finalize = spec.combine, spec.finalize
                 for key, values in grouped:
+                    n_groups += 1
+                    n_in += len(values)
                     acc = _fold(combine, values)
                     k_out, v_out = finalize(key, acc, len(values))
                     out.append(bytes(k_out), bytes(v_out))
@@ -178,15 +241,43 @@ class FastBackend(ExecutionBackend):
                     return a
 
                 for key, values in grouped:
+                    n_groups += 1
+                    n_in += len(values)
                     reduce_record(
                         acc_of(key), [acc_of(v) for v in values], emit, const
                     )
             if sp is not None:
                 sp.attrs["emitted"] = len(out)
-        n_in = sum(len(values) for _, values in grouped)
+                if lazy:
+                    sp.attrs["groups"] = n_groups
         stats = _phase_stats(ctx, records_in=n_in, records_out=len(out))
+        if lazy and grouped.stats is not None:
+            for name, v in grouped.stats.as_extra().items():
+                stats.count(name, v)
         tr.kernel("reduce_kernel", stats)
         return out, stats
+
+    # -- streamed sink ---------------------------------------------------
+
+    def stream_sink(self, ctx):
+        """Spill-aware streamed accumulator: when the plan (or env)
+        selects the spill store and the job has a Reduce tail, batch
+        Map output goes straight into a budgeted store instead of an
+        unbounded host record set.  Strategy-``None`` jobs keep the
+        record set — their sink *is* the job output."""
+        plan = ctx.plan
+        if plan.strategy is not None and \
+                resolve_store_name(plan.store) == SpillStore.name:
+            store = open_store("spill", plan.memory_budget)
+            ctx.stores.append(store)
+            return store
+        return KeyValueSet()
+
+    def absorb_batch(self, ctx, sink, handle) -> None:
+        if isinstance(sink, IntermediateStore):
+            sink.emit_many(self.to_host(ctx, handle))
+        else:
+            super().absorb_batch(ctx, sink, handle)
 
 
 def _emit_into(out: KeyValueSet):

@@ -41,8 +41,11 @@ from __future__ import annotations
 
 import multiprocessing
 import os
+import shutil
+import tempfile
 import time
 from functools import reduce as _fold
+from itertools import islice
 from typing import Any
 
 from ..errors import FrameworkError
@@ -52,8 +55,17 @@ from ..framework.records import KeyValueSet
 from ..gpu.accessor import Accessor
 from ..gpu.stats import KernelStats
 from ..obs.telemetry import ShardProfile
+from ..store import (
+    DEFAULT_BUDGET,
+    IntermediateStore,
+    SpillStore,
+    StoreStats,
+    merge_runs,
+    resolve_budget,
+    resolve_store_name,
+)
 from .base import ExecutionBackend
-from .fast import NULL_TRACE, FastBackend, FastContext
+from .fast import NULL_TRACE, FastBackend, FastContext, StoreGroups
 from .plan import JobPlan
 
 #: Environment variable giving the default worker count.
@@ -62,6 +74,10 @@ WORKERS_ENV = "REPRO_WORKERS"
 #: Below this many records a phase runs in-process: forking and
 #: round-tripping shards through the pool costs more than the work.
 DEFAULT_MIN_RECORDS = 2048
+
+#: Groups per Reduce chunk when consuming a lazy spill-merge stream —
+#: bounds how much of the grouped intermediate is materialised at once.
+SPILL_REDUCE_BATCH = 1024
 
 
 def default_workers() -> int:
@@ -79,6 +95,11 @@ def default_workers() -> int:
 
 def _accessor(data: bytes) -> Accessor:
     return Accessor(data, NULL_TRACE)
+
+
+def _spill_active(plan: JobPlan) -> bool:
+    """Does this plan (or the environment) select the spill store?"""
+    return resolve_store_name(plan.store) == SpillStore.name
 
 
 # ----------------------------------------------------------------------
@@ -118,23 +139,62 @@ def _collecting_emit(out: list[tuple[bytes, bytes]]):
     return emit
 
 
-def _map_shard(task) -> tuple:
-    """Map one shard; optionally partial-combine its emissions.
+def _store_emit(store: SpillStore):
+    """An emit closure that validates like :func:`_collecting_emit`
+    but lands records straight in a spill store, so a shard's Map
+    output never accumulates unbounded in worker memory."""
+    emit_kv = store.emit
 
-    Returns ``("pairs", emitted, profile)`` or, under a BR partial
+    def emit(k, v) -> None:
+        if type(k) is not bytes or type(v) is not bytes:
+            if not isinstance(k, (bytes, bytearray)) or not isinstance(
+                v, (bytes, bytearray)
+            ):
+                raise FrameworkError("keys and values must be bytes")
+            k, v = bytes(k), bytes(v)
+        emit_kv(k, v)
+
+    return emit
+
+
+def _map_shard(task) -> tuple:
+    """Map one shard; optionally partial-combine or spill its emissions.
+
+    Returns ``("pairs", emitted, profile)``; under a BR partial
     combine, ``("combined", n_emitted, [(key, (acc, count)), ...],
-    profile)`` with keys in first-emission order.  The
+    profile)`` with keys in first-emission order; under a spill store,
+    ``("spilled", (run_paths, n_emitted, peak_bytes), profile)`` with
+    every emission flushed to key-sorted run files the coordinator
+    merges (and owns from here on).  The
     :class:`~repro.obs.telemetry.ShardProfile` records the shard's
     wall-clock bounds and throughput for the coordinator's per-worker
     tracks and straggler summary.
     """
-    shard, pairs, do_combine = task
+    shard, pairs, do_combine, spill = task
     spec = _WORKER_SPEC
     t0 = time.perf_counter_ns()
-    out: list[tuple[bytes, bytes]] = []
-    emit = _collecting_emit(out)
     const = _accessor(spec.const_bytes) if spec.const_bytes else None
     map_record = spec.map_record
+    if spill is not None:
+        run_dir, budget = spill
+        store = SpillStore(budget, spill_dir=run_dir,
+                           prefix=f"shard{shard:04d}", own_dir=False)
+        emit = _store_emit(store)
+        for k, v in pairs:
+            map_record(_accessor(k), _accessor(v), emit, const)
+        runs = store.flush_runs()
+        st = store.stats
+        t1 = time.perf_counter_ns()
+        profile = ShardProfile(
+            phase="map", shard=shard, pid=os.getpid(),
+            start_ns=t0, end_ns=t1, records_in=len(pairs),
+            records_out=st.emitted_records,
+            spill_runs=st.spill_runs, spilled_bytes=st.spilled_bytes,
+        )
+        return ("spilled", (runs, st.emitted_records, st.peak_bytes),
+                profile)
+    out: list[tuple[bytes, bytes]] = []
+    emit = _collecting_emit(out)
     for k, v in pairs:
         map_record(_accessor(k), _accessor(v), emit, const)
     if not do_combine:
@@ -249,10 +309,34 @@ class _CombinedGroups:
         return len(self.groups)
 
 
+class _SpilledRuns:
+    """Map-phase handle when shards spilled: per-shard run-file lists.
+
+    ``run_lists`` is one chronological run-path list per shard, in
+    shard order — exactly the producer layout
+    :func:`repro.store.spill.merge_runs` needs to reconstruct global
+    emission order for equal keys.  ``stats`` aggregates the workers'
+    spill accounting (``peak_bytes`` sums the per-worker highs: the
+    shards buffer concurrently, so the sum is the job's tracked peak).
+    """
+
+    __slots__ = ("run_lists", "emit_count", "stats")
+
+    def __init__(self, run_lists: list[list[str]], emit_count: int,
+                 peak_bytes: int, spill_runs: int, spilled_bytes: int):
+        self.run_lists = run_lists
+        self.emit_count = emit_count
+        self.stats = StoreStats(
+            emitted_records=emit_count, peak_bytes=peak_bytes,
+            spill_runs=spill_runs, spilled_bytes=spilled_bytes,
+        )
+
+
 class ParallelContext:
     """Per-job state: the inner fast context plus the worker pool."""
 
-    __slots__ = ("fast", "workers", "min_records", "pool", "profiles")
+    __slots__ = ("fast", "workers", "min_records", "pool", "profiles",
+                 "spill_dirs")
 
     def __init__(self, fast: FastContext, workers: int, min_records: int):
         self.fast = fast
@@ -262,6 +346,10 @@ class ParallelContext:
         #: Shard profiles shipped back from pool workers, in phase
         #: order; harvested by :meth:`ParallelBackend.finish_telemetry`.
         self.profiles: list[ShardProfile] = []
+        #: Coordinator-owned spill directories (shared by the shard
+        #: stores); removed wholesale in :meth:`ParallelBackend.close`,
+        #: so even a failed job leaves no run files behind.
+        self.spill_dirs: list[str] = []
 
     # The execution core reads/writes ``ctx.plan`` and reads
     # ``ctx.config``; keep the inner fast context authoritative.
@@ -306,6 +394,10 @@ class ParallelBackend(ExecutionBackend):
             ctx.pool.close()
             ctx.pool.join()
             ctx.pool = None
+        self._fast.close(ctx.fast)
+        dirs, ctx.spill_dirs = ctx.spill_dirs, []
+        for d in dirs:
+            shutil.rmtree(d, ignore_errors=True)
 
     def resolve_auto(self, ctx, plan, inp):
         return self._fast.resolve_auto(ctx.fast, plan, inp)
@@ -345,9 +437,20 @@ class ParallelBackend(ExecutionBackend):
         return kvs
 
     def record_count(self, ctx, handle) -> int:
-        if isinstance(handle, _MapOutput):
+        if isinstance(handle, (_MapOutput, _SpilledRuns)):
             return handle.emit_count
         return len(handle)
+
+    # -- streamed sink (delegate to the store-aware fast logic) ---------
+
+    def stream_sink(self, ctx):
+        return self._fast.stream_sink(ctx.fast)
+
+    def absorb_batch(self, ctx, sink, handle) -> None:
+        if isinstance(sink, IntermediateStore):
+            sink.emit_many(self.to_host(ctx, handle))
+        else:
+            super().absorb_batch(ctx, sink, handle)
 
     @staticmethod
     def _as_kvs(handle) -> KeyValueSet:
@@ -368,10 +471,35 @@ class ParallelBackend(ExecutionBackend):
         """Partial combine applies to single-shot BR jobs with a
         combiner.  The streamed driver flattens batch outputs into one
         host record set between Map and Shuffle, so partial
-        accumulators cannot survive that hop."""
+        accumulators cannot survive that hop.  A spilling job also
+        skips it: run files carry plain pairs, and the full BR fold in
+        Reduce keeps the output byte-identical to the fast backend
+        (partial combining would regroup float folds)."""
         return (not streamed and not plan.is_mars
                 and plan.strategy is ReduceStrategy.BR
-                and plan.spec.combine is not None)
+                and plan.spec.combine is not None
+                and not _spill_active(plan))
+
+    def _spill_config(self, ctx, *, batch) -> tuple[str, int] | None:
+        """Worker spill settings for one pooled Map, or None.
+
+        Per-shard spill applies to single-shot jobs with a Reduce
+        tail: strategy-``None`` jobs download the Map output directly,
+        and streamed batches flow into the coordinator's sink store
+        instead.  The budget splits evenly across workers (shards
+        buffer concurrently, so the per-job bound is preserved).
+        """
+        plan = ctx.plan
+        if batch is not None or plan.strategy is None \
+                or not _spill_active(plan):
+            return None
+        run_dir = tempfile.mkdtemp(
+            prefix="repro-spill-",
+            dir=os.environ.get("REPRO_SPILL_DIR") or None,
+        )
+        ctx.spill_dirs.append(run_dir)
+        budget = resolve_budget(plan.memory_budget) or DEFAULT_BUDGET
+        return run_dir, max(1, budget // ctx.workers)
 
     def map_phase(self, ctx, d_in, tr, *, batch=None):
         plan = ctx.plan
@@ -380,13 +508,31 @@ class ParallelBackend(ExecutionBackend):
             return self._fast.map_phase(ctx.fast, d_in, tr, batch=batch)
 
         do_combine = self._want_combine(plan, streamed=batch is not None)
+        spill = self._spill_config(ctx, batch=batch)
         slices = shard_slices(len(d_in), ctx.workers)
         keys, vals = d_in.keys, d_in.values
-        tasks = [(shard, list(zip(keys[lo:hi], vals[lo:hi])), do_combine)
+        tasks = [(shard, list(zip(keys[lo:hi], vals[lo:hi])), do_combine,
+                  spill)
                  for shard, (lo, hi) in enumerate(slices)]
         results = pool.map(_map_shard, tasks, chunksize=1)
         self._record_profiles(ctx, tr, [r[-1] for r in results])
 
+        if spill is not None:
+            emit_count = sum(r[1][1] for r in results)
+            handle = _SpilledRuns(
+                run_lists=[r[1][0] for r in results],
+                emit_count=emit_count,
+                peak_bytes=sum(r[1][2] for r in results),
+                spill_runs=sum(len(r[1][0]) for r in results),
+                spilled_bytes=sum(p.spilled_bytes
+                                  for _, _, p in results),
+            )
+            stats = self._phase_stats(ctx, records_in=len(d_in),
+                                      records_out=emit_count,
+                                      shards=len(slices))
+            attrs = {"batch": batch} if batch is not None else {}
+            tr.kernel("map_kernel", stats, **attrs)
+            return handle, stats
         if do_combine:
             emit_count = sum(r[1] for r in results)
             handle = _MapOutput(pairs=None,
@@ -412,6 +558,21 @@ class ParallelBackend(ExecutionBackend):
         return handle, stats
 
     def shuffle_phase(self, ctx, inter, tr, label):
+        if isinstance(inter, _SpilledRuns):
+            # Per-shard runs: merge-stream them shard-major, exactly
+            # the group order the in-memory shuffle would produce.
+            with tr.span("shuffle_exec", records=inter.emit_count) as sp:
+                if sp is not None:
+                    sp.attrs["spill_runs"] = inter.stats.spill_runs
+                    sp.attrs["spilled_bytes"] = inter.stats.spilled_bytes
+                inter.stats.merge_fan_in = sum(
+                    len(runs) for runs in inter.run_lists
+                )
+            grouped = StoreGroups(merge_runs(inter.run_lists), inter.stats)
+            return grouped, 0.0, None
+        if isinstance(inter, IntermediateStore):
+            # Streamed sink store: the fast logic finalizes it.
+            return self._fast.shuffle_phase(ctx.fast, inter, tr, label)
         if isinstance(inter, _MapOutput) and inter.combined is not None:
             merged: dict[bytes, list[tuple[bytes, int]]] = {}
             for shard in inter.combined:  # shard order = emission order
@@ -441,6 +602,9 @@ class ParallelBackend(ExecutionBackend):
                 raise FrameworkError(
                     f"workload {spec.name} has no TR reduce function"
                 )
+
+        if isinstance(grouped, StoreGroups):
+            return self._reduce_stream(ctx, grouped, tr)
 
         combined = isinstance(grouped, _CombinedGroups)
         groups = grouped.groups if combined else grouped
@@ -473,6 +637,67 @@ class ParallelBackend(ExecutionBackend):
         tr.kernel("reduce_kernel", stats)
         return out, stats
 
+    def _reduce_stream(self, ctx, grouped: StoreGroups, tr):
+        """Reduce a lazy group stream in bounded key-ordered batches.
+
+        The stream's length is unknown up front, so instead of one
+        contiguous range per worker the groups are consumed in
+        fixed-size chunks fed through ``pool.imap`` (ordered), keeping
+        at most a few chunks of groups materialised at a time.  Chunk
+        outputs concatenate in chunk order = sorted key order, so the
+        output matches the eager path exactly.
+        """
+        out = KeyValueSet()
+        append = out.append_unchecked
+        pool = ctx.pool
+
+        def tasks():
+            it = iter(grouped)
+            shard = 0
+            while True:
+                chunk = list(islice(it, SPILL_REDUCE_BATCH))
+                if not chunk:
+                    return
+                yield (shard, "plain", chunk)
+                shard += 1
+
+        if pool is None:
+            plan = ctx.plan
+            _init_worker(plan.spec, plan.strategy, plan.is_mars)
+            try:
+                results_iter = map(_reduce_range, tasks())
+                n_values, n_ranges, profiles = self._drain_reduce(
+                    results_iter, append
+                )
+            finally:
+                _init_worker(None, None, False)
+        else:
+            results_iter = pool.imap(_reduce_range, tasks(), chunksize=1)
+            n_values, n_ranges, profiles = self._drain_reduce(
+                results_iter, append
+            )
+            self._record_profiles(ctx, tr, profiles)
+
+        stats = self._phase_stats(ctx, records_in=n_values,
+                                  records_out=len(out), shards=n_ranges)
+        if grouped.stats is not None:
+            for name, v in grouped.stats.as_extra().items():
+                stats.count(name, v)
+        tr.kernel("reduce_kernel", stats)
+        return out, stats
+
+    @staticmethod
+    def _drain_reduce(results_iter, append):
+        n_values = n_ranges = 0
+        profiles = []
+        for chunk_out, profile in results_iter:
+            n_ranges += 1
+            n_values += profile.records_in
+            for k, v in chunk_out:
+                append(k, v)
+            profiles.append(profile)
+        return n_values, n_ranges, profiles
+
     # -- telemetry ------------------------------------------------------
 
     @staticmethod
@@ -487,6 +712,8 @@ class ParallelBackend(ExecutionBackend):
                 pid=p.pid, records_in=p.records_in,
                 records_out=p.records_out, distinct_keys=p.distinct_keys,
                 combine_ns=p.combine_ns if p.combined else None,
+                spill_runs=p.spill_runs if p.spill_runs else None,
+                spilled_bytes=p.spilled_bytes if p.spill_runs else None,
             )
 
     def finish_telemetry(self, ctx: ParallelContext):

@@ -66,6 +66,16 @@ class JobPlan:
     #: Resolved by the backend at ``open``; the fast backend has no
     #: simulated device to check and ignores it.
     check: object = None
+    #: Intermediate-store policy for the functional backends:
+    #: ``"memory"`` (unbounded dict, the default behaviour),
+    #: ``"spill"`` (budgeted out-of-core shuffle) or ``None`` to
+    #: consult ``$REPRO_STORE``.  The sim backend models the device's
+    #: own intermediate tiers and ignores this.
+    store: str | None = None
+    #: Approximate in-memory byte budget for ``store="spill"``
+    #: (``None`` consults ``$REPRO_MEMORY_BUDGET``, then the spill
+    #: default).  Ignored by the memory store, which is unbounded.
+    memory_budget: int | None = None
 
     # ------------------------------------------------------------------
     # Normalisation
@@ -80,6 +90,17 @@ class JobPlan:
         """
         if self.engine not in (ENGINE_SHARED, ENGINE_MARS):
             raise FrameworkError(f"unknown engine {self.engine!r}")
+        store = self.store
+        if store is not None:
+            # Validate eagerly (same friendly error surface as modes);
+            # None is left open for the backend's env consultation.
+            from ..store import resolve_store_name
+
+            store = resolve_store_name(store)
+        if self.memory_budget is not None and self.memory_budget < 1:
+            raise FrameworkError(
+                f"memory_budget must be positive, got {self.memory_budget}"
+            )
         mode = self.mode
         if isinstance(mode, str) and mode != "auto" and not isinstance(
             mode, MemoryMode
@@ -94,7 +115,7 @@ class JobPlan:
             reduce_mode, MemoryMode
         ):
             reduce_mode = MemoryMode(reduce_mode)
-        return replace(self, mode=mode, reduce_mode=reduce_mode)
+        return replace(self, mode=mode, reduce_mode=reduce_mode, store=store)
 
     # ------------------------------------------------------------------
     # Presentation (labels + tracer span attributes)
@@ -146,6 +167,10 @@ class JobPlan:
             attrs["overlap"] = self.batching.overlap
         elif not self.is_mars and self.shuffle_method is not None:
             attrs["shuffle"] = self.shuffle_method
+        if self.store is not None:
+            # Only explicit policies land in span attrs: the default
+            # (None -> env -> "memory") keeps traces byte-identical.
+            attrs["store"] = self.store
         attrs["records"] = n_records
         return attrs
 

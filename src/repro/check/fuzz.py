@@ -4,10 +4,12 @@ Property-based cross-checking for the whole stack: each case draws a
 tiny random workload (map kernel shape, key distribution, record
 count), a memory mode, a reduce strategy and tuning knobs, then runs
 it on the simulator *with the sanitizer in strict mode*, on the fast
-functional backend, and through the sequential CPU oracle
-(:func:`repro.cpu_ref.reference.reference_job`).  All three outputs
-must agree after order normalisation, and the sanitizer must report
-nothing.
+functional backend (twice: once on the default memory store, once on
+the spill store under a tiny forced budget), and through the
+sequential CPU oracle
+(:func:`repro.cpu_ref.reference.reference_job`).  All outputs must
+agree after order normalisation — the two store policies must match
+byte for byte — and the sanitizer must report nothing.
 
 The generator deliberately over-samples degenerate shapes — empty
 inputs, single records, one hot key, zero-output maps, and burst
@@ -212,6 +214,14 @@ def run_case(case: FuzzCase, config: DeviceConfig) -> str | None:
     if normalised(fast.output) != want:
         return (f"fast output diverges from oracle "
                 f"({len(fast.output)} vs {len(want)} records)")
+    # Same backend under the spill store with a budget small enough
+    # that nearly every case writes runs: a different intermediate
+    # policy must be byte-identical, not merely normalised-equal.
+    spill = run_job(spec, inp, backend="fast", store="spill",
+                    memory_budget=256, **common)
+    if spill.output != fast.output:
+        return (f"spill-store output diverges from the memory store "
+                f"({len(spill.output)} vs {len(fast.output)} records)")
     par = run_job(spec, inp,
                   backend=ParallelBackend(workers=2, min_records=0),
                   **common)

@@ -100,6 +100,8 @@ def run_job(
     tracer: Tracer | None = None,
     backend=None,
     check=None,
+    store: str | None = None,
+    memory_budget: int | None = None,
 ) -> JobResult:
     """Run a complete MapReduce job.
 
@@ -125,6 +127,11 @@ def run_job(
     ``$REPRO_CHECK``.  Empty inputs are legal and produce an empty
     output (degenerate cases are exactly what the differential fuzzer
     exercises).
+    ``store`` picks the intermediate-store policy for the functional
+    backends (``"memory"`` or ``"spill"``; ``None`` consults
+    ``$REPRO_STORE``) and ``memory_budget`` bounds the spill store's
+    tracked bytes (``None`` consults ``$REPRO_MEMORY_BUDGET``) — see
+    :mod:`repro.store`.  The sim backend ignores both.
     """
     spec.validate()
     if strategy is not None and not spec.has_reduce:
@@ -144,5 +151,7 @@ def run_job(
         io_ratio=io_ratio,
         shuffle_method=shuffle_method,
         check=check,
+        store=store,
+        memory_budget=memory_budget,
     ).normalised()
     return execute_plan(plan, inp, get_backend(backend), tracer)

@@ -92,6 +92,10 @@ class IterativeJob:
     #: Sanitizer request for every iteration's job (see
     #: :func:`repro.framework.job.run_job`'s ``check``).
     check: object | None = None
+    #: Intermediate-store policy and spill budget for every
+    #: iteration's job (see :func:`repro.framework.job.run_job`).
+    store: str | None = None
+    memory_budget: int | None = None
 
     def run(self, inp: KeyValueSet, initial_state: object,
             *, max_iterations: int = 32,
@@ -111,7 +115,8 @@ class IterativeJob:
                         config=self.config,
                         threads_per_block=self.threads_per_block,
                         tracer=tracer, backend=self.backend,
-                        check=self.check,
+                        check=self.check, store=self.store,
+                        memory_budget=self.memory_budget,
                     )
                 new_state = self.update(i, job, state)
                 result.iterations.append(IterationTrace(

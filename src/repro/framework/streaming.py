@@ -110,6 +110,8 @@ def run_streamed_job(
     tracer: Tracer | None = None,
     backend=None,
     check=None,
+    store: str | None = None,
+    memory_budget: int | None = None,
 ) -> StreamedResult:
     """Run a job with the input streamed through the device in batches.
 
@@ -119,8 +121,11 @@ def run_streamed_job(
     costs; the pipelined total is recorded on the stream span's
     ``pipelined_map_io`` attribute).
     ``backend`` selects the execution substrate and ``check`` the
-    sanitizer (see :func:`repro.framework.job.run_job`).  An empty
-    input yields zero batches and an empty output.
+    sanitizer; ``store``/``memory_budget`` pick the intermediate-store
+    policy (see :func:`repro.framework.job.run_job`) — under
+    ``store="spill"`` the functional backends stream batch output into
+    a budgeted store instead of an unbounded host record set.  An
+    empty input yields zero batches and an empty output.
     """
     spec.validate()
     # Local import: repro.backend imports this module for StreamedResult.
@@ -135,5 +140,7 @@ def run_streamed_job(
         yield_sync=yield_sync,
         batching=BatchPolicy(n_batches=n_batches, overlap=overlap),
         check=check,
+        store=store,
+        memory_budget=memory_budget,
     ).normalised()
     return execute_streamed(plan, inp, get_backend(backend), tracer)

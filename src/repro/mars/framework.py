@@ -459,6 +459,8 @@ def run_mars_job(
     tracer: Tracer | None = None,
     backend=None,
     check=None,
+    store: str | None = None,
+    memory_budget: int | None = None,
 ) -> JobResult:
     """Run a complete Mars-style job (two-pass Map, two-pass Reduce).
 
@@ -469,7 +471,9 @@ def run_mars_job(
     ``backend`` selects the execution substrate (see
     :func:`repro.framework.job.run_job`); under ``"fast"`` the job
     runs functionally (single-pass on the host — the two-pass
-    structure is a timing artefact the fast backend does not model).
+    structure is a timing artefact the fast backend does not model);
+    ``store``/``memory_budget`` pick the functional backends'
+    intermediate-store policy exactly as in ``run_job``.
     """
     if strategy is ReduceStrategy.BR:
         raise FrameworkError("Mars supports only thread-level reduction (TR)")
@@ -487,5 +491,7 @@ def run_mars_job(
         device=device,
         threads_per_block=threads_per_block,
         check=check,
+        store=store,
+        memory_budget=memory_budget,
     ).normalised()
     return execute_plan(plan, inp, get_backend(backend), tracer)

@@ -26,9 +26,11 @@ import json
 import os
 import sys
 
+from ..errors import FrameworkError
 from ..framework.job import run_job
 from ..framework.modes import MemoryMode, ReduceStrategy
 from ..gpu.config import DeviceConfig
+from ..store import parse_budget
 from ..workloads import ALL_WORKLOADS, EXTRA_WORKLOADS, Workload
 from .exporters import write_check_json, write_chrome_trace, write_jsonl
 from .metrics import diff_metrics, job_metrics_registry
@@ -115,6 +117,15 @@ def main(argv: list[str] | None = None) -> int:
     p.add_argument("--workers", type=int, default=None,
                    help="worker processes for --backend parallel "
                         "(default: $REPRO_WORKERS or the CPU count)")
+    p.add_argument("--store", default=None, choices=["memory", "spill"],
+                   help="intermediate-store policy for the fast/parallel "
+                        "backends: 'memory' (unbounded dict, default) or "
+                        "'spill' (budgeted out-of-core shuffle); default "
+                        "honours $REPRO_STORE; ignored by the sim backend")
+    p.add_argument("--memory-budget", default=None, metavar="SIZE",
+                   help="spill budget in bytes, k/m/g suffixes accepted "
+                        "(e.g. 64k, 512M); needs --store spill; default "
+                        "honours $REPRO_MEMORY_BUDGET")
     p.add_argument("--check", action="store_true",
                    help="run under the repro.check sanitizer (report "
                         "mode) and write check.json; exits 1 on any "
@@ -150,6 +161,15 @@ def main(argv: list[str] | None = None) -> int:
         print("repro-trace: --workers needs --backend parallel",
               file=sys.stderr)
         raise SystemExit(2)
+    if args.memory_budget is not None and args.store != "spill":
+        print("repro-trace: --memory-budget needs --store spill",
+              file=sys.stderr)
+        raise SystemExit(2)
+    try:
+        memory_budget = parse_budget(args.memory_budget)
+    except FrameworkError as exc:
+        print(f"repro-trace: {exc}", file=sys.stderr)
+        raise SystemExit(2) from None
     if backend == "parallel":
         from ..backend import ParallelBackend
 
@@ -174,7 +194,8 @@ def main(argv: list[str] | None = None) -> int:
         result = run_mars_job(
             spec, inp, strategy=strategy, config=config,
             threads_per_block=args.threads_per_block, tracer=tracer,
-            backend=backend, check=check,
+            backend=backend, check=check, store=args.store,
+            memory_budget=memory_budget,
         )
     else:
         result = run_job(
@@ -182,7 +203,8 @@ def main(argv: list[str] | None = None) -> int:
             strategy=strategy, config=config,
             threads_per_block=args.threads_per_block,
             shuffle_method=args.shuffle, tracer=tracer,
-            backend=backend, check=check,
+            backend=backend, check=check, store=args.store,
+            memory_budget=memory_budget,
         )
 
     os.makedirs(args.out, exist_ok=True)

@@ -5,7 +5,8 @@ Every :func:`repro.backend.core.execute_plan` /
 :func:`build_record` line to ``.repro/runs.jsonl`` — workload, mode,
 strategy, backend, worker count, input size and digest, simulated
 cycles, wall seconds, a KernelStats digest, analysis-cache hit rate,
-check-finding count and straggler skew.  Unlike the hand-regenerated
+check-finding count, straggler skew and intermediate-store spill
+accounting (policy, runs written, bytes spilled).  Unlike the hand-regenerated
 ``BENCH_*.json`` snapshots, the ledger accumulates *every* run, so
 ``repro-report`` can render performance trajectories over time and
 flag regressions against a rolling baseline.
@@ -118,6 +119,7 @@ def build_record(plan, inp, backend, result, *, wall_s: float,
     lookups = hits + misses
     report = result.check_report
     straggler = result.straggler
+    spilled = any("spill_runs" in st.extra for st in stats)
     return {
         "schema": SCHEMA,
         "ts": round(time.time(), 3),
@@ -143,6 +145,18 @@ def build_record(plan, inp, backend, result, *, wall_s: float,
         ),
         "straggler_skew": (
             round(straggler.max_skew, 3) if straggler is not None else None
+        ),
+        # Intermediate-store policy: the plan's explicit choice (None
+        # means "default/env"), plus spill accounting when the job
+        # actually ran a spilling shuffle.
+        "store": plan.store,
+        "spill_runs": (
+            sum(st.extra.get("spill_runs", 0) for st in stats)
+            if spilled else None
+        ),
+        "spilled_bytes": (
+            sum(st.extra.get("spilled_bytes", 0) for st in stats)
+            if spilled else None
         ),
     }
 

@@ -156,6 +156,21 @@ def _ts(rec: dict) -> str:
     return time.strftime("%Y-%m-%d %H:%M:%S", time.gmtime(ts))
 
 
+def _spill_cell(rec: dict) -> str:
+    """Compact "runs/bytes" spill column (``-`` = no spilling ran)."""
+    runs = rec.get("spill_runs")
+    if not isinstance(runs, int):
+        return "-"
+    nbytes = rec.get("spilled_bytes") or 0
+    if nbytes >= 2**20:
+        human = f"{nbytes / 2**20:.1f}M"
+    elif nbytes >= 2**10:
+        human = f"{nbytes / 2**10:.0f}k"
+    else:
+        human = str(nbytes)
+    return f"{runs}/{human}"
+
+
 def render(analysis: dict, *, last: int = 8) -> str:
     """Console rendering of :func:`analyze`'s output."""
     lines: list[str] = []
@@ -169,7 +184,7 @@ def render(analysis: dict, *, last: int = 8) -> str:
                      f"({len(runs)} run(s)) ==")
         lines.append(f"  {'when (UTC)':<19s} {'mode':>5s} {'strat':>5s} "
                      f"{'records':>8s} {'cycles':>14s} {'wall_s':>9s} "
-                     f"{'skew':>5s} {'chk':>3s}")
+                     f"{'skew':>5s} {'chk':>3s} {'spill':>10s}")
         for rec in runs[-last:]:
             skew = rec.get("straggler_skew")
             findings = rec.get("check_findings")
@@ -180,7 +195,8 @@ def render(analysis: dict, *, last: int = 8) -> str:
                 f"{rec.get('sim_cycles', 0.0):>14.0f} "
                 f"{rec.get('wall_s', 0.0):>9.4f} "
                 f"{(f'{skew:.2f}' if isinstance(skew, (int, float)) else '-'):>5s} "
-                f"{(str(findings) if findings is not None else '-'):>3s}"
+                f"{(str(findings) if findings is not None else '-'):>3s} "
+                f"{_spill_cell(rec):>10s}"
             )
         reg = group["regression"]
         if reg:

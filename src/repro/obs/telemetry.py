@@ -41,6 +41,8 @@ class ShardProfile:
     distinct_keys: int = 0  # peak shuffle-key width seen by the shard
     combined: bool = False  # did the shard run a partial combine?
     combine_ns: int = 0     # share of wall_ns spent in the combine
+    spill_runs: int = 0     # sorted runs this shard wrote to disk
+    spilled_bytes: int = 0  # payload bytes across this shard's runs
 
     @property
     def wall_ns(self) -> int:
@@ -54,6 +56,8 @@ class ShardProfile:
             "distinct_keys": self.distinct_keys,
             "combined": self.combined,
             "combine_ns": self.combine_ns,
+            "spill_runs": self.spill_runs,
+            "spilled_bytes": self.spilled_bytes,
         }
 
 

@@ -1,0 +1,48 @@
+"""The unbounded in-process store: today's dict shuffle, extracted.
+
+Behaviour is exactly the fast backend's original group-by — a dict of
+value lists keyed by key bytes, built in emission order and read back
+sorted — so the default execution path stays byte-identical to the
+pre-store tree.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from .base import IntermediateStore, record_cost
+
+
+class MemoryStore(IntermediateStore):
+    """Group in an unbounded dict; sort once at read time."""
+
+    name = "memory"
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._groups: dict[bytes, list[bytes]] = {}
+
+    def emit(self, key: bytes, value: bytes) -> None:
+        bucket = self._groups.get(key)
+        if bucket is None:
+            self._groups[key] = [value]
+        else:
+            bucket.append(value)
+        st = self.stats
+        st.emitted_records += 1
+        st.emitted_bytes += record_cost(key, value)
+        if st.emitted_bytes > st.peak_bytes:
+            st.peak_bytes = st.emitted_bytes
+
+    @property
+    def group_count(self) -> int:
+        return len(self._groups)
+
+    def iter_groups(self) -> Iterator[tuple[bytes, list[bytes]]]:
+        if not self._finalized:
+            self.finalize()
+        self.stats.merge_fan_in = 1 if self._groups else 0
+        yield from sorted(self._groups.items())
+
+    def close(self) -> None:
+        self._groups = {}

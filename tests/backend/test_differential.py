@@ -9,6 +9,11 @@ matrix does).  The sharded parallel backend must match the fast
 backend *exactly* — same records, same order — except for float BR
 combines, where per-shard partial combining regroups the fold and the
 usual float32 tolerance applies.
+
+A fourth executor rides along: the fast backend with the spill store
+forced down to a tiny budget, so every case's shuffle goes through
+sorted runs and the k-way merge.  Its contract is the strictest —
+byte-identical to the memory-store fast run, records *and* order.
 """
 
 import pytest
@@ -28,6 +33,10 @@ SCALE = {"WC": 0.3, "MM": 0.5, "SM": 0.3, "II": 0.3, "KM": 0.25,
          "SS": 0.5, "HG": 0.2, "LR": 0.25}
 
 WORKLOADS = [cls() for cls in (*ALL_WORKLOADS, *EXTRA_WORKLOADS)]
+
+#: Spill budget forced low enough that every differential case with a
+#: Reduce phase actually writes and merges runs.
+SPILL_BUDGET = 512
 
 
 def _float_vals(code: str) -> bool:
@@ -83,6 +92,15 @@ def test_fast_matches_sim_and_oracle(workload, mode, strategy):
     assert par.intermediate_count == fast.intermediate_count
     assert par.mode == fast.mode and par.strategy == fast.strategy
 
+    # Spill store under a tiny budget: same backend, different
+    # intermediate policy — must be byte-identical, no tolerance.
+    spill = run_job(spec, inp, backend="fast", store="spill",
+                    memory_budget=SPILL_BUDGET, **kwargs)
+    assert spill.output == fast.output
+    assert spill.intermediate_count == fast.intermediate_count
+    if strategy is not None:
+        assert spill.reduce_stats.extra.get("spill_runs", 0) > 0
+
 
 class TestDegenerateInputs:
     """Backend parity on the inputs the fuzzer flagged as the risky
@@ -105,6 +123,14 @@ class TestDegenerateInputs:
                       backend=ParallelBackend(workers=4, min_records=0),
                       **kwargs)
         assert par.output == fast.output
+        spill = run_job(spec, inp, backend="fast", store="spill",
+                        memory_budget=64, **kwargs)
+        assert spill.output == fast.output
+        par_spill = run_job(spec, inp,
+                            backend=ParallelBackend(workers=4,
+                                                    min_records=0),
+                            store="spill", memory_budget=64, **kwargs)
+        assert par_spill.output == fast.output
         return sim, fast
 
     def test_empty_input(self):

@@ -197,9 +197,12 @@ class TestPartialCombine:
         """The shard summaries carry one accumulator per distinct key
         per shard, visible in the map stats."""
         spec, inp = _wc(scale=0.3)
+        # Partial combining is a memory-store feature (a spilling job
+        # ships plain pairs and folds fully in Reduce), so pin the
+        # store: the suite also runs under REPRO_STORE=spill.
         par = run_job(spec, inp, mode=MemoryMode.SIO,
                       strategy=ReduceStrategy.BR, config=CFG,
-                      backend=_pooled(2))
+                      backend=_pooled(2), store="memory")
         combined = par.map_stats.extra["parallel_combined_out"]
         emitted = par.map_stats.extra["fast_records_out"]
         assert 0 < combined < emitted
