@@ -24,6 +24,10 @@ Two artifacts, committed at the repo root as the PRs' perf evidence:
   100%, 50% and 10% of that, recording wall seconds, runs written and
   bytes spilled.  Informational — out-of-core capacity is the point;
   the overhead column prices it.
+* ``BENCH_columnar.json`` (``--columnar``) — columnar FastBackend
+  (batch kernels + array shuffle) vs the scalar fast path on the four
+  workloads with batch implementations, outputs cross-checked
+  byte-for-byte per case.  Acceptance bar: >= 5x on medium kmeans.
 
 Usage::
 
@@ -32,6 +36,8 @@ Usage::
         [--parallel-out PATH] [--workers 1,2,4,8]
     PYTHONPATH=src python scripts/bench_backends.py --obs [--obs-out PATH]
     PYTHONPATH=src python scripts/bench_backends.py --spill [--spill-out PATH]
+    PYTHONPATH=src python scripts/bench_backends.py --columnar \\
+        [--columnar-out PATH]
 """
 
 from __future__ import annotations
@@ -43,10 +49,10 @@ import platform
 import time
 from pathlib import Path
 
-from repro.backend import ParallelBackend
+from repro.backend import FastBackend, ParallelBackend
 from repro.framework.job import run_job
 from repro.framework.modes import MemoryMode, ReduceStrategy
-from repro.workloads import KMeans, WordCount
+from repro.workloads import Histogram, KMeans, LinearRegression, WordCount
 
 CASES = [
     ("wordcount", WordCount, "small"),
@@ -70,6 +76,14 @@ OBS_CASES = [
 SPILL_CASES = [
     ("wordcount", WordCount, "medium"),
     ("kmeans", KMeans, "medium"),
+]
+
+COLUMNAR_CASES = [
+    ("wordcount", WordCount, "medium"),
+    ("kmeans", KMeans, "small"),
+    ("kmeans", KMeans, "medium"),
+    ("histogram", Histogram, "medium"),
+    ("linearreg", LinearRegression, "medium"),
 ]
 
 
@@ -304,6 +318,78 @@ def bench_spill(out_path: str, repeats: int) -> int:
     return 0
 
 
+def bench_columnar(out_path: str, repeats: int) -> int:
+    """Columnar FastBackend vs the scalar fast path.
+
+    Both runs share the input and spec; every case additionally
+    cross-checks that the columnar output is byte-identical to the
+    scalar one (the differential suite's contract, re-asserted on the
+    benchmark sizes).
+    """
+    results = []
+    mismatches = 0
+    for name, cls, size in COLUMNAR_CASES:
+        w = cls()
+        inp = w.generate(size, seed=0)
+        spec = w.spec_for_size(size, seed=0)
+        scalar = run_job(spec, inp, mode=MemoryMode.SIO,
+                         strategy=ReduceStrategy.TR,
+                         backend=FastBackend(columnar=False))
+        col = run_job(spec, inp, mode=MemoryMode.SIO,
+                      strategy=ReduceStrategy.TR,
+                      backend=FastBackend(columnar=True))
+        identical = col.output == scalar.output
+        if not identical:
+            mismatches += 1
+        fast_s = _time_run(spec, inp, FastBackend(columnar=False), repeats)
+        col_s = _time_run(spec, inp, FastBackend(columnar=True), repeats)
+        row = {
+            "workload": name,
+            "size": size,
+            "records": len(inp),
+            "fast_wall_s": round(fast_s, 4),
+            "columnar_wall_s": round(col_s, 4),
+            "speedup": round(fast_s / col_s, 2),
+            "map_vectorized": col.map_stats.extra.get(
+                "columnar_map_vectorized", 0) > 0,
+            "reduce_vectorized": col.reduce_stats.extra.get(
+                "columnar_reduce_vectorized", 0) > 0,
+            "output_identical": identical,
+        }
+        results.append(row)
+        print(f"{name:10s} {size:6s} {len(inp):7d} records  "
+              f"fast {fast_s:8.4f}s  columnar {col_s:8.4f}s  "
+              f"{row['speedup']:6.2f}x  "
+              f"{'identical' if identical else 'MISMATCH'}")
+
+    doc = {
+        "description": "Wall-clock: columnar FastBackend (batch "
+                       "kernels + array shuffle) vs the scalar fast "
+                       "path, mode=SIO strategy=TR, best of N runs; "
+                       "outputs cross-checked byte-for-byte per case. "
+                       "Bar: >= 5x on medium kmeans.",
+        "repeats": repeats,
+        "python": platform.python_version(),
+        "results": results,
+    }
+    with open(out_path, "w", encoding="utf-8") as fh:
+        json.dump(doc, fh, indent=2)
+        fh.write("\n")
+    print(f"wrote {out_path}")
+
+    if mismatches:
+        print(f"ERROR: {mismatches} case(s) produced non-identical "
+              "columnar output")
+        return 1
+    medium_km = next(r for r in results
+                     if r["workload"] == "kmeans" and r["size"] == "medium")
+    if medium_km["speedup"] < 5:
+        print(f"WARNING: medium kmeans columnar speedup "
+              f"{medium_km['speedup']}x is below the 5x acceptance bar")
+        return 1
+    return 0
+
+
 def main(argv=None) -> int:
     p = argparse.ArgumentParser(description=__doc__)
     p.add_argument("--out", default=str(
@@ -328,8 +414,15 @@ def main(argv=None) -> int:
                         "backends")
     p.add_argument("--spill-out", default=str(
         Path(__file__).resolve().parent.parent / "BENCH_spill.json"))
+    p.add_argument("--columnar", action="store_true",
+                   help="benchmark the columnar fast path vs the "
+                        "scalar fast path on the batch-kernel workloads")
+    p.add_argument("--columnar-out", default=str(
+        Path(__file__).resolve().parent.parent / "BENCH_columnar.json"))
     args = p.parse_args(argv)
 
+    if args.columnar:
+        return bench_columnar(args.columnar_out, args.repeats)
     if args.spill:
         return bench_spill(args.spill_out, args.repeats)
     if args.obs:

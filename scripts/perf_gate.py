@@ -28,12 +28,21 @@ identical tree — a same-machine drift bound on a foreign snapshot
 produces false failures, observed as ratio 27.5 vs limit 24.3 on an
 unmodified seed tree).
 
+The gate also holds the columnar fast path to its acceptance bar:
+the fast/columnar CPU-time ratio on small kmeans must stay at or
+above ``--columnar-floor`` (default 5, the bar from
+``BENCH_columnar.json``).  Like sim/fast, the ratio is machine
+neutral — both paths run the same Python on the same runner — so a
+regression in the batch kernels or the array shuffle (whose cost the
+scalar path does not share) shows up directly.
+
 Usage::
 
     PYTHONPATH=src python scripts/perf_gate.py [--repeats 3]
         [--tolerance 0.25] [--bench-tolerance 0.75]
         [--baseline BENCH_sim_opt.json]
         [--ledger .repro/runs.jsonl | --no-ledger]
+        [--columnar-floor 5.0 | --no-columnar]
 """
 
 from __future__ import annotations
@@ -107,6 +116,11 @@ def main(argv=None) -> int:
     p.add_argument("--no-ledger", action="store_true",
                    help="ignore the ledger; use the committed baseline "
                         "only")
+    p.add_argument("--columnar-floor", type=float, default=5.0,
+                   help="minimum fast/columnar CPU-time ratio on small "
+                        "kmeans (the columnar acceptance bar)")
+    p.add_argument("--no-columnar", action="store_true",
+                   help="skip the columnar-over-fast check")
     args = p.parse_args(argv)
 
     with open(args.baseline) as f:
@@ -136,6 +150,22 @@ def main(argv=None) -> int:
               f"(baseline {base:.1f} [{source}], limit {limit:.1f}) "
               f"{verdict}")
         if ratio > limit:
+            failed = True
+
+    if not args.no_columnar:
+        _, fast_cpu = _measure_tree(_ROOT, "kmeans", "small",
+                                    args.repeats, "fast")
+        _, col_cpu = _measure_tree(_ROOT, "kmeans", "small",
+                                   args.repeats, "columnar")
+        speedup = fast_cpu / col_cpu
+        verdict = "FAIL" if speedup < args.columnar_floor else "ok"
+        print(f"kmeans-small: fast {fast_cpu:.3f}s-cpu columnar "
+              f"{col_cpu:.3f}s-cpu speedup {speedup:.1f}x "
+              f"(floor {args.columnar_floor:.1f}x) {verdict}")
+        if speedup < args.columnar_floor:
+            print("perf-gate: columnar fast path regressed below its "
+                  "acceptance bar; see BENCH_columnar.json for the "
+                  "committed reference numbers.", file=sys.stderr)
             failed = True
 
     if failed:

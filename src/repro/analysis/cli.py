@@ -139,19 +139,35 @@ def cmd_fig8(args) -> None:
 
 
 def cmd_validate(args) -> None:
-    backend = args.backend
-    if args.workers is not None:
-        from ..backend import ParallelBackend
+    from ..errors import FrameworkError
+    from ..store import parse_budget, resolve_budget
 
-        backend = ParallelBackend(workers=args.workers)
-    from ..store import parse_budget
+    backend = args.backend
+    try:
+        if args.workers is not None:
+            from ..backend import ParallelBackend
+
+            backend = ParallelBackend(workers=args.workers)
+        # parse_budget used to escape as a raw traceback on input like
+        # "1.5m"; surface it (and a malformed $REPRO_MEMORY_BUDGET or
+        # a bad $REPRO_BACKEND) as the documented exit-2 usage error.
+        memory_budget = parse_budget(args.memory_budget)
+        resolve_budget(memory_budget)
+        if isinstance(backend, str) or backend is None:
+            from ..backend import get_backend
+
+            if backend is not None or os.environ.get("REPRO_BACKEND"):
+                backend = get_backend(backend)
+    except FrameworkError as exc:
+        print(f"repro-bench: {exc}", file=sys.stderr)
+        raise SystemExit(2) from None
 
     rep = validate_all(
         _workloads(args.workload), size=args.size, scale=args.scale,
         config=_config(args) if args.mps else None,
         backend=backend,
         store=args.store,
-        memory_budget=parse_budget(args.memory_budget),
+        memory_budget=memory_budget,
     )
     print(rep.render())
     if not rep.passed:
@@ -205,9 +221,12 @@ def main(argv: list[str] | None = None) -> int:
     p.add_argument("--mps", type=int, default=0,
                    help="simulate this many MPs instead of the full 30")
     p.add_argument("--backend", default=None,
-                   choices=["sim", "fast", "parallel"],
+                   choices=["sim", "fast", "parallel", "columnar"],
                    help="execution backend for 'validate' (timing "
                         "commands always simulate)")
+    p.add_argument("--columnar", action="store_true",
+                   help="shorthand for --backend columnar (the fast "
+                        "backend's vectorized path) on 'validate'")
     p.add_argument("--workers", type=int, default=None,
                    help="worker processes for --backend parallel")
     p.add_argument("--store", default=None, choices=["memory", "spill"],
@@ -232,6 +251,12 @@ def main(argv: list[str] | None = None) -> int:
     args = p.parse_args(argv)
     if args.check:
         os.environ["REPRO_CHECK"] = "1"
+    if args.columnar:
+        if args.backend in ("sim", "parallel"):
+            print("repro-bench: --columnar needs the fast backend "
+                  "(--backend fast or columnar)", file=sys.stderr)
+            return 2
+        args.backend = "columnar"
     if args.backend and args.command != "validate":
         print("repro-bench: --backend only applies to 'validate' — every "
               "timing command needs the cycle-accurate simulator",

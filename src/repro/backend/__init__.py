@@ -16,6 +16,11 @@ are orthogonal to *how* they execute.  A
   combining and a key-range-partitioned Reduce.  ``"parallel:N"``
   pins the worker count; plain ``"parallel"`` honours
   ``$REPRO_WORKERS`` and defaults to the CPU count.
+* ``"columnar"`` — :class:`ColumnarBackend`: the fast executor pinned
+  to the vectorized columnar path (batched numpy Map/Shuffle/Reduce
+  via each workload's ``map_batch``/``reduce_batch`` kernels, scalar
+  fallback otherwise).  Equivalent to ``FastBackend(columnar=True)``
+  or ``$REPRO_COLUMNAR=1``.
 
 Select per call (``run_job(..., backend="fast")``), or process-wide
 with the ``REPRO_BACKEND`` environment variable (read when a driver is
@@ -29,7 +34,7 @@ import os
 from ..errors import FrameworkError
 from .base import ExecutionBackend
 from .core import execute_plan, execute_streamed
-from .fast import FastBackend
+from .fast import ColumnarBackend, FastBackend
 from .parallel import ParallelBackend
 from .plan import ENGINE_MARS, ENGINE_SHARED, BatchPolicy, JobPlan
 from .sim import SimBackend
@@ -39,6 +44,7 @@ BACKENDS: dict[str, type[ExecutionBackend]] = {
     SimBackend.name: SimBackend,
     FastBackend.name: FastBackend,
     ParallelBackend.name: ParallelBackend,
+    ColumnarBackend.name: ColumnarBackend,
 }
 
 #: Environment variable consulted when ``backend=None``.
@@ -58,14 +64,21 @@ def get_backend(backend: str | ExecutionBackend | None = None
     if backend is None:
         backend = os.environ.get(BACKEND_ENV) or "sim"
     if isinstance(backend, str) and backend.startswith("parallel:"):
-        n = backend.partition(":")[2]
+        raw = backend.partition(":")[2]
         try:
-            return ParallelBackend(workers=max(1, int(n)))
+            n = int(raw)
         except ValueError:
             raise FrameworkError(
                 f"bad worker count in backend {backend!r}; expected "
                 "'parallel:<int>'"
             ) from None
+        if n < 1:
+            # Used to be silently clamped to 1 by max(); surface the
+            # mistake instead — "parallel:0" is a typo, not a request.
+            raise FrameworkError(
+                f"worker count must be >= 1 in backend {backend!r}"
+            )
+        return ParallelBackend(workers=n)
     try:
         return BACKENDS[backend]()
     except KeyError:
@@ -79,6 +92,7 @@ __all__ = [
     "BACKENDS",
     "BACKEND_ENV",
     "BatchPolicy",
+    "ColumnarBackend",
     "ENGINE_MARS",
     "ENGINE_SHARED",
     "ExecutionBackend",

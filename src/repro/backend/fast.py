@@ -28,10 +28,12 @@ kernel time.  Use the sim backend for any figure.
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field
 from functools import reduce as _fold
 
 from ..errors import FrameworkError
+from ..framework.columns import ColumnBatch, GroupedColumns
 from ..framework.host import host_download_cost, host_upload_cost
 from ..framework.modes import ReduceStrategy, effective_reduce_mode
 from ..framework.records import KeyValueSet
@@ -47,6 +49,41 @@ from ..store import (
 )
 from .base import ExecutionBackend
 from .plan import JobPlan
+
+#: Environment variable turning the columnar path on process-wide
+#: (``1``/``true``/``yes``/``on``) when neither the plan nor the
+#: backend instance decides.
+COLUMNAR_ENV = "REPRO_COLUMNAR"
+
+#: Environment variable overriding the records-per-batch width.
+COLUMNAR_BATCH_ENV = "REPRO_COLUMNAR_BATCH"
+
+#: Default columnar Map batch width, in records.
+DEFAULT_BATCH_RECORDS = 8192
+
+
+def columnar_env_enabled() -> bool:
+    """Does ``$REPRO_COLUMNAR`` request the columnar path?"""
+    return os.environ.get(COLUMNAR_ENV, "").strip().lower() in (
+        "1", "true", "yes", "on"
+    )
+
+
+def _batch_records() -> int:
+    raw = os.environ.get(COLUMNAR_BATCH_ENV)
+    if not raw:
+        return DEFAULT_BATCH_RECORDS
+    try:
+        n = int(raw)
+    except ValueError:
+        raise FrameworkError(
+            f"${COLUMNAR_BATCH_ENV} must be an integer, got {raw!r}"
+        ) from None
+    if n < 1:
+        raise FrameworkError(
+            f"${COLUMNAR_BATCH_ENV} must be >= 1, got {raw!r}"
+        )
+    return n
 
 
 class _NullTrace(AccessTrace):
@@ -75,6 +112,11 @@ class FastContext:
     plan: JobPlan
     config: DeviceConfig
     stores: list[IntermediateStore] = field(default_factory=list)
+    #: Columnar execution resolved for this job (plan -> backend ->
+    #: ``$REPRO_COLUMNAR``); see :meth:`FastBackend.map_phase`.
+    columnar: bool = False
+    #: Records per columnar Map batch.
+    batch_records: int = DEFAULT_BATCH_RECORDS
 
 
 class StoreGroups:
@@ -103,15 +145,42 @@ class StoreGroups:
 
 
 class FastBackend(ExecutionBackend):
-    """Execute functionally on the host, skipping the simulator."""
+    """Execute functionally on the host, skipping the simulator.
+
+    ``columnar=True`` switches Map/Shuffle/Reduce onto the vectorized
+    columnar path (:mod:`repro.framework.columns`): input records are
+    batched into array columns, workloads with ``map_batch`` /
+    ``reduce_batch`` run whole batches through numpy, the shuffle is a
+    stable argsort + group-boundary scan instead of the dict group-by,
+    and workloads without batch kernels fall back to the scalar API
+    per batch.  ``columnar=None`` (the default) consults the job plan,
+    then ``$REPRO_COLUMNAR``.  Output stays byte-identical for integer
+    workloads and bit-equal in practice for the float ones (batch
+    kernels preserve the scalar operation order).
+    """
 
     name = "fast"
+
+    def __init__(self, columnar: bool | None = None):
+        self.columnar = columnar
+
+    def _columnar_enabled(self, plan: JobPlan) -> bool:
+        if plan.columnar is not None:
+            return bool(plan.columnar)
+        if self.columnar is not None:
+            return bool(self.columnar)
+        return columnar_env_enabled()
 
     def open(self, plan: JobPlan) -> FastContext:
         cfg = plan.config
         if cfg is None and plan.device is not None:
             cfg = plan.device.config
-        return FastContext(plan=plan, config=cfg or DeviceConfig.gtx280())
+        return FastContext(
+            plan=plan,
+            config=cfg or DeviceConfig.gtx280(),
+            columnar=self._columnar_enabled(plan),
+            batch_records=_batch_records(),
+        )
 
     def close(self, ctx) -> None:
         stores, ctx.stores = ctx.stores, []
@@ -148,6 +217,11 @@ class FastBackend(ExecutionBackend):
     # -- phases --------------------------------------------------------
 
     def map_phase(self, ctx, d_in, tr, *, batch=None):
+        if ctx.columnar and batch is None:
+            # Streamed batches (batch is not None) keep the scalar Map:
+            # their sink is record-oriented; the columnar path picks
+            # the stream back up at the Shuffle.
+            return self._map_phase_columnar(ctx, d_in, tr)
         spec = ctx.plan.spec
         out = KeyValueSet()
         emit = _emit_into(out)
@@ -166,12 +240,79 @@ class FastBackend(ExecutionBackend):
         tr.kernel("map_kernel", stats, **attrs)
         return out, stats
 
+    def _map_phase_columnar(self, ctx, d_in, tr):
+        """Columnar Map: batch the input into columns, run the
+        workload's ``map_batch`` per batch (scalar fallback for
+        batches it declines or when no batch kernel exists), and hand
+        the Shuffle one concatenated :class:`ColumnBatch`."""
+        plan = ctx.plan
+        spec = plan.spec
+        n = len(d_in)
+        width = ctx.batch_records
+        map_batch = spec.map_batch
+        map_record = spec.map_record
+        const_bytes = spec.const_bytes
+        const = _accessor(const_bytes) if const_bytes else None
+        parts: list[ColumnBatch] = []
+        vec = fallback = 0
+        with tr.span("map_exec", records=n) as sp:
+            keys, vals = d_in.keys, d_in.values
+            for lo in range(0, n, width):
+                hi = min(lo + width, n)
+                res = None
+                if map_batch is not None:
+                    cols = ColumnBatch.from_lists(keys[lo:hi], vals[lo:hi])
+                    res = map_batch(cols, const=const_bytes)
+                    if res is not None and not isinstance(res, ColumnBatch):
+                        raise FrameworkError(
+                            f"{spec.name}.map_batch must return a "
+                            f"ColumnBatch or None, got {type(res)!r}"
+                        )
+                if res is None:
+                    part = KeyValueSet()
+                    emit = _emit_into(part)
+                    for i in range(lo, hi):
+                        map_record(_accessor(keys[i]), _accessor(vals[i]),
+                                   emit, const)
+                    res = ColumnBatch.from_kvs(part)
+                    fallback += 1
+                else:
+                    vec += 1
+                parts.append(res)
+            out = (ColumnBatch.concat(parts) if parts
+                   else ColumnBatch.from_lists([], []))
+            if sp is not None:
+                sp.attrs["emitted"] = len(out)
+                sp.attrs["columnar_batches"] = vec + fallback
+                sp.attrs["vectorized_batches"] = vec
+        stats = _phase_stats(ctx, records_in=n, records_out=len(out))
+        stats.count("columnar_batches", vec + fallback)
+        stats.count("columnar_map_vectorized", vec)
+        stats.count("columnar_map_fallback", fallback)
+        stats.count("columnar_batch_records", min(width, n) if n else 0)
+        tr.kernel("map_kernel", stats)
+        if plan.strategy is None:
+            # Map-only job: the Map output *is* the job output, which
+            # downstream consumers read as a host record set.
+            return out.to_kvs(), stats
+        return out, stats
+
     def shuffle_phase(self, ctx, inter, tr, label):
         plan = ctx.plan
         if isinstance(inter, IntermediateStore):
             # Streamed sink: the batches already emitted into the store.
             store = inter
             with tr.span("shuffle_exec", records=len(store)) as sp:
+                return self._grouped_from(ctx, store, sp)
+        if ctx.columnar:
+            if not isinstance(inter, ColumnBatch):
+                # Streamed tail: the sink is a host record set — lift
+                # it into columns so the vectorized group-by applies.
+                inter = ColumnBatch.from_kvs(inter)
+            with tr.span("shuffle_exec", records=len(inter)) as sp:
+                store = open_store(plan.store, plan.memory_budget)
+                ctx.stores.append(store)
+                store.emit_columns(inter)
                 return self._grouped_from(ctx, store, sp)
         with tr.span("shuffle_exec", records=len(inter)) as sp:
             store = open_store(plan.store, plan.memory_budget)
@@ -189,6 +330,13 @@ class FastBackend(ExecutionBackend):
         """
         store.finalize()
         if isinstance(store, MemoryStore):
+            if ctx.columnar:
+                cg = store.column_groups()
+                if cg is not None:
+                    if sp is not None:
+                        sp.attrs["groups"] = len(cg)
+                        sp.attrs["vectorized"] = cg.vectorized
+                    return cg, 0.0, len(cg)
             grouped = list(store.iter_groups())
             if sp is not None:
                 sp.attrs["groups"] = len(grouped)
@@ -218,10 +366,31 @@ class FastBackend(ExecutionBackend):
         emit = _emit_into(out)
         const = _accessor(spec.const_bytes) if spec.const_bytes else None
         lazy = isinstance(grouped, StoreGroups)
+        columnar = isinstance(grouped, GroupedColumns)
         span_attrs = {} if lazy else {"groups": len(grouped)}
         n_in = n_groups = 0
+        vec_reduce = 0
         with tr.span("reduce_exec", **span_attrs) as sp:
-            if strategy is ReduceStrategy.BR and not plan.is_mars:
+            if (columnar and spec.reduce_batch is not None
+                    and (plan.is_mars
+                         or strategy is ReduceStrategy.TR)):
+                res = spec.reduce_batch(
+                    grouped.keys, grouped.offsets, grouped.values,
+                    const=spec.const_bytes,
+                )
+                if res is not None:
+                    if not isinstance(res, ColumnBatch):
+                        raise FrameworkError(
+                            f"{spec.name}.reduce_batch must return a "
+                            f"ColumnBatch or None, got {type(res)!r}"
+                        )
+                    out = res.to_kvs()
+                    n_groups = len(grouped)
+                    n_in = grouped.n_values
+                    vec_reduce = 1
+            if vec_reduce:
+                pass  # vectorized Reduce produced the output above
+            elif strategy is ReduceStrategy.BR and not plan.is_mars:
                 combine, finalize = spec.combine, spec.finalize
                 for key, values in grouped:
                     n_groups += 1
@@ -254,6 +423,9 @@ class FastBackend(ExecutionBackend):
         if lazy and grouped.stats is not None:
             for name, v in grouped.stats.as_extra().items():
                 stats.count(name, v)
+        if columnar:
+            stats.count("columnar_groups", n_groups)
+            stats.count("columnar_reduce_vectorized", vec_reduce)
         tr.kernel("reduce_kernel", stats)
         return out, stats
 
@@ -278,6 +450,20 @@ class FastBackend(ExecutionBackend):
             sink.emit_many(self.to_host(ctx, handle))
         else:
             super().absorb_batch(ctx, sink, handle)
+
+
+class ColumnarBackend(FastBackend):
+    """The fast backend pinned to the columnar path.
+
+    Registered as ``"columnar"`` so CLIs and ``$REPRO_BACKEND`` can
+    select vectorized execution by name; equivalent to
+    ``FastBackend(columnar=True)``.
+    """
+
+    name = "columnar"
+
+    def __init__(self):
+        super().__init__(columnar=True)
 
 
 def _emit_into(out: KeyValueSet):

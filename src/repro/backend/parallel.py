@@ -62,6 +62,7 @@ from ..store import (
     StoreStats,
     merge_runs,
     resolve_budget,
+    resolve_spill_root,
     resolve_store_name,
 )
 from .base import ExecutionBackend
@@ -85,11 +86,18 @@ def default_workers() -> int:
     env = os.environ.get(WORKERS_ENV)
     if env:
         try:
-            return max(1, int(env))
+            n = int(env)
         except ValueError:
             raise FrameworkError(
                 f"${WORKERS_ENV} must be an integer, got {env!r}"
             ) from None
+        if n < 1:
+            # A zero/negative count used to be silently clamped to 1;
+            # treat it as the configuration mistake it is.
+            raise FrameworkError(
+                f"${WORKERS_ENV} must be >= 1, got {env!r}"
+            )
+        return n
     return os.cpu_count() or 1
 
 
@@ -378,7 +386,9 @@ class ParallelBackend(ExecutionBackend):
         self.workers = workers if workers is not None else default_workers()
         self.min_records = (DEFAULT_MIN_RECORDS if min_records is None
                             else max(0, min_records))
-        self._fast = FastBackend()
+        # Pinned scalar: pool workers run the record-at-a-time path, so
+        # parallel output never changes shape under $REPRO_COLUMNAR.
+        self._fast = FastBackend(columnar=False)
 
     # -- lifecycle -----------------------------------------------------
 
@@ -493,9 +503,11 @@ class ParallelBackend(ExecutionBackend):
         if batch is not None or plan.strategy is None \
                 or not _spill_active(plan):
             return None
+        # resolve_spill_root() validates $REPRO_SPILL_DIR (exists,
+        # writable) so a bad setting fails here with a clear error
+        # instead of surfacing as an OSError inside a pool worker.
         run_dir = tempfile.mkdtemp(
-            prefix="repro-spill-",
-            dir=os.environ.get("REPRO_SPILL_DIR") or None,
+            prefix="repro-spill-", dir=resolve_spill_root()
         )
         ctx.spill_dirs.append(run_dir)
         budget = resolve_budget(plan.memory_budget) or DEFAULT_BUDGET

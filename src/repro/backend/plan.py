@@ -76,6 +76,12 @@ class JobPlan:
     #: (``None`` consults ``$REPRO_MEMORY_BUDGET``, then the spill
     #: default).  Ignored by the memory store, which is unbounded.
     memory_budget: int | None = None
+    #: Columnar execution request for the fast backend: ``True``/
+    #: ``False`` pin the path, ``None`` defers to the backend instance
+    #: and then ``$REPRO_COLUMNAR``.  The sim and parallel backends
+    #: ignore this (the parallel backend's inner fast executor is
+    #: pinned scalar so worker output never depends on the env).
+    columnar: bool | None = None
 
     # ------------------------------------------------------------------
     # Normalisation
@@ -171,6 +177,10 @@ class JobPlan:
             # Only explicit policies land in span attrs: the default
             # (None -> env -> "memory") keeps traces byte-identical.
             attrs["store"] = self.store
+        if self.columnar is not None:
+            # Same rule as ``store``: only explicit requests appear,
+            # keeping default traces byte-identical.
+            attrs["columnar"] = self.columnar
         attrs["records"] = n_records
         return attrs
 

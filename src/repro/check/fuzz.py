@@ -4,12 +4,19 @@ Property-based cross-checking for the whole stack: each case draws a
 tiny random workload (map kernel shape, key distribution, record
 count), a memory mode, a reduce strategy and tuning knobs, then runs
 it on the simulator *with the sanitizer in strict mode*, on the fast
-functional backend (twice: once on the default memory store, once on
-the spill store under a tiny forced budget), and through the
-sequential CPU oracle
+functional backend (three times: once on the default memory store,
+once on the spill store under a tiny forced budget, and once through
+the columnar execution path under a small batch width), and through
+the sequential CPU oracle
 (:func:`repro.cpu_ref.reference.reference_job`).  All outputs must
-agree after order normalisation — the two store policies must match
-byte for byte — and the sanitizer must report nothing.
+agree after order normalisation — the alternate store policy and the
+columnar path must match the scalar fast run byte for byte — and the
+sanitizer must report nothing.
+
+The fuzz kernels have no batch implementations, so the columnar leg
+exercises exactly the hard part: array-shuffle grouping plus the
+per-batch scalar fallback, across ragged keys, empty inputs and burst
+emitters.
 
 The generator deliberately over-samples degenerate shapes — empty
 inputs, single records, one hot key, zero-output maps, and burst
@@ -27,10 +34,12 @@ report like ``case 137`` reproduces with ``--only 137``.
 from __future__ import annotations
 
 import argparse
+import os
 import random
 import sys
 from dataclasses import dataclass
 
+from ..backend.fast import COLUMNAR_BATCH_ENV
 from ..cpu_ref.reference import normalised, reference_job
 from ..framework.api import MapReduceSpec
 from ..framework.job import run_job
@@ -192,12 +201,13 @@ class FuzzFailure:
 
 
 def run_case(case: FuzzCase, config: DeviceConfig) -> str | None:
-    """Run one case across all four executors; None means it passed.
+    """Run one case across all five executors; None means it passed.
 
     The fuzz kernels emit only u32 integer values, so every backend —
     including the parallel backend's per-shard partial combine — must
     be byte-exact against the oracle after order normalisation.
     """
+    from ..backend.fast import FastBackend
     from ..backend.parallel import ParallelBackend
 
     spec = _make_spec(case.kind, case.io_ratio)
@@ -228,6 +238,23 @@ def run_case(case: FuzzCase, config: DeviceConfig) -> str | None:
     if par.output != fast.output:
         return (f"parallel output diverges from fast "
                 f"({len(par.output)} vs {len(fast.output)} records)")
+    # Columnar execution under a batch width small enough that most
+    # cases span several batches.  These kernels declare no batch
+    # implementations, so this drives the array shuffle plus the
+    # per-batch scalar fallback; output must be byte-identical.
+    prev = os.environ.get(COLUMNAR_BATCH_ENV)
+    os.environ[COLUMNAR_BATCH_ENV] = "7"
+    try:
+        col = run_job(spec, inp, backend=FastBackend(columnar=True),
+                      **common)
+    finally:
+        if prev is None:
+            os.environ.pop(COLUMNAR_BATCH_ENV, None)
+        else:
+            os.environ[COLUMNAR_BATCH_ENV] = prev
+    if col.output != fast.output:
+        return (f"columnar output diverges from fast "
+                f"({len(col.output)} vs {len(fast.output)} records)")
     return None
 
 

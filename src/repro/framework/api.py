@@ -47,6 +47,24 @@ CombineFn = Callable[[bytes, bytes], bytes]
 #: key set's combined accumulator into the output record.
 FinalizeFn = Callable[[bytes, bytes, int], tuple[bytes, bytes]]
 
+#: ``map_batch(cols, const=...) -> ColumnBatch | None`` — vectorized
+#: Map over one columnar input batch (see
+#: :mod:`repro.framework.columns`).  Must produce the emissions of
+#: running ``map_record`` over the batch in record order; returning
+#: ``None`` declines the batch (unsupported shape) and the framework
+#: falls back to the scalar Map for that batch.
+MapBatchFn = Callable[..., object]
+
+#: ``reduce_batch(keys, group_offsets, values, const=...) ->
+#: ColumnBatch | None`` — vectorized thread-level Reduce over the
+#: whole grouped intermediate: ``keys`` is a Column of the distinct
+#: keys in ascending byte order, ``group_offsets`` an int64 array
+#: delimiting each group's slice of the ``values`` Column (group-major,
+#: emission order within a group).  Must emit exactly what
+#: ``reduce_record`` would per group, in group order; ``None``
+#: declines and the scalar Reduce runs instead.
+ReduceBatchFn = Callable[..., object]
+
 
 @dataclass
 class MapReduceSpec:
@@ -57,6 +75,18 @@ class MapReduceSpec:
     reduce_record: ReduceFn | None = None
     combine: CombineFn | None = None
     finalize: FinalizeFn | None = None
+
+    #: Optional vectorized twins of ``map_record``/``reduce_record``
+    #: for the columnar execution path (``--columnar`` /
+    #: ``$REPRO_COLUMNAR``).  Both are pure accelerations: they must
+    #: reproduce the scalar functions' emissions byte for byte (float
+    #: payloads: same operation order, so same rounding), and either
+    #: may return None to decline a batch it cannot vectorize — the
+    #: framework transparently falls back to the scalar API per batch.
+    #: ``reduce_batch`` only applies to thread-level (TR/Mars) reduces;
+    #: block-level (BR) folds always run the scalar combine chain.
+    map_batch: MapBatchFn | None = None
+    reduce_batch: ReduceBatchFn | None = None
 
     #: Bytes of read-only constant data (e.g. KMeans centroids, String
     #: Match's keyword) visible to every task via the ``const`` accessor.
@@ -92,6 +122,10 @@ class MapReduceSpec:
     def validate(self) -> None:
         if not callable(self.map_record):
             raise FrameworkError("map_record must be callable")
+        if self.map_batch is not None and not callable(self.map_batch):
+            raise FrameworkError("map_batch must be callable")
+        if self.reduce_batch is not None and not callable(self.reduce_batch):
+            raise FrameworkError("reduce_batch must be callable")
         if self.combine is not None and self.finalize is None:
             raise FrameworkError("block-level reduction needs a finalize fn")
         if not 0.05 <= self.io_ratio <= 0.95:

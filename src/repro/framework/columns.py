@@ -1,0 +1,386 @@
+"""Columnar record batches: the structure-of-arrays layout as arrays.
+
+:class:`~repro.framework.records.KeyValueSet` already *documents* the
+Mars/paper structure-of-arrays layout (concatenated key bytes +
+concatenated value bytes + per-record directories) but stores it as
+Python lists of ``bytes`` — every per-record operation pays interpreter
+dispatch.  This module materialises the same layout as numpy arrays so
+whole batches move through Map, Shuffle and Reduce with a handful of
+array operations, the way Lu et al.'s Xeon Phi runtime SIMD-vectorizes
+its phases:
+
+* :class:`Column` — one side (keys or values) of a record batch: a
+  single concatenated ``blob`` plus an ``int64`` per-record length
+  array (offsets are the cumulative sum, cached on demand);
+* :class:`ColumnBatch` — a key column and a value column of equal
+  record count: the unit batch kernels (``spec.map_batch``) consume
+  and produce;
+* :func:`sort_and_group` — the vectorized shuffle: a stable argsort
+  over key bytes plus group-boundary detection, replacing the
+  dict-of-lists group-by.  Fixed-width keys up to 8 bytes sort as one
+  big-endian integer argsort (big-endian packing makes integer order
+  equal lexicographic byte order); wider fixed keys lexsort 8-byte
+  limbs; variable-width keys fall back to Python's (stable) ``sorted``
+  so byte order is preserved exactly in every case;
+* :class:`GroupedColumns` — the grouped intermediate: one entry per
+  distinct key, an ``int64`` boundary array and the value column in
+  group-major emission order.  Iterating it yields the same
+  ``(key, [value, ...])`` groups as a drained
+  :class:`~repro.store.memory.MemoryStore`, byte for byte.
+
+Everything here is ordering-exact by construction: stable sorts keep
+equal keys in emission order, and group keys come out in ascending
+byte order — the invariant every store and backend in this repo pins.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Sequence
+
+import numpy as np
+
+from ..errors import FrameworkError
+from .records import KeyValueSet
+
+_EMPTY_LENGTHS = np.zeros(0, dtype=np.int64)
+
+
+class Column:
+    """One side of a record batch: ``n`` byte strings, concatenated.
+
+    ``blob`` holds the payloads back to back; ``lengths`` is an
+    ``int64`` array of per-record byte lengths.  Offsets are always
+    the cumulative sum (records are contiguous by construction —
+    gathers build fresh blobs), computed lazily and cached.
+    """
+
+    __slots__ = ("blob", "lengths", "_offsets")
+
+    def __init__(self, blob: bytes, lengths: np.ndarray):
+        self.blob = blob
+        self.lengths = lengths
+        self._offsets: np.ndarray | None = None
+
+    # -- construction --------------------------------------------------
+
+    @classmethod
+    def from_list(cls, items: Sequence[bytes]) -> "Column":
+        n = len(items)
+        if n == 0:
+            return cls(b"", _EMPTY_LENGTHS)
+        lengths = np.fromiter(map(len, items), dtype=np.int64, count=n)
+        return cls(b"".join(items), lengths)
+
+    @classmethod
+    def from_array(cls, arr: np.ndarray) -> "Column":
+        """Fixed-width column from an ``(n, ...)`` array: record ``i``
+        is row ``i``'s bytes.  The caller owns dtype/endianness — use
+        explicit little-endian dtypes (``"<u4"``, ``"<f4"``) for
+        byte-layout parity with the scalar kernels."""
+        n = arr.shape[0]
+        if n == 0:
+            return cls(b"", _EMPTY_LENGTHS)
+        arr = np.ascontiguousarray(arr)
+        width = arr.nbytes // n
+        return cls(arr.tobytes(), np.full(n, width, dtype=np.int64))
+
+    @classmethod
+    def repeated(cls, item: bytes, n: int) -> "Column":
+        """``n`` copies of one payload (e.g. a constant key)."""
+        if n == 0:
+            return cls(b"", _EMPTY_LENGTHS)
+        return cls(item * n, np.full(n, len(item), dtype=np.int64))
+
+    # -- shape ---------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.lengths)
+
+    @property
+    def nbytes(self) -> int:
+        return len(self.blob)
+
+    @property
+    def offsets(self) -> np.ndarray:
+        """``int64`` array of ``n + 1`` offsets into ``blob``."""
+        if self._offsets is None:
+            off = np.zeros(len(self.lengths) + 1, dtype=np.int64)
+            np.cumsum(self.lengths, out=off[1:])
+            self._offsets = off
+        return self._offsets
+
+    @property
+    def fixed_width(self) -> int | None:
+        """Common record width, or None for ragged/empty columns."""
+        n = len(self.lengths)
+        if n == 0:
+            return None
+        w = int(self.lengths[0])
+        if n == 1 or (int(self.lengths.min()) == w
+                      and int(self.lengths.max()) == w):
+            return w
+        return None
+
+    # -- vectorized views ---------------------------------------------
+
+    def matrix(self) -> np.ndarray:
+        """``(n, width)`` uint8 view of a fixed-width column."""
+        w = self.fixed_width
+        if w is None:
+            raise FrameworkError("matrix() needs a fixed-width column")
+        return np.frombuffer(self.blob, dtype=np.uint8).reshape(len(self), w)
+
+    def fixed_array(self, dtype) -> np.ndarray:
+        """``(n, width // itemsize)`` view of a fixed-width column."""
+        w = self.fixed_width
+        item = np.dtype(dtype).itemsize
+        if w is None or w % item:
+            raise FrameworkError(
+                f"column is not a fixed multiple of {np.dtype(dtype)}"
+            )
+        return np.frombuffer(self.blob, dtype=dtype).reshape(
+            len(self), w // item
+        )
+
+    # -- record access -------------------------------------------------
+
+    def at(self, i: int) -> bytes:
+        off = self.offsets
+        return self.blob[off[i]:off[i + 1]]
+
+    def tolist(self) -> list[bytes]:
+        blob, off = self.blob, self.offsets
+        return [blob[off[i]:off[i + 1]] for i in range(len(self.lengths))]
+
+    def __iter__(self) -> Iterator[bytes]:
+        blob, off = self.blob, self.offsets
+        for i in range(len(self.lengths)):
+            yield blob[off[i]:off[i + 1]]
+
+    # -- transforms ----------------------------------------------------
+
+    def take(self, order: np.ndarray) -> "Column":
+        """Gather records into a new column (vectorized when fixed)."""
+        w = self.fixed_width
+        if w is not None:
+            mat = self.matrix()[order]
+            return Column(mat.tobytes(),
+                          np.full(len(order), w, dtype=np.int64))
+        items = self.tolist()
+        return Column.from_list([items[i] for i in order])
+
+    @classmethod
+    def concat(cls, columns: Sequence["Column"]) -> "Column":
+        if len(columns) == 1:
+            return columns[0]
+        if not columns:
+            return cls(b"", _EMPTY_LENGTHS)
+        return cls(
+            b"".join(c.blob for c in columns),
+            np.concatenate([c.lengths for c in columns]),
+        )
+
+
+class ColumnBatch:
+    """A batch of records in columnar form: key column + value column."""
+
+    __slots__ = ("keys", "values")
+
+    def __init__(self, keys: Column, values: Column):
+        if len(keys) != len(values):
+            raise FrameworkError(
+                f"key/value column lengths differ: "
+                f"{len(keys)} vs {len(values)}"
+            )
+        self.keys = keys
+        self.values = values
+
+    def __len__(self) -> int:
+        return len(self.keys)
+
+    @property
+    def key_bytes(self) -> int:
+        return self.keys.nbytes
+
+    @property
+    def val_bytes(self) -> int:
+        return self.values.nbytes
+
+    # -- conversions ---------------------------------------------------
+
+    @classmethod
+    def from_lists(cls, keys: Sequence[bytes], values: Sequence[bytes]
+                   ) -> "ColumnBatch":
+        return cls(Column.from_list(keys), Column.from_list(values))
+
+    @classmethod
+    def from_kvs(cls, kvs: KeyValueSet) -> "ColumnBatch":
+        return cls.from_lists(kvs.keys, kvs.values)
+
+    @classmethod
+    def from_pairs(cls, pairs: Iterable[tuple[bytes, bytes]]
+                   ) -> "ColumnBatch":
+        ks, vs = [], []
+        for k, v in pairs:
+            ks.append(k)
+            vs.append(v)
+        return cls.from_lists(ks, vs)
+
+    def to_kvs(self) -> KeyValueSet:
+        out = KeyValueSet()
+        append = out.append_unchecked
+        for k, v in zip(self.keys, self.values):
+            append(k, v)
+        return out
+
+    def iter_pairs(self) -> Iterator[tuple[bytes, bytes]]:
+        return zip(self.keys, self.values)
+
+    @classmethod
+    def concat(cls, batches: Sequence["ColumnBatch"]) -> "ColumnBatch":
+        if len(batches) == 1:
+            return batches[0]
+        return cls(
+            Column.concat([b.keys for b in batches]),
+            Column.concat([b.values for b in batches]),
+        )
+
+
+# ----------------------------------------------------------------------
+# Vectorized shuffle: stable key sort + group-boundary detection
+# ----------------------------------------------------------------------
+
+
+def _key_limbs(keys: Column) -> np.ndarray:
+    """``(n, ceil(w/8))`` array of big-endian u64 limbs per key.
+
+    Zero-padding the *tail* limb is order-safe because every key in a
+    fixed-width column has the same length — no comparison ever
+    crosses a length boundary.  Big-endian packing makes unsigned
+    integer order equal lexicographic byte order.
+    """
+    mat = keys.matrix()
+    n, w = mat.shape
+    n_limbs = -(-w // 8)
+    padded = np.zeros((n, n_limbs * 8), dtype=np.uint8)
+    padded[:, :w] = mat
+    return padded.view(">u8").reshape(n, n_limbs)
+
+
+def sort_and_group(keys: Column) -> tuple[np.ndarray, np.ndarray, bool]:
+    """Stable sort permutation + group boundaries over key bytes.
+
+    Returns ``(order, starts, vectorized)``: ``order`` is an ``int64``
+    permutation sorting the records by key bytes (stable — equal keys
+    keep emission order); ``starts`` is an ``int64`` array of group
+    start indices into the sorted order, with a final ``n`` sentinel
+    (``len(starts) - 1`` groups); ``vectorized`` reports whether the
+    array fast path ran (fixed-width keys) or the Python fallback
+    (ragged keys) did.
+    """
+    n = len(keys)
+    if n == 0:
+        return (np.zeros(0, dtype=np.int64),
+                np.zeros(1, dtype=np.int64), True)
+    w = keys.fixed_width
+    if w == 0:
+        # Every key is b"": one group, emission order.
+        return (np.arange(n, dtype=np.int64),
+                np.array([0, n], dtype=np.int64), True)
+    if w is not None and w <= 8:
+        ints = _key_limbs(keys).reshape(n)
+        order = np.argsort(ints, kind="stable").astype(np.int64, copy=False)
+        s = ints[order]
+        bounds = np.flatnonzero(s[1:] != s[:-1]) + 1
+        starts = np.concatenate((
+            np.zeros(1, dtype=np.int64), bounds.astype(np.int64),
+            np.array([n], dtype=np.int64),
+        ))
+        return order, starts, True
+    if w is not None:
+        limbs = _key_limbs(keys)
+        # lexsort: last key is most significant; each pass is stable,
+        # so the whole permutation is stable in emission order.
+        order = np.lexsort(
+            tuple(limbs[:, j] for j in range(limbs.shape[1] - 1, -1, -1))
+        ).astype(np.int64, copy=False)
+        s = limbs[order]
+        bounds = np.flatnonzero((s[1:] != s[:-1]).any(axis=1)) + 1
+        starts = np.concatenate((
+            np.zeros(1, dtype=np.int64), bounds.astype(np.int64),
+            np.array([n], dtype=np.int64),
+        ))
+        return order, starts, True
+    # Ragged keys: Python's sorted is stable and compares raw bytes.
+    items = keys.tolist()
+    order = np.fromiter(
+        sorted(range(n), key=items.__getitem__), dtype=np.int64, count=n
+    )
+    starts = [0]
+    prev = items[order[0]]
+    for pos in range(1, n):
+        cur = items[order[pos]]
+        if cur != prev:
+            starts.append(pos)
+            prev = cur
+    starts.append(n)
+    return order, np.array(starts, dtype=np.int64), False
+
+
+class GroupedColumns:
+    """The grouped, key-sorted intermediate in columnar form.
+
+    ``keys`` holds one entry per distinct key in ascending byte order;
+    ``offsets`` (``int64``, ``n_groups + 1``) delimits each group's
+    slice of ``values``, which carries every value in group-major
+    order with emission order preserved inside each group — exactly
+    the ``(key, [value, ...])`` stream a drained
+    :class:`~repro.store.memory.MemoryStore` yields.
+    """
+
+    __slots__ = ("keys", "offsets", "values", "stats", "vectorized")
+
+    def __init__(self, keys: Column, offsets: np.ndarray, values: Column,
+                 *, stats=None, vectorized: bool = True):
+        self.keys = keys
+        self.offsets = offsets
+        self.values = values
+        #: Producing store's StoreStats (spill accounting), if any.
+        self.stats = stats
+        #: Did the array sort path run (vs the ragged-key fallback)?
+        self.vectorized = vectorized
+
+    @classmethod
+    def from_batch(cls, cols: ColumnBatch, *, stats=None
+                   ) -> "GroupedColumns":
+        order, starts, vectorized = sort_and_group(cols.keys)
+        first = order[starts[:-1]]
+        return cls(
+            keys=cols.keys.take(first),
+            offsets=starts,
+            values=cols.values.take(order),
+            stats=stats,
+            vectorized=vectorized,
+        )
+
+    def __len__(self) -> int:
+        """Number of distinct keys (groups)."""
+        return len(self.keys)
+
+    @property
+    def n_values(self) -> int:
+        return int(self.offsets[-1])
+
+    @property
+    def group_sizes(self) -> np.ndarray:
+        return np.diff(self.offsets)
+
+    def __iter__(self) -> Iterator[tuple[bytes, list[bytes]]]:
+        """Scalar view: ``(key, [value, ...])`` per group — the exact
+        stream the scalar Reduce loop consumes."""
+        vals = self.values
+        off = self.offsets
+        for g in range(len(self.keys)):
+            yield self.keys.at(g), [
+                vals.at(i) for i in range(off[g], off[g + 1])
+            ]

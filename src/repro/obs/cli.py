@@ -30,7 +30,7 @@ from ..errors import FrameworkError
 from ..framework.job import run_job
 from ..framework.modes import MemoryMode, ReduceStrategy
 from ..gpu.config import DeviceConfig
-from ..store import parse_budget
+from ..store import parse_budget, resolve_budget
 from ..workloads import ALL_WORKLOADS, EXTRA_WORKLOADS, Workload
 from .exporters import write_check_json, write_chrome_trace, write_jsonl
 from .metrics import diff_metrics, job_metrics_registry
@@ -108,12 +108,18 @@ def main(argv: list[str] | None = None) -> int:
     p.add_argument("--mars", action="store_true",
                    help="run the Mars two-pass baseline instead")
     p.add_argument("--backend", default=None,
-                   choices=["sim", "fast", "parallel"],
+                   choices=["sim", "fast", "parallel", "columnar"],
                    help="execution backend: 'sim' (cycle-accurate, "
                         "default), 'fast' (functional only — kernel "
-                        "cycles read as zero) or 'parallel' (fast, "
-                        "sharded over a process pool); default honours "
-                        "$REPRO_BACKEND")
+                        "cycles read as zero), 'parallel' (fast, "
+                        "sharded over a process pool) or 'columnar' "
+                        "(fast with vectorized batch kernels); default "
+                        "honours $REPRO_BACKEND")
+    p.add_argument("--columnar", action="store_true",
+                   help="run the fast backend's vectorized columnar "
+                        "path (same as --backend columnar or "
+                        "$REPRO_COLUMNAR=1; incompatible with the sim "
+                        "and parallel backends)")
     p.add_argument("--workers", type=int, default=None,
                    help="worker processes for --backend parallel "
                         "(default: $REPRO_WORKERS or the CPU count)")
@@ -157,6 +163,12 @@ def main(argv: list[str] | None = None) -> int:
     backend = args.backend
     backend_name = (args.backend or os.environ.get("REPRO_BACKEND")
                     or "sim").strip().lower()
+    if args.columnar:
+        if args.backend in ("sim", "parallel"):
+            print("repro-trace: --columnar needs the fast backend "
+                  "(--backend fast or columnar)", file=sys.stderr)
+            raise SystemExit(2)
+        backend = backend_name = "columnar"
     if args.workers is not None and backend != "parallel":
         print("repro-trace: --workers needs --backend parallel",
               file=sys.stderr)
@@ -167,15 +179,30 @@ def main(argv: list[str] | None = None) -> int:
         raise SystemExit(2)
     try:
         memory_budget = parse_budget(args.memory_budget)
+        # Validate $REPRO_MEMORY_BUDGET now too: a malformed env var
+        # should be a usage error here, not a traceback mid-shuffle.
+        resolve_budget(memory_budget)
     except FrameworkError as exc:
         print(f"repro-trace: {exc}", file=sys.stderr)
         raise SystemExit(2) from None
-    if backend == "parallel":
-        from ..backend import ParallelBackend
+    try:
+        if backend == "parallel":
+            from ..backend import ParallelBackend
 
-        # min_records=0: a traced parallel run should actually shard —
-        # the in-process fallback would yield no worker telemetry.
-        backend = ParallelBackend(workers=args.workers, min_records=0)
+            # min_records=0: a traced parallel run should actually
+            # shard — the in-process fallback would yield no worker
+            # telemetry.
+            backend = ParallelBackend(workers=args.workers, min_records=0)
+        else:
+            # Resolve eagerly so a bad $REPRO_BACKEND (parallel:0, a
+            # typo'd name) or $REPRO_WORKERS exits 2 with the message,
+            # not a traceback from inside the job.
+            from ..backend import get_backend
+
+            backend = get_backend(backend)
+    except FrameworkError as exc:
+        print(f"repro-trace: {exc}", file=sys.stderr)
+        raise SystemExit(2) from None
 
     blocks = _parse_blocks(args.blocks)
     # The fast and parallel backends report zero kernel cycles, so the

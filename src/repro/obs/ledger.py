@@ -5,8 +5,9 @@ Every :func:`repro.backend.core.execute_plan` /
 :func:`build_record` line to ``.repro/runs.jsonl`` — workload, mode,
 strategy, backend, worker count, input size and digest, simulated
 cycles, wall seconds, a KernelStats digest, analysis-cache hit rate,
-check-finding count, straggler skew and intermediate-store spill
-accounting (policy, runs written, bytes spilled).  Unlike the hand-regenerated
+check-finding count, straggler skew, intermediate-store spill
+accounting (policy, runs written, bytes spilled) and columnar-path
+accounting (batches, vectorized Map/Reduce counts).  Unlike the hand-regenerated
 ``BENCH_*.json`` snapshots, the ledger accumulates *every* run, so
 ``repro-report`` can render performance trajectories over time and
 flag regressions against a rolling baseline.
@@ -120,6 +121,8 @@ def build_record(plan, inp, backend, result, *, wall_s: float,
     report = result.check_report
     straggler = result.straggler
     spilled = any("spill_runs" in st.extra for st in stats)
+    columnar = any("columnar_batches" in st.extra
+                   or "columnar_groups" in st.extra for st in stats)
     return {
         "schema": SCHEMA,
         "ts": round(time.time(), 3),
@@ -157,6 +160,22 @@ def build_record(plan, inp, backend, result, *, wall_s: float,
         "spilled_bytes": (
             sum(st.extra.get("spilled_bytes", 0) for st in stats)
             if spilled else None
+        ),
+        # Columnar execution accounting (None when the job ran the
+        # scalar path): Map batch counts and how many of them — plus
+        # the Reduce — actually took the vectorized kernels.
+        "columnar_batches": (
+            sum(st.extra.get("columnar_batches", 0) for st in stats)
+            if columnar else None
+        ),
+        "columnar_map_vectorized": (
+            sum(st.extra.get("columnar_map_vectorized", 0) for st in stats)
+            if columnar else None
+        ),
+        "columnar_reduce_vectorized": (
+            sum(st.extra.get("columnar_reduce_vectorized", 0)
+                for st in stats)
+            if columnar else None
         ),
     }
 

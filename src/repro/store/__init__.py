@@ -27,7 +27,13 @@ import os
 from ..errors import FrameworkError
 from .base import IntermediateStore, StoreStats, record_cost
 from .memory import MemoryStore
-from .spill import DEFAULT_BUDGET, SpillStore, merge_runs
+from .spill import (
+    DEFAULT_BUDGET,
+    SPILL_DIR_ENV,
+    SpillStore,
+    merge_runs,
+    resolve_spill_root,
+)
 
 #: Environment variable naming the default store policy.
 STORE_ENV = "REPRO_STORE"
@@ -45,8 +51,20 @@ _SUFFIX = {"k": 2**10, "m": 2**20, "g": 2**30}
 
 
 def parse_budget(text: str | int | None) -> int | None:
-    """``"65536"``, ``"64k"``, ``"512M"``, ``"1g"`` -> bytes."""
-    if text is None or isinstance(text, int):
+    """``"65536"``, ``"64k"``, ``"512M"``, ``"1g"`` -> bytes.
+
+    Rejects non-positive budgets (including plain ints — a literal
+    ``0`` used to slip through unvalidated) and malformed numbers like
+    ``"1.5m"`` with a :class:`~repro.errors.FrameworkError`; both CLIs
+    surface that as the documented exit-2 usage error.
+    """
+    if text is None:
+        return None
+    if isinstance(text, int):
+        if text < 1:
+            raise FrameworkError(
+                f"memory budget must be positive, got {text!r}"
+            )
         return text
     raw = text.strip().lower()
     if not raw:
@@ -110,6 +128,7 @@ __all__ = [
     "DEFAULT_BUDGET",
     "IntermediateStore",
     "MemoryStore",
+    "SPILL_DIR_ENV",
     "STORES",
     "STORE_ENV",
     "SpillStore",
@@ -119,5 +138,6 @@ __all__ = [
     "parse_budget",
     "record_cost",
     "resolve_budget",
+    "resolve_spill_root",
     "resolve_store_name",
 ]

@@ -96,6 +96,14 @@ class IntermediateStore(abc.ABC):
         for k, v in pairs:
             emit(k, v)
 
+    def emit_columns(self, cols) -> None:
+        """Add a batch in columnar form (a
+        :class:`~repro.framework.columns.ColumnBatch`).  The default
+        unrolls to scalar emits; stores may override with a vectorized
+        path, but accounting and grouped output must stay identical to
+        emitting the same records one at a time."""
+        self.emit_many(cols.iter_pairs())
+
     # -- sealing and reading -------------------------------------------
 
     def finalize(self) -> None:

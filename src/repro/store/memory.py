@@ -4,6 +4,13 @@ Behaviour is exactly the fast backend's original group-by — a dict of
 value lists keyed by key bytes, built in emission order and read back
 sorted — so the default execution path stays byte-identical to the
 pre-store tree.
+
+Columnar emissions (:meth:`MemoryStore.emit_columns`) are retained as
+column chunks instead of being unrolled into the dict; a purely
+columnar store can then group with one vectorized argsort
+(:meth:`MemoryStore.column_groups`).  Mixed scalar + columnar
+emissions degrade gracefully: the chunks drain into the dict and the
+classic sorted-items path serves the groups — same bytes either way.
 """
 
 from __future__ import annotations
@@ -11,6 +18,9 @@ from __future__ import annotations
 from typing import Iterator
 
 from .base import IntermediateStore, record_cost
+
+#: Per-record budget-accounting overhead (see :func:`record_cost`).
+_OVERHEAD = 16
 
 
 class MemoryStore(IntermediateStore):
@@ -21,8 +31,11 @@ class MemoryStore(IntermediateStore):
     def __init__(self) -> None:
         super().__init__()
         self._groups: dict[bytes, list[bytes]] = {}
+        self._columns: list = []  # ColumnBatch chunks, emission order
 
     def emit(self, key: bytes, value: bytes) -> None:
+        if self._columns:
+            self._drain_columns()
         bucket = self._groups.get(key)
         if bucket is None:
             self._groups[key] = [value]
@@ -34,15 +47,69 @@ class MemoryStore(IntermediateStore):
         if st.emitted_bytes > st.peak_bytes:
             st.peak_bytes = st.emitted_bytes
 
+    def emit_columns(self, cols) -> None:
+        n = len(cols)
+        if n == 0:
+            return
+        if self._groups:
+            # Scalar emissions already landed: keep one authoritative
+            # representation (the dict) rather than interleaving two.
+            super().emit_columns(cols)
+            return
+        self._columns.append(cols)
+        st = self.stats
+        st.emitted_records += n
+        st.emitted_bytes += cols.key_bytes + cols.val_bytes + _OVERHEAD * n
+        if st.emitted_bytes > st.peak_bytes:
+            st.peak_bytes = st.emitted_bytes
+
+    def _drain_columns(self) -> None:
+        """Unroll retained column chunks into the dict (mixed mode)."""
+        chunks, self._columns = self._columns, []
+        for cols in chunks:
+            for key, value in cols.iter_pairs():
+                bucket = self._groups.get(key)
+                if bucket is None:
+                    self._groups[key] = [value]
+                else:
+                    bucket.append(value)
+
     @property
     def group_count(self) -> int:
+        if self._columns:
+            self._drain_columns()
         return len(self._groups)
+
+    def column_groups(self):
+        """Vectorized group-by over retained column chunks.
+
+        Returns a :class:`~repro.framework.columns.GroupedColumns`
+        (same groups, same order, same bytes as :meth:`iter_groups`),
+        or ``None`` when scalar emissions forced the dict
+        representation — callers then use :meth:`iter_groups`.
+        """
+        if self._groups:
+            return None
+        if not self._finalized:
+            self.finalize()
+        from ..framework.columns import ColumnBatch, GroupedColumns
+
+        chunks = self._columns
+        if chunks:
+            batch = ColumnBatch.concat(chunks)
+        else:
+            batch = ColumnBatch.from_lists([], [])
+        self.stats.merge_fan_in = 1 if len(batch) else 0
+        return GroupedColumns.from_batch(batch, stats=self.stats)
 
     def iter_groups(self) -> Iterator[tuple[bytes, list[bytes]]]:
         if not self._finalized:
             self.finalize()
+        if self._columns:
+            self._drain_columns()
         self.stats.merge_fan_in = 1 if self._groups else 0
         yield from sorted(self._groups.items())
 
     def close(self) -> None:
         self._groups = {}
+        self._columns = []

@@ -41,12 +41,39 @@ import struct
 import tempfile
 from typing import Iterator
 
-from .base import IntermediateStore, record_cost
+from ..errors import FrameworkError
+from .base import RECORD_OVERHEAD, IntermediateStore, record_cost
 
 #: Default budget when spilling is requested without an explicit one.
 DEFAULT_BUDGET = 64 * 2**20
 
+#: Environment variable naming the directory run files live under.
+SPILL_DIR_ENV = "REPRO_SPILL_DIR"
+
 _HEADER = struct.Struct("<II")
+
+
+def resolve_spill_root() -> str | None:
+    """Validated ``$REPRO_SPILL_DIR`` (or None for the system default).
+
+    A missing or unwritable directory raises a
+    :class:`~repro.errors.FrameworkError` naming the path — callers
+    check at *store open* so a bad setting fails before any work runs,
+    not on the first spilled run mid-shuffle, and no half-created temp
+    directories are left behind.
+    """
+    root = os.environ.get(SPILL_DIR_ENV)
+    if not root:
+        return None
+    if not os.path.isdir(root):
+        raise FrameworkError(
+            f"$REPRO_SPILL_DIR={root!r} is not an existing directory"
+        )
+    if not os.access(root, os.W_OK | os.X_OK):
+        raise FrameworkError(
+            f"$REPRO_SPILL_DIR={root!r} is not writable"
+        )
+    return root
 
 
 class SpillStore(IntermediateStore):
@@ -74,6 +101,9 @@ class SpillStore(IntermediateStore):
         self._runs: list[str] = []
         self._prefix = prefix
         self._dir = spill_dir
+        # Fail on a bad $REPRO_SPILL_DIR here, at store open, not on
+        # the first spilled run mid-shuffle.
+        self._root = resolve_spill_root() if spill_dir is None else None
         self._own_dir = (spill_dir is None) if own_dir is None else own_dir
         self._closed = False
 
@@ -91,11 +121,66 @@ class SpillStore(IntermediateStore):
         if self._buffer_bytes > st.peak_bytes:
             st.peak_bytes = self._buffer_bytes
 
+    def emit_columns(self, cols) -> None:
+        """Columnar emit with scalar-identical budget semantics.
+
+        The per-record rule ("spill before appending the record that
+        would overflow a non-empty buffer") is replayed over the whole
+        batch with one cumulative-cost array: each ``searchsorted``
+        finds the longest prefix that still fits, so the loop runs
+        once per *spill*, not once per record.  Buffer contents, spill
+        points, run files and all accounting come out byte-identical
+        to emitting the pairs one at a time.
+        """
+        import numpy as np
+
+        n = len(cols)
+        if n == 0:
+            return
+        costs = cols.keys.lengths + cols.values.lengths + RECORD_OVERHEAD
+        cum = np.cumsum(costs)
+        kl = cols.keys.tolist()
+        vl = cols.values.tolist()
+        buf = self._buffer
+        bb = self._buffer_bytes
+        budget = self.budget
+        st = self.stats
+        i = 0
+        while i < n:
+            prev = int(cum[i - 1]) if i else 0
+            if not buf:
+                # An empty buffer always accepts the next record, even
+                # one larger than the whole budget (the scalar rule).
+                buf.append((kl[i], vl[i]))
+                bb += int(costs[i])
+                if bb > st.peak_bytes:
+                    st.peak_bytes = bb
+                i += 1
+                if i >= n:
+                    break
+                prev = int(cum[i - 1])
+            # Longest prefix i..j-1 with bb + (cum[j-1] - prev) <= budget.
+            j = int(np.searchsorted(cum, budget - bb + prev, side="right"))
+            if j > i:
+                buf.extend(zip(kl[i:j], vl[i:j]))
+                bb += int(cum[j - 1]) - prev
+                if bb > st.peak_bytes:
+                    st.peak_bytes = bb
+                i = j
+            if i < n:
+                # Next record would overflow a non-empty buffer: spill.
+                self._buffer_bytes = bb
+                self._spill_run()
+                buf = self._buffer
+                bb = 0
+        self._buffer_bytes = bb
+        st.emitted_records += n
+        st.emitted_bytes += int(cum[-1])
+
     def _ensure_dir(self) -> str:
         if self._dir is None:
             self._dir = tempfile.mkdtemp(
-                prefix="repro-spill-",
-                dir=os.environ.get("REPRO_SPILL_DIR") or None,
+                prefix="repro-spill-", dir=self._root
             )
         return self._dir
 

@@ -20,6 +20,7 @@ from collections import Counter
 import numpy as np
 
 from ..framework.api import MapReduceSpec
+from ..framework.columns import Column, ColumnBatch
 from ..framework.records import KeyValueSet
 from .base import ProblemSize, Workload
 
@@ -35,8 +36,43 @@ def hg_map(key, value, emit, const) -> None:
         emit(struct.pack("<I", bucket), struct.pack("<I", counts[bucket]))
 
 
+def hg_map_batch(cols, *, const=None):
+    """Vectorized Map: one ``np.unique`` over ``row * BUCKETS + bucket``
+    codes counts every (row, bucket) pair at once.
+
+    ``np.unique`` returns codes sorted ascending — row-major, then
+    bucket-ascending within a row — which is exactly the scalar
+    emission order (rows in input order, ``sorted(counts)`` buckets).
+    The uint16 upcast keeps ``b * BUCKETS`` out of uint8 overflow.
+    Declines on ragged rows.
+    """
+    w = cols.values.fixed_width
+    if w is None:
+        return None
+    mat = cols.values.matrix()
+    buckets = mat.astype(np.uint16) * BUCKETS // 256
+    n = len(cols)
+    codes = (
+        np.arange(n, dtype=np.int64)[:, None] * BUCKETS + buckets
+    ).ravel()
+    uniq, counts = np.unique(codes, return_counts=True)
+    return ColumnBatch(
+        Column.from_array((uniq % BUCKETS).astype("<u4")),
+        Column.from_array(counts.astype("<u4")),
+    )
+
+
 def hg_reduce(key, values, emit, const) -> None:
     emit(key.to_bytes(), struct.pack("<Q", sum(v.u32() for v in values)))
+
+
+def hg_reduce_batch(keys, offsets, values, *, const=None):
+    """Vectorized TR reduce: per-bucket ``reduceat`` sums as ``<Q``."""
+    if values.fixed_width != 4:
+        return None
+    vals = values.fixed_array("<u4").reshape(-1).astype(np.int64)
+    sums = np.add.reduceat(vals, offsets[:-1])
+    return ColumnBatch(keys, Column.from_array(sums.astype("<u8")))
 
 
 def hg_combine(a: bytes, b: bytes) -> bytes:
@@ -59,6 +95,8 @@ class Histogram(Workload):
             name="histogram",
             map_record=hg_map,
             reduce_record=hg_reduce,
+            map_batch=hg_map_batch,
+            reduce_batch=hg_reduce_batch,
             combine=hg_combine,
             finalize=hg_finalize,
             io_ratio=0.4,

@@ -22,6 +22,7 @@ import struct
 import numpy as np
 
 from ..framework.api import MapReduceSpec
+from ..framework.columns import Column, ColumnBatch
 from ..framework.records import KeyValueSet
 from .base import ProblemSize, Workload
 from .datagen import clustered_vectors
@@ -47,6 +48,34 @@ def km_map(key, value, emit, const) -> None:
     emit(struct.pack("<I", best), value.to_bytes())
 
 
+def km_map_batch(cols, *, const=None):
+    """Vectorized Map: one broadcast distance matrix + argmin.
+
+    Byte-identical to :func:`km_map`: distances are f32 sums over the
+    contiguous last axis (same accumulation order as the scalar
+    ``((vec - cen) ** 2).sum()``) and ``argmin`` takes the *first*
+    minimum, matching the scalar strict-``<`` first-wins update.
+    Declines (returns None) on ragged/odd-width values, a missing
+    centroid table, or NaN distances — the scalar loop then reproduces
+    the exact legacy behaviour, error cases included.
+    """
+    if cols.values.fixed_width != VEC_BYTES or not const:
+        return None
+    n_centroids = len(const) // VEC_BYTES
+    if n_centroids == 0:
+        return None
+    vecs = cols.values.fixed_array("<f4")
+    cens = np.frombuffer(
+        const[: n_centroids * VEC_BYTES], dtype="<f4"
+    ).reshape(n_centroids, DIM)
+    d = ((vecs[:, None, :] - cens[None, :, :]) ** 2).sum(axis=2)
+    if np.isnan(d).any():
+        # The scalar `<` never accepts a NaN distance; argmin would.
+        return None
+    best = np.argmin(d, axis=1).astype("<u4")
+    return ColumnBatch(Column.from_array(best), cols.values)
+
+
 def km_reduce(key, values, emit, const) -> None:
     """TR reduce: new centroid = mean of the cluster's vectors."""
     acc = np.zeros(DIM, dtype=np.float64)
@@ -54,6 +83,22 @@ def km_reduce(key, values, emit, const) -> None:
         acc += v.f32_array(0, DIM)
     mean = (acc / max(1, len(values))).astype("<f4")
     emit(key.to_bytes(), mean.tobytes())
+
+
+def km_reduce_batch(keys, offsets, values, *, const=None):
+    """Vectorized TR reduce: per-group f64 ``reduceat`` sums -> mean.
+
+    ``np.add.reduceat`` accumulates sequentially, matching the scalar
+    ``acc += vec`` loop bit for bit; the final ``astype("<f4")`` is
+    the same rounding :func:`km_reduce` applies.
+    """
+    if values.fixed_width != VEC_BYTES:
+        return None
+    arr = values.fixed_array("<f4").astype(np.float64)
+    sums = np.add.reduceat(arr, offsets[:-1], axis=0)
+    counts = np.diff(offsets)
+    mean = (sums / counts[:, None]).astype("<f4")
+    return ColumnBatch(keys, Column.from_array(mean))
 
 
 def km_combine(a: bytes, b: bytes) -> bytes:
@@ -90,6 +135,8 @@ class KMeans(Workload):
             name="kmeans",
             map_record=km_map,
             reduce_record=km_reduce,
+            map_batch=km_map_batch,
+            reduce_batch=km_reduce_batch,
             combine=km_combine,
             finalize=km_finalize,
             const_bytes=const,

@@ -22,6 +22,7 @@ import struct
 import numpy as np
 
 from ..framework.api import MapReduceSpec
+from ..framework.columns import Column, ColumnBatch
 from ..framework.records import KeyValueSet
 from .base import ProblemSize, Workload
 
@@ -44,12 +45,42 @@ def _solve(sums: np.ndarray) -> bytes:
     return struct.pack("<ff", slope, intercept)
 
 
+def lr_map_batch(cols, *, const=None):
+    """Vectorized Map: all five partial-sum terms in two array ops.
+
+    The scalar kernel computes ``x * x`` / ``x * y`` in f64 (Python
+    floats) and rounds once to f32; the f64 column products below
+    round identically.  Declines on points that are not exactly two
+    ``f32`` values.
+    """
+    if cols.values.fixed_width != 8:
+        return None
+    pts = cols.values.fixed_array("<f4").astype(np.float64)
+    x, y = pts[:, 0], pts[:, 1]
+    out = np.column_stack(
+        [x, y, x * x, x * y, np.ones(len(x))]
+    ).astype("<f4")
+    return ColumnBatch(
+        Column.repeated(LR_KEY, len(cols)), Column.from_array(out)
+    )
+
+
 def lr_reduce(key, values, emit, const) -> None:
     """TR reduce: fold the partials, solve the normal equations."""
     acc = np.zeros(5, dtype=np.float64)
     for v in values:
         acc += v.f32_array(0, 5)
     emit(key.to_bytes(), _solve(acc))
+
+
+def lr_reduce_batch(keys, offsets, values, *, const=None):
+    """Vectorized TR reduce: sequential f64 ``reduceat`` folds (the
+    scalar accumulation order), then :func:`_solve` per group."""
+    if values.fixed_width != 20:
+        return None
+    arr = values.fixed_array("<f4").astype(np.float64)
+    sums = np.add.reduceat(arr, offsets[:-1], axis=0)
+    return ColumnBatch(keys, Column.from_list([_solve(s) for s in sums]))
 
 
 def lr_combine(a: bytes, b: bytes) -> bytes:
@@ -73,6 +104,8 @@ class LinearRegression(Workload):
             name="linearreg",
             map_record=lr_map,
             reduce_record=lr_reduce,
+            map_batch=lr_map_batch,
+            reduce_batch=lr_reduce_batch,
             combine=lr_combine,
             finalize=lr_finalize,
             io_ratio=0.5,

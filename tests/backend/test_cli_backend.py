@@ -62,6 +62,53 @@ class TestTraceCli:
         assert metrics["backend"] == "fast"
         assert os.path.exists(out / "trace.json")
 
+    def test_columnar_flag_end_to_end(self, tmp_path, capsys):
+        out = tmp_path / "c"
+        rc = trace_main([
+            "WC", "--columnar", "--scale", "0.2", "--mps", "2",
+            "--out", str(out), "--quiet",
+        ])
+        assert rc == 0
+        with open(out / "metrics.json", encoding="utf-8") as fh:
+            metrics = json.load(fh)
+        assert metrics["backend"] == "columnar"
+
+    def test_columnar_conflicts_with_sim_and_parallel(self, capsys):
+        for backend in ("sim", "parallel"):
+            with pytest.raises(SystemExit) as e:
+                trace_main(["WC", "--columnar", "--backend", backend])
+            assert _exit_code(e) == 2
+            assert "--columnar" in capsys.readouterr().err
+
+    @pytest.mark.parametrize("budget", ["1.5m", "0", "-1", "64q"])
+    def test_bad_memory_budget_exits_2(self, budget, capsys):
+        with pytest.raises(SystemExit) as e:
+            trace_main(["WC", "--store", "spill",
+                        "--memory-budget", budget])
+        assert _exit_code(e) == 2
+        assert "budget" in capsys.readouterr().err
+
+    def test_bad_env_budget_exits_2(self, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_MEMORY_BUDGET", "1.5m")
+        with pytest.raises(SystemExit) as e:
+            trace_main(["WC", "--backend", "fast"])
+        assert _exit_code(e) == 2
+        assert "budget" in capsys.readouterr().err
+
+    def test_bad_env_backend_exits_2(self, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_BACKEND", "parallel:0")
+        with pytest.raises(SystemExit) as e:
+            trace_main(["WC"])
+        assert _exit_code(e) == 2
+        assert "worker count" in capsys.readouterr().err
+
+    def test_bad_env_workers_exits_2(self, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_WORKERS", "abc")
+        with pytest.raises(SystemExit) as e:
+            trace_main(["WC", "--backend", "parallel"])
+        assert _exit_code(e) == 2
+        assert "REPRO_WORKERS" in capsys.readouterr().err
+
 
 class TestBenchCli:
     def test_unknown_workload_code_exits_2(self, capsys):
@@ -91,3 +138,34 @@ class TestBenchCli:
         out = capsys.readouterr().out
         assert "conformance" in out
         assert "FAIL" not in out
+
+    def test_validate_under_columnar_backend(self, capsys):
+        rc = bench_main([
+            "validate", "--workload", "HG", "--scale", "0.2",
+            "--columnar",
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "conformance" in out
+        assert "FAIL" not in out
+
+    def test_columnar_conflicts_with_sim(self, capsys):
+        rc = bench_main(["validate", "--columnar", "--backend", "sim"])
+        assert rc == 2
+        assert "--columnar" in capsys.readouterr().err
+
+    def test_validate_bad_budget_exits_2(self, capsys):
+        # parse_budget("1.5m") used to escape cmd_validate as a raw
+        # traceback; it must be the documented exit-2 usage error.
+        with pytest.raises(SystemExit) as e:
+            bench_main(["validate", "--workload", "WC", "--store",
+                        "spill", "--memory-budget", "1.5m"])
+        assert _exit_code(e) == 2
+        assert "budget" in capsys.readouterr().err
+
+    def test_validate_bad_workers_exits_2(self, capsys):
+        with pytest.raises(SystemExit) as e:
+            bench_main(["validate", "--workload", "WC", "--backend",
+                        "parallel", "--workers", "0"])
+        assert _exit_code(e) == 2
+        assert "workers" in capsys.readouterr().err

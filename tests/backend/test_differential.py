@@ -14,12 +14,19 @@ A fourth executor rides along: the fast backend with the spill store
 forced down to a tiny budget, so every case's shuffle goes through
 sorted runs and the k-way merge.  Its contract is the strictest —
 byte-identical to the memory-store fast run, records *and* order.
+
+A fifth executor is the columnar fast backend
+(``FastBackend(columnar=True)``): batched array Map/Shuffle/Reduce
+with each workload's ``map_batch``/``reduce_batch`` kernels and
+per-batch scalar fallback everywhere else.  Non-float workloads must
+be byte-identical to the scalar fast run (records *and* order); the
+float workloads (KM, SS, LR) match under the usual float32 tolerance.
 """
 
 import pytest
 
 from repro.analysis.validation import outputs_match
-from repro.backend import ParallelBackend
+from repro.backend import FastBackend, ParallelBackend
 from repro.cpu_ref import reference_job
 from repro.framework import MemoryMode, ReduceStrategy, run_job
 from repro.gpu import DeviceConfig
@@ -101,6 +108,25 @@ def test_fast_matches_sim_and_oracle(workload, mode, strategy):
     if strategy is not None:
         assert spill.reduce_stats.extra.get("spill_runs", 0) > 0
 
+    # Columnar fast backend: byte-identical for integer workloads,
+    # float32 tolerance for the float ones (the batch kernels preserve
+    # scalar accumulation order, so in practice they are bit-equal).
+    col = run_job(spec, inp, backend=FastBackend(columnar=True), **kwargs)
+    if fv:
+        assert outputs_match(col.output, fast.output, float32_values=True)
+    else:
+        assert col.output == fast.output
+    assert col.intermediate_count == fast.intermediate_count
+    assert col.mode == fast.mode and col.strategy == fast.strategy
+
+    # Columnar + spill: the array shuffle routed through sorted runs
+    # must reproduce the columnar memory-store run byte for byte.
+    col_spill = run_job(spec, inp, backend=FastBackend(columnar=True),
+                        store="spill", memory_budget=SPILL_BUDGET, **kwargs)
+    assert col_spill.output == col.output
+    if strategy is not None:
+        assert col_spill.reduce_stats.extra.get("spill_runs", 0) > 0
+
 
 class TestDegenerateInputs:
     """Backend parity on the inputs the fuzzer flagged as the risky
@@ -131,6 +157,12 @@ class TestDegenerateInputs:
                                                     min_records=0),
                             store="spill", memory_budget=64, **kwargs)
         assert par_spill.output == fast.output
+        col = run_job(spec, inp, backend=FastBackend(columnar=True),
+                      **kwargs)
+        assert col.output == fast.output
+        col_spill = run_job(spec, inp, backend=FastBackend(columnar=True),
+                            store="spill", memory_budget=64, **kwargs)
+        assert col_spill.output == fast.output
         return sim, fast
 
     def test_empty_input(self):

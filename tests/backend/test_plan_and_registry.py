@@ -69,10 +69,11 @@ class TestRegistry:
     def test_known_backends(self):
         from repro.backend import ParallelBackend
 
-        assert set(BACKENDS) == {"sim", "fast", "parallel"}
+        assert set(BACKENDS) == {"sim", "fast", "parallel", "columnar"}
         assert isinstance(get_backend("sim"), SimBackend)
         assert isinstance(get_backend("fast"), FastBackend)
         assert isinstance(get_backend("parallel"), ParallelBackend)
+        assert get_backend("columnar").columnar is True
 
     def test_instance_passthrough(self):
         b = FastBackend()

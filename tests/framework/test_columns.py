@@ -1,0 +1,146 @@
+"""Unit tests for the columnar record layer (repro.framework.columns).
+
+The whole module exists to be *ordering-exact*: stable sorts keep
+emission order among equal keys, group keys come out in ascending
+byte order, and every conversion round-trips byte for byte.  These
+tests pin those invariants directly, including the classic hazards —
+trailing-NUL keys (zero-padding must not merge distinct keys) and
+ragged keys (lexicographic byte order, not length-first).
+"""
+
+import numpy as np
+import pytest
+
+from repro.errors import FrameworkError
+from repro.framework.columns import (
+    Column,
+    ColumnBatch,
+    GroupedColumns,
+    sort_and_group,
+)
+from repro.framework.records import KeyValueSet
+
+
+def _grouped_ref(pairs):
+    """The MemoryStore contract: dict-of-lists, read back key-sorted."""
+    groups = {}
+    for k, v in pairs:
+        groups.setdefault(k, []).append(v)
+    return sorted(groups.items())
+
+
+class TestColumn:
+    def test_round_trip_ragged(self):
+        items = [b"", b"a", b"longer-item", b"\x00\x00", b"mid"]
+        col = Column.from_list(items)
+        assert col.tolist() == items
+        assert list(col) == items
+        assert col.at(2) == b"longer-item"
+        assert col.fixed_width is None
+
+    def test_fixed_width_and_views(self):
+        arr = np.arange(12, dtype="<u4").reshape(3, 4)
+        col = Column.from_array(arr)
+        assert col.fixed_width == 16
+        assert col.matrix().shape == (3, 16)
+        np.testing.assert_array_equal(col.fixed_array("<u4"), arr)
+
+    def test_fixed_array_rejects_misaligned(self):
+        col = Column.from_list([b"abc", b"def"])
+        with pytest.raises(FrameworkError):
+            col.fixed_array("<u4")
+
+    def test_take_fixed_and_ragged(self):
+        order = np.array([2, 0, 1])
+        fixed = Column.from_list([b"aa", b"bb", b"cc"])
+        assert fixed.take(order).tolist() == [b"cc", b"aa", b"bb"]
+        ragged = Column.from_list([b"a", b"bbb", b""])
+        assert ragged.take(order).tolist() == [b"", b"a", b"bbb"]
+
+    def test_concat_and_repeated(self):
+        a = Column.from_list([b"x", b"yy"])
+        b = Column.repeated(b"kk", 3)
+        cat = Column.concat([a, b])
+        assert cat.tolist() == [b"x", b"yy", b"kk", b"kk", b"kk"]
+
+    def test_empty(self):
+        col = Column.from_list([])
+        assert len(col) == 0
+        assert col.tolist() == []
+        assert col.fixed_width is None
+
+
+class TestColumnBatch:
+    def test_kvs_round_trip(self):
+        kvs = KeyValueSet([(b"k1", b"v1"), (b"", b""), (b"k2", b"vv2")])
+        batch = ColumnBatch.from_kvs(kvs)
+        assert batch.to_kvs() == kvs
+        assert list(batch.iter_pairs()) == list(kvs)
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(FrameworkError):
+            ColumnBatch(Column.from_list([b"a"]), Column.from_list([]))
+
+
+class TestSortAndGroup:
+    def _check(self, keys):
+        """sort_and_group must reproduce the dict-shuffle contract."""
+        col = Column.from_list(keys)
+        vals = [b"v%d" % i for i in range(len(keys))]
+        grouped = GroupedColumns.from_batch(
+            ColumnBatch(col, Column.from_list(vals))
+        )
+        assert list(grouped) == _grouped_ref(zip(keys, vals))
+        return grouped
+
+    def test_narrow_fixed_keys_vectorized(self):
+        keys = [b"ba", b"ab", b"ba", b"aa", b"ab"]
+        g = self._check(keys)
+        assert g.vectorized
+
+    def test_wide_fixed_keys_vectorized(self):
+        # 12-byte keys exercise the multi-limb lexsort path.
+        keys = [b"x" * 11 + bytes([c]) for c in (3, 1, 2, 1, 3, 0)]
+        g = self._check(keys)
+        assert g.vectorized
+
+    def test_trailing_nul_keys_stay_distinct(self):
+        # The zero-padding hazard: b"a\x00" and b"a\x00\x00" (ragged)
+        # must never merge, and fixed-width keys ending in NUL must
+        # sort before their non-NUL siblings.
+        g = self._check([b"a\x00", b"a\x01", b"a\x00", b"b\x00"])
+        assert g.vectorized
+        self._check([b"a", b"a\x00", b"a\x00\x00", b"a"])  # ragged
+
+    def test_ragged_keys_fallback_is_exact(self):
+        keys = [b"bb", b"a", b"", b"bb", b"aaa", b"a"]
+        g = self._check(keys)
+        assert not g.vectorized
+
+    def test_empty_key_column_single_group(self):
+        g = self._check([b"", b"", b""])
+        assert len(g) == 1
+
+    def test_empty_input(self):
+        order, starts, vectorized = sort_and_group(Column.from_list([]))
+        assert len(order) == 0
+        assert list(starts) == [0]
+        assert vectorized
+
+    def test_stability_preserves_emission_order(self):
+        keys = [b"k"] * 64
+        vals = [bytes([i]) for i in range(64)]
+        g = GroupedColumns.from_batch(ColumnBatch.from_lists(keys, vals))
+        (_, got), = list(g)
+        assert got == vals
+
+
+class TestGroupedColumns:
+    def test_shape_accessors(self):
+        g = GroupedColumns.from_batch(ColumnBatch.from_lists(
+            [b"b", b"a", b"b", b"a", b"c"], [b"1", b"2", b"3", b"4", b"5"]
+        ))
+        assert len(g) == 3
+        assert g.n_values == 5
+        assert list(g.group_sizes) == [2, 2, 1]
+        assert g.keys.tolist() == [b"a", b"b", b"c"]

@@ -1,0 +1,146 @@
+"""Columnar emission through the store seam (emit_columns).
+
+The contract every store must honour: ``emit_columns(batch)`` leaves
+the store — grouped output AND all accounting — exactly as if the
+same records had been emitted one at a time.  For the spill store
+that includes the budget rule's spill points, run files and peak
+bytes; for the memory store it includes the graceful mixed-mode
+degradation (scalar + columnar emissions into one store).
+"""
+
+import random
+
+import pytest
+
+from repro.framework.columns import ColumnBatch
+from repro.store import MemoryStore, SpillStore
+from repro.store.base import record_cost
+
+
+def _pairs(n, keys=7, seed=0, vw=(0, 12)):
+    rng = random.Random(seed)
+    out = []
+    for i in range(n):
+        k = b"key-%d" % rng.randrange(keys)
+        v = bytes(rng.randrange(256) for _ in range(rng.randrange(*vw)))
+        out.append((k, v))
+    return out
+
+
+def _stats_tuple(st):
+    return (st.emitted_records, st.emitted_bytes, st.peak_bytes,
+            st.spill_runs, st.spilled_bytes)
+
+
+class TestMemoryStoreColumns:
+    def test_columnar_emit_matches_scalar(self):
+        pairs = _pairs(200, seed=1)
+        scalar = MemoryStore()
+        for k, v in pairs:
+            scalar.emit(k, v)
+        col = MemoryStore()
+        col.emit_columns(ColumnBatch.from_pairs(pairs))
+        assert list(col.iter_groups()) == list(scalar.iter_groups())
+        assert _stats_tuple(col.stats) == _stats_tuple(scalar.stats)
+
+    def test_column_groups_vectorized_readback(self):
+        pairs = _pairs(150, seed=2)
+        store = MemoryStore()
+        store.emit_columns(ColumnBatch.from_pairs(pairs))
+        grouped = store.column_groups()
+        assert grouped is not None
+        ref = MemoryStore()
+        for k, v in pairs:
+            ref.emit(k, v)
+        assert list(grouped) == list(ref.iter_groups())
+
+    def test_mixed_mode_degrades_to_dict(self):
+        # Scalar emits first: columnar chunks must unroll into the
+        # dict and column_groups() must decline.
+        pairs = _pairs(60, seed=3)
+        store = MemoryStore()
+        store.emit(*pairs[0])
+        store.emit_columns(ColumnBatch.from_pairs(pairs[1:30]))
+        for k, v in pairs[30:]:
+            store.emit(k, v)
+        assert store.column_groups() is None
+        ref = MemoryStore()
+        for k, v in pairs:
+            ref.emit(k, v)
+        assert list(store.iter_groups()) == list(ref.iter_groups())
+
+    def test_columns_then_scalar_drains(self):
+        pairs = _pairs(40, seed=4)
+        store = MemoryStore()
+        store.emit_columns(ColumnBatch.from_pairs(pairs[:20]))
+        for k, v in pairs[20:]:
+            store.emit(k, v)
+        ref = MemoryStore()
+        for k, v in pairs:
+            ref.emit(k, v)
+        assert list(store.iter_groups()) == list(ref.iter_groups())
+        assert store.group_count == ref.group_count
+
+    def test_empty_batch_is_noop(self):
+        store = MemoryStore()
+        store.emit_columns(ColumnBatch.from_lists([], []))
+        assert store.stats.emitted_records == 0
+        assert store.column_groups() is not None
+        assert len(store.column_groups()) == 0
+
+
+class TestSpillStoreColumns:
+    @pytest.mark.parametrize("budget", [1, 64, 256, 4096])
+    def test_columnar_emit_byte_identical_to_scalar(self, budget, tmp_path):
+        pairs = _pairs(300, seed=budget)
+        scalar = SpillStore(budget, spill_dir=str(tmp_path / "a"),
+                            own_dir=False)
+        (tmp_path / "a").mkdir()
+        for k, v in pairs:
+            scalar.emit(k, v)
+        col = SpillStore(budget, spill_dir=str(tmp_path / "b"),
+                         own_dir=False)
+        (tmp_path / "b").mkdir()
+        col.emit_columns(ColumnBatch.from_pairs(pairs))
+        # Identical spill points -> identical run counts, and the full
+        # stats tuple (records, bytes, peak, runs, spilled) matches.
+        assert _stats_tuple(col.stats) == _stats_tuple(scalar.stats)
+        assert list(col.iter_groups()) == list(scalar.iter_groups())
+
+    def test_chunked_columnar_equals_one_batch(self, tmp_path):
+        pairs = _pairs(120, seed=9)
+        one = SpillStore(128)
+        one.emit_columns(ColumnBatch.from_pairs(pairs))
+        chunked = SpillStore(128)
+        for lo in range(0, 120, 17):
+            chunked.emit_columns(
+                ColumnBatch.from_pairs(pairs[lo:lo + 17])
+            )
+        assert _stats_tuple(chunked.stats) == _stats_tuple(one.stats)
+        assert list(chunked.iter_groups()) == list(one.iter_groups())
+
+    def test_record_larger_than_budget(self):
+        # The scalar rule: an empty buffer always accepts the next
+        # record, even one bigger than the whole budget.
+        big = [(b"k", bytes(100)), (b"k", bytes(100)), (b"j", b"x")]
+        scalar = SpillStore(8)
+        for k, v in big:
+            scalar.emit(k, v)
+        col = SpillStore(8)
+        col.emit_columns(ColumnBatch.from_pairs(big))
+        assert _stats_tuple(col.stats) == _stats_tuple(scalar.stats)
+        assert list(col.iter_groups()) == list(scalar.iter_groups())
+
+    def test_random_cases_full_sweep(self):
+        rng = random.Random(42)
+        for case in range(50):
+            n = rng.randrange(0, 80)
+            budget = rng.choice([1, 16, 64, 300])
+            pairs = _pairs(n, keys=rng.randrange(1, 9), seed=case)
+            scalar = SpillStore(budget)
+            for k, v in pairs:
+                scalar.emit(k, v)
+            col = SpillStore(budget)
+            col.emit_columns(ColumnBatch.from_pairs(pairs))
+            assert _stats_tuple(col.stats) == _stats_tuple(scalar.stats), case
+            assert list(col.iter_groups()) == list(scalar.iter_groups()), case

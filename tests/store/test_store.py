@@ -59,10 +59,28 @@ class TestBudgetParsing:
     def test_parse_budget(self, text, want):
         assert parse_budget(text) == want
 
-    @pytest.mark.parametrize("text", ["abc", "12q", "0", "-3", "1.5m"])
+    @pytest.mark.parametrize("text", ["abc", "12q", "0", "-3", "1.5m",
+                                      "-1", "  -1 ", "0k"])
     def test_parse_budget_rejects(self, text):
         with pytest.raises(FrameworkError):
             parse_budget(text)
+
+    @pytest.mark.parametrize("value", [0, -1, -64])
+    def test_parse_budget_rejects_nonpositive_ints(self, value):
+        # A literal 0/-1 used to pass straight through unvalidated.
+        with pytest.raises(FrameworkError):
+            parse_budget(value)
+
+    def test_parse_budget_accepts_padded_suffix(self):
+        assert parse_budget("  64k ") == 64 * 1024
+
+    def test_resolve_budget_rejects_bad_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_MEMORY_BUDGET", "1.5m")
+        with pytest.raises(FrameworkError):
+            resolve_budget(None)
+        monkeypatch.setenv("REPRO_MEMORY_BUDGET", "-1")
+        with pytest.raises(FrameworkError):
+            resolve_budget(None)
 
     def test_resolve_store_name_env(self, monkeypatch):
         monkeypatch.delenv("REPRO_STORE", raising=False)
@@ -169,6 +187,42 @@ class TestGroupSemantics:
 
 def _spill_dirs(root) -> list[str]:
     return glob.glob(os.path.join(str(root), "repro-spill-*"))
+
+
+class TestSpillDirValidation:
+    """A bad $REPRO_SPILL_DIR fails at store *open*, by name — not as
+    an OSError from the first spilled run mid-shuffle."""
+
+    def test_missing_dir_fails_at_open(self, tmp_path, monkeypatch):
+        missing = str(tmp_path / "nope")
+        monkeypatch.setenv("REPRO_SPILL_DIR", missing)
+        with pytest.raises(FrameworkError, match="nope"):
+            SpillStore(64)
+
+    def test_file_as_dir_fails_at_open(self, tmp_path, monkeypatch):
+        f = tmp_path / "afile"
+        f.write_text("x")
+        monkeypatch.setenv("REPRO_SPILL_DIR", str(f))
+        with pytest.raises(FrameworkError, match="afile"):
+            SpillStore(64)
+
+    def test_unwritable_dir_fails_at_open(self, tmp_path, monkeypatch):
+        if os.getuid() == 0:
+            pytest.skip("root ignores directory permissions")
+        ro = tmp_path / "ro"
+        ro.mkdir()
+        ro.chmod(0o555)
+        monkeypatch.setenv("REPRO_SPILL_DIR", str(ro))
+        with pytest.raises(FrameworkError, match="not writable"):
+            SpillStore(64)
+
+    def test_explicit_spill_dir_skips_env(self, tmp_path, monkeypatch):
+        # A caller-owned dir is used as-is; the env is not consulted.
+        monkeypatch.setenv("REPRO_SPILL_DIR", str(tmp_path / "nope"))
+        store = SpillStore(1, spill_dir=str(tmp_path), prefix="s")
+        store.emit(b"k", _u32(1))
+        store.emit(b"k", _u32(2))
+        store.close()
 
 
 class TestCleanup:
