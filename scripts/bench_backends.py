@@ -28,6 +28,13 @@ Two artifacts, committed at the repo root as the PRs' perf evidence:
   (batch kernels + array shuffle) vs the scalar fast path on the four
   workloads with batch implementations, outputs cross-checked
   byte-for-byte per case.  Acceptance bar: >= 5x on medium kmeans.
+* ``BENCH_dist.json`` (``--dist``) — DistributedBackend (coordinator +
+  socket workers) vs FastBackend, sweeping worker counts, plus a
+  fault-recovery leg (one scripted mid-job worker kill at 2 workers).
+  Informational — dist prices fault tolerance, not speed: every pair
+  crosses a JSON socket frame, so on a small single-host job the
+  honest number is *below* 1x; what the artifact shows is how much a
+  worker death costs on top (outputs cross-checked per case).
 
 Usage::
 
@@ -38,6 +45,8 @@ Usage::
     PYTHONPATH=src python scripts/bench_backends.py --spill [--spill-out PATH]
     PYTHONPATH=src python scripts/bench_backends.py --columnar \\
         [--columnar-out PATH]
+    PYTHONPATH=src python scripts/bench_backends.py --dist \\
+        [--dist-out PATH] [--workers 1,2,4]
 """
 
 from __future__ import annotations
@@ -84,6 +93,12 @@ COLUMNAR_CASES = [
     ("kmeans", KMeans, "medium"),
     ("histogram", Histogram, "medium"),
     ("linearreg", LinearRegression, "medium"),
+]
+
+DIST_CASES = [
+    ("wordcount", WordCount, "medium", ReduceStrategy.TR),
+    ("wordcount", WordCount, "medium", ReduceStrategy.BR),
+    ("kmeans", KMeans, "medium", ReduceStrategy.BR),
 ]
 
 
@@ -390,6 +405,108 @@ def bench_columnar(out_path: str, repeats: int) -> int:
     return 0
 
 
+def bench_dist(out_path: str, repeats: int, workers: list[int]) -> int:
+    """DistributedBackend sweep vs FastBackend, plus fault recovery.
+
+    Every case first cross-checks the dist output against the fast
+    run (the differential contract, re-asserted at benchmark sizes),
+    then times the sweep.  The fault-recovery leg runs at 2 workers
+    with one scripted kill halfway through the input, pricing a
+    worker death — re-execution, rescheduling and all — against the
+    faultless dist run.
+    """
+    from repro.backend import DistributedBackend
+    from repro.dist import FaultPlan
+
+    results = []
+    mismatches = 0
+    for name, cls, size, strategy in DIST_CASES:
+        w = cls()
+        inp = w.generate(size, seed=0)
+        spec = w.spec_for_size(size, seed=0)
+        fast_res = run_job(spec, inp, mode=MemoryMode.SIO,
+                           strategy=strategy, backend="fast")
+        fast_s = _time_run(spec, inp, "fast", repeats, strategy)
+        row = {
+            "workload": name,
+            "size": size,
+            "strategy": strategy.value,
+            "records": len(inp),
+            "fast_wall_s": round(fast_s, 4),
+            "dist": {},
+        }
+        base2_s = None
+        for n in workers:
+            backend = DistributedBackend(workers=n, min_records=0)
+            check = run_job(spec, inp, mode=MemoryMode.SIO,
+                            strategy=strategy, backend=backend)
+            identical = check.output == fast_res.output
+            if not identical:
+                mismatches += 1
+            dist_s = _time_run(spec, inp, backend, repeats, strategy)
+            if n == 2:
+                base2_s = dist_s
+            row["dist"][str(n)] = {
+                "wall_s": round(dist_s, 4),
+                "speedup_vs_fast": round(fast_s / dist_s, 2),
+                "output_identical": identical,
+            }
+            print(f"{name:10s} {size:6s} {strategy.value} "
+                  f"workers={n}  fast {fast_s:8.4f}s  "
+                  f"dist {dist_s:8.4f}s  {fast_s / dist_s:6.2f}x  "
+                  f"{'identical' if identical else 'MISMATCH'}")
+
+        plan = FaultPlan.kill(0, max(1, len(inp) // 2), phase="map")
+        faulted = DistributedBackend(workers=2, min_records=0,
+                                     fault_plan=plan)
+        fres = run_job(spec, inp, mode=MemoryMode.SIO, strategy=strategy,
+                       backend=faulted)
+        identical = fres.output == fast_res.output
+        if not identical:
+            mismatches += 1
+        fault_s = _time_run(spec, inp, faulted, repeats, strategy)
+        row["fault_recovery"] = {
+            "plan": plan.describe(),
+            "wall_s": round(fault_s, 4),
+            "overhead_vs_dist2": (round(fault_s / base2_s - 1, 3)
+                                  if base2_s else None),
+            "worker_deaths": faulted.last_counters.get("worker_deaths", 0),
+            "retries": faulted.last_counters.get("retries", 0),
+            "output_identical": identical,
+        }
+        print(f"{name:10s} {size:6s} {strategy.value} "
+              f"kill@mid-map      dist2 {base2_s or 0:8.4f}s  "
+              f"faulted {fault_s:8.4f}s  "
+              f"{'identical' if identical else 'MISMATCH'}")
+        results.append(row)
+
+    doc = {
+        "description": "Wall-clock: DistributedBackend (coordinator + "
+                       "socket workers, plain pairs over length-"
+                       "prefixed JSON frames) vs FastBackend, mode=SIO, "
+                       "best of N runs, outputs cross-checked per case. "
+                       " Informational: dist prices fault tolerance — "
+                       "socket serialisation makes sub-1x the honest "
+                       "single-host number; the fault_recovery row is "
+                       "the cost of one worker death on top.",
+        "repeats": repeats,
+        "python": platform.python_version(),
+        "cpu_count": os.cpu_count(),
+        "workers_swept": workers,
+        "results": results,
+    }
+    with open(out_path, "w", encoding="utf-8") as fh:
+        json.dump(doc, fh, indent=2)
+        fh.write("\n")
+    print(f"wrote {out_path}")
+
+    if mismatches:
+        print(f"ERROR: {mismatches} case(s) produced non-identical "
+              "dist output")
+        return 1
+    return 0
+
+
 def main(argv=None) -> int:
     p = argparse.ArgumentParser(description=__doc__)
     p.add_argument("--out", default=str(
@@ -419,8 +536,16 @@ def main(argv=None) -> int:
                         "scalar fast path on the batch-kernel workloads")
     p.add_argument("--columnar-out", default=str(
         Path(__file__).resolve().parent.parent / "BENCH_columnar.json"))
+    p.add_argument("--dist", action="store_true",
+                   help="benchmark DistributedBackend vs FastBackend, "
+                        "sweeping --workers, plus a fault-recovery leg")
+    p.add_argument("--dist-out", default=str(
+        Path(__file__).resolve().parent.parent / "BENCH_dist.json"))
     args = p.parse_args(argv)
 
+    if args.dist:
+        workers = [int(n) for n in args.workers.split(",") if n.strip()]
+        return bench_dist(args.dist_out, args.repeats, workers)
     if args.columnar:
         return bench_columnar(args.columnar_out, args.repeats)
     if args.spill:

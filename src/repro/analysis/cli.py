@@ -145,9 +145,14 @@ def cmd_validate(args) -> None:
     backend = args.backend
     try:
         if args.workers is not None:
-            from ..backend import ParallelBackend
+            if backend == "dist":
+                from ..backend import DistributedBackend
 
-            backend = ParallelBackend(workers=args.workers)
+                backend = DistributedBackend(workers=args.workers)
+            else:
+                from ..backend import ParallelBackend
+
+                backend = ParallelBackend(workers=args.workers)
         # parse_budget used to escape as a raw traceback on input like
         # "1.5m"; surface it (and a malformed $REPRO_MEMORY_BUDGET or
         # a bad $REPRO_BACKEND) as the documented exit-2 usage error.
@@ -221,14 +226,14 @@ def main(argv: list[str] | None = None) -> int:
     p.add_argument("--mps", type=int, default=0,
                    help="simulate this many MPs instead of the full 30")
     p.add_argument("--backend", default=None,
-                   choices=["sim", "fast", "parallel", "columnar"],
+                   choices=["sim", "fast", "parallel", "columnar", "dist"],
                    help="execution backend for 'validate' (timing "
                         "commands always simulate)")
     p.add_argument("--columnar", action="store_true",
                    help="shorthand for --backend columnar (the fast "
                         "backend's vectorized path) on 'validate'")
     p.add_argument("--workers", type=int, default=None,
-                   help="worker processes for --backend parallel")
+                   help="worker processes for --backend parallel/dist")
     p.add_argument("--store", default=None, choices=["memory", "spill"],
                    help="intermediate-store policy for 'validate' with a "
                         "functional backend (see repro.store); default "
@@ -252,7 +257,7 @@ def main(argv: list[str] | None = None) -> int:
     if args.check:
         os.environ["REPRO_CHECK"] = "1"
     if args.columnar:
-        if args.backend in ("sim", "parallel"):
+        if args.backend in ("sim", "parallel", "dist"):
             print("repro-bench: --columnar needs the fast backend "
                   "(--backend fast or columnar)", file=sys.stderr)
             return 2
@@ -262,8 +267,9 @@ def main(argv: list[str] | None = None) -> int:
               "timing command needs the cycle-accurate simulator",
               file=sys.stderr)
         return 2
-    if args.workers is not None and args.backend != "parallel":
-        print("repro-bench: --workers needs --backend parallel",
+    if args.workers is not None and args.backend not in ("parallel",
+                                                         "dist"):
+        print("repro-bench: --workers needs --backend parallel or dist",
               file=sys.stderr)
         return 2
     if (args.store or args.memory_budget) and args.command != "validate":

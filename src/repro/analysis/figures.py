@@ -239,16 +239,19 @@ def fig6_end_to_end(
     for size in sizes:
         inp = workload.generate(size, seed=seed, scale=scale)
         spec = spec_of(workload, seed, size, scale)
+        # Figures are cycle-count artifacts: always simulate, whatever
+        # $REPRO_BACKEND says (functional backends report zero kernel
+        # cycles, which would make every ratio here meaningless).
         mars = run_mars_job(
             spec, inp, strategy=strategy, config=cfg,
-            threads_per_block=threads_per_block,
+            threads_per_block=threads_per_block, backend="sim",
         )
         rows.append(EndToEndRow(workload.code, size, "Mars", mars.timings))
         for mode in MAP_MODES:
             try:
                 r = run_job(
                     spec, inp, mode=mode, strategy=strategy, config=cfg,
-                    threads_per_block=threads_per_block,
+                    threads_per_block=threads_per_block, backend="sim",
                 )
             except ReproError:
                 continue
@@ -285,7 +288,7 @@ def fig7_speedup_over_mars(
     spec = spec_of(workload, seed, size, scale)
     mars = run_mars_job(
         spec, inp, strategy=strategy, config=cfg,
-        threads_per_block=threads_per_block,
+        threads_per_block=threads_per_block, backend="sim",
     )
     map_sp: dict[str, float] = {}
     red_sp: dict[str, float] = {}
@@ -293,7 +296,7 @@ def fig7_speedup_over_mars(
         try:
             r = run_job(
                 spec, inp, mode=mode, strategy=strategy, config=cfg,
-                threads_per_block=threads_per_block,
+                threads_per_block=threads_per_block, backend="sim",
             )
         except ReproError:
             continue

@@ -21,6 +21,12 @@ are orthogonal to *how* they execute.  A
   via each workload's ``map_batch``/``reduce_batch`` kernels, scalar
   fallback otherwise).  Equivalent to ``FastBackend(columnar=True)``
   or ``$REPRO_COLUMNAR=1``.
+* ``"dist"`` — :class:`DistributedBackend`: the fast executor run as
+  a coordinator over socket-connected worker processes, with
+  GFS-style map splits, worker-death re-execution, speculative
+  straggler duplicates, and scriptable fault injection
+  (:class:`repro.dist.FaultPlan`).  ``"dist:N"`` pins the worker
+  count, like ``"parallel:N"``.
 
 Select per call (``run_job(..., backend="fast")``), or process-wide
 with the ``REPRO_BACKEND`` environment variable (read when a driver is
@@ -34,6 +40,7 @@ import os
 from ..errors import FrameworkError
 from .base import ExecutionBackend
 from .core import execute_plan, execute_streamed
+from .distributed import DistributedBackend
 from .fast import ColumnarBackend, FastBackend
 from .parallel import ParallelBackend
 from .plan import ENGINE_MARS, ENGINE_SHARED, BatchPolicy, JobPlan
@@ -45,6 +52,7 @@ BACKENDS: dict[str, type[ExecutionBackend]] = {
     FastBackend.name: FastBackend,
     ParallelBackend.name: ParallelBackend,
     ColumnarBackend.name: ColumnarBackend,
+    DistributedBackend.name: DistributedBackend,
 }
 
 #: Environment variable consulted when ``backend=None``.
@@ -57,28 +65,31 @@ def get_backend(backend: str | ExecutionBackend | None = None
 
     ``None`` consults ``$REPRO_BACKEND`` (default ``"sim"``); strings
     are looked up in :data:`BACKENDS`; instances pass through.
-    ``"parallel:N"`` selects the parallel backend with ``N`` workers.
+    ``"parallel:N"`` / ``"dist:N"`` pin the worker count of the
+    parallel / distributed backend.
     """
     if isinstance(backend, ExecutionBackend):
         return backend
     if backend is None:
         backend = os.environ.get(BACKEND_ENV) or "sim"
-    if isinstance(backend, str) and backend.startswith("parallel:"):
-        raw = backend.partition(":")[2]
-        try:
-            n = int(raw)
-        except ValueError:
-            raise FrameworkError(
-                f"bad worker count in backend {backend!r}; expected "
-                "'parallel:<int>'"
-            ) from None
-        if n < 1:
-            # Used to be silently clamped to 1 by max(); surface the
-            # mistake instead — "parallel:0" is a typo, not a request.
-            raise FrameworkError(
-                f"worker count must be >= 1 in backend {backend!r}"
-            )
-        return ParallelBackend(workers=n)
+    if isinstance(backend, str) and ":" in backend:
+        base, _, raw = backend.partition(":")
+        if base in ("parallel", "dist"):
+            try:
+                n = int(raw)
+            except ValueError:
+                raise FrameworkError(
+                    f"bad worker count in backend {backend!r}; expected "
+                    f"'{base}:<int>'"
+                ) from None
+            if n < 1:
+                # Used to be silently clamped to 1 by max(); surface
+                # the mistake instead — ":0" is a typo, not a request.
+                raise FrameworkError(
+                    f"worker count must be >= 1 in backend {backend!r}"
+                )
+            return (ParallelBackend(workers=n) if base == "parallel"
+                    else DistributedBackend(workers=n))
     try:
         return BACKENDS[backend]()
     except KeyError:
@@ -93,6 +104,7 @@ __all__ = [
     "BACKEND_ENV",
     "BatchPolicy",
     "ColumnarBackend",
+    "DistributedBackend",
     "ENGINE_MARS",
     "ENGINE_SHARED",
     "ExecutionBackend",

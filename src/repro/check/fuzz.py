@@ -23,12 +23,23 @@ inputs, single records, one hot key, zero-output maps, and burst
 emitters sized to force mid-kernel collector flushes — because those
 are where boundary bugs live.
 
+``--chaos`` switches the executor set: each case runs on the
+distributed backend (``dist:2``, splits forced down to 64 bytes) under
+a *seeded* fault plan that kills one worker after a pseudorandom
+number of records, and must still be byte-identical to the fast
+backend — with exactly-once completion accounting read from the
+coordinator's event log.  Tiny cases may finish before the kill
+threshold; a fault that never fires is a valid draw (the differential
+check still ran under an armed plan).
+
 Run standalone::
 
     python -m repro.check.fuzz --cases 200 --seed 7
+    python -m repro.check.fuzz --chaos --cases 100 --seed 11
 
 Every case is derived from ``(seed, index)`` alone, so a failure
-report like ``case 137`` reproduces with ``--only 137``.
+report like ``case 137`` reproduces with ``--only 137`` (plus
+``--chaos`` if that's the mode that failed).
 """
 
 from __future__ import annotations
@@ -37,6 +48,7 @@ import argparse
 import os
 import random
 import sys
+from collections import Counter
 from dataclasses import dataclass
 
 from ..backend.fast import COLUMNAR_BATCH_ENV
@@ -258,8 +270,63 @@ def run_case(case: FuzzCase, config: DeviceConfig) -> str | None:
     return None
 
 
+def chaos_plan(seed: int, index: int, n_records: int):
+    """The per-case chaos ingredient: one seeded worker kill.
+
+    Derived from ``(seed, index)`` alone so ``--only`` reproduces the
+    exact plan.  The kill threshold scales with the case size so the
+    fault usually fires mid-run but sometimes legitimately never trips.
+    """
+    from ..dist import FaultPlan
+
+    return FaultPlan.seeded((seed << 20) ^ index ^ 0xC4A05, workers=2,
+                            max_records=max(4, 2 * n_records))
+
+
+def run_chaos_case(case: FuzzCase, config: DeviceConfig,
+                   seed: int) -> str | None:
+    """Run one case on dist:2 under a seeded worker kill; None = pass.
+
+    The distributed backend ships plain pairs (no partial combine), so
+    even with a worker dying mid-phase its output must be byte-identical
+    to the fast backend — and the coordinator's event log must show
+    exactly one accepted completion per (phase, shard).
+    """
+    from ..backend.distributed import DistributedBackend
+
+    spec = _make_spec(case.kind, case.io_ratio)
+    inp = build_input(case)
+    common = dict(mode=case.mode, strategy=case.strategy, config=config,
+                  threads_per_block=case.threads_per_block)
+    fast = run_job(spec, inp, backend="fast", **common)
+    want = normalised(reference_job(spec, inp, case.strategy))
+    if normalised(fast.output) != want:
+        return (f"fast output diverges from oracle "
+                f"({len(fast.output)} vs {len(want)} records)")
+    plan = chaos_plan(seed, case.index, case.n_records)
+    backend = DistributedBackend(workers=2, min_records=0, split_bytes=64,
+                                 fault_plan=plan)
+    dist = run_job(spec, inp, backend=backend, **common)
+    if dist.output != fast.output:
+        return (f"chaos dist output diverges from fast under "
+                f"{plan.describe()} ({len(dist.output)} vs "
+                f"{len(fast.output)} records)")
+    completes = Counter((e.phase, e.shard) for e in backend.last_events
+                        if e.kind == "complete")
+    bad = {k: n for k, n in completes.items() if n != 1}
+    if bad:
+        return f"shards completed != exactly once: {bad}"
+    assigned = {(e.phase, e.shard) for e in backend.last_events
+                if e.kind == "assign"}
+    if assigned != set(completes):
+        return (f"assigned/completed shard sets differ: "
+                f"{sorted(assigned ^ set(completes))}")
+    return None
+
+
 def run_fuzz(seed: int, cases: int, *, verbose: bool = False,
-             only: int | None = None) -> list[FuzzFailure]:
+             only: int | None = None,
+             chaos: bool = False) -> list[FuzzFailure]:
     """Run ``cases`` cases (or just ``only``); return the failures."""
     config = DeviceConfig.small(2)
     indices = [only] if only is not None else range(cases)
@@ -267,15 +334,17 @@ def run_fuzz(seed: int, cases: int, *, verbose: bool = False,
     for i in indices:
         case = draw_case(seed, i)
         try:
-            reason = run_case(case, config)
+            reason = (run_chaos_case(case, config, seed) if chaos
+                      else run_case(case, config))
         except Exception as exc:  # noqa: BLE001 — report, keep fuzzing
             reason = f"{type(exc).__name__}: {exc}"
         if reason is not None:
             failures.append(FuzzFailure(case, reason))
             # Cases derive from (seed, index) alone: the printed
             # command reproduces this exact failure in isolation.
+            flag = "--chaos " if chaos else ""
             print(f"FAIL {case.describe()}\n     {reason}\n     "
-                  f"repro: python -m repro.check.fuzz "
+                  f"repro: python -m repro.check.fuzz {flag}"
                   f"--seed {seed} --only {i}", file=sys.stderr)
         elif verbose:
             print(f"ok   {case.describe()}")
@@ -293,18 +362,23 @@ def main(argv: list[str] | None = None) -> int:
                     help="run seed; case i depends only on (seed, i)")
     ap.add_argument("--only", type=int, default=None,
                     help="re-run a single case index from this seed")
+    ap.add_argument("--chaos", action="store_true",
+                    help="run each case on dist:2 under a seeded worker "
+                         "kill instead of the standard executor set")
     ap.add_argument("--verbose", action="store_true",
                     help="print every passing case too")
     args = ap.parse_args(argv)
 
     failures = run_fuzz(args.seed, args.cases,
-                        verbose=args.verbose, only=args.only)
+                        verbose=args.verbose, only=args.only,
+                        chaos=args.chaos)
     ran = 1 if args.only is not None else args.cases
+    label = "chaos " if args.chaos else ""
     if failures:
-        print(f"fuzz: {len(failures)}/{ran} cases FAILED "
+        print(f"{label}fuzz: {len(failures)}/{ran} cases FAILED "
               f"(seed={args.seed})", file=sys.stderr)
         return 1
-    print(f"fuzz: {ran} cases passed (seed={args.seed})")
+    print(f"{label}fuzz: {ran} cases passed (seed={args.seed})")
     return 0
 
 

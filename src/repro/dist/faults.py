@@ -1,0 +1,135 @@
+"""Deterministic fault injection for the distributed backend.
+
+A :class:`FaultPlan` scripts what goes wrong during a job, so every
+failure mode the coordinator must survive — worker death mid-task,
+dropped connections, stragglers — is reproducible from tests instead
+of waiting for the network to misbehave.  Faults are carried to each
+worker at spawn time (plain data, fork-safe) and tripped by the
+worker itself:
+
+* ``kill``  — the worker calls ``os._exit`` after processing its
+  N-th record, killing the process mid-task (the hardest case: the
+  TCP socket tears, any spill runs are left half-written);
+* ``drop``  — the worker closes its coordinator connection after its
+  N-th record and exits cleanly (same observable loss, different
+  shutdown path);
+* ``delay`` — the worker sleeps before replying to a matching task,
+  turning it into a straggler the coordinator should speculatively
+  re-execute.
+
+``kill``/``drop`` thresholds count *cumulative* records processed by
+that worker across tasks and phases, so a single plan expresses
+"worker 1 dies after 40 records" regardless of task boundaries.
+:meth:`FaultPlan.seeded` derives one kill from a seed — the chaos
+fuzzer's per-case ingredient.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+#: Exit status a ``kill`` fault dies with (visible in worker reaping).
+KILL_EXIT = 73
+
+_KINDS = ("kill", "drop", "delay")
+
+
+@dataclass(frozen=True)
+class WorkerFault:
+    """One scripted misbehaviour of one worker."""
+
+    worker: int                 # worker index the fault applies to
+    kind: str                   # "kill" | "drop" | "delay"
+    after_records: int = 0      # kill/drop: cumulative records first
+    phase: str | None = None    # restrict to "map"/"reduce" (None: any)
+    shard: int | None = None    # delay: only this shard (None: every)
+    seconds: float = 0.0        # delay: sleep before replying
+
+    def __post_init__(self) -> None:
+        if self.kind not in _KINDS:
+            raise ValueError(f"unknown fault kind {self.kind!r}")
+
+    def to_wire(self) -> dict:
+        return {
+            "worker": self.worker, "kind": self.kind,
+            "after_records": self.after_records, "phase": self.phase,
+            "shard": self.shard, "seconds": self.seconds,
+        }
+
+    @classmethod
+    def from_wire(cls, doc: dict) -> "WorkerFault":
+        return cls(worker=doc["worker"], kind=doc["kind"],
+                   after_records=doc["after_records"], phase=doc["phase"],
+                   shard=doc["shard"], seconds=doc["seconds"])
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """An ordered set of scripted worker faults (composable with +)."""
+
+    faults: tuple[WorkerFault, ...] = ()
+
+    # -- constructors ---------------------------------------------------
+
+    @classmethod
+    def none(cls) -> "FaultPlan":
+        return cls()
+
+    @classmethod
+    def kill(cls, worker: int, after_records: int,
+             phase: str | None = None) -> "FaultPlan":
+        """Kill ``worker`` (``os._exit``) after it has processed
+        ``after_records`` records."""
+        return cls((WorkerFault(worker=worker, kind="kill",
+                                after_records=max(1, after_records),
+                                phase=phase),))
+
+    @classmethod
+    def drop(cls, worker: int, after_records: int,
+             phase: str | None = None) -> "FaultPlan":
+        """Make ``worker`` drop its coordinator connection after
+        ``after_records`` records and exit."""
+        return cls((WorkerFault(worker=worker, kind="drop",
+                                after_records=max(1, after_records),
+                                phase=phase),))
+
+    @classmethod
+    def delay(cls, worker: int, seconds: float, shard: int | None = None,
+              phase: str | None = None) -> "FaultPlan":
+        """Make ``worker`` sleep ``seconds`` before replying to the
+        matching task(s) — a scripted straggler."""
+        return cls((WorkerFault(worker=worker, kind="delay",
+                                seconds=seconds, shard=shard, phase=phase),))
+
+    @classmethod
+    def seeded(cls, seed: int, workers: int = 2,
+               max_records: int = 16) -> "FaultPlan":
+        """One pseudorandom kill, derived from ``seed`` alone.
+
+        The chaos fuzzer's per-case plan: kill a random worker after a
+        random (small) number of records.  Tiny cases may finish
+        before the threshold — a fault that never fires is a valid
+        draw; the differential check still ran under an armed plan.
+        """
+        rng = random.Random(seed)
+        return cls.kill(worker=rng.randrange(max(1, workers)),
+                        after_records=rng.randint(1, max(1, max_records)))
+
+    # -- composition and queries ---------------------------------------
+
+    def __add__(self, other: "FaultPlan") -> "FaultPlan":
+        if not isinstance(other, FaultPlan):
+            return NotImplemented
+        return FaultPlan(self.faults + other.faults)
+
+    def __bool__(self) -> bool:
+        return bool(self.faults)
+
+    def for_worker(self, worker: int) -> tuple[WorkerFault, ...]:
+        """The faults scripted for one worker index."""
+        return tuple(f for f in self.faults if f.worker == worker)
+
+    def describe(self) -> list[dict]:
+        """Plain-data rendering (golden fixtures, ledger, debugging)."""
+        return [f.to_wire() for f in self.faults]

@@ -1,0 +1,134 @@
+"""Length-prefixed JSON frames over a stream socket.
+
+The distributed backend's coordinator and workers speak a minimal
+message protocol: each frame is a 4-byte big-endian payload length
+followed by a UTF-8 JSON document.  ``bytes`` values (record keys and
+values, the only binary payload) are encoded as ``{"__b64__": ...}``
+wrappers and restored on decode, so messages round-trip arbitrary
+nested dict/list/str/int/float/bool/bytes structures — the subset the
+task and result messages use.
+
+Two consumption styles match the two sides of the connection:
+
+* workers block on one socket — :func:`recv_msg` reads exactly one
+  frame (raising :class:`ConnectionClosed` on a clean or torn EOF);
+* the coordinator multiplexes many sockets under ``selectors`` —
+  a per-connection :class:`FrameReader` is fed whatever bytes arrived
+  and yields only the complete frames buffered so far.
+
+JSON-with-base64 was chosen over a binary codec deliberately: the
+container ships no msgpack, frames stay printable for debugging, and
+the backend's contract is byte-identical *output*, not wire
+compactness (the honest single-host benchmark prices the overhead).
+"""
+
+from __future__ import annotations
+
+import base64
+import json
+import socket
+import struct
+from typing import Any, Iterator
+
+#: Sanity cap on a single frame (1 GiB): a corrupt length prefix
+#: should fail loudly, not attempt a giant allocation.
+MAX_FRAME = 1 << 30
+
+_HDR = struct.Struct(">I")
+
+
+class ConnectionClosed(Exception):
+    """The peer closed the connection (mid-frame or between frames)."""
+
+
+def _pack(obj: Any) -> Any:
+    if isinstance(obj, (bytes, bytearray, memoryview)):
+        return {"__b64__": base64.b64encode(bytes(obj)).decode("ascii")}
+    if isinstance(obj, (list, tuple)):
+        return [_pack(x) for x in obj]
+    if isinstance(obj, dict):
+        return {k: _pack(v) for k, v in obj.items()}
+    return obj
+
+
+def _unpack(obj: Any) -> Any:
+    if isinstance(obj, dict):
+        if len(obj) == 1 and "__b64__" in obj:
+            return base64.b64decode(obj["__b64__"])
+        return {k: _unpack(v) for k, v in obj.items()}
+    if isinstance(obj, list):
+        return [_unpack(x) for x in obj]
+    return obj
+
+
+def encode(msg: Any) -> bytes:
+    """One wire frame: length prefix + JSON payload."""
+    payload = json.dumps(_pack(msg), separators=(",", ":")).encode("utf-8")
+    if len(payload) > MAX_FRAME:
+        raise ValueError(f"frame too large: {len(payload)} bytes")
+    return _HDR.pack(len(payload)) + payload
+
+
+def decode(payload: bytes) -> Any:
+    """Inverse of the payload half of :func:`encode`."""
+    return _unpack(json.loads(payload.decode("utf-8")))
+
+
+def send_msg(sock: socket.socket, msg: Any) -> None:
+    """Send one message; propagates ``OSError`` on a dead peer."""
+    sock.sendall(encode(msg))
+
+
+def _recv_exact(sock: socket.socket, n: int) -> bytes:
+    buf = bytearray()
+    while len(buf) < n:
+        chunk = sock.recv(n - len(buf))
+        if not chunk:
+            raise ConnectionClosed(
+                f"peer closed with {n - len(buf)} bytes outstanding"
+            )
+        buf.extend(chunk)
+    return bytes(buf)
+
+
+def recv_msg(sock: socket.socket) -> Any:
+    """Block until one complete frame arrives; decode it."""
+    (length,) = _HDR.unpack(_recv_exact(sock, _HDR.size))
+    if length > MAX_FRAME:
+        raise ConnectionClosed(f"bad frame length {length}")
+    return decode(_recv_exact(sock, length))
+
+
+class FrameReader:
+    """Incremental frame decoder for a multiplexed (select) loop.
+
+    Feed it whatever ``recv`` returned; iterate :meth:`frames` for the
+    messages completed so far.  Partial frames stay buffered across
+    feeds, so the coordinator never blocks waiting for a slow writer.
+    """
+
+    __slots__ = ("_buf",)
+
+    def __init__(self) -> None:
+        self._buf = bytearray()
+
+    def feed(self, data: bytes) -> None:
+        self._buf.extend(data)
+
+    @property
+    def pending_bytes(self) -> int:
+        return len(self._buf)
+
+    def frames(self) -> Iterator[Any]:
+        while True:
+            if len(self._buf) < _HDR.size:
+                return
+            (length,) = _HDR.unpack(self._buf[: _HDR.size])
+            if length > MAX_FRAME:
+                raise ConnectionClosed(f"bad frame length {length}")
+            end = _HDR.size + length
+            if len(self._buf) < end:
+                return
+            payload = bytes(self._buf[_HDR.size:end])
+            del self._buf[:end]
+            yield decode(payload)

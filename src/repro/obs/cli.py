@@ -108,26 +108,28 @@ def main(argv: list[str] | None = None) -> int:
     p.add_argument("--mars", action="store_true",
                    help="run the Mars two-pass baseline instead")
     p.add_argument("--backend", default=None,
-                   choices=["sim", "fast", "parallel", "columnar"],
+                   choices=["sim", "fast", "parallel", "columnar", "dist"],
                    help="execution backend: 'sim' (cycle-accurate, "
                         "default), 'fast' (functional only — kernel "
                         "cycles read as zero), 'parallel' (fast, "
-                        "sharded over a process pool) or 'columnar' "
-                        "(fast with vectorized batch kernels); default "
-                        "honours $REPRO_BACKEND")
+                        "sharded over a process pool), 'columnar' "
+                        "(fast with vectorized batch kernels) or 'dist' "
+                        "(fast over socket-connected workers with fault "
+                        "tolerance); default honours $REPRO_BACKEND")
     p.add_argument("--columnar", action="store_true",
                    help="run the fast backend's vectorized columnar "
                         "path (same as --backend columnar or "
-                        "$REPRO_COLUMNAR=1; incompatible with the sim "
-                        "and parallel backends)")
+                        "$REPRO_COLUMNAR=1; incompatible with the sim, "
+                        "parallel and dist backends)")
     p.add_argument("--workers", type=int, default=None,
-                   help="worker processes for --backend parallel "
+                   help="worker processes for --backend parallel/dist "
                         "(default: $REPRO_WORKERS or the CPU count)")
     p.add_argument("--store", default=None, choices=["memory", "spill"],
-                   help="intermediate-store policy for the fast/parallel "
-                        "backends: 'memory' (unbounded dict, default) or "
-                        "'spill' (budgeted out-of-core shuffle); default "
-                        "honours $REPRO_STORE; ignored by the sim backend")
+                   help="intermediate-store policy for the fast/parallel"
+                        "/dist backends: 'memory' (unbounded dict, "
+                        "default) or 'spill' (budgeted out-of-core "
+                        "shuffle); default honours $REPRO_STORE; ignored "
+                        "by the sim backend")
     p.add_argument("--memory-budget", default=None, metavar="SIZE",
                    help="spill budget in bytes, k/m/g suffixes accepted "
                         "(e.g. 64k, 512M); needs --store spill; default "
@@ -164,13 +166,13 @@ def main(argv: list[str] | None = None) -> int:
     backend_name = (args.backend or os.environ.get("REPRO_BACKEND")
                     or "sim").strip().lower()
     if args.columnar:
-        if args.backend in ("sim", "parallel"):
+        if args.backend in ("sim", "parallel", "dist"):
             print("repro-trace: --columnar needs the fast backend "
                   "(--backend fast or columnar)", file=sys.stderr)
             raise SystemExit(2)
         backend = backend_name = "columnar"
-    if args.workers is not None and backend != "parallel":
-        print("repro-trace: --workers needs --backend parallel",
+    if args.workers is not None and backend not in ("parallel", "dist"):
+        print("repro-trace: --workers needs --backend parallel or dist",
               file=sys.stderr)
         raise SystemExit(2)
     if args.memory_budget is not None and args.store != "spill":
@@ -193,6 +195,13 @@ def main(argv: list[str] | None = None) -> int:
             # shard — the in-process fallback would yield no worker
             # telemetry.
             backend = ParallelBackend(workers=args.workers, min_records=0)
+        elif backend == "dist":
+            from ..backend import DistributedBackend
+
+            # Same reasoning: a traced dist run should actually cross
+            # the socket boundary, whatever the input size.
+            backend = DistributedBackend(workers=args.workers,
+                                         min_records=0)
         else:
             # Resolve eagerly so a bad $REPRO_BACKEND (parallel:0, a
             # typo'd name) or $REPRO_WORKERS exits 2 with the message,

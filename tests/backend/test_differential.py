@@ -21,12 +21,20 @@ with each workload's ``map_batch``/``reduce_batch`` kernels and
 per-batch scalar fallback everywhere else.  Non-float workloads must
 be byte-identical to the scalar fast run (records *and* order); the
 float workloads (KM, SS, LR) match under the usual float32 tolerance.
+
+The seventh and eighth executors are the distributed backend
+(``dist:2`` — coordinator + socket workers, GFS-style splits forced
+small so every case really schedules multiple tasks) and ``dist:2``
+with the spill store at the same tiny budget.  Dist ships plain pairs
+(no partial combine), so its contract is the strictest of all the
+multi-process executors: byte-identical to the fast backend for
+*every* workload, float BR folds included.
 """
 
 import pytest
 
 from repro.analysis.validation import outputs_match
-from repro.backend import FastBackend, ParallelBackend
+from repro.backend import DistributedBackend, FastBackend, ParallelBackend
 from repro.cpu_ref import reference_job
 from repro.framework import MemoryMode, ReduceStrategy, run_job
 from repro.gpu import DeviceConfig
@@ -44,6 +52,16 @@ WORKLOADS = [cls() for cls in (*ALL_WORKLOADS, *EXTRA_WORKLOADS)]
 #: Spill budget forced low enough that every differential case with a
 #: Reduce phase actually writes and merges runs.
 SPILL_BUDGET = 512
+
+#: Map-split size for the dist executors: small enough that every
+#: case cuts multiple tasks per worker (real scheduling, not one
+#: task per worker).
+DIST_SPLIT = 256
+
+
+def _dist_backend():
+    return DistributedBackend(workers=2, min_records=0,
+                              split_bytes=DIST_SPLIT)
 
 
 def _float_vals(code: str) -> bool:
@@ -127,6 +145,23 @@ def test_fast_matches_sim_and_oracle(workload, mode, strategy):
     if strategy is not None:
         assert col_spill.reduce_stats.extra.get("spill_runs", 0) > 0
 
+    # Distributed backend: plain pairs over the wire, first-result-wins
+    # dedupe — byte-identical to fast for every workload, no float
+    # tolerance anywhere.
+    dist = run_job(spec, inp, backend=_dist_backend(), **kwargs)
+    assert dist.output == fast.output
+    assert dist.intermediate_count == fast.intermediate_count
+    assert dist.mode == fast.mode and dist.strategy == fast.strategy
+
+    # Distributed + spill: worker-side run files merged coordinator-side
+    # must reproduce the fast spill run byte for byte.
+    dist_spill = run_job(spec, inp, backend=_dist_backend(),
+                         store="spill", memory_budget=SPILL_BUDGET,
+                         **kwargs)
+    assert dist_spill.output == fast.output
+    if strategy is not None:
+        assert dist_spill.reduce_stats.extra.get("spill_runs", 0) > 0
+
 
 class TestDegenerateInputs:
     """Backend parity on the inputs the fuzzer flagged as the risky
@@ -163,6 +198,11 @@ class TestDegenerateInputs:
         col_spill = run_job(spec, inp, backend=FastBackend(columnar=True),
                             store="spill", memory_budget=64, **kwargs)
         assert col_spill.output == fast.output
+        dist = run_job(spec, inp, backend=_dist_backend(), **kwargs)
+        assert dist.output == fast.output
+        dist_spill = run_job(spec, inp, backend=_dist_backend(),
+                             store="spill", memory_budget=64, **kwargs)
+        assert dist_spill.output == fast.output
         return sim, fast
 
     def test_empty_input(self):

@@ -102,8 +102,11 @@ class TestCheckReport:
 
 class TestJobIntegration:
     def test_clean_job_attaches_report(self):
+        # backend pinned: the sanitizer instruments the simulator, so
+        # this must not follow $REPRO_BACKEND to a functional backend.
         r = run_job(_spec(), _input(), mode=MemoryMode.SIO,
-                    strategy=ReduceStrategy.TR, config=CFG, check=True)
+                    strategy=ReduceStrategy.TR, config=CFG, check=True,
+                    backend="sim")
         rep = r.check_report
         assert rep is not None and rep.ok
         assert rep.counters.get("collector_reservations", 0) > 0
@@ -112,7 +115,8 @@ class TestJobIntegration:
     def test_env_var_enables_check(self, monkeypatch):
         monkeypatch.setenv(CHECK_ENV, "report")
         r = run_job(_spec(), _input(), mode=MemoryMode.G,
-                    strategy=ReduceStrategy.TR, config=CFG)
+                    strategy=ReduceStrategy.TR, config=CFG,
+                    backend="sim")
         assert r.check_report is not None and r.check_report.ok
 
     def test_check_off_means_no_report(self, monkeypatch):
@@ -129,6 +133,7 @@ class TestJobIntegration:
 
     def test_empty_input_is_legal(self):
         r = run_job(_spec(), KeyValueSet(), mode=MemoryMode.SIO,
-                    strategy=ReduceStrategy.TR, config=CFG, check=True)
+                    strategy=ReduceStrategy.TR, config=CFG, check=True,
+                    backend="sim")
         assert len(r.output) == 0
         assert r.check_report is not None and r.check_report.ok

@@ -1,0 +1,110 @@
+"""Wire protocol: frame codec round-trips and the incremental reader."""
+
+import socket
+
+import pytest
+
+from repro.dist.wire import (
+    MAX_FRAME,
+    ConnectionClosed,
+    FrameReader,
+    decode,
+    encode,
+    recv_msg,
+    send_msg,
+)
+
+
+class TestCodec:
+    def test_round_trip_scalars(self):
+        for msg in (None, True, 1, -7, 3.5, "hé", [], {}, [1, "a", None]):
+            assert decode(encode(msg)[4:]) == msg
+
+    def test_round_trip_bytes(self):
+        msg = {"k": b"\x00\xffbin", "nested": [b"", {"v": b"\x80"}]}
+        assert decode(encode(msg)[4:]) == msg
+
+    def test_round_trip_pairs_payload(self):
+        pairs = [[b"key1", b"\x01\x00"], [b"key2", b"\xfe"]]
+        out = decode(encode({"pairs": pairs})[4:])
+        assert out["pairs"] == pairs
+        assert all(isinstance(k, bytes) for k, _ in out["pairs"])
+
+    def test_tuple_encodes_as_list(self):
+        assert decode(encode((1, 2))[4:]) == [1, 2]
+
+    def test_memoryview_and_bytearray(self):
+        msg = [bytearray(b"ab"), memoryview(b"cd")]
+        assert decode(encode(msg)[4:]) == [b"ab", b"cd"]
+
+    def test_length_prefix(self):
+        frame = encode({"a": 1})
+        length = int.from_bytes(frame[:4], "big")
+        assert length == len(frame) - 4
+
+
+class TestFrameReader:
+    def test_split_feeds(self):
+        """Frames arriving one byte at a time still decode exactly."""
+        frames = [encode({"n": i, "b": bytes([i])}) for i in range(3)]
+        blob = b"".join(frames)
+        r = FrameReader()
+        got = []
+        for i in range(len(blob)):
+            r.feed(blob[i:i + 1])
+            got.extend(r.frames())
+        assert got == [{"n": i, "b": bytes([i])} for i in range(3)]
+        assert r.pending_bytes == 0
+
+    def test_many_frames_one_feed(self):
+        r = FrameReader()
+        r.feed(b"".join(encode(i) for i in range(10)))
+        assert list(r.frames()) == list(range(10))
+
+    def test_partial_frame_stays_buffered(self):
+        r = FrameReader()
+        frame = encode({"x": "y"})
+        r.feed(frame[:-1])
+        assert list(r.frames()) == []
+        assert r.pending_bytes == len(frame) - 1
+        r.feed(frame[-1:])
+        assert list(r.frames()) == [{"x": "y"}]
+
+    def test_bad_length_raises(self):
+        r = FrameReader()
+        r.feed((MAX_FRAME + 1).to_bytes(4, "big"))
+        with pytest.raises(ConnectionClosed):
+            list(r.frames())
+
+
+class TestSocketRoundTrip:
+    def test_send_recv(self):
+        a, b = socket.socketpair()
+        try:
+            send_msg(a, {"hello": b"world"})
+            send_msg(a, [1, 2])
+            assert recv_msg(b) == {"hello": b"world"}
+            assert recv_msg(b) == [1, 2]
+        finally:
+            a.close()
+            b.close()
+
+    def test_eof_mid_frame_raises(self):
+        a, b = socket.socketpair()
+        try:
+            frame = encode({"x": 1})
+            a.sendall(frame[:3])
+            a.close()
+            with pytest.raises(ConnectionClosed):
+                recv_msg(b)
+        finally:
+            b.close()
+
+    def test_clean_eof_raises(self):
+        a, b = socket.socketpair()
+        a.close()
+        try:
+            with pytest.raises(ConnectionClosed):
+                recv_msg(b)
+        finally:
+            b.close()

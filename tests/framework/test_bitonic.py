@@ -111,10 +111,12 @@ class TestShuffleIntegration:
         inp = KeyValueSet([(b"aa bb cc aa", struct.pack("<I", i))
                            for i in range(40)])
         cfg = DeviceConfig.small(2)
+        # backend pinned: the shuffle-cycle comparison below is the
+        # simulator's contract (functional backends report zero cycles).
         a = run_job(spec, inp, mode=MemoryMode.G, strategy=ReduceStrategy.TR,
-                    config=cfg, shuffle_method="sort")
+                    config=cfg, shuffle_method="sort", backend="sim")
         b = run_job(spec, inp, mode=MemoryMode.G, strategy=ReduceStrategy.TR,
-                    config=cfg, shuffle_method="bitonic")
+                    config=cfg, shuffle_method="bitonic", backend="sim")
         assert normalised(a.output) == normalised(b.output)
         assert b.timings.shuffle > 0
         assert b.timings.shuffle != a.timings.shuffle

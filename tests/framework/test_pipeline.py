@@ -113,7 +113,8 @@ class TestIterativeJob:
         """Each IterationTrace carries the iteration's full per-phase
         breakdown, not just the total (phase-level convergence traces)."""
         _, inp, init = km_problem()
-        res = make_job().run(inp, init, max_iterations=3)
+        # backend pinned: per-phase cycle counts are the simulator's.
+        res = make_job(backend="sim").run(inp, init, max_iterations=3)
         for t in res.iterations:
             assert t.timings.total == pytest.approx(t.cycles)
             phases = t.phase_dict()

@@ -72,9 +72,10 @@ class TestStreamedJob:
         assert normalised(streamed.job.output) == ref
 
     def test_batch_traces_recorded(self):
+        # backend pinned: per-batch upload/map cycles are sim-only.
         spec = MapReduceSpec(name="dup", map_record=dup_map)
         streamed = run_streamed_job(spec, make_input(100), n_batches=4,
-                                    config=CFG)
+                                    config=CFG, backend="sim")
         assert len(streamed.batches) == 4
         assert sum(b.records for b in streamed.batches) == 100
         assert all(b.upload_cycles > 0 and b.map_cycles > 0
@@ -84,7 +85,7 @@ class TestStreamedJob:
         """Double buffering hides the smaller of (map, next upload)."""
         spec = MapReduceSpec(name="dup", map_record=dup_map)
         streamed = run_streamed_job(spec, make_input(400), n_batches=4,
-                                    config=CFG)
+                                    config=CFG, backend="sim")
         assert streamed.pipelined_map_io < streamed.serial_map_io
         assert streamed.overlap_saving > 0
 

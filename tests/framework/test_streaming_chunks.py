@@ -66,10 +66,12 @@ class TestStreamedEquivalence:
     def test_non_dividing_chunks_conserve_records(self, n, n_batches):
         spec, inp = _spec(), _input(n)
         want = normalised(reference_job(spec, inp, ReduceStrategy.TR))
+        # backend pinned: the check_report comes from the simulator's
+        # sanitizer, which functional backends don't run.
         res = run_streamed_job(spec, inp, n_batches=n_batches,
                                mode=MemoryMode.SIO,
                                strategy=ReduceStrategy.TR, config=CFG,
-                               check=True)
+                               check=True, backend="sim")
         assert normalised(res.job.output) == want
         assert sum(b.records for b in res.batches) == n
         assert res.job.check_report is not None and res.job.check_report.ok
@@ -77,7 +79,8 @@ class TestStreamedEquivalence:
     def test_map_only_streaming_conserves_records(self):
         spec, inp = _spec(), _input(10)
         res = run_streamed_job(spec, inp, n_batches=3, mode=MemoryMode.SIO,
-                               strategy=None, config=CFG, check=True)
+                               strategy=None, config=CFG, check=True,
+                               backend="sim")
         assert normalised(res.job.output) == normalised(
             reference_job(spec, inp, None))
         assert res.job.check_report.ok

@@ -20,6 +20,7 @@ import pytest
 
 ROOT = Path(__file__).resolve().parent.parent.parent
 FIXTURE = Path(__file__).resolve().parent / "wordcount_small.json"
+DIST_FIXTURE = Path(__file__).resolve().parent / "dist_wordcount_small.json"
 
 _spec = importlib.util.spec_from_file_location(
     "gen_golden_traces", ROOT / "scripts" / "gen_golden_traces.py")
@@ -49,6 +50,46 @@ def test_all_modes_pinned(golden):
 
 def test_input_identical(golden, current):
     assert current["input_records"] == golden["input_records"]
+
+
+class TestDistSchedule:
+    """The distributed scheduler's decisions are part of the API too:
+    ``dist_wordcount_small.json`` pins every assignment, the scripted
+    worker death and the retry target for a deterministic fault-
+    injected run.  A scheduler change that moves a task shows up as a
+    precise event diff, not as an unexplained flake."""
+
+    @pytest.fixture(scope="class")
+    def dist_golden(self) -> dict:
+        with open(DIST_FIXTURE, encoding="utf-8") as fh:
+            return json.load(fh)
+
+    @pytest.fixture(scope="class")
+    def dist_current(self) -> dict:
+        return gen.collect_dist_golden()
+
+    def test_fixture_matches_pinned_workload(self, dist_golden):
+        want = dict(gen.DIST_WORKLOAD)
+        got = dict(dist_golden["workload"])
+        got.pop("fault", None)
+        assert got == want
+
+    def test_schedule_events_unchanged(self, dist_golden, dist_current):
+        assert dist_current["events"] == dist_golden["events"], (
+            "dist scheduling decisions drifted — if intended, "
+            "regenerate the fixture with scripts/gen_golden_traces.py "
+            "and review the diff")
+
+    def test_counters_unchanged(self, dist_golden, dist_current):
+        assert dist_current["counters"] == dist_golden["counters"]
+
+    def test_result_shape_unchanged(self, dist_golden, dist_current):
+        assert (dist_current["input_records"]
+                == dist_golden["input_records"])
+        assert (dist_current["output_records"]
+                == dist_golden["output_records"])
+        assert (dist_current["intermediate_count"]
+                == dist_golden["intermediate_count"])
 
 
 @pytest.mark.parametrize("mode", ["G", "GT", "SI", "SO", "SIO", "Mars"])

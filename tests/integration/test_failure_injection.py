@@ -29,6 +29,15 @@ from repro.gpu import Device, DeviceConfig
 CFG = DeviceConfig.small(2)
 
 
+@pytest.fixture(autouse=True)
+def _always_simulate(monkeypatch):
+    """These tests assert the *simulator's* fault surface (KernelFault
+    from warp execution, capacity/launch edges); a $REPRO_BACKEND
+    override to a functional backend would test a different error
+    path, so the whole module pins the default sim backend."""
+    monkeypatch.delenv("REPRO_BACKEND", raising=False)
+
+
 def make_input(n=60):
     return KeyValueSet(
         [(f"rec{i:03d}".encode(), struct.pack("<I", i)) for i in range(n)]

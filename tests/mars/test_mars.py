@@ -151,9 +151,10 @@ class TestEndToEnd:
                          strategy=ReduceStrategy.BR, config=CFG)
 
     def test_phase_breakdown(self):
+        # backend pinned: kernel cycle counts are the simulator's.
         res = run_mars_job(make_spec(), make_input(),
                            strategy=ReduceStrategy.TR, config=CFG,
-                           threads_per_block=64)
+                           threads_per_block=64, backend="sim")
         t = res.timings
         assert t.io_in > 0 and t.map > 0 and t.shuffle > 0 and t.reduce > 0
 

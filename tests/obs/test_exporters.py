@@ -13,12 +13,14 @@ VALID_PH = {"X", "i", "M"}
 
 
 def traced_job():
+    # backend pinned: these tests assert device-lane spans (poll_wait,
+    # flush_done) that only the simulator emits.
     wc = WordCount()
     inp = wc.generate("small", seed=0)
     tr = Tracer()
     res = run_job(wc.spec(), inp, mode=MemoryMode.SIO,
                   strategy=ReduceStrategy.TR,
-                  config=DeviceConfig.small(1), tracer=tr)
+                  config=DeviceConfig.small(1), tracer=tr, backend="sim")
     return tr, res
 
 

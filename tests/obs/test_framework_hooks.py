@@ -19,10 +19,11 @@ def wc_input():
 
 class TestMarsTracing:
     def test_two_pass_kernels_become_spans(self):
+        # backend pinned: the two-pass kernel span tree is sim-only.
         spec, inp = wc_input()
         tr = Tracer(kernel_detail=False)
         run_mars_job(spec, inp, strategy=ReduceStrategy.TR,
-                     config=CFG, tracer=tr)
+                     config=CFG, tracer=tr, backend="sim")
         root = tr.roots[0]
         assert root.name == "job:wordcount"
         assert root.attrs["mode"] == "Mars"
@@ -51,7 +52,7 @@ class TestStreamedTracing:
         res = run_streamed_job(spec, inp, n_batches=3, overlap=True,
                                mode=MemoryMode.SIO,
                                strategy=ReduceStrategy.TR,
-                               config=CFG, tracer=tr)
+                               config=CFG, tracer=tr, backend="sim")
         root = tr.roots[0]
         stream = root.children[0]
         assert stream.name == "map_stream"

@@ -93,11 +93,13 @@ class TestAbsorbKernelStats:
 class TestJobRegistry:
     @pytest.fixture(scope="class")
     def result(self):
+        # backend pinned: derived gauges (bandwidth utilisation,
+        # occupancy, stall fractions) come from sim kernel counters.
         wc = WordCount()
         inp = wc.generate("small", seed=0)
         return run_job(wc.spec(), inp, mode=MemoryMode.SIO,
                        strategy=ReduceStrategy.TR,
-                       config=DeviceConfig.small(1))
+                       config=DeviceConfig.small(1), backend="sim")
 
     def test_expected_namespaces(self, result):
         reg = job_metrics_registry(result, DeviceConfig.small(1))
