@@ -391,26 +391,28 @@ class DistributedBackend(ExecutionBackend):
                 )
 
         lazy = isinstance(grouped, StoreGroups)
+        n_groups = n_values = 0
         if lazy:
-            # A merge stream has unknown length: consume it in
-            # contiguous fixed-size chunks (chunk order = sorted key
-            # order).  The chunks must materialise to cross the wire —
-            # bounded per task, not per job.
-            groups = None
-            tasks = []
-            it = iter(grouped)
-            while True:
-                chunk = []
-                for key, values in it:
+            # A merge stream has unknown length: cut it into contiguous
+            # fixed-size chunks (chunk order = sorted key order) that
+            # the cluster pulls one at a time as workers come free, so
+            # the grouped intermediate is materialised per in-flight
+            # task, never per job — the out-of-core store stays
+            # out-of-core end to end.  Group/value totals are read back
+            # from the accepted task profiles afterwards.
+            def chunked():
+                shard = 0
+                chunk: list = []
+                for key, values in grouped:
                     chunk.append([key, list(values)])
                     if len(chunk) >= STREAM_REDUCE_BATCH:
-                        break
-                if not chunk:
-                    break
-                tasks.append((len(tasks), {"groups": chunk}))
-            n_groups = sum(len(p["groups"]) for _, p in tasks)
-            n_values = sum(len(vs) for _, p in tasks
-                           for _, vs in p["groups"])
+                        yield shard, {"groups": chunk}
+                        shard += 1
+                        chunk = []
+                if chunk:
+                    yield shard, {"groups": chunk}
+
+            tasks: Any = chunked()
         else:
             groups = (grouped.groups if hasattr(grouped, "groups")
                       else grouped)
@@ -425,29 +427,29 @@ class DistributedBackend(ExecutionBackend):
                     shard_slices(n_groups, n_ranges))
             ]
 
-        if not tasks:
-            out = KeyValueSet()
-            stats = self._phase_stats(ctx, cluster, dict(cluster.counters),
-                                      records_in=0, records_out=0, tasks=0)
-            tr.kernel("reduce_kernel", stats)
-            return out, stats
-
         before = dict(cluster.counters)
         results = cluster.run_phase("reduce", tasks)
-        self._record_profiles(ctx, tr, results, len(tasks), "reduce")
+        n_tasks = len(results)
+        self._record_profiles(ctx, tr, results, n_tasks, "reduce")
+        if lazy:
+            n_groups = sum(r["profile"]["distinct_keys"]
+                           for r in results.values())
+            n_values = sum(r["profile"]["records_in"]
+                           for r in results.values())
 
         out = KeyValueSet()
         append = out.append_unchecked
-        for s in range(len(tasks)):  # range order = sorted key order
+        for s in range(n_tasks):  # range order = sorted key order
             for k, v in results[s]["pairs"]:
                 append(k, v)
         stats = self._phase_stats(ctx, cluster, before,
                                   records_in=n_values,
-                                  records_out=len(out), tasks=len(tasks))
-        stats.count("dist_groups", n_groups)
-        if lazy and grouped.stats is not None:
-            for name, v in grouped.stats.as_extra().items():
-                stats.count(name, v)
+                                  records_out=len(out), tasks=n_tasks)
+        if n_tasks:
+            stats.count("dist_groups", n_groups)
+            if lazy and grouped.stats is not None:
+                for name, v in grouped.stats.as_extra().items():
+                    stats.count(name, v)
         tr.kernel("reduce_kernel", stats)
         return out, stats
 

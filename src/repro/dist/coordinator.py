@@ -19,11 +19,14 @@ localhost TCP and drives them through the MapReduce master loop:
   completed-task duration (floored at ``min_straggle_s``) is
   speculatively duplicated on an idle worker, the paper-lineage
   MapReduce backup-task trick;
-* **dedupe** — results are accepted first-come per ``(phase, shard)``;
-  late twins (speculation losers, slow replies from a phase already
-  finished) are recorded as ``duplicate`` events and dropped, which
-  is what keeps retried/speculated runs byte-identical to a faultless
-  one.
+* **dedupe** — every phase runs under a monotonically increasing
+  *epoch*; task frames carry it and workers echo it back, so a reply
+  is accepted only when its epoch matches the running phase and its
+  shard is still open.  Late twins (speculation losers, slow replies
+  from a phase — even a same-named one in a later streamed batch —
+  that already finished) are recorded as ``duplicate`` events and
+  dropped, which is what keeps retried/speculated runs byte-identical
+  to a faultless one.
 
 Scheduling is dynamic by default (first idle worker wins — fastest on
 a real machine, but completion order races).  ``deterministic=True``
@@ -105,6 +108,7 @@ class _Task:
     shard: int
     attempt: int
     payload: dict
+    epoch: int = 0
 
 
 class _WorkerHandle:
@@ -155,6 +159,14 @@ class Cluster:
         self._next_idx = workers
         self._started = False
         self._closed = False
+        #: Current phase epoch; bumped at every :meth:`run_phase` so
+        #: stale replies from an earlier phase can never be mistaken
+        #: for this one's (same-named phases included).
+        self._epoch = 0
+        #: Dispatch counter: every task send gets a unique token, so
+        #: twin attempts of one (shard, attempt) never share worker-
+        #: side spill file names.
+        self._seq = 0
 
     # -- lifecycle -------------------------------------------------------
 
@@ -256,22 +268,46 @@ class Cluster:
 
     # -- the phase loop --------------------------------------------------
 
-    def run_phase(self, phase: str,
-                  tasks: list[tuple[int, dict]]) -> dict[int, dict]:
+    def run_phase(self, phase: str, tasks) -> dict[int, dict]:
         """Drive one phase's tasks to completion; returns the accepted
         result message per shard (exactly one, whatever faults fired).
+
+        ``tasks`` is any iterable of ``(shard, payload)``.  A lazy
+        iterator is pulled from only as workers come free, so a
+        streamed task source (the out-of-core reduce) is materialised
+        one in-flight payload at a time, never wholesale.
         """
         if self._closed:
             raise FrameworkError("cluster is shut down")
-        pending: deque[_Task] = deque(
-            _Task(phase, shard, 0, payload) for shard, payload in tasks
-        )
+        self._epoch += 1
+        epoch = self._epoch
+        it = iter(tasks)
+        pending: deque[_Task] = deque()
         done: dict[int, dict] = {}
-        n = len(tasks)
+        total = 0
+        exhausted = False
         durations: list[float] = []
         speculated: set[int] = set()
-        while len(done) < n:
-            self._ensure_workers(phase, done, n)
+
+        def pull() -> None:
+            # Buffer just enough tasks to feed every idle worker.
+            nonlocal total, exhausted
+            if exhausted:
+                return
+            want = max(1, sum(1 for h in self._alive() if h.task is None))
+            while len(pending) < want:
+                try:
+                    shard, payload = next(it)
+                except StopIteration:
+                    exhausted = True
+                    return
+                pending.append(_Task(phase, shard, 0, payload, epoch))
+                total += 1
+
+        pull()
+        while not (exhausted and not pending and len(done) >= total):
+            self._ensure_workers(phase, not exhausted or len(done) < total)
+            pull()
             self._assign(pending, done)
             events = self._selector.select(_TICK_S)
             for key, _mask in events:
@@ -285,12 +321,12 @@ class Cluster:
     def _alive(self) -> list[_WorkerHandle]:
         return [h for h in self._handles.values() if h.alive]
 
-    def _ensure_workers(self, phase: str, done: dict, n: int) -> None:
+    def _ensure_workers(self, phase: str, needed: bool) -> None:
         """Respawn a replacement when the whole worker set has died
         with work outstanding.  Replacements get fresh indices, so a
         cumulative-record fault scripted for a dead index stays dead
         with it."""
-        if len(done) >= n or self._alive():
+        if not needed or self._alive():
             return
         idx = self._next_idx
         self._next_idx += 1
@@ -334,7 +370,9 @@ class Cluster:
         self.events.append(
             DistEvent("assign", t.phase, t.shard, t.attempt, h.idx)
         )
-        msg = {"type": t.phase, "shard": t.shard, "attempt": t.attempt}
+        self._seq += 1
+        msg = {"type": t.phase, "shard": t.shard, "attempt": t.attempt,
+               "epoch": t.epoch, "seq": self._seq}
         msg.update(t.payload)
         try:
             send_msg(h.sock, msg)
@@ -359,34 +397,39 @@ class Cluster:
     def _on_message(self, h: _WorkerHandle, msg: dict, phase: str,
                     done: dict, durations: list[float]) -> None:
         kind = msg.get("type")
-        if kind == "error":
-            raise FrameworkError(
-                f"worker {h.idx} failed {msg.get('phase')} shard "
-                f"{msg.get('shard')}: {msg.get('message')}"
-            )
-        if kind != "result":
+        if kind not in ("result", "error"):
             raise FrameworkError(
                 f"unexpected frame from worker {h.idx}: {kind!r}"
             )
-        shard, attempt = msg["shard"], msg["attempt"]
-        msg_phase = msg["phase"]
-        # Free the worker first: whatever the verdict on the result,
+        shard, attempt = msg.get("shard", -1), msg.get("attempt", -1)
+        msg_phase = msg.get("phase")
+        epoch = msg.get("epoch", -1)
+        # Free the worker first: whatever the verdict on the reply,
         # the worker is idle again once it has replied.
         if (h.task is not None and h.task.shard == shard
-                and h.task.phase == msg_phase):
+                and h.task.phase == msg_phase and h.task.epoch == epoch):
             elapsed = time.perf_counter() - h.started
             h.task = None
         else:
             elapsed = None
-        if msg_phase != phase or shard in done:
-            # A speculation loser, a retry twin, or a slow reply from
-            # a phase that already completed: exactly-once means it
-            # must be dropped, not merged.
+        if epoch != self._epoch or msg_phase != phase or shard in done:
+            # A speculation loser, a retry twin, or a stale reply from
+            # a phase that already completed (the epoch is what tells a
+            # later same-named phase — streamed batches renumber shards
+            # from 0 — apart from the one this reply belongs to):
+            # exactly-once means it must be dropped, not merged.  A
+            # stale *error* is dropped too: the work it reports on is
+            # no longer owned by any phase.
             self.counters["duplicates"] += 1
             self.events.append(
                 DistEvent("duplicate", msg_phase, shard, attempt, h.idx)
             )
             return
+        if kind == "error":
+            raise FrameworkError(
+                f"worker {h.idx} failed {msg_phase} shard "
+                f"{shard}: {msg.get('message')}"
+            )
         done[shard] = msg
         if elapsed is not None:
             durations.append(elapsed)
@@ -418,7 +461,9 @@ class Cluster:
             t.attempt if t is not None else -1,
             h.idx,
         ))
-        if t is None or t.phase != phase or t.shard in done:
+        if t is None or t.epoch != self._epoch or t.shard in done:
+            # No task, or a task from a phase that already returned:
+            # never re-queue a stale payload into the current phase.
             return
         nxt = t.attempt + 1
         if nxt >= self.max_attempts:
@@ -430,7 +475,7 @@ class Cluster:
         self.events.append(
             DistEvent("retry", phase, t.shard, nxt, h.idx)
         )
-        pending.append(_Task(phase, t.shard, nxt, t.payload))
+        pending.append(_Task(phase, t.shard, nxt, t.payload, t.epoch))
 
     def _check_stragglers(self, phase: str, pending: deque, done: dict,
                           durations: list[float],
@@ -438,9 +483,12 @@ class Cluster:
         """Speculatively duplicate any in-flight task that has outlived
         the straggler threshold, MapReduce backup-task style."""
         busy = [h for h in self._alive()
-                if h.task is not None and h.task.phase == phase
+                if h.task is not None and h.task.epoch == self._epoch
                 and h.task.shard not in done
-                and h.task.shard not in speculated]
+                and h.task.shard not in speculated
+                # A backup copy runs as attempt+1; keep the configured
+                # attempt ceiling uniform between retry and speculation.
+                and h.task.attempt + 1 < self.max_attempts]
         if not busy:
             return
         threshold = self.min_straggle_s
@@ -464,6 +512,8 @@ class Cluster:
                           target.idx)
             )
             speculated.add(t.shard)
-            self._dispatch(target,
-                           _Task(phase, t.shard, t.attempt + 1, t.payload),
-                           pending, done)
+            self._dispatch(
+                target,
+                _Task(phase, t.shard, t.attempt + 1, t.payload, t.epoch),
+                pending, done,
+            )

@@ -173,16 +173,20 @@ def _run_map(msg: dict, state: _FaultState) -> dict:
     const = _accessor(spec.const_bytes) if spec.const_bytes else None
     map_record = spec.map_record
     reply = {"type": "result", "phase": "map", "shard": shard,
-             "attempt": attempt}
+             "attempt": attempt, "epoch": msg.get("epoch")}
 
     spill = msg.get("spill")
     if spill is not None:
         run_dir, budget = spill
-        # Attempt-scoped run prefix: a killed attempt's partial files
-        # can never collide with (or be merged as) the retry's runs.
-        store = SpillStore(budget, spill_dir=run_dir,
-                           prefix=f"s{shard:04d}a{attempt:02d}",
-                           own_dir=False)
+        # Dispatch-scoped run prefix: the coordinator's seq token is
+        # unique per task send, so a killed attempt's partial files —
+        # or a twin's (a speculated copy and a death-requeued retry
+        # can share (shard, attempt)) — can never collide with, or be
+        # merged as, the accepted execution's runs.
+        store = SpillStore(
+            budget, spill_dir=run_dir,
+            prefix=f"s{shard:04d}a{attempt:02d}d{msg.get('seq', 0):06d}",
+            own_dir=False)
         emit = _store_emit(store)
         if state.trips:
             for k, v in pairs:
@@ -263,7 +267,7 @@ def _run_reduce(msg: dict, state: _FaultState) -> dict:
 
     return {
         "type": "result", "phase": "reduce", "shard": shard,
-        "attempt": attempt, "pairs": out,
+        "attempt": attempt, "epoch": msg.get("epoch"), "pairs": out,
         "profile": _profile(t0, n_values, len(out), len(groups)),
     }
 
@@ -294,7 +298,7 @@ def worker_main(port: int, worker_id: int,
             if kind not in ("map", "reduce"):
                 send_msg(sock, {"type": "error", "shard": msg.get("shard"),
                                 "attempt": msg.get("attempt"),
-                                "phase": kind,
+                                "phase": kind, "epoch": msg.get("epoch"),
                                 "message": f"unknown task type {kind!r}"})
                 continue
             try:
@@ -307,6 +311,7 @@ def worker_main(port: int, worker_id: int,
                 reply = {"type": "error", "phase": kind,
                          "shard": msg.get("shard"),
                          "attempt": msg.get("attempt"),
+                         "epoch": msg.get("epoch"),
                          "message": f"{type(exc).__name__}: {exc}"}
             pause = state.delay_for(kind, msg.get("shard"))
             if pause > 0:

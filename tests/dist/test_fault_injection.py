@@ -37,6 +37,15 @@ KWARGS = dict(mode=MemoryMode.SIO, strategy=ReduceStrategy.TR, config=CFG,
 FAST = run_job(SPEC, INP, backend="fast", **KWARGS)
 
 
+def _ident_spec():
+    from repro.framework.api import MapReduceSpec
+
+    def ident(key, value, emit, const):
+        emit(key.to_bytes(), value.to_bytes())
+
+    return MapReduceSpec(name="ident", map_record=ident)
+
+
 def _run_dist(plan, *, split_bytes=512, deterministic=False,
               min_straggle_s=None, **extra):
     backend = DistributedBackend(
@@ -161,6 +170,74 @@ def test_seeded_chaos_plans_byte_identical():
                                                      max_records=64))
         assert result.output == FAST.output, f"seed {seed} diverged"
         _assert_exactly_once(backend.last_events)
+
+
+def test_stale_reply_from_prior_phase_is_dropped():
+    """A speculation loser can still be executing when ``run_phase``
+    returns.  In a streamed job the next batch's map phase has the
+    same name and renumbers shards from 0 — only the epoch fence keeps
+    the loser's late reply (old payload!) from being accepted as the
+    new phase's shard result."""
+    from repro.dist.coordinator import Cluster
+
+    # deterministic placement: shard 0 attempt 0 -> worker 0, which is
+    # scripted to sit on every map reply for 0.6s.
+    cluster = Cluster(2, FaultPlan.delay(0, 0.6, phase="map"),
+                      deterministic=True, min_straggle_s=0.1)
+    cluster.start(_ident_spec(), None, False)
+    try:
+        r1 = cluster.run_phase("map", [(0, {"pairs": [[b"k1", b"v1"]]})])
+        # The backup copy on worker 1 won; worker 0 is still sleeping
+        # on the phase-1 task when the next phase starts.
+        assert cluster.counters["speculated"] == 1
+        r2 = cluster.run_phase("map", [(0, {"pairs": [[b"k2", b"v2"]]})])
+    finally:
+        cluster.shutdown()
+    # Each phase accepted exactly its own shard 0, and phase 2's holds
+    # phase 2's payload, not the stale one.
+    assert set(r1) == {0} and set(r2) == {0}
+    assert [tuple(p) for p in r1[0]["pairs"]] == [(b"k1", b"v1")]
+    assert [tuple(p) for p in r2[0]["pairs"]] == [(b"k2", b"v2")]
+    # The phase-1 loser's late reply surfaced as a duplicate, never
+    # merged into phase 2.
+    assert cluster.counters["duplicates"] >= 1
+    dup = [e for e in cluster.events if e.kind == "duplicate"]
+    assert dup, "the stale reply was never seen as a duplicate"
+
+
+def test_speculation_respects_max_attempts():
+    """The backup copy runs as attempt+1, so with the ceiling at 1 a
+    straggler must never be speculated — it just finishes late."""
+    from repro.dist.coordinator import Cluster
+
+    cluster = Cluster(2, FaultPlan.delay(0, 0.4, phase="map"),
+                      deterministic=True, min_straggle_s=0.05,
+                      max_attempts=1)
+    cluster.start(_ident_spec(), None, False)
+    try:
+        r = cluster.run_phase("map", [(0, {"pairs": [[b"k", b"v"]]})])
+    finally:
+        cluster.shutdown()
+    assert [tuple(p) for p in r[0]["pairs"]] == [(b"k", b"v")]
+    assert cluster.counters["speculated"] == 0
+
+
+def test_twin_attempt_spill_runs_never_collide(tmp_path):
+    """A speculated copy and a death-requeued retry can share
+    (shard, attempt); the coordinator's per-dispatch seq token keeps
+    their spill run files apart, so the loser's writes can never
+    corrupt the accepted attempt's runs."""
+    from repro.dist import worker as W
+
+    W.configure(SPEC, None, False)
+    base = {"shard": 0, "attempt": 1, "epoch": 1,
+            "pairs": [[k, v] for k, v in zip(INP.keys, INP.values)],
+            "spill": [str(tmp_path), 64]}
+    r1 = W._run_map(dict(base, seq=7), W._FaultState(()))
+    r2 = W._run_map(dict(base, seq=8), W._FaultState(()))
+    runs1, runs2 = set(r1["spilled"]["runs"]), set(r2["spilled"]["runs"])
+    assert runs1 and runs2, "the tiny budget should have forced runs"
+    assert not runs1 & runs2, "twin attempts shared spill file names"
 
 
 def test_shard_exhausting_attempts_fails_loudly():
