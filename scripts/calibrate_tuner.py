@@ -1,0 +1,272 @@
+#!/usr/bin/env python
+"""Factory calibration for the tuner's cost constants.
+
+Measures per-phase simulated cycles over the eight shipped workloads
+plus the five synthetic tuner shapes (modes x strategies at the
+default block size, plus a block-size sweep on a subset), extracts the
+same :class:`~repro.tune.profiler.InputStats` features the runtime
+model sees, and fits the :class:`~repro.tune.cost.CostConstants`
+rates: non-negative least squares for the per-phase coefficients, a
+small grid search for the block-size sensitivity constants.  Prints
+the fitted constants as Python source (paste into
+``repro/tune/cost.py``) and the per-case decision quality
+(predicted-best vs. measured-best, the <=10% acceptance bar).
+
+Run with ``python scripts/calibrate_tuner.py``.  Takes several
+minutes: it is the factory half of the calibration protocol
+(docs/PERFORMANCE.md); the runtime half refines these from the run
+ledger without any simulation.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+os.environ.setdefault("REPRO_LEDGER", "0")
+
+import numpy as np
+
+from repro.framework.job import run_job
+from repro.framework.modes import ALL_MODES, MemoryMode, ReduceStrategy, \
+    effective_reduce_mode
+from repro.gpu.config import DeviceConfig
+from repro.tune.cost import Candidate, CostConstants, estimate_cycles, \
+    stage_overflow
+from repro.tune.profiler import profile_input
+from repro.tune.synthetic import SYNTHETIC_CASES, synthetic_case
+from repro.workloads import ALL_WORKLOADS, EXTRA_WORKLOADS
+
+CFG = DeviceConfig.small(4)
+SCALES = (0.6, 1.0)
+TPB_EXTRA = (64, 256)  # beyond the default 128, on the tpb subset
+TPB_MODES = (MemoryMode.G, MemoryMode.SO, MemoryMode.SIO)
+
+
+def cases():
+    for cls in (*ALL_WORKLOADS, *EXTRA_WORKLOADS):
+        w = cls()
+        for scale in SCALES:
+            inp = w.generate("small", seed=0, scale=scale)
+            spec = w.spec_for_size("small", seed=0, scale=scale)
+            yield f"{w.code}x{scale}", spec, inp, w.has_reduce
+    for name in SYNTHETIC_CASES:
+        for scale in SCALES:
+            spec, inp = synthetic_case(name, seed=0, scale=scale)
+            yield f"{name}x{scale}", spec, inp, True
+
+
+def nnls(A, y):
+    """lstsq with negative coefficients clipped out and refit."""
+    A = np.asarray(A, dtype=float)
+    y = np.asarray(y, dtype=float)
+    active = list(range(A.shape[1]))
+    coef = np.zeros(0)
+    for _ in range(A.shape[1]):
+        coef, *_ = np.linalg.lstsq(A[:, active], y, rcond=None)
+        if (coef >= 0).all():
+            break
+        active = [a for a, c in zip(active, coef) if c >= 0]
+        if not active:
+            return np.zeros(A.shape[1])
+    full = np.zeros(A.shape[1])
+    for a, c in zip(active, coef):
+        full[a] = max(0.0, c)
+    return full
+
+
+def measure(spec, inp, mode, strat, tpb=128):
+    res = run_job(spec, inp, mode=mode, strategy=strat, config=CFG,
+                  threads_per_block=tpb)
+    return res.timings
+
+
+def main() -> int:
+    map_rows = {m.value: ([], []) for m in ALL_MODES}
+    shuffle_rows = ([], [])
+    # Reduce rows binned by (strategy, effective reduce mode).
+    red_rows = {}
+    measured = {}  # case -> {(mode, strat, tpb): timings}
+    stats_by_case = {}
+    case_list = list(cases())
+
+    for name, spec, inp, has_reduce in case_list:
+        stats = profile_input(spec, inp)
+        stats_by_case[name] = stats
+        n = float(stats.records)
+        in_b = n * stats.rec_bytes_avg
+        e = stats.est_emissions
+        out_b = e * (stats.emit_key_bytes + stats.emit_val_bytes)
+        groups = float(max(1, stats.est_groups)) if e else 0.0
+        val_b = e * stats.emit_val_bytes
+        maxg = stats.est_max_group
+        loge = np.log2(e) if e > 1 else 0.0
+        strategies = ((ReduceStrategy.TR, ReduceStrategy.BR)
+                      if has_reduce else (None,))
+        measured[name] = {}
+        for strat in strategies:
+            for mode in ALL_MODES:
+                if strat is ReduceStrategy.BR and mode is MemoryMode.GT:
+                    continue
+                try:
+                    t = measure(spec, inp, mode, strat)
+                except Exception as exc:  # pragma: no cover
+                    print(f"  skip {name} {mode.value}/{strat}: {exc!r}",
+                          file=sys.stderr)
+                    continue
+                measured[name][(mode.value,
+                                strat.value if strat else None, 128)] = t
+                if strat in (None, ReduceStrategy.TR):
+                    A, y = map_rows[mode.value]
+                    ovf = stage_overflow(stats, 128, CFG, CostConstants()) \
+                        if mode.stages_output else 0.0
+                    A.append([n, in_b, e, out_b, e * ovf,
+                              n * stats.compute_per_record])
+                    y.append(t.map)
+                if strat is ReduceStrategy.TR and mode is MemoryMode.G:
+                    A, y = shuffle_rows
+                    A.append([e, e * loge])
+                    y.append(t.shuffle)
+                if strat is not None:
+                    red_mode = effective_reduce_mode(mode, strat).value
+                    A, y = red_rows.setdefault(
+                        (strat.value, red_mode), ([], []))
+                    A.append([groups, e, maxg, val_b])
+                    y.append(t.reduce)
+        print(f"measured {name}", file=sys.stderr)
+
+    # Block-size sweep: scale-1.0 cases only, G/SO/SIO, first strategy.
+    for name, spec, inp, has_reduce in case_list:
+        if not name.endswith("x1.0"):
+            continue
+        strat = ReduceStrategy.TR if has_reduce else None
+        sv = strat.value if strat else None
+        for mode in TPB_MODES:
+            for tpb in TPB_EXTRA:
+                try:
+                    t = measure(spec, inp, mode, strat, tpb)
+                except Exception as exc:  # pragma: no cover
+                    print(f"  skip {name} {mode.value}@{tpb}: {exc!r}",
+                          file=sys.stderr)
+                    continue
+                measured[name][(mode.value, sv, tpb)] = t
+        print(f"tpb-swept {name}", file=sys.stderr)
+
+    map_fit = {}
+    for mode in ALL_MODES:
+        A, y = map_rows[mode.value]
+        map_fit[mode.value] = tuple(float(c) for c in nnls(A, y))
+    sh = nnls(*shuffle_rows)
+    red_fit = {"TR": {}, "BR": {}}
+    for (strat, red_mode), (A, y) in sorted(red_rows.items()):
+        red_fit[strat][red_mode] = tuple(float(c) for c in nnls(A, y))
+    tr, br = red_fit["TR"], red_fit["BR"]
+
+    # Grid-search the block-size constants: minimize total decision
+    # regret of "pick the tpb with the lowest predicted map cost" over
+    # every (case, mode) trio measured above.
+    trios = []
+    for name, table in measured.items():
+        stats = stats_by_case[name]
+        for mode in TPB_MODES:
+            entries = {tpb: t for (m, s, tpb), t in table.items()
+                       if m == mode.value}
+            if len(entries) < 3:
+                continue
+            trios.append((stats, mode, entries))
+
+    def regret(fg, ap):
+        consts = CostConstants(
+            map_modes=map_fit, reduce_tr=tr, reduce_br=br,
+            shuffle_per_rec=float(sh[0]), shuffle_per_rec_log=float(sh[1]),
+            tpb_flush_gain=fg, tpb_atomic_pain=ap,
+        )
+        total = 0.0
+        for stats, mode, entries in trios:
+            pred = {
+                tpb: estimate_cycles(
+                    stats, Candidate(mode=mode, strategy=None,
+                                     threads_per_block=tpb), CFG, consts)
+                for tpb in entries
+            }
+            pick = min(pred, key=pred.get)
+            best = min(t.map for t in entries.values())
+            total += entries[pick].map / max(1.0, best) - 1.0
+        return total
+
+    best_tpb = None
+    for fg in (0.0, 0.02, 0.05, 0.1, 0.2, 0.3):
+        for ap in (0.0, 0.02, 0.05, 0.1, 0.2):
+            r = regret(fg, ap)
+            if best_tpb is None or r < best_tpb[0]:
+                best_tpb = (r, fg, ap)
+    _, fg, ap = best_tpb
+    print(f"# tpb grid: regret={best_tpb[0]:.4f}", file=sys.stderr)
+
+    print("_FACTORY_MAP = {")
+    for mode in ALL_MODES:
+        c = map_fit[mode.value]
+        print(f'    "{mode.value}":  ({c[0]:.1f}, {c[1]:.3f}, '
+              f'{c[2]:.1f}, {c[3]:.3f}, {c[4]:.1f}, {c[5]:.3f}),')
+    print("}")
+    for label, table in (("_FACTORY_TR", tr), ("_FACTORY_BR", br)):
+        print(f"{label} = {{")
+        for red_mode, c in sorted(table.items()):
+            print(f'    "{red_mode}":  ({c[0]:.1f}, {c[1]:.3f}, '
+                  f'{c[2]:.3f}, {c[3]:.3f}),')
+        print("}")
+    print(f"shuffle_per_rec = {sh[0]:.2f}")
+    print(f"shuffle_per_rec_log = {sh[1]:.3f}")
+    print(f"tpb_flush_gain = {fg}")
+    print(f"tpb_atomic_pain = {ap}")
+
+    consts = CostConstants(
+        map_modes=map_fit, reduce_tr=tr, reduce_br=br,
+        shuffle_per_rec=float(sh[0]), shuffle_per_rec_log=float(sh[1]),
+        tpb_flush_gain=fg, tpb_atomic_pain=ap,
+    )
+
+    # Decision quality: price the full candidate space (modes x
+    # strategies x block sizes), measure the model's pick if the sweep
+    # missed it, compare against the measured best.
+    bad = 0
+    for name, spec, inp, has_reduce in case_list:
+        stats = stats_by_case[name]
+        table = measured[name]
+        if not table:
+            continue
+        strategies = ((ReduceStrategy.TR, ReduceStrategy.BR)
+                      if has_reduce else (None,))
+        pred = {}
+        for strat in strategies:
+            for mode in ALL_MODES:
+                if strat is ReduceStrategy.BR and mode is MemoryMode.GT:
+                    continue
+                for tpb in (64, 128, 256):
+                    cand = Candidate(mode=mode, strategy=strat,
+                                     threads_per_block=tpb)
+                    pred[(mode, strat, tpb)] = estimate_cycles(
+                        stats, cand, CFG, consts)
+        mode, strat, tpb = min(pred, key=pred.get)
+        pick_key = (mode.value, strat.value if strat else None, tpb)
+        if pick_key not in table:
+            try:
+                table[pick_key] = measure(spec, inp, mode, strat, tpb)
+            except Exception as exc:  # pragma: no cover
+                print(f"  pick unmeasurable {name} {pick_key}: {exc!r}",
+                      file=sys.stderr)
+                continue
+        best_key = min(table, key=lambda k: table[k].total)
+        ratio = table[pick_key].total / table[best_key].total
+        flag = "OK " if ratio <= 1.10 else "BAD"
+        if ratio > 1.10:
+            bad += 1
+        print(f"{flag} {name:16s} pick={pick_key} best={best_key} "
+              f"ratio={ratio:.3f}")
+    print(f"{bad} case(s) beyond the 10% bar")
+    return 1 if bad else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -36,6 +36,14 @@ neutral — both paths run the same Python on the same runner — so a
 regression in the batch kernels or the array shuffle (whose cost the
 scalar path does not share) shows up directly.
 
+Finally the gate re-checks the committed autotuner benchmark
+(``BENCH_autotune.json``, regenerated with ``repro-bench autotune``):
+every tuned case must sit within its per-case bar of the best measured
+fixed configuration, and the tuned total must beat every fixed
+single-mode policy.  This is a pure artefact check (no re-measurement
+— the benchmark is deterministic simulated cycles), so a stale or
+hand-edited artefact fails loudly.
+
 Usage::
 
     PYTHONPATH=src python scripts/perf_gate.py [--repeats 3]
@@ -43,6 +51,7 @@ Usage::
         [--baseline BENCH_sim_opt.json]
         [--ledger .repro/runs.jsonl | --no-ledger]
         [--columnar-floor 5.0 | --no-columnar]
+        [--autotune-baseline BENCH_autotune.json | --no-autotune]
 """
 
 from __future__ import annotations
@@ -121,6 +130,12 @@ def main(argv=None) -> int:
                         "kmeans (the columnar acceptance bar)")
     p.add_argument("--no-columnar", action="store_true",
                    help="skip the columnar-over-fast check")
+    p.add_argument("--autotune-baseline",
+                   default=os.path.join(_ROOT, "BENCH_autotune.json"),
+                   help="committed autotuner benchmark artefact to "
+                        "gate-check")
+    p.add_argument("--no-autotune", action="store_true",
+                   help="skip the autotuner gate check")
     args = p.parse_args(argv)
 
     with open(args.baseline) as f:
@@ -167,6 +182,32 @@ def main(argv=None) -> int:
                   "acceptance bar; see BENCH_columnar.json for the "
                   "committed reference numbers.", file=sys.stderr)
             failed = True
+
+    if not args.no_autotune:
+        from repro.tune.bench import check_report
+
+        try:
+            with open(args.autotune_baseline) as f:
+                autotune_doc = json.load(f)
+        except OSError as exc:
+            print(f"perf-gate: autotune artefact unreadable: {exc}",
+                  file=sys.stderr)
+            failed = True
+        else:
+            problems = check_report(autotune_doc)
+            ncases = len(autotune_doc.get("cases", []))
+            verdict = "FAIL" if problems else "ok"
+            print(f"autotune: {ncases} cases, gates "
+                  f"{autotune_doc.get('gates')} {verdict}")
+            for problem in problems:
+                print(f"  {problem}", file=sys.stderr)
+            if problems:
+                print("perf-gate: the autotuner's committed benchmark no "
+                      "longer passes its gates; regenerate with\n"
+                      "  PYTHONPATH=src python -m repro.analysis.cli "
+                      "autotune\nand investigate the cost model if the "
+                      "fresh run still fails.", file=sys.stderr)
+                failed = True
 
     if failed:
         print("perf-gate: simulator hot path regressed; profile with\n"

@@ -8,6 +8,8 @@ Examples::
     repro-bench fig7
     repro-bench fig8 --workload II
     repro-bench validate                # oracle conformance matrix
+    repro-bench validate --autotune     # tuner's pick vs the oracle
+    repro-bench autotune                # tuned-vs-fixed benchmark + gates
     repro-bench profile --workload WC   # per-mode derived metrics
     repro-bench all --size small
     repro-bench table2 --profile        # host-side cProfile of the run
@@ -173,9 +175,26 @@ def cmd_validate(args) -> None:
         backend=backend,
         store=args.store,
         memory_budget=memory_budget,
+        mode=args.mode,
     )
     print(rep.render())
     if not rep.passed:
+        raise SystemExit(1)
+
+
+def cmd_autotune(args) -> None:
+    from ..tune.bench import check_report, render_report, run_autotune_bench
+
+    report = run_autotune_bench(
+        mps=args.mps or 4,
+        out_path=args.out,
+        progress=(lambda msg: print(f"  {msg}", file=sys.stderr))
+        if args.verbose else None,
+    )
+    print(render_report(report))
+    if args.out:
+        print(f"\nwrote {args.out}")
+    if check_report(report):
         raise SystemExit(1)
 
 
@@ -216,10 +235,23 @@ def main(argv: list[str] | None = None) -> int:
     p = argparse.ArgumentParser(prog="repro-bench", description=__doc__)
     p.add_argument("command", choices=[
         "table1", "table2", "fig5-map", "fig5-reduce", "fig6", "fig7",
-        "fig8", "validate", "profile", "all",
+        "fig8", "validate", "profile", "autotune", "all",
     ])
     p.add_argument("--workload",
                    help="comma-separated codes (WC,MM,SM,II,KM,SS,HG,LR)")
+    p.add_argument("--mode", default=None, metavar="MODE",
+                   help="restrict 'validate' to one memory mode "
+                        "(G/GT/SI/SO/SIO, or 'auto' for the cost-model "
+                        "tuner); default runs the full matrix")
+    p.add_argument("--autotune", action="store_true",
+                   help="validate with the cost-model tuner picking the "
+                        "mode (shorthand for --mode auto)")
+    p.add_argument("--out", default="BENCH_autotune.json", metavar="FILE",
+                   help="artefact path for the 'autotune' command "
+                        "(empty string to skip writing)")
+    p.add_argument("--verbose", action="store_true",
+                   help="progress lines on stderr for the 'autotune' "
+                        "command")
     p.add_argument("--size", default="small", choices=["small", "medium", "large"])
     p.add_argument("--scale", type=float, default=1.0,
                    help="multiply problem sizes (1.0 = scaled defaults)")
@@ -254,6 +286,27 @@ def main(argv: list[str] | None = None) -> int:
     p.add_argument("--profile-top", type=int, default=20, metavar="N",
                    help="number of hot functions to list with --profile")
     args = p.parse_args(argv)
+    if args.mode is not None:
+        from ..errors import FrameworkError
+        from ..framework.modes import resolve_mode_name
+
+        try:
+            args.mode = resolve_mode_name(args.mode, allow_auto=True)
+        except FrameworkError as exc:
+            print(f"repro-bench: {exc}", file=sys.stderr)
+            return 2
+    if args.autotune:
+        if args.mode not in (None, "auto"):
+            print("repro-bench: --autotune picks the memory mode itself; "
+                  f"it conflicts with --mode {args.mode.value} (drop one)",
+                  file=sys.stderr)
+            return 2
+        args.mode = "auto"
+    if args.mode is not None and args.command != "validate":
+        print("repro-bench: --mode/--autotune only apply to 'validate' "
+              "(the 'autotune' command benchmarks the tuner itself)",
+              file=sys.stderr)
+        return 2
     if args.check:
         os.environ["REPRO_CHECK"] = "1"
     if args.columnar:
@@ -292,6 +345,7 @@ def main(argv: list[str] | None = None) -> int:
         "fig8": cmd_fig8,
         "validate": cmd_validate,
         "profile": cmd_profile,
+        "autotune": cmd_autotune,
         "all": cmd_all,
     }[args.command]
     if args.profile is None:

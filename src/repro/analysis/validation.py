@@ -83,6 +83,7 @@ def validate_workload(
     backend=None,
     store: str | None = None,
     memory_budget: int | None = None,
+    mode: MemoryMode | str | None = None,
 ) -> ValidationReport:
     """Run every legal (mode, strategy) combination for one workload.
 
@@ -90,6 +91,9 @@ def validate_workload(
     through to every job (see :func:`repro.framework.job.run_job`) —
     ``repro-bench validate --store spill`` proves the out-of-core
     shuffle against the oracle across the whole matrix.
+    ``mode`` restricts the matrix to one memory mode — including the
+    string ``"auto"``, which proves the cost-model tuner's pick against
+    the oracle (the case label then records what it resolved to).
     """
     cfg = config or DeviceConfig.small(2)
     inp = workload.generate(size, seed=seed, scale=scale)
@@ -100,30 +104,37 @@ def validate_workload(
     if workload.has_reduce:
         strategies = [ReduceStrategy.TR, ReduceStrategy.BR]
 
+    modes = ALL_MODES if mode is None else (mode,)
     report = ValidationReport()
     for strategy in strategies:
         ref = reference_job(spec, inp, strategy)
-        for mode in ALL_MODES:
-            if strategy is ReduceStrategy.BR and mode is MemoryMode.GT:
+        for m in modes:
+            if strategy is ReduceStrategy.BR and m is MemoryMode.GT:
                 continue  # illegal combination by design
             name = strategy.value if strategy else "map"
+            label = getattr(m, "value", str(m))
             try:
                 res = run_job(
-                    spec, inp, mode=mode, strategy=strategy, config=cfg,
-                    threads_per_block=threads_per_block, backend=backend,
+                    spec, inp, mode=m, strategy=strategy, config=cfg,
+                    # auto keeps the block size open for the tuner too
+                    threads_per_block=None if m == "auto"
+                    else threads_per_block,
+                    backend=backend,
                     store=store, memory_budget=memory_budget,
                 )
             except ReproError as exc:
                 report.cases.append(ValidationCase(
-                    workload.code, mode.value, name, False, repr(exc)[:60]
+                    workload.code, label, name, False, repr(exc)[:60]
                 ))
                 continue
+            if m == "auto":
+                label = f"auto>{getattr(res.mode, 'value', res.mode)}"
             ok = outputs_match(res.output, ref, float32_values=float_vals)
             detail = "" if ok else (
                 f"{len(res.output)} records vs {len(ref)} expected"
             )
             report.cases.append(ValidationCase(
-                workload.code, mode.value, name, ok, detail
+                workload.code, label, name, ok, detail
             ))
     return report
 
@@ -137,13 +148,14 @@ def validate_all(
     backend=None,
     store: str | None = None,
     memory_budget: int | None = None,
+    mode: MemoryMode | str | None = None,
 ) -> ValidationReport:
     report = ValidationReport()
     for wl in workloads:
         report.cases.extend(
             validate_workload(
                 wl, size=size, scale=scale, config=config, backend=backend,
-                store=store, memory_budget=memory_budget,
+                store=store, memory_budget=memory_budget, mode=mode,
             ).cases
         )
     return report

@@ -63,6 +63,24 @@ def _apply_telemetry(backend: ExecutionBackend, ctx, result: JobResult) -> None:
     result.straggler = summarize_workers(profiles)
 
 
+def _apply_tuned(plan, result: JobResult) -> None:
+    """Bank the tuner's decision into the Map KernelStats extras.
+
+    Strings are safe here: extras are attached after any batch-level
+    ``merge()`` (which sums numeric fields) has already happened.  The
+    prediction error lands in the ledger, where the actual cost is
+    known (:func:`repro.obs.ledger.build_record`).
+    """
+    decision = getattr(plan, "tuned", None)
+    if decision is None or result.map_stats is None:
+        return
+    extra = result.map_stats.extra
+    extra["tuner_choice"] = decision.choice
+    extra["tuner_predicted_cost"] = float(decision.predicted_cost)
+    extra["tuner_objective"] = decision.objective
+    extra["tuner_source"] = decision.source
+
+
 def execute_plan(
     plan: JobPlan,
     inp: KeyValueSet,
@@ -85,6 +103,7 @@ def execute_plan(
         result = _execute_plan(plan, inp, backend, ctx, tr)
     finally:
         backend.close(ctx)
+    _apply_tuned(ctx.plan, result)
     ledger.record_run(ctx.plan, inp, backend, result,
                       wall_s=time.perf_counter() - wall_t0)
     return result
@@ -188,6 +207,7 @@ def execute_streamed(
         result = _execute_streamed(plan, inp, backend, ctx, tr)
     finally:
         backend.close(ctx)
+    _apply_tuned(ctx.plan, result.job)
     ledger.record_run(ctx.plan, inp, backend, result.job,
                       wall_s=time.perf_counter() - wall_t0, streamed=True)
     return result
@@ -201,6 +221,9 @@ def _execute_streamed(plan, inp, backend, ctx, tr):
         split_batches,
     )
 
+    if plan.mode == "auto":
+        plan = backend.resolve_auto(ctx, plan, inp)
+        ctx.plan = plan
     name = plan.spec.name
 
     with tr.span(f"job:{name}", **plan.job_attrs(len(inp))):

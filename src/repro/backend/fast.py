@@ -188,14 +188,24 @@ class FastBackend(ExecutionBackend):
             store.close()
 
     def resolve_auto(self, ctx, plan, inp):
-        """Memory modes are a timing choice the fast backend does not
-        model; 'auto' resolves to the paper's full design (SIO) with
-        no probing."""
+        """Memory modes are a timing label for the fast backend, not a
+        semantics choice — but 'auto' still routes through the same
+        cost-model tuner as the sim backend so the chosen (mode,
+        strategy, block size) labels match across backends and the
+        differential suite can compare runs one-to-one."""
         from dataclasses import replace
 
-        from ..framework.modes import MemoryMode
+        from ..tune import decide_modes
 
-        return replace(plan, mode=MemoryMode.SIO).normalised()
+        decision = decide_modes(
+            plan.spec, inp, config=ctx.config,
+            strategy=plan.strategy,
+            threads_per_block=plan.threads_per_block,
+        )
+        return replace(
+            plan, mode=decision.mode, strategy=decision.strategy,
+            threads_per_block=decision.threads_per_block, tuned=decision,
+        ).normalised()
 
     # -- transfers (model-costed, data stays host-side) ----------------
 

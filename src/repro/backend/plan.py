@@ -19,7 +19,8 @@ from dataclasses import dataclass, field, replace
 
 from ..errors import FrameworkError
 from ..framework.api import MapReduceSpec
-from ..framework.modes import MemoryMode, ReduceStrategy
+from ..framework.modes import AUTO, MemoryMode, ReduceStrategy, \
+    resolve_mode_name, resolve_strategy_name
 from ..gpu.config import DeviceConfig
 
 #: Engine selectors: the paper's single-pass shared-memory framework
@@ -49,11 +50,16 @@ class JobPlan:
     spec: MapReduceSpec
     mode: MemoryMode | str = MemoryMode.SIO
     reduce_mode: MemoryMode | str | None = None
-    strategy: ReduceStrategy | None = None
+    #: ``None`` = Map-only job; a :class:`ReduceStrategy` pins it;
+    #: ``"auto"`` (only with ``mode="auto"``) lets the tuner pick TR
+    #: or BR from the input's cardinality and skew.
+    strategy: ReduceStrategy | str | None = None
     engine: str = ENGINE_SHARED
     config: DeviceConfig | None = None
     device: object | None = None  # repro.gpu.kernel.Device
-    threads_per_block: int = 128
+    #: ``None`` defaults to 128 at normalisation — except under
+    #: ``mode="auto"``, where it stays open for the tuner to choose.
+    threads_per_block: int | None = None
     yield_sync: bool = True
     io_ratio: float | None = None
     #: ``None`` means "engine default" — the Shuffle call is made with
@@ -82,6 +88,10 @@ class JobPlan:
     #: ignore this (the parallel backend's inner fast executor is
     #: pinned scalar so worker output never depends on the env).
     columnar: bool | None = None
+    #: The :class:`repro.tune.TunerDecision` that produced this plan,
+    #: set by the backends' ``resolve_auto`` / ``run_job(tune=True)``.
+    #: ``None`` for untuned plans — the ledger records them as such.
+    tuned: object | None = None
 
     # ------------------------------------------------------------------
     # Normalisation
@@ -92,7 +102,10 @@ class JobPlan:
 
         ``mode="auto"`` is left untouched — it is resolved against a
         live backend context by :func:`repro.backend.core.execute_plan`
-        (the sim backend autotunes; the fast backend picks SIO).
+        (both backends route it through the cost-model tuner,
+        :mod:`repro.tune`).  ``strategy="auto"`` and an unset
+        ``threads_per_block`` are only legal alongside it: they are the
+        knobs the tuner fills in.
         """
         if self.engine not in (ENGINE_SHARED, ENGINE_MARS):
             raise FrameworkError(f"unknown engine {self.engine!r}")
@@ -107,21 +120,26 @@ class JobPlan:
             raise FrameworkError(
                 f"memory_budget must be positive, got {self.memory_budget}"
             )
-        mode = self.mode
-        if isinstance(mode, str) and mode != "auto" and not isinstance(
-            mode, MemoryMode
-        ):
-            mode = MemoryMode(mode)
+        mode = resolve_mode_name(self.mode, allow_auto=True)
+        strategy = resolve_strategy_name(self.strategy, allow_auto=True)
+        if strategy == AUTO and mode != AUTO:
+            raise FrameworkError(
+                "strategy 'auto' requires mode='auto' (the tuner picks "
+                "both together); pin TR or BR with an explicit mode"
+            )
+        tpb = self.threads_per_block
+        if tpb is None and mode != AUTO:
+            tpb = 128
         reduce_mode = self.reduce_mode
         if reduce_mode is None:
             # With mode="auto" the Reduce mode stays undecided until the
             # backend resolves the plan against a live context.
-            reduce_mode = mode if mode != "auto" else None
-        elif isinstance(reduce_mode, str) and not isinstance(
-            reduce_mode, MemoryMode
-        ):
-            reduce_mode = MemoryMode(reduce_mode)
-        return replace(self, mode=mode, reduce_mode=reduce_mode, store=store)
+            reduce_mode = mode if mode != AUTO else None
+        else:
+            reduce_mode = resolve_mode_name(reduce_mode)
+        return replace(self, mode=mode, reduce_mode=reduce_mode,
+                       strategy=strategy, threads_per_block=tpb,
+                       store=store)
 
     # ------------------------------------------------------------------
     # Presentation (labels + tracer span attributes)
@@ -181,6 +199,12 @@ class JobPlan:
             # Same rule as ``store``: only explicit requests appear,
             # keeping default traces byte-identical.
             attrs["columnar"] = self.columnar
+        if self.tuned is not None:
+            attrs["tuned"] = True
+            attrs["tuner_choice"] = self.tuned.choice
+            attrs["tuner_predicted_cost"] = round(
+                float(self.tuned.predicted_cost), 6)
+            attrs["tuner_source"] = self.tuned.source
         attrs["records"] = n_records
         return attrs
 

@@ -69,18 +69,21 @@ class SimBackend(ExecutionBackend):
 
     def resolve_auto(self, ctx: SimContext, plan: JobPlan, inp: KeyValueSet
                      ) -> JobPlan:
-        """Runtime automatic configuration (the paper's Section VI
-        future work, implemented in :mod:`repro.framework.autotune`)."""
-        from ..framework.autotune import autotune
+        """Cost-model tuner (:mod:`repro.tune`): profile the input,
+        price every legal (mode, strategy, block size) candidate by
+        predicted cycles, let ledger history of the exact input
+        override the model.  No measured probing — the tuner never
+        runs a kernel."""
+        from ..tune import decide_modes
 
-        report = autotune(plan.spec, inp, config=ctx.dev.config, measure=True)
-        best = report.best
-        io_ratio = plan.io_ratio
-        if io_ratio is None and best.mode.stages_input:
-            io_ratio = best.io_ratio
+        decision = decide_modes(
+            plan.spec, inp, config=ctx.dev.config,
+            strategy=plan.strategy,
+            threads_per_block=plan.threads_per_block,
+        )
         return replace(
-            plan, mode=best.mode, threads_per_block=best.threads_per_block,
-            io_ratio=io_ratio,
+            plan, mode=decision.mode, strategy=decision.strategy,
+            threads_per_block=decision.threads_per_block, tuned=decision,
         ).normalised()
 
     # -- transfers -----------------------------------------------------

@@ -23,7 +23,7 @@ from ..gpu.kernel import Device
 from ..gpu.stats import KernelStats
 from ..obs.tracer import Tracer
 from .api import MapReduceSpec
-from .modes import MemoryMode, ReduceStrategy
+from .modes import MemoryMode, ReduceStrategy, resolve_strategy_name
 from .records import KeyValueSet
 
 
@@ -88,12 +88,12 @@ def run_job(
     spec: MapReduceSpec,
     inp: KeyValueSet,
     *,
-    mode: MemoryMode | str = MemoryMode.SIO,
+    mode: MemoryMode | str | None = None,
     reduce_mode: MemoryMode | str | None = None,
-    strategy: ReduceStrategy | None = None,
+    strategy: ReduceStrategy | str | None = None,
     config: DeviceConfig | None = None,
     device: Device | None = None,
-    threads_per_block: int = 128,
+    threads_per_block: int | None = None,
     yield_sync: bool = True,
     io_ratio: float | None = None,
     shuffle_method: str = "sort",
@@ -102,6 +102,7 @@ def run_job(
     check=None,
     store: str | None = None,
     memory_budget: int | None = None,
+    tune: bool | None = None,
 ) -> JobResult:
     """Run a complete MapReduce job.
 
@@ -132,12 +133,54 @@ def run_job(
     ``$REPRO_STORE``) and ``memory_budget`` bounds the spill store's
     tracked bytes (``None`` consults ``$REPRO_MEMORY_BUDGET``) — see
     :mod:`repro.store`.  The sim backend ignores both.
+
+    **Autotuning.**  ``mode=None`` (the new default) keeps the paper's
+    SIO — unless the cost-model tuner (:mod:`repro.tune`) is engaged:
+    ``mode="auto"`` has the backend pick (mode, strategy, block size)
+    by predicted cycles; ``tune=True`` (or ``$REPRO_AUTOTUNE=1`` with
+    ``mode`` and ``tune`` both unset) additionally picks the execution
+    substrate, spill policy and budget by predicted wall time — but
+    only for the knobs the call left open (an explicit ``backend``/
+    ``store``/``memory_budget`` always wins).  ``tune=False`` opts a
+    call out of the env.  The tuner never changes *what* the job
+    computes: ``strategy=None`` stays Map-only; pass
+    ``strategy="auto"`` (with mode auto/tuned) to let it pick TR vs
+    BR, which are output-identical by construction.
     """
     spec.validate()
-    if strategy is not None and not spec.has_reduce:
+    strategy = resolve_strategy_name(strategy, allow_auto=True)
+    if strategy is not None and strategy != "auto" and not spec.has_reduce:
         raise FrameworkError(f"workload {spec.name} has no Reduce phase")
     # Local import: repro.backend imports this module for JobResult.
     from ..backend import JobPlan, execute_plan, get_backend
+
+    if tune and mode not in (None, "auto"):
+        raise FrameworkError(
+            "tune=True picks the memory mode itself; drop the explicit "
+            f"mode={getattr(mode, 'value', mode)!r} or use mode='auto'"
+        )
+    tuned = None
+    if tune or (tune is None and mode is None and _env_autotune()):
+        from ..tune import decide_execution
+
+        cfg = config or (device.config if device is not None else None)
+        tuned = decide_execution(spec, inp, strategy=strategy, config=cfg)
+        mode = tuned.mode
+        if strategy == "auto":
+            strategy = tuned.strategy
+        if threads_per_block is None:
+            threads_per_block = tuned.threads_per_block
+        if backend is None:
+            name = tuned.backend or "fast"
+            if tuned.workers:
+                name += f":{tuned.workers}"
+            backend = name
+        if store is None:
+            store = tuned.store
+        if memory_budget is None:
+            memory_budget = tuned.memory_budget
+    elif mode is None:
+        mode = MemoryMode.SIO
 
     plan = JobPlan(
         spec=spec,
@@ -153,5 +196,12 @@ def run_job(
         check=check,
         store=store,
         memory_budget=memory_budget,
+        tuned=tuned,
     ).normalised()
     return execute_plan(plan, inp, get_backend(backend), tracer)
+
+
+def _env_autotune() -> bool:
+    from ..tune.decide import autotune_enabled
+
+    return autotune_enabled()

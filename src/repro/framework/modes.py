@@ -70,6 +70,74 @@ ALL_MODES = (
     MemoryMode.SIO,
 )
 
+#: The one spelling of "let the tuner decide" (modes and strategies).
+AUTO = "auto"
+
+
+def resolve_mode_name(
+    name, *, allow_auto: bool = False
+) -> "MemoryMode | str":
+    """The single place a mode name becomes a :class:`MemoryMode`.
+
+    Accepts an enum member (returned as-is) or a case-insensitive
+    string; ``"auto"`` passes through verbatim when ``allow_auto`` —
+    the cost-model tuner (:mod:`repro.tune`) resolves it later.
+    Unknown names raise a :class:`FrameworkError` listing the valid
+    spellings, so both CLIs and the API show the same friendly
+    message.
+    """
+    if isinstance(name, MemoryMode):
+        return name
+    if isinstance(name, str):
+        if name.lower() == AUTO:
+            if allow_auto:
+                return AUTO
+            raise FrameworkError(
+                "mode 'auto' is not accepted here; pick one of "
+                + ", ".join(m.value for m in ALL_MODES)
+            )
+        try:
+            return MemoryMode(name.upper())
+        except ValueError:
+            pass
+    valid = ", ".join(m.value for m in ALL_MODES)
+    raise FrameworkError(
+        f"unknown memory mode {name!r}: valid modes are {valid}"
+        + (" (or 'auto' for the cost-model tuner)" if allow_auto else "")
+    )
+
+
+def resolve_strategy_name(
+    name, *, allow_auto: bool = False
+) -> "ReduceStrategy | str | None":
+    """The single place a strategy name becomes a :class:`ReduceStrategy`.
+
+    ``None`` means "no Reduce phase" and passes through.  ``"auto"``
+    passes through verbatim when ``allow_auto`` (the tuner picks TR or
+    BR — or map-only for a spec with no Reduce).  Anything else must
+    name TR or BR, case-insensitively.
+    """
+    if name is None or isinstance(name, ReduceStrategy):
+        return name
+    if isinstance(name, str):
+        if name.lower() == AUTO:
+            if allow_auto:
+                return AUTO
+            raise FrameworkError(
+                "strategy 'auto' is not accepted here; pick TR or BR"
+            )
+        if name.lower() in ("none", ""):
+            return None
+        try:
+            return ReduceStrategy(name.upper())
+        except ValueError:
+            pass
+    raise FrameworkError(
+        f"unknown reduce strategy {name!r}: valid strategies are TR, BR"
+        + (", auto" if allow_auto else "")
+        + ", none"
+    )
+
 
 def effective_reduce_mode(
     mode: MemoryMode, strategy: ReduceStrategy

@@ -28,10 +28,12 @@ import sys
 
 from ..errors import FrameworkError
 from ..framework.job import run_job
-from ..framework.modes import MemoryMode, ReduceStrategy
+from ..framework.modes import MemoryMode, ReduceStrategy, \
+    resolve_mode_name, resolve_strategy_name
 from ..gpu.config import DeviceConfig
 from ..store import parse_budget, resolve_budget
 from ..workloads import ALL_WORKLOADS, EXTRA_WORKLOADS, Workload
+from ..tune.decide import autotune_enabled as _env_autotune
 from .exporters import write_check_json, write_chrome_trace, write_jsonl
 from .metrics import diff_metrics, job_metrics_registry
 from .report import render_job_profile, render_span_tree
@@ -87,12 +89,20 @@ def main(argv: list[str] | None = None) -> int:
                                 formatter_class=argparse.RawDescriptionHelpFormatter)
     p.add_argument("workload",
                    help="workload code or name (WC, wordcount, kmeans, ...)")
-    p.add_argument("--mode", default="SIO",
-                   choices=[m.value for m in MemoryMode] + ["auto"])
+    p.add_argument("--mode", default=None,
+                   help="memory mode (G, GT, SI, SO, SIO; default SIO) "
+                        "or 'auto' to let the cost-model tuner pick")
     p.add_argument("--strategy", default="auto",
-                   choices=["auto", "none", "TR", "BR"],
-                   help="reduce strategy; 'auto' = TR when the workload "
-                        "has a Reduce phase (default)")
+                   help="reduce strategy (TR, BR, none); 'auto' = TR "
+                        "when the workload has a Reduce phase (default) "
+                        "— or, under --mode auto/--autotune, whichever "
+                        "the tuner predicts faster")
+    p.add_argument("--autotune", action="store_true",
+                   help="let the cost-model tuner (repro.tune) pick the "
+                        "memory mode, strategy and block size from "
+                        "input statistics (same as --mode auto; also "
+                        "enabled by $REPRO_AUTOTUNE=1 when no --mode is "
+                        "given)")
     p.add_argument("--reduce-mode", default=None,
                    choices=[m.value for m in MemoryMode],
                    help="memory mode for the Reduce phase (default: same as Map)")
@@ -102,7 +112,10 @@ def main(argv: list[str] | None = None) -> int:
     p.add_argument("--scale", type=float, default=1.0)
     p.add_argument("--mps", type=int, default=0,
                    help="simulate this many MPs instead of the full 30")
-    p.add_argument("--threads-per-block", type=int, default=128)
+    p.add_argument("--threads-per-block", type=int, default=None,
+                   help="block size (default 128; under --mode auto an "
+                        "explicit value pins it, otherwise the tuner "
+                        "picks one)")
     p.add_argument("--shuffle", default="sort",
                    choices=["sort", "hash", "bitonic"])
     p.add_argument("--mars", action="store_true",
@@ -152,12 +165,38 @@ def main(argv: list[str] | None = None) -> int:
     args = p.parse_args(argv)
 
     workload = resolve_workload(args.workload)
-    if args.strategy == "auto":
+    # Mode/strategy names validate in exactly one place
+    # (repro.framework.modes); unknown names exit 2 with the friendly
+    # message instead of an argparse choices dump or a traceback.
+    try:
+        mode = resolve_mode_name(args.mode, allow_auto=True) \
+            if args.mode is not None else None
+        strategy = resolve_strategy_name(args.strategy, allow_auto=True)
+    except FrameworkError as exc:
+        print(f"repro-trace: {exc}", file=sys.stderr)
+        raise SystemExit(2) from None
+    if args.autotune:
+        if args.mars:
+            print("repro-trace: --autotune tunes the shared-memory "
+                  "framework's knobs; it conflicts with --mars",
+                  file=sys.stderr)
+            raise SystemExit(2)
+        if mode not in (None, "auto"):
+            print(f"repro-trace: --autotune picks the memory mode "
+                  f"itself; it conflicts with --mode "
+                  f"{getattr(mode, 'value', mode)} (drop one)",
+                  file=sys.stderr)
+            raise SystemExit(2)
+        mode = "auto"
+    if mode is None:
+        mode = "auto" if _env_autotune() and not args.mars else MemoryMode.SIO
+    if strategy == "auto" and mode != "auto":
+        # The historical CLI meaning of 'auto': TR when the workload
+        # reduces.  Under mode='auto' it stays 'auto' — the tuner's
+        # TR-vs-BR choice, which is output-identical either way.
         strategy = ReduceStrategy.TR if workload.has_reduce else None
-    elif args.strategy == "none":
-        strategy = None
-    else:
-        strategy = ReduceStrategy(args.strategy)
+    if strategy == "auto" and args.mars:
+        strategy = ReduceStrategy.TR if workload.has_reduce else None
     config = DeviceConfig.small(args.mps) if args.mps else DeviceConfig.gtx280()
     inp = workload.generate(args.size, seed=args.seed, scale=args.scale)
     spec = workload.spec_for_size(args.size, seed=args.seed, scale=args.scale)
@@ -229,18 +268,18 @@ def main(argv: list[str] | None = None) -> int:
 
         result = run_mars_job(
             spec, inp, strategy=strategy, config=config,
-            threads_per_block=args.threads_per_block, tracer=tracer,
+            threads_per_block=args.threads_per_block or 128, tracer=tracer,
             backend=backend, check=check, store=args.store,
             memory_budget=memory_budget,
         )
     else:
         result = run_job(
-            spec, inp, mode=args.mode, reduce_mode=args.reduce_mode,
+            spec, inp, mode=mode, reduce_mode=args.reduce_mode,
             strategy=strategy, config=config,
             threads_per_block=args.threads_per_block,
             shuffle_method=args.shuffle, tracer=tracer,
             backend=backend, check=check, store=args.store,
-            memory_budget=memory_budget,
+            memory_budget=memory_budget, tune=False,
         )
 
     os.makedirs(args.out, exist_ok=True)
@@ -253,13 +292,21 @@ def main(argv: list[str] | None = None) -> int:
     header = {
         "workload": workload.code,
         "backend": backend_name,
-        "mode": "Mars" if args.mars else args.mode,
-        "strategy": strategy.value if strategy else None,
+        # Under --autotune the *resolved* mode/strategy land here, so
+        # two metrics files only diff clean when the tuner agreed.
+        "mode": "Mars" if args.mars
+        else getattr(result.mode, "value", str(result.mode)),
+        "strategy": getattr(result.strategy, "value", result.strategy),
         "size": args.size,
         "seed": args.seed,
         "scale": args.scale,
         "mps": args.mps or config.mp_count,
     }
+    tuner_choice = result.map_stats.extra.get("tuner_choice")
+    if tuner_choice is not None:
+        header["tuner_choice"] = tuner_choice
+        header["tuner_predicted_cost"] = result.map_stats.extra.get(
+            "tuner_predicted_cost")
     with open(metrics_path, "w", encoding="utf-8") as fh:
         fh.write(registry.to_json(extra=header))
 

@@ -46,7 +46,11 @@ LEDGER_DIR_ENV = "REPRO_LEDGER_DIR"
 
 DEFAULT_DIR = ".repro"
 LEDGER_NAME = "runs.jsonl"
-SCHEMA = 1
+#: Schema 2 added the tuner fields (``tuned``, ``tuner_choice``,
+#: ``tuner_predicted_cost``, ``tuner_error`` — all null for untuned
+#: runs).  :func:`read_ledger` stays version-tolerant: readers use
+#: ``.get`` and must accept schema-1 lines with the fields absent.
+SCHEMA = 2
 
 
 def ledger_enabled() -> bool:
@@ -120,6 +124,23 @@ def build_record(plan, inp, backend, result, *, wall_s: float,
     lookups = hits + misses
     report = result.check_report
     straggler = result.straggler
+    decision = getattr(plan, "tuned", None)
+    tuner_choice = tuner_predicted = tuner_error = None
+    if decision is not None:
+        tuner_choice = decision.choice
+        tuner_predicted = round(float(decision.predicted_cost), 6)
+        # The relative prediction error — only when the decision's
+        # objective matches the unit this run actually measured
+        # (cycles on the sim backend, wall seconds elsewhere), so the
+        # calibrator never mixes units.
+        objective = getattr(decision, "objective", "cycles")
+        actual = None
+        if objective == "cycles" and backend.name == "sim":
+            actual = result.timings.total
+        elif objective == "wall" and backend.name != "sim":
+            actual = wall_s
+        if actual is not None and tuner_predicted and tuner_predicted > 0:
+            tuner_error = round(actual / tuner_predicted - 1.0, 4)
     spilled = any("spill_runs" in st.extra for st in stats)
     columnar = any("columnar_batches" in st.extra
                    or "columnar_groups" in st.extra for st in stats)
@@ -149,6 +170,12 @@ def build_record(plan, inp, backend, result, *, wall_s: float,
         "straggler_skew": (
             round(straggler.max_skew, 3) if straggler is not None else None
         ),
+        # Autotuner audit trail (schema 2): all null when the run was
+        # not tuned, so fixed-config records stay comparable.
+        "tuned": decision is not None,
+        "tuner_choice": tuner_choice,
+        "tuner_predicted_cost": tuner_predicted,
+        "tuner_error": tuner_error,
         # Intermediate-store policy: the plan's explicit choice (None
         # means "default/env"), plus spill accounting when the job
         # actually ran a spilling shuffle.

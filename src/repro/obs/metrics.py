@@ -154,7 +154,11 @@ class MetricsRegistry:
             if isinstance(value, (int, float)):
                 self.counter(f"{prefix}.{f.name}").inc(value)
         for key in sorted(stats.extra):
-            self.counter(f"{prefix}.extra.{key}").inc(stats.extra[key])
+            value = stats.extra[key]
+            # Extras may carry string annotations (the tuner's choice
+            # label, for one); counters only fold numbers.
+            if isinstance(value, (int, float)) and not isinstance(value, bool):
+                self.counter(f"{prefix}.extra.{key}").inc(value)
         for cat in sorted(stats.stall_cycles):
             self.counter(f"{prefix}.stall_cycles.{cat}").inc(
                 stats.stall_cycles[cat]

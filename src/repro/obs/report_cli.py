@@ -14,13 +14,19 @@ Reads ``.repro/runs.jsonl`` (see :mod:`repro.obs.ledger`) and renders:
   means the timing model changed);
 * **backend comparison** — for inputs that ran on more than one
   backend, median wall seconds side by side with speedups against the
-  slowest.
+  slowest;
+* **tuner audit** (``--tuner``) — every autotuned run with the chosen
+  configuration, the cost model's prediction, and the measured
+  prediction error (``actual/predicted - 1``, recorded only when the
+  prediction's unit matches what the run measured), plus the mean
+  absolute error per workload — the calibration loop's report card.
 
 Examples::
 
     repro-report
     repro-report --ledger /tmp/ci/.repro/runs.jsonl --last 5
     repro-report --workload wordcount --strict
+    repro-report --tuner
     repro-report --json > report.json
 """
 
@@ -149,6 +155,52 @@ def analyze(records: list[dict], *, window: int = 5,
     }
 
 
+def analyze_tuner(records: list[dict]) -> dict:
+    """Fold the ledger's autotuned runs into the ``--tuner`` report."""
+    tuned = [r for r in records if r.get("tuned")]
+    by_workload: dict[str, list[float]] = {}
+    for rec in tuned:
+        error = rec.get("tuner_error")
+        if isinstance(error, (int, float)):
+            by_workload.setdefault(str(rec.get("workload")), []).append(
+                abs(float(error))
+            )
+    return {
+        "tuned_runs": len(tuned),
+        "runs": tuned,
+        "mean_abs_error": {
+            w: sum(errs) / len(errs) for w, errs in sorted(by_workload.items())
+        },
+    }
+
+
+def render_tuner(tuner: dict, *, last: int = 20) -> str:
+    """Console rendering of :func:`analyze_tuner`'s output."""
+    if not tuner["tuned_runs"]:
+        return ("no autotuned runs in the ledger — run with mode='auto', "
+                "tune=True or $REPRO_AUTOTUNE=1 first")
+    lines = [f"{tuner['tuned_runs']} autotuned run(s)", ""]
+    lines.append(f"  {'when (UTC)':<19s} {'workload':<12s} {'backend':<9s} "
+                 f"{'choice':<22s} {'predicted':>12s} {'error':>8s}")
+    for rec in tuner["runs"][-last:]:
+        error = rec.get("tuner_error")
+        predicted = rec.get("tuner_predicted_cost")
+        lines.append(
+            f"  {_ts(rec):<19s} {str(rec.get('workload', '-')):<12s} "
+            f"{str(rec.get('backend', '-')):<9s} "
+            f"{str(rec.get('tuner_choice', '-')):<22s} "
+            f"{(f'{predicted:.4g}' if isinstance(predicted, (int, float)) else '-'):>12s} "
+            f"{(f'{error:+.1%}' if isinstance(error, (int, float)) else '-'):>8s}"
+        )
+    if tuner["mean_abs_error"]:
+        lines.append("")
+        lines.append("  mean |error| per workload "
+                     "(prediction vs measurement, matched units):")
+        for workload, mae in tuner["mean_abs_error"].items():
+            lines.append(f"    {workload:<12s} {mae:.1%}")
+    return "\n".join(lines)
+
+
 def _ts(rec: dict) -> str:
     ts = rec.get("ts")
     if not isinstance(ts, (int, float)):
@@ -235,6 +287,9 @@ def main(argv: list[str] | None = None) -> int:
                    help="only this workload")
     p.add_argument("--backend", default=None,
                    help="only this backend")
+    p.add_argument("--tuner", action="store_true",
+                   help="report the autotuned runs instead: choice, "
+                        "predicted cost and prediction error per run")
     p.add_argument("--json", action="store_true",
                    help="emit the structured report as JSON")
     p.add_argument("--strict", action="store_true",
@@ -249,6 +304,15 @@ def main(argv: list[str] | None = None) -> int:
     if args.backend:
         records = [r for r in records
                    if str(r.get("backend")).lower() == args.backend.lower()]
+    if args.tuner:
+        tuner = analyze_tuner(records)
+        tuner["ledger"] = path
+        if args.json:
+            print(json.dumps(tuner, sort_keys=True, indent=1))
+        else:
+            print(f"ledger: {path}")
+            print(render_tuner(tuner, last=max(args.last, 20)))
+        return 0
     analysis = analyze(records, window=args.window,
                        threshold=args.threshold)
     analysis["ledger"] = path

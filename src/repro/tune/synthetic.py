@@ -1,0 +1,177 @@
+"""Synthetic tuner workloads: the decision table's input shapes.
+
+Five deliberately extreme input/emission shapes — uniform key space,
+hot-key skew, wide values, ragged text keys, numeric fixed-width —
+that between them exercise every feature the profiler extracts and
+every crossover the cost model must capture (paper Figures 5–8: mode
+vs. record size and emission density, TR vs. BR with cardinality and
+skew).  The factory calibration fits on them alongside the real
+workloads, the golden decision table pins the tuner's choice for each
+against an exhaustive measured sweep, and the ``repro-bench autotune``
+matrix runs them beside WC/KM/HG/LR.
+
+Everything is deterministic for a fixed seed; specs are plain
+:class:`MapReduceSpec` bundles with both TR and BR reduce functions so
+the strategy dimension stays open for the tuner.
+"""
+
+from __future__ import annotations
+
+import struct
+
+from ..framework.api import MapReduceSpec
+from ..framework.records import KeyValueSet
+
+
+def _u32(x: int) -> bytes:
+    return struct.pack("<I", x & 0xFFFFFFFF)
+
+
+def _sum_map(key, value, emit, const):
+    emit(key.to_bytes(), value.to_bytes())
+
+
+def _sum_reduce(key, values, emit, const):
+    total = 0
+    for v in values:
+        total += struct.unpack("<I", v.to_bytes()[:4])[0]
+    emit(key.to_bytes(), _u32(total))
+
+
+def _sum_combine(a, b):
+    return _u32(struct.unpack("<I", a[:4])[0] + struct.unpack("<I", b[:4])[0])
+
+
+def _sum_finalize(key, acc, count):
+    return key, bytes(acc)
+
+
+def _first_byte_map(key, value, emit, const):
+    k = key.to_bytes()
+    emit(k[:1] if k else b"\x00", _u32(len(value)))
+
+
+def _word_map(key, value, emit, const):
+    for w in key.to_bytes().split(b" "):
+        if w:
+            emit(w, _u32(1))
+
+
+def _sum_spec(name: str) -> MapReduceSpec:
+    return MapReduceSpec(
+        name=name, map_record=_sum_map, reduce_record=_sum_reduce,
+        combine=_sum_combine, finalize=_sum_finalize,
+    )
+
+
+def _lcg(seed: int):
+    state = (seed * 2654435761 + 12345) & 0xFFFFFFFF
+
+    def step() -> int:
+        nonlocal state
+        state = (state * 1664525 + 1013904223) & 0xFFFFFFFF
+        return state
+
+    return step
+
+
+# ----------------------------------------------------------------------
+# The five shapes
+# ----------------------------------------------------------------------
+
+
+def uniform_input(n: int = 768, *, seed: int = 0) -> KeyValueSet:
+    """Open key space, ~1 value per group: the TR-friendly shape."""
+    rnd = _lcg(seed)
+    kvs = KeyValueSet()
+    for _ in range(n):
+        kvs.append(_u32(rnd()), _u32(1))
+    return kvs
+
+
+def hotkey_input(n: int = 768, *, seed: int = 0,
+                 hot_share: float = 0.8) -> KeyValueSet:
+    """One dominant key owns ``hot_share`` of the records: maximal
+    skew, the BR-friendly shape (TR serializes the hot group)."""
+    rnd = _lcg(seed)
+    kvs = KeyValueSet()
+    cut = int(hot_share * 1000)
+    for _ in range(n):
+        if rnd() % 1000 < cut:
+            kvs.append(b"HOT!", _u32(1))
+        else:
+            kvs.append(_u32(rnd() % 17), _u32(1))
+    return kvs
+
+
+def widevalue_input(n: int = 256, *, seed: int = 0,
+                    width: int = 256) -> KeyValueSet:
+    """Few groups, 256-byte values: staging pressure on the input
+    side, big per-value read charges in Reduce."""
+    rnd = _lcg(seed)
+    kvs = KeyValueSet()
+    for _ in range(n):
+        group = rnd() % 8
+        payload = bytes((rnd() & 0xFF for _ in range(width)))
+        kvs.append(_u32(group), payload)
+    return kvs
+
+
+def raggedkey_input(n: int = 512, *, seed: int = 0) -> KeyValueSet:
+    """Variable-length text keys, word-splitting Map: the ragged
+    heavy-emitter shape (WC-like without being WC)."""
+    rnd = _lcg(seed)
+    words = [b"alpha", b"be", b"gamma!", b"dd", b"epsilonlong",
+             b"ze", b"eta", b"theta--", b"io", b"kappa"]
+    kvs = KeyValueSet()
+    for _ in range(n):
+        k = b" ".join(words[rnd() % len(words)]
+                      for _ in range(2 + rnd() % 4))
+        kvs.append(k, b"")
+    return kvs
+
+
+def numfixed_input(n: int = 1024, *, seed: int = 0) -> KeyValueSet:
+    """Fixed 4-byte numeric keys and values over a small closed key
+    space: the columnar fast path's best case."""
+    rnd = _lcg(seed)
+    kvs = KeyValueSet()
+    for _ in range(n):
+        kvs.append(_u32(rnd() % 64), _u32(rnd() % 1000))
+    return kvs
+
+
+#: name -> (spec, input factory).  ``widevalue`` reduces the value
+#: *length*, not content, so values stay 4-byte fixed on the way out.
+def _widevalue_spec() -> MapReduceSpec:
+    return MapReduceSpec(
+        name="widevalue", map_record=_first_byte_map,
+        reduce_record=_sum_reduce, combine=_sum_combine,
+        finalize=_sum_finalize,
+    )
+
+
+def _ragged_spec() -> MapReduceSpec:
+    return MapReduceSpec(
+        name="raggedkey", map_record=_word_map,
+        reduce_record=_sum_reduce, combine=_sum_combine,
+        finalize=_sum_finalize,
+    )
+
+
+SYNTHETIC_CASES: dict[str, tuple] = {
+    "uniform": (lambda: _sum_spec("uniform"), uniform_input),
+    "hotkey": (lambda: _sum_spec("hotkey"), hotkey_input),
+    "widevalue": (_widevalue_spec, widevalue_input),
+    "raggedkey": (_ragged_spec, raggedkey_input),
+    "numfixed": (lambda: _sum_spec("numfixed"), numfixed_input),
+}
+
+
+def synthetic_case(name: str, *, seed: int = 0, scale: float = 1.0):
+    """(spec, input) for one named shape, scaled."""
+    spec_fn, gen = SYNTHETIC_CASES[name]
+    import inspect
+
+    default_n = inspect.signature(gen).parameters["n"].default
+    return spec_fn(), gen(max(8, int(default_n * scale)), seed=seed)

@@ -32,7 +32,9 @@ class TestTraceCli:
         with pytest.raises(SystemExit) as e:
             trace_main(["WC", "--mode", "XYZ"])
         assert _exit_code(e) == 2
-        assert "invalid choice" in capsys.readouterr().err
+        err = capsys.readouterr().err
+        assert "unknown memory mode" in err
+        assert "SIO" in err
 
     def test_unknown_strategy_exits_2(self, capsys):
         with pytest.raises(SystemExit) as e:

@@ -112,13 +112,22 @@ class TestMarsFast:
 
 
 class TestAutoMode:
-    def test_fast_auto_resolves_to_sio(self):
+    def test_fast_auto_routes_through_tuner(self):
+        # 'auto' on the fast backend runs the same cost-model tuner as
+        # the sim backend, so mode labels agree across backends and
+        # the decision is auditable from the KernelStats extras.
         wc = WordCount()
         inp = wc.generate("small", scale=0.2, seed=7)
         res = run_job(wc.spec(), inp, mode="auto",
                       strategy=ReduceStrategy.TR, config=CFG,
                       backend="fast")
-        assert res.mode is MemoryMode.SIO
+        sim = run_job(wc.spec(), inp, mode="auto",
+                      strategy=ReduceStrategy.TR, config=CFG,
+                      backend="sim")
+        assert isinstance(res.mode, MemoryMode)
+        assert res.mode is sim.mode
+        assert res.map_stats.extra["tuner_choice"].startswith(
+            res.mode.value + "/")
 
     def test_env_var_selects_backend(self, monkeypatch):
         wc = WordCount()

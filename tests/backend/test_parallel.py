@@ -146,7 +146,10 @@ class TestFastParity:
                       config=CFG, backend=_pooled(2))
         fast = run_job(spec, inp, mode="auto", strategy=ReduceStrategy.TR,
                        config=CFG, backend="fast")
-        assert par.mode == fast.mode == MemoryMode.SIO
+        # Both resolve 'auto' with the same cost-model tuner, so the
+        # chosen mode matches and the output is backend-independent.
+        assert isinstance(par.mode, MemoryMode)
+        assert par.mode == fast.mode
         assert par.output == fast.output
 
 

@@ -1,0 +1,70 @@
+"""Autotune benchmark harness: matrix shape and gate logic."""
+
+from repro.framework.modes import ReduceStrategy
+from repro.tune.bench import (
+    PER_CASE_BAR,
+    bench_cases,
+    check_report,
+    render_report,
+)
+from repro.tune.synthetic import SYNTHETIC_CASES
+
+
+def _report(*, ratio=1.0, tuned_total=100.0, mode_total=200.0):
+    ok = ratio <= PER_CASE_BAR
+    beats = tuned_total < mode_total
+    return {
+        "schema": 1,
+        "per_case_bar": PER_CASE_BAR,
+        "cases": [{
+            "case": "uniform", "tuned_choice": "G/TR@64",
+            "tuned_cycles": 100.0, "best_fixed": "G/TR@64",
+            "best_fixed_cycles": 100.0 / ratio, "ratio_to_best": ratio,
+        }],
+        "totals": {"tuned": tuned_total,
+                   "fixed_modes": {"G": mode_total}},
+        "gates": {"per_case_within_bar": ok,
+                  "tuned_beats_every_fixed_mode": beats},
+    }
+
+
+class TestMatrix:
+    def test_covers_synthetics_and_real_workloads(self):
+        names = [name for name, *_ in bench_cases()]
+        for synth in SYNTHETIC_CASES:
+            assert synth in names
+        for code in ("WC", "KM", "HG", "LR"):
+            assert code in names
+
+    def test_cases_are_nonempty(self):
+        for name, spec, inp, has_reduce in bench_cases():
+            assert len(inp) > 0, name
+            assert spec.map_record is not None
+            if has_reduce:
+                assert spec.reduce_record is not None
+
+
+class TestGates:
+    def test_clean_report_has_no_problems(self):
+        assert check_report(_report()) == []
+
+    def test_per_case_breach_is_reported(self):
+        problems = check_report(_report(ratio=PER_CASE_BAR + 0.05))
+        assert len(problems) == 1
+        assert "uniform" in problems[0]
+
+    def test_total_breach_is_reported(self):
+        problems = check_report(_report(tuned_total=300.0))
+        assert any("fixed mode G" in p for p in problems)
+
+    def test_render_mentions_gate_state(self):
+        assert "[OK]" in render_report(_report())
+        assert "GATES FAILED" in render_report(_report(ratio=2.0))
+
+
+class TestStrategies:
+    def test_reduce_cases_sweep_both_strategies(self):
+        from repro.tune.bench import _strategies
+
+        assert _strategies(True) == (ReduceStrategy.TR, ReduceStrategy.BR)
+        assert _strategies(False) == (None,)
